@@ -1,0 +1,85 @@
+"""Benchmark: Figure 2 — robustness to artificial straggler delays (Cluster-A).
+
+Regenerates Fig. 2a (s = 1) and Fig. 2b (s = 2): average time per iteration
+of naive / cyclic / heter-aware / group-based as the injected delay grows
+from 0 to a full fault.
+
+Shape asserted (matching the paper):
+* naive grows with the delay and stalls (infinite time) at the fault point;
+* cyclic tolerates the fault but sits at its slow-worker-bound level;
+* heter-aware and group-based stay flat and are fastest;
+* at the fault point heter-aware is a multiple (paper: up to 3x) faster
+  than cyclic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import report_fig2, run_fig2
+
+DELAYS = (0.0, 1.0, 2.0, 4.0, float("inf"))
+
+
+def _run(num_stragglers: int, seed: int):
+    return run_fig2(
+        num_stragglers=num_stragglers,
+        delays=DELAYS,
+        num_iterations=12,
+        total_samples=2048,
+        seed=seed,
+    )
+
+
+def _assert_paper_shape(result) -> None:
+    fault = len(result.delays) - 1
+    naive = result.mean_times["naive"]
+    cyclic = result.mean_times["cyclic"]
+    heter = result.mean_times["heter_aware"]
+    group = result.mean_times["group_based"]
+
+    # Naive degrades with the delay and cannot survive the fault.
+    assert naive[2] > naive[0]
+    assert np.isinf(naive[fault])
+    # The coded schemes all survive the fault.
+    for times in (cyclic, heter, group):
+        assert np.isfinite(times[fault])
+    # Heter-aware and group-based stay flat (within 30% of their zero-delay
+    # level) and beat cyclic clearly at the fault point.
+    assert heter[fault] < 1.3 * heter[0]
+    assert group[fault] < 1.3 * group[0]
+    assert result.speedup_over("cyclic", "heter_aware", fault) > 1.5
+    assert result.speedup_over("cyclic", "group_based", fault) > 1.5
+
+
+@pytest.mark.figure("fig2a")
+def test_fig2a_one_straggler(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        _run, args=(1, bench_seed), rounds=1, iterations=1
+    )
+    print()
+    print(report_fig2(result))
+    _assert_paper_shape(result)
+    fault = len(result.delays) - 1
+    benchmark.extra_info["speedup_vs_cyclic_at_fault"] = result.speedup_over(
+        "cyclic", "heter_aware", fault
+    )
+    benchmark.extra_info["mean_times"] = {
+        scheme: [round(t, 4) for t in times]
+        for scheme, times in result.mean_times.items()
+    }
+
+
+@pytest.mark.figure("fig2b")
+def test_fig2b_two_stragglers(benchmark, bench_seed):
+    result = benchmark.pedantic(
+        _run, args=(2, bench_seed), rounds=1, iterations=1
+    )
+    print()
+    print(report_fig2(result))
+    _assert_paper_shape(result)
+    fault = len(result.delays) - 1
+    benchmark.extra_info["speedup_vs_cyclic_at_fault"] = result.speedup_over(
+        "cyclic", "heter_aware", fault
+    )

@@ -1,0 +1,51 @@
+"""Benchmark: Figure 3 — efficiency on clusters of different scales (B, C, D).
+
+Regenerates Fig. 3a/3b/3c: the average time per iteration of every scheme on
+the paper's Cluster-B (16 workers), Cluster-C (32 workers) and Cluster-D
+(58 workers), with only natural heterogeneity plus light transient
+interference as the straggler source.
+
+Shape asserted (matching the paper):
+* heter-aware or group-based is the fastest scheme on every cluster;
+* the cyclic scheme is never the fastest (its equal allocation can even make
+  it slower than the naive baseline, as the paper observes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import report_fig3, run_fig3
+
+CLUSTERS = ("Cluster-B", "Cluster-C", "Cluster-D")
+
+
+def _run(seed: int):
+    return run_fig3(
+        clusters=CLUSTERS,
+        num_iterations=10,
+        total_samples=4096,
+        seed=seed,
+    )
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_cluster_comparison(benchmark, bench_seed):
+    result = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+
+    print()
+    print(report_fig3(result))
+
+    for cluster in CLUSTERS:
+        times = result.mean_times[cluster]
+        fastest = result.fastest_scheme(cluster)
+        assert fastest in ("heter_aware", "group_based"), (cluster, times)
+        assert times["cyclic"] >= times[fastest]
+        # The heterogeneity-aware family clearly beats the uniform baselines.
+        assert times[fastest] < 0.8 * min(times["naive"], times["cyclic"])
+
+    benchmark.extra_info["mean_times"] = {
+        cluster: {scheme: round(t, 4) for scheme, t in times.items()}
+        for cluster, times in result.mean_times.items()
+    }
+    benchmark.extra_info["num_workers"] = dict(result.num_workers)

@@ -1,0 +1,71 @@
+"""Benchmark: Figure 4 — training loss versus wall-clock time (incl. SSP).
+
+Regenerates Fig. 4: the same model trained on the same synthetic image data
+under naive BSP, cyclic coding, heter-aware coding, group-based coding and
+SSP, with the loss recorded against simulated wall-clock time.
+
+Shape asserted (matching the paper, with the caveats recorded in
+EXPERIMENTS.md):
+* every coded BSP scheme's loss decreases over the run;
+* the heter-aware and group-based curves dominate (lower area under the loss
+  curve) the naive and cyclic curves — the coded schemes apply identical
+  gradients, so this is purely the time-axis effect;
+* SSP does not beat the proposed schemes: its stale, mini-batch updates keep
+  its loss at or above the group-based / heter-aware curves at the horizon.
+
+This benchmark runs the full training protocols (real numpy gradients), so
+it is the slowest one in the harness; the Cluster-A scale keeps it tractable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import report_fig4, run_fig4
+
+SCHEMES = ("naive", "cyclic", "heter_aware", "group_based", "ssp")
+
+
+def _run(seed: int):
+    return run_fig4(
+        schemes=SCHEMES,
+        cluster_name="Cluster-A",
+        workload="nonseparable_blobs",
+        num_samples=1024,
+        num_iterations=12,
+        loss_eval_samples=512,
+        num_grid_points=15,
+        seed=seed,
+    )
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_loss_versus_time(benchmark, bench_seed):
+    result = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+
+    print()
+    print(report_fig4(result))
+
+    # Coded BSP schemes make progress.
+    for scheme in ("naive", "cyclic", "heter_aware", "group_based"):
+        curve = result.loss_curves[scheme]
+        assert curve[-1] < curve[0]
+
+    auc = result.area_under_curve
+    # The proposed schemes dominate the uniform baselines.
+    assert auc["heter_aware"] <= auc["naive"] + 1e-9
+    assert auc["heter_aware"] <= auc["cyclic"] + 1e-9
+    assert auc["group_based"] <= auc["naive"] + 1e-9
+    # SSP's stale mini-batch updates leave it at a higher loss than the
+    # proposed schemes by the horizon (the paper's Fig. 4 ordering).
+    assert result.final_loss["ssp"] > result.final_loss["group_based"]
+    assert result.final_loss["ssp"] > result.final_loss["heter_aware"]
+    # The best scheme overall (by area under the curve) is one of the two
+    # proposed schemes.
+    assert result.ranking()[0] in ("heter_aware", "group_based")
+
+    benchmark.extra_info["auc"] = {k: round(v, 4) for k, v in auc.items()}
+    benchmark.extra_info["final_loss"] = {
+        k: round(v, 4) for k, v in result.final_loss.items()
+    }
+    benchmark.extra_info["ranking"] = result.ranking()

@@ -1,0 +1,45 @@
+"""Benchmark: Figure 5 — computing resource usage per scheme.
+
+Regenerates Fig. 5: the per-scheme computing-resource usage
+``sum_i computing_time_i / sum_i total_time_i`` on Cluster-A under transient
+interference.
+
+Shape asserted (matching the paper):
+* the naive scheme has the lowest usage (fast workers idle while the slow
+  ones finish);
+* the heter-aware / group-based schemes have the highest usage;
+* no usage exceeds 1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import report_fig5, run_fig5
+
+
+def _run(seed: int):
+    return run_fig5(
+        num_iterations=15,
+        total_samples=2048,
+        seed=seed,
+    )
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_resource_usage(benchmark, bench_seed):
+    result = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+
+    print()
+    print(report_fig5(result))
+
+    usage = result.resource_usage
+    assert all(0.0 < value <= 1.0 for value in usage.values())
+    # Naive is the least efficient, the heterogeneity-aware family the most.
+    assert usage["naive"] == min(usage.values())
+    assert result.best_scheme() in ("heter_aware", "group_based")
+    assert max(usage.values()) > 1.5 * usage["naive"]
+
+    benchmark.extra_info["resource_usage"] = {
+        scheme: round(value, 4) for scheme, value in usage.items()
+    }

@@ -1,0 +1,53 @@
+"""Benchmark: Theorem 5 ablation — worst-case makespan versus the lower bound.
+
+Not a figure in the paper, but the paper's central theoretical claim: the
+heter-aware construction is an optimal solution of problem (4).  The
+benchmark draws random heterogeneous clusters and measures the ratio of each
+scheme's worst-case completion time ``T(B)`` to the lower bound
+``(s + 1) k / sum_i c_i``.
+
+Shape asserted:
+* heter-aware and group-based stay within a small quantisation gap of the
+  bound (ratio close to 1);
+* the cyclic scheme's ratio grows with the heterogeneity spread and is
+  clearly larger.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import report_optimality_sweep, run_optimality_sweep
+
+
+def _run(seed: int):
+    return run_optimality_sweep(
+        num_trials=12,
+        num_workers=8,
+        num_stragglers=1,
+        partitions_multiplier=4,
+        heterogeneity_spread=6.0,
+        seed=seed,
+    )
+
+
+@pytest.mark.figure("theorem5")
+def test_theorem5_optimality(benchmark, bench_seed):
+    result = benchmark.pedantic(_run, args=(bench_seed,), rounds=1, iterations=1)
+
+    print()
+    print(report_optimality_sweep(result))
+
+    heter_ratio = result.mean_ratio("heter_aware")
+    group_ratio = result.mean_ratio("group_based")
+    cyclic_ratio = result.mean_ratio("cyclic")
+
+    assert heter_ratio < 1.25
+    assert group_ratio < 1.25
+    assert cyclic_ratio > 1.5 * heter_ratio
+
+    benchmark.extra_info["mean_ratio"] = {
+        "cyclic": round(cyclic_ratio, 4),
+        "heter_aware": round(heter_ratio, 4),
+        "group_based": round(group_ratio, 4),
+    }

@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at a
+reduced-but-representative scale, records the headline numbers in
+``benchmark.extra_info`` (so they appear in ``pytest-benchmark``'s JSON
+output), and asserts the qualitative shape the paper reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Add ``-s`` to also see the rendered text tables.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks a benchmark as regenerating a paper figure"
+    )
+
+
+@pytest.fixture
+def bench_seed() -> int:
+    """Common seed so benchmark results are reproducible run to run."""
+    return 0

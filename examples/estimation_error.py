@@ -1,0 +1,45 @@
+"""Throughput mis-estimation: why the group-based scheme exists (Section V).
+
+The heter-aware scheme of Algorithm 1 is optimal when the master's throughput
+estimates c_i are exact.  Real estimates drift (background load, noisy
+sampling), and the paper's response is the group-based scheme: reduce how
+many workers the master must wait for by exploiting disjoint groups whose
+partition sets tile the dataset.
+
+This example perturbs the estimated throughputs by increasing relative error
+while keeping the true speeds fixed, rebuilds both schemes from the noisy
+estimates, and compares their mean iteration times.
+
+Run with:  python examples/estimation_error.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import report_estimation_error, run_estimation_error_sweep
+
+
+def main() -> None:
+    result = run_estimation_error_sweep(
+        error_levels=(0.0, 0.1, 0.2, 0.4, 0.8),
+        schemes=("cyclic", "heter_aware", "group_based"),
+        cluster_name="Cluster-A",
+        num_iterations=20,
+        total_samples=2048,
+        transient_probability=0.15,
+        transient_mean_delay=0.5,
+        seed=0,
+    )
+    print(report_estimation_error(result))
+
+    print(
+        "\nAs the estimation error grows the proportional allocation degrades "
+        "for both heterogeneity-aware schemes, but the group decoding fast "
+        "path lets the group-based scheme finish as soon as any complete "
+        "group reports, softening the penalty.  The cyclic baseline is "
+        "unaffected by estimation error (it never uses the estimates) but "
+        "pays its uniform-allocation penalty at every error level."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Quickstart: build a heterogeneity-aware gradient code and decode with it.
+
+This example walks through the paper's core mechanism on a 5-worker cluster
+(Example 1 of the paper: throughputs c = [1, 2, 3, 4, 4], k = 7 partitions,
+s = 1 straggler):
+
+1. allocate data partitions proportionally to worker speed (Eq. 5-6);
+2. construct the coding matrix B (Algorithm 1);
+3. compute real partial gradients with a numpy model;
+4. encode each worker's result, drop a straggler, and decode at the master;
+5. verify the decoded gradient equals the full-batch gradient exactly.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.coding import (
+    Decoder,
+    certify_robustness,
+    heterogeneity_aware_strategy,
+    makespan_lower_bound,
+)
+from repro.learning import (
+    SoftmaxClassifier,
+    compute_partial_gradients,
+    encode_all_workers,
+    full_gradient,
+    make_blobs,
+    partition_dataset,
+)
+
+
+def main() -> None:
+    # --- the cluster of Example 1 -------------------------------------------------
+    throughputs = [1.0, 2.0, 3.0, 4.0, 4.0]   # partitions per second per worker
+    num_partitions = 7                         # k
+    num_stragglers = 1                         # s
+
+    strategy = heterogeneity_aware_strategy(
+        throughputs, num_partitions=num_partitions, num_stragglers=num_stragglers, rng=0
+    )
+    print("Coding strategy:", strategy.describe())
+    print("Per-worker loads n_i (proportional to c_i):", list(strategy.loads))
+
+    report = certify_robustness(strategy)
+    print(
+        f"Robust to any {num_stragglers} straggler(s)? {report.robust} "
+        f"(checked {report.patterns_checked} straggler patterns)"
+    )
+    bound = makespan_lower_bound(throughputs, num_partitions, num_stragglers)
+    times = strategy.computation_times(throughputs)
+    print(
+        f"Theorem 5 lower bound: {bound:.3f}; worst worker finishes at "
+        f"{times.max():.3f} (optimal when estimates are exact)"
+    )
+
+    # --- real gradients on a synthetic dataset ------------------------------------
+    dataset = make_blobs(num_samples=700, num_features=20, num_classes=5, rng=0)
+    partitioned = partition_dataset(dataset, num_partitions, rng=0)
+    model = SoftmaxClassifier(dataset.num_features, dataset.num_classes, rng=0)
+
+    partial_gradients = compute_partial_gradients(model, partitioned)
+    coded = encode_all_workers(strategy, partial_gradients)
+
+    # --- worker 3 straggles; the master decodes from the rest ---------------------
+    straggler = 3
+    received = {worker: grad for worker, grad in coded.items() if worker != straggler}
+    print(f"\nWorker {straggler} straggles; master received results from "
+          f"{sorted(received)}")
+
+    decoder = Decoder(strategy)
+    aggregated = decoder.decode(received)
+    exact = full_gradient(model, partitioned)
+    error = float(np.abs(aggregated - exact).max())
+    print(f"Max |decoded - full batch gradient| = {error:.2e}")
+    assert np.allclose(aggregated, exact, atol=1e-8)
+    print("Decoding is exact: coded training applies the same updates as "
+          "uncoded synchronous SGD.")
+
+
+if __name__ == "__main__":
+    main()

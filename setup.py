@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical build configuration lives in ``pyproject.toml``; this file
+exists so that ``pip install -e .`` / ``python setup.py develop`` keep
+working on environments whose setuptools predates PEP 660 editable wheels
+(e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro — reproduction of *Heterogeneity-aware Gradient Coding for Straggler Tolerance*.
+
+The package is organised in layers:
+
+* :mod:`repro.coding` — the paper's contribution: heterogeneity-aware and
+  group-based gradient coding schemes, plus the naive / cyclic / fractional
+  baselines, decoding and optimality analysis.
+* :mod:`repro.learning` — a from-scratch numpy learning substrate (synthetic
+  datasets, models, losses, optimizers, partial gradients).
+* :mod:`repro.simulation` — a heterogeneous-cluster simulator (worker
+  throughputs, straggler injection, communication, iteration timing).
+* :mod:`repro.protocols` — distributed training protocols that combine the
+  three layers: naive BSP, gradient-coded BSP, SSP and fully asynchronous.
+* :mod:`repro.metrics` — resource usage, timing statistics and convergence
+  summaries (the quantities the paper's figures report).
+* :mod:`repro.experiments` — the per-figure experiment harness (Table II
+  clusters, Figures 2-5).
+
+Quickstart::
+
+    import numpy as np
+    from repro.coding import heterogeneity_aware_strategy, Decoder
+
+    throughputs = [1.0, 2.0, 3.0, 4.0, 4.0]
+    strategy = heterogeneity_aware_strategy(
+        throughputs, num_partitions=7, num_stragglers=1, rng=0
+    )
+    partial_gradients = np.random.default_rng(0).normal(size=(7, 10))
+    coded = {
+        w: strategy.row(w)[list(strategy.support(w))]
+        @ partial_gradients[list(strategy.support(w))]
+        for w in range(5)
+    }
+    del coded[3]  # worker 3 straggles
+    g = Decoder(strategy).decode(coded)
+    assert np.allclose(g, partial_gradients.sum(axis=0))
+"""
+
+from . import coding, experiments, learning, metrics, protocols, simulation
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "coding",
+    "learning",
+    "simulation",
+    "protocols",
+    "metrics",
+    "experiments",
+    "__version__",
+]

@@ -1,0 +1,261 @@
+"""Command-line interface: regenerate any paper experiment from the shell.
+
+Usage (after ``pip install -e .`` or with ``PYTHONPATH`` set)::
+
+    python -m repro table2
+    python -m repro fig2 --stragglers 1 --iterations 20
+    python -m repro fig3 --clusters Cluster-B Cluster-C
+    python -m repro fig4 --cluster Cluster-A --iterations 12
+    python -m repro fig5
+    python -m repro optimality --trials 10
+    python -m repro estimation-error --errors 0 0.2 0.4
+    python -m repro analyze --cluster Cluster-A --stragglers 1
+
+Each sub-command runs the corresponding experiment at a configurable scale
+and prints the same text table the benchmarks produce, so results can be
+regenerated without going through pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .coding.analysis import analyze_strategy
+from .coding.registry import build_strategy, natural_partitions
+from .experiments import (
+    build_cluster,
+    report_estimation_error,
+    report_fig2,
+    report_fig3,
+    report_fig4,
+    report_fig5,
+    report_optimality_sweep,
+    report_table2,
+    run_estimation_error_sweep,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_optimality_sweep,
+    run_table2,
+)
+from .metrics import format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Heterogeneity-aware Gradient Coding for "
+            "Straggler Tolerance' (ICDCS 2019): regenerate the paper's "
+            "tables and figures."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table2", help="Table II: cluster configurations")
+
+    fig2 = subparsers.add_parser(
+        "fig2", help="Fig. 2: straggler-delay sweep on Cluster-A"
+    )
+    fig2.add_argument("--stragglers", type=int, default=1, help="s (1 for Fig. 2a, 2 for 2b)")
+    fig2.add_argument("--iterations", type=int, default=20)
+    fig2.add_argument("--samples", type=int, default=2048, help="samples per iteration")
+    fig2.add_argument("--cluster", default="Cluster-A")
+    fig2.add_argument("--seed", type=int, default=0)
+
+    fig3 = subparsers.add_parser(
+        "fig3", help="Fig. 3: scheme comparison across clusters"
+    )
+    fig3.add_argument(
+        "--clusters",
+        nargs="+",
+        default=["Cluster-B", "Cluster-C", "Cluster-D"],
+    )
+    fig3.add_argument("--iterations", type=int, default=20)
+    fig3.add_argument("--samples", type=int, default=4096)
+    fig3.add_argument("--seed", type=int, default=0)
+
+    fig4 = subparsers.add_parser(
+        "fig4", help="Fig. 4: loss vs wall-clock time (runs full training)"
+    )
+    fig4.add_argument("--cluster", default="Cluster-C")
+    fig4.add_argument("--workload", default="nonseparable_blobs")
+    fig4.add_argument("--samples", type=int, default=1024)
+    fig4.add_argument("--iterations", type=int, default=15)
+    fig4.add_argument("--learning-rate", type=float, default=0.5)
+    fig4.add_argument("--seed", type=int, default=0)
+
+    fig5 = subparsers.add_parser("fig5", help="Fig. 5: computing resource usage")
+    fig5.add_argument("--cluster", default="Cluster-A")
+    fig5.add_argument("--iterations", type=int, default=20)
+    fig5.add_argument("--samples", type=int, default=2048)
+    fig5.add_argument("--seed", type=int, default=0)
+
+    optimality = subparsers.add_parser(
+        "optimality", help="Theorem 5 ablation: makespan vs lower bound"
+    )
+    optimality.add_argument("--trials", type=int, default=10)
+    optimality.add_argument("--workers", type=int, default=8)
+    optimality.add_argument("--stragglers", type=int, default=1)
+    optimality.add_argument("--seed", type=int, default=0)
+
+    estimation = subparsers.add_parser(
+        "estimation-error", help="Section V ablation: noisy throughput estimates"
+    )
+    estimation.add_argument(
+        "--errors", nargs="+", type=float, default=[0.0, 0.1, 0.2, 0.4]
+    )
+    estimation.add_argument("--cluster", default="Cluster-A")
+    estimation.add_argument("--iterations", type=int, default=20)
+    estimation.add_argument("--seed", type=int, default=0)
+
+    analyze = subparsers.add_parser(
+        "analyze", help="static analysis of every scheme on one cluster"
+    )
+    analyze.add_argument("--cluster", default="Cluster-A")
+    analyze.add_argument("--stragglers", type=int, default=1)
+    analyze.add_argument("--multiplier", type=int, default=2,
+                         help="k / m for the heterogeneity-aware family")
+    analyze.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _command_table2(_: argparse.Namespace) -> str:
+    return report_table2(run_table2())
+
+
+def _command_fig2(args: argparse.Namespace) -> str:
+    result = run_fig2(
+        num_stragglers=args.stragglers,
+        cluster_name=args.cluster,
+        num_iterations=args.iterations,
+        total_samples=args.samples,
+        seed=args.seed,
+    )
+    return report_fig2(result)
+
+
+def _command_fig3(args: argparse.Namespace) -> str:
+    result = run_fig3(
+        clusters=tuple(args.clusters),
+        num_iterations=args.iterations,
+        total_samples=args.samples,
+        seed=args.seed,
+    )
+    return report_fig3(result)
+
+
+def _command_fig4(args: argparse.Namespace) -> str:
+    result = run_fig4(
+        cluster_name=args.cluster,
+        workload=args.workload,
+        num_samples=args.samples,
+        num_iterations=args.iterations,
+        learning_rate=args.learning_rate,
+        seed=args.seed,
+    )
+    return report_fig4(result)
+
+
+def _command_fig5(args: argparse.Namespace) -> str:
+    result = run_fig5(
+        cluster_name=args.cluster,
+        num_iterations=args.iterations,
+        total_samples=args.samples,
+        seed=args.seed,
+    )
+    return report_fig5(result)
+
+
+def _command_optimality(args: argparse.Namespace) -> str:
+    result = run_optimality_sweep(
+        num_trials=args.trials,
+        num_workers=args.workers,
+        num_stragglers=args.stragglers,
+        seed=args.seed,
+    )
+    return report_optimality_sweep(result)
+
+
+def _command_estimation_error(args: argparse.Namespace) -> str:
+    result = run_estimation_error_sweep(
+        error_levels=tuple(args.errors),
+        cluster_name=args.cluster,
+        num_iterations=args.iterations,
+        seed=args.seed,
+    )
+    return report_estimation_error(result)
+
+
+def _command_analyze(args: argparse.Namespace) -> str:
+    cluster = build_cluster(args.cluster, rng=args.seed)
+    rows = []
+    for scheme in ("naive", "cyclic", "heter_aware", "group_based"):
+        k = natural_partitions(scheme, cluster.num_workers, args.multiplier)
+        strategy = build_strategy(
+            scheme,
+            throughputs=cluster.estimated_throughputs,
+            num_partitions=k,
+            num_stragglers=0 if scheme == "naive" else args.stragglers,
+            rng=args.seed,
+        )
+        analysis = analyze_strategy(strategy, cluster.true_throughputs)
+        rows.append(
+            [
+                scheme,
+                analysis.num_partitions,
+                analysis.replication_factor,
+                analysis.load_balance,
+                analysis.storage_fraction,
+                analysis.workers_needed_worst_case,
+                analysis.workers_needed_best_case,
+                analysis.num_groups,
+            ]
+        )
+    return format_table(
+        [
+            "scheme",
+            "k",
+            "replication",
+            "load balance",
+            "max storage",
+            "workers (worst)",
+            "workers (best)",
+            "groups",
+        ],
+        rows,
+        precision=3,
+        title=f"Static strategy analysis on {cluster.name} (s={args.stragglers})",
+    )
+
+
+_COMMANDS = {
+    "table2": _command_table2,
+    "fig2": _command_fig2,
+    "fig3": _command_fig3,
+    "fig4": _command_fig4,
+    "fig5": _command_fig5,
+    "optimality": _command_optimality,
+    "estimation-error": _command_estimation_error,
+    "analyze": _command_analyze,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    print(handler(args))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

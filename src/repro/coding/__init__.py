@@ -1,0 +1,122 @@
+"""Gradient coding schemes, decoding and analysis (the paper's contribution).
+
+Public surface:
+
+* Allocation — :func:`heterogeneity_aware_allocation`, :func:`uniform_allocation`
+* Schemes — :func:`naive_strategy`, :func:`cyclic_strategy`,
+  :func:`fractional_repetition_strategy`, :func:`heterogeneity_aware_strategy`,
+  :func:`group_based_strategy`, :func:`build_strategy`
+* Decoding — :class:`Decoder`, :func:`decode_gradient`, :func:`build_decoding_matrix`
+* Verification — :func:`certify_robustness`, :func:`is_robust`
+* Optimality — :func:`makespan_lower_bound`, :func:`worst_case_completion_time`,
+  :func:`optimality_report`
+* Groups — :func:`find_all_groups`, :func:`prune_groups`, :func:`detect_groups`
+"""
+
+from .allocation import (
+    cyclic_placement,
+    heterogeneity_aware_allocation,
+    proportional_integer_loads,
+    uniform_allocation,
+)
+from .analysis import StrategyAnalysis, analyze_strategy, load_balance_index
+from .construction import build_coding_matrix, draw_auxiliary_matrix
+from .cyclic import cyclic_strategy
+from .decoding import DecodeResult, Decoder, build_decoding_matrix, decode_gradient
+from .fractional import fractional_repetition_strategy
+from .group_based import group_based_strategy
+from .groups import detect_groups, find_all_groups, prune_groups
+from .heter_aware import heterogeneity_aware_strategy
+from .naive import naive_strategy
+from .optimality import (
+    OptimalityReport,
+    completion_time,
+    makespan_lower_bound,
+    optimality_report,
+    worst_case_completion_time,
+)
+from .registry import SCHEME_NAMES, build_strategy, natural_partitions
+from .serialization import (
+    load_strategy,
+    save_strategy,
+    strategy_from_dict,
+    strategy_to_dict,
+    worker_payload,
+)
+from .types import (
+    AllocationError,
+    CodingError,
+    CodingStrategy,
+    ConstructionError,
+    DecodingError,
+    PartitionAssignment,
+    StragglerPattern,
+)
+from .verification import (
+    RobustnessReport,
+    certify_robustness,
+    is_robust,
+    iter_straggler_patterns,
+    solve_decoding_vector,
+    spans_all_ones,
+)
+
+__all__ = [
+    # types
+    "CodingError",
+    "AllocationError",
+    "ConstructionError",
+    "DecodingError",
+    "PartitionAssignment",
+    "CodingStrategy",
+    "StragglerPattern",
+    # allocation
+    "proportional_integer_loads",
+    "cyclic_placement",
+    "uniform_allocation",
+    "heterogeneity_aware_allocation",
+    # construction
+    "draw_auxiliary_matrix",
+    "build_coding_matrix",
+    # schemes
+    "naive_strategy",
+    "cyclic_strategy",
+    "fractional_repetition_strategy",
+    "heterogeneity_aware_strategy",
+    "group_based_strategy",
+    "build_strategy",
+    "natural_partitions",
+    "SCHEME_NAMES",
+    # groups
+    "find_all_groups",
+    "prune_groups",
+    "detect_groups",
+    # decoding
+    "Decoder",
+    "DecodeResult",
+    "decode_gradient",
+    "build_decoding_matrix",
+    # verification
+    "spans_all_ones",
+    "solve_decoding_vector",
+    "is_robust",
+    "certify_robustness",
+    "RobustnessReport",
+    "iter_straggler_patterns",
+    # optimality
+    "makespan_lower_bound",
+    "completion_time",
+    "worst_case_completion_time",
+    "optimality_report",
+    "OptimalityReport",
+    # analysis
+    "StrategyAnalysis",
+    "analyze_strategy",
+    "load_balance_index",
+    # serialization
+    "strategy_to_dict",
+    "strategy_from_dict",
+    "save_strategy",
+    "load_strategy",
+    "worker_payload",
+]

@@ -1,0 +1,259 @@
+"""Data-partition allocation (Section IV-A, Equations 5-6 of the paper).
+
+Two allocators are provided:
+
+* :func:`uniform_allocation` — the allocation used by the *naive* and
+  *cyclic* (Tandon et al.) baselines.  Every worker receives the same number
+  of partition copies regardless of its speed.
+
+* :func:`heterogeneity_aware_allocation` — the paper's allocation.  To
+  tolerate ``s`` stragglers every partition is replicated ``s + 1`` times,
+  giving ``k * (s + 1)`` partition copies in total, and worker ``W_i``
+  receives ``n_i = k (s + 1) c_i / sum_j c_j`` of them (Eq. 5).  Copies are
+  then laid out cyclically (Eq. 6) so that the ``s + 1`` copies of every
+  partition land on ``s + 1`` distinct workers.
+
+The paper assumes ``n_i`` is an integer; real throughputs rarely cooperate,
+so :func:`proportional_integer_loads` implements a largest-remainder
+rounding that preserves the total ``k (s + 1)`` and caps every ``n_i`` at
+``k`` (a worker cannot usefully hold more than one copy of each partition).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .types import AllocationError, PartitionAssignment
+
+__all__ = [
+    "proportional_integer_loads",
+    "cyclic_placement",
+    "uniform_allocation",
+    "heterogeneity_aware_allocation",
+]
+
+
+def _validate_problem(num_workers: int, num_partitions: int, num_stragglers: int) -> None:
+    if num_workers <= 0:
+        raise AllocationError("num_workers must be positive")
+    if num_partitions <= 0:
+        raise AllocationError("num_partitions must be positive")
+    if num_stragglers < 0:
+        raise AllocationError("num_stragglers must be non-negative")
+    if num_stragglers >= num_workers:
+        raise AllocationError(
+            f"cannot tolerate {num_stragglers} stragglers with only "
+            f"{num_workers} workers: at least s + 1 workers are required"
+        )
+
+
+def proportional_integer_loads(
+    throughputs: Sequence[float],
+    total: int,
+    cap: int,
+) -> list[int]:
+    """Split ``total`` copies across workers proportionally to ``throughputs``.
+
+    Uses the largest-remainder (Hamilton) method so that the integer loads
+    sum exactly to ``total``.  Every load is clamped to ``[0, cap]``; if the
+    proportional share of some worker exceeds ``cap`` the excess is
+    redistributed to the workers with the largest remaining headroom,
+    preferring faster workers.
+
+    Parameters
+    ----------
+    throughputs:
+        Positive per-worker throughputs ``c_i``.
+    total:
+        Total number of copies to distribute (``k * (s + 1)``).
+    cap:
+        Maximum copies a single worker may hold (``k``).
+
+    Returns
+    -------
+    list[int]
+        Integer loads ``n_i`` with ``sum(n_i) == total`` and
+        ``0 <= n_i <= cap``.
+
+    Raises
+    ------
+    AllocationError
+        If the throughputs are not strictly positive or the capacity
+        ``cap * m`` is insufficient to place ``total`` copies.
+    """
+    c = np.asarray(throughputs, dtype=np.float64)
+    if c.ndim != 1 or c.size == 0:
+        raise AllocationError("throughputs must be a non-empty 1-D sequence")
+    if np.any(c <= 0) or not np.all(np.isfinite(c)):
+        raise AllocationError("throughputs must be strictly positive and finite")
+    if total < 0:
+        raise AllocationError("total must be non-negative")
+    if cap <= 0:
+        raise AllocationError("cap must be positive")
+    num_workers = c.size
+    if cap * num_workers < total:
+        raise AllocationError(
+            f"cannot place {total} copies on {num_workers} workers with a "
+            f"per-worker cap of {cap}"
+        )
+
+    shares = c / c.sum() * total
+    loads = np.floor(shares).astype(np.int64)
+    loads = np.minimum(loads, cap)
+    remainders = shares - loads
+
+    deficit = total - int(loads.sum())
+    # Hand out the remaining copies to the workers with the largest
+    # fractional remainder (ties broken toward faster workers), skipping
+    # workers that are already at the cap.
+    order = sorted(
+        range(num_workers),
+        key=lambda i: (remainders[i], c[i]),
+        reverse=True,
+    )
+    idx = 0
+    while deficit > 0:
+        worker = order[idx % num_workers]
+        if loads[worker] < cap:
+            loads[worker] += 1
+            deficit -= 1
+        idx += 1
+        if idx > 10 * num_workers * (total + 1):
+            raise AllocationError("failed to distribute partition copies")
+    return [int(n) for n in loads]
+
+
+def cyclic_placement(
+    loads: Sequence[int],
+    num_partitions: int,
+) -> PartitionAssignment:
+    """Place partition copies cyclically according to per-worker loads (Eq. 6).
+
+    Worker ``W_i`` receives partitions
+    ``{(n'_i + 1) mod k, ..., (n'_i + n_i) mod k}`` where
+    ``n'_i = sum_{j < i} n_j``.  When the total load is ``k * (s + 1)`` this
+    guarantees that every partition is replicated exactly ``s + 1`` times on
+    ``s + 1`` distinct workers.
+
+    Parameters
+    ----------
+    loads:
+        ``n_i`` for every worker; each must satisfy ``0 <= n_i <= k``.
+    num_partitions:
+        ``k``, the number of data partitions.
+    """
+    k = num_partitions
+    if k <= 0:
+        raise AllocationError("num_partitions must be positive")
+    partitions_per_worker: list[tuple[int, ...]] = []
+    offset = 0
+    for worker, load in enumerate(loads):
+        if load < 0 or load > k:
+            raise AllocationError(
+                f"worker {worker} load {load} outside the valid range [0, {k}]"
+            )
+        assigned = tuple((offset + j) % k for j in range(load))
+        partitions_per_worker.append(assigned)
+        offset += load
+    return PartitionAssignment(
+        num_workers=len(partitions_per_worker),
+        num_partitions=k,
+        partitions_per_worker=tuple(partitions_per_worker),
+    )
+
+
+def uniform_allocation(
+    num_workers: int,
+    num_partitions: int,
+    num_stragglers: int,
+) -> PartitionAssignment:
+    """Uniform (heterogeneity-oblivious) allocation used by the cyclic scheme.
+
+    This follows the cyclic repetition placement of Tandon et al.: worker
+    ``W_i`` stores the window of ``k (s + 1) / m`` *consecutive* partitions
+    starting at partition ``i * k / m`` (wrapping around), so consecutive
+    workers hold overlapping, staggered windows.  The canonical
+    configuration uses ``k = m`` and every worker holds partitions
+    ``{i, i + 1, ..., i + s} mod k``.
+
+    The staggering matters: placing equal non-overlapping blocks instead
+    (what :func:`cyclic_placement` would do for equal loads) makes several
+    workers share identical supports, which accidentally lets the master
+    decode from fewer than ``m - s`` workers and misrepresents the
+    baseline's behaviour.
+
+    Raises
+    ------
+    AllocationError
+        If ``m`` does not divide ``k`` and ``k (s + 1)``, or a worker would
+        need more than ``k`` partitions.
+    """
+    _validate_problem(num_workers, num_partitions, num_stragglers)
+    total = num_partitions * (num_stragglers + 1)
+    if total % num_workers != 0 or num_partitions % num_workers != 0:
+        raise AllocationError(
+            f"uniform allocation requires m | k and m | k(s+1): "
+            f"m={num_workers}, k={num_partitions}, s={num_stragglers}"
+        )
+    per_worker = total // num_workers
+    if per_worker > num_partitions:
+        raise AllocationError(
+            f"uniform allocation would assign {per_worker} partitions per "
+            f"worker but only {num_partitions} exist"
+        )
+    stride = num_partitions // num_workers
+    partitions_per_worker = tuple(
+        tuple((i * stride + j) % num_partitions for j in range(per_worker))
+        for i in range(num_workers)
+    )
+    return PartitionAssignment(
+        num_workers=num_workers,
+        num_partitions=num_partitions,
+        partitions_per_worker=partitions_per_worker,
+    )
+
+
+def heterogeneity_aware_allocation(
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+) -> PartitionAssignment:
+    """Heterogeneity-aware allocation (Eq. 5 + Eq. 6 of the paper).
+
+    Worker ``W_i`` receives ``n_i = k (s + 1) c_i / sum_j c_j`` partition
+    copies (rounded with the largest-remainder method so the totals are
+    exact), and the ``k (s + 1)`` copies are then placed cyclically so every
+    partition lands on exactly ``s + 1`` distinct workers.
+
+    Parameters
+    ----------
+    throughputs:
+        Estimated per-worker throughputs ``c_i`` (partitions per unit time).
+    num_partitions:
+        ``k``, the number of data partitions.
+    num_stragglers:
+        ``s``, the number of full stragglers the scheme must tolerate.
+
+    Returns
+    -------
+    PartitionAssignment
+        An assignment in which every partition is replicated exactly
+        ``s + 1`` times.
+    """
+    c = np.asarray(throughputs, dtype=np.float64)
+    _validate_problem(c.size, num_partitions, num_stragglers)
+    total = num_partitions * (num_stragglers + 1)
+    loads = proportional_integer_loads(c, total=total, cap=num_partitions)
+    assignment = cyclic_placement(loads, num_partitions)
+    replication = assignment.replication_counts()
+    if not np.all(replication == num_stragglers + 1):
+        # The cyclic placement guarantees exact (s+1)-fold replication as long
+        # as the loads sum to k(s+1) and no load exceeds k, which the code
+        # above enforces; this is a defensive internal check.
+        raise AllocationError(
+            "internal error: cyclic placement did not achieve exact "
+            f"{num_stragglers + 1}-fold replication (got {replication.tolist()})"
+        )
+    return assignment

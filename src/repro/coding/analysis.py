@@ -1,0 +1,184 @@
+"""Static analysis of coding strategies: cost, balance and redundancy.
+
+Before deploying a gradient coding strategy an operator wants to know what
+it costs: how much extra computation the redundancy adds, how well the load
+matches worker speeds, how much the coded gradients weigh on the network,
+and how many workers the master realistically has to wait for.  This module
+computes those quantities from a :class:`~repro.coding.types.CodingStrategy`
+alone (no simulation needed) so they can be compared across schemes and
+logged next to experiment results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .decoding import Decoder
+from .types import CodingError, CodingStrategy
+from .verification import iter_straggler_patterns
+
+__all__ = ["StrategyAnalysis", "analyze_strategy", "load_balance_index"]
+
+
+def load_balance_index(
+    loads: Sequence[float], throughputs: Sequence[float]
+) -> float:
+    """How well the per-worker loads match the worker speeds, in ``(0, 1]``.
+
+    The index is the ratio between the ideal makespan (perfectly divisible
+    load, ``sum(loads) / sum(throughputs)``) and the actual makespan
+    (``max_i loads_i / c_i``).  1.0 means perfectly proportional loads; small
+    values mean some worker is overloaded relative to its speed.  Workers
+    with zero load are ignored (they cannot be the bottleneck).
+    """
+    loads = np.asarray(loads, dtype=np.float64)
+    c = np.asarray(throughputs, dtype=np.float64)
+    if loads.shape != c.shape:
+        raise CodingError("loads and throughputs must have the same length")
+    if np.any(c <= 0):
+        raise CodingError("throughputs must be strictly positive")
+    if np.any(loads < 0):
+        raise CodingError("loads must be non-negative")
+    total = loads.sum()
+    if total == 0:
+        return 1.0
+    actual_makespan = float(np.max(loads / c))
+    ideal_makespan = float(total / c.sum())
+    return ideal_makespan / actual_makespan
+
+
+@dataclass(frozen=True)
+class StrategyAnalysis:
+    """Summary statistics of a coding strategy.
+
+    Attributes
+    ----------
+    scheme:
+        Name of the scheme that produced the strategy.
+    num_workers, num_partitions, num_stragglers:
+        Problem dimensions (``m``, ``k``, ``s``).
+    replication_factor:
+        Average number of copies per partition
+        (``total copies / k``; equals ``s + 1`` for the paper's schemes).
+    computation_overhead:
+        Extra computation relative to the uncoded baseline
+        (``replication_factor - 1``).
+    max_load, min_load, mean_load:
+        Per-worker load statistics (number of partitions).
+    load_balance:
+        :func:`load_balance_index` against the supplied throughputs (1.0 when
+        no throughputs are given).
+    storage_fraction:
+        Fraction of the dataset the most loaded worker stores
+        (``max_i n_i / k``).
+    workers_needed_worst_case:
+        The largest number of finished workers the master may need before it
+        can decode, over all straggler patterns of size ``s`` (≤ ``m - s``).
+    workers_needed_best_case:
+        The smallest decodable set observed (groups make this small).
+    num_groups:
+        Number of disjoint decoding groups carried by the strategy.
+    """
+
+    scheme: str
+    num_workers: int
+    num_partitions: int
+    num_stragglers: int
+    replication_factor: float
+    computation_overhead: float
+    max_load: int
+    min_load: int
+    mean_load: float
+    load_balance: float
+    storage_fraction: float
+    workers_needed_worst_case: int
+    workers_needed_best_case: int
+    num_groups: int
+
+    def as_dict(self) -> dict:
+        """Plain-dict view (for tabular reports and JSON dumps)."""
+        return {
+            "scheme": self.scheme,
+            "num_workers": self.num_workers,
+            "num_partitions": self.num_partitions,
+            "num_stragglers": self.num_stragglers,
+            "replication_factor": self.replication_factor,
+            "computation_overhead": self.computation_overhead,
+            "max_load": self.max_load,
+            "min_load": self.min_load,
+            "mean_load": self.mean_load,
+            "load_balance": self.load_balance,
+            "storage_fraction": self.storage_fraction,
+            "workers_needed_worst_case": self.workers_needed_worst_case,
+            "workers_needed_best_case": self.workers_needed_best_case,
+            "num_groups": self.num_groups,
+        }
+
+
+def _decode_set_sizes(strategy: CodingStrategy) -> tuple[int, int]:
+    """(worst, best) number of reported workers needed to decode.
+
+    For every straggler pattern of size ``s``, workers are revealed one by
+    one (an arbitrary but fixed order) and the prefix length at which the
+    master can first decode is recorded.  The worst case bounds how long the
+    master may have to wait; the best case shows what the group fast path
+    can achieve.
+    """
+    decoder = Decoder(strategy)
+    worst = 0
+    best = strategy.num_workers
+    # The group fast path gives an immediate best case.
+    for group in strategy.groups:
+        best = min(best, len(group))
+    for pattern in iter_straggler_patterns(
+        strategy.num_workers, strategy.num_stragglers
+    ):
+        prefix = decoder.earliest_decodable_prefix(list(pattern.active))
+        if prefix is None:
+            # Undecodable pattern: the strategy is broken; report m.
+            return strategy.num_workers, best
+        worst = max(worst, prefix)
+        best = min(best, prefix)
+    return worst, best
+
+
+def analyze_strategy(
+    strategy: CodingStrategy,
+    throughputs: Sequence[float] | None = None,
+) -> StrategyAnalysis:
+    """Compute a :class:`StrategyAnalysis` for one strategy.
+
+    Parameters
+    ----------
+    strategy:
+        The strategy to analyse.
+    throughputs:
+        Optional true worker throughputs used for the load-balance index;
+        when omitted the index is computed against equal speeds.
+    """
+    loads = np.asarray(strategy.loads, dtype=np.float64)
+    k = strategy.num_partitions
+    replication = float(loads.sum() / k)
+    if throughputs is None:
+        throughputs = [1.0] * strategy.num_workers
+    balance = load_balance_index(loads, throughputs)
+    worst, best = _decode_set_sizes(strategy)
+    return StrategyAnalysis(
+        scheme=strategy.scheme,
+        num_workers=strategy.num_workers,
+        num_partitions=k,
+        num_stragglers=strategy.num_stragglers,
+        replication_factor=replication,
+        computation_overhead=replication - 1.0,
+        max_load=int(loads.max()),
+        min_load=int(loads.min()),
+        mean_load=float(loads.mean()),
+        load_balance=balance,
+        storage_fraction=float(loads.max() / k),
+        workers_needed_worst_case=worst,
+        workers_needed_best_case=best,
+        num_groups=len(strategy.groups),
+    )

@@ -1,0 +1,155 @@
+"""Construction of the coding matrix ``B`` from a support structure (Alg. 1).
+
+The construction follows Lemma 2 and Algorithm 1 of the paper:
+
+1. Draw an auxiliary matrix ``C`` of shape ``(s + 1, m)`` with entries
+   sampled independently and uniformly at random from ``(0, 1)``.  With
+   probability 1 such a matrix satisfies
+
+   * **(P1)** any ``s + 1`` columns of ``C`` are linearly independent, and
+   * **(P2)** for any submatrix ``C'`` made of ``s`` columns of ``C`` and any
+     non-zero ``lambda`` with ``lambda @ C' = 0``, ``sum(lambda) != 0``.
+
+2. For every partition (column of the support) let ``C_i`` be the
+   ``(s + 1) x (s + 1)`` submatrix of ``C`` made of the columns of the
+   ``s + 1`` workers that hold partition ``i``.  Solve
+   ``d_i = C_i^{-1} @ 1`` and embed ``d_i`` into column ``i`` of ``B`` at the
+   rows of those workers.
+
+The resulting ``B`` satisfies ``C @ B = 1`` and Condition 1, i.e. it is
+robust to any ``s`` full stragglers (Theorem 4).
+
+This module is shared: the cyclic baseline uses it with a uniform
+allocation, the heter-aware scheme with the proportional allocation, and the
+group-based scheme applies it to the sub-system of non-group workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import ConstructionError, PartitionAssignment
+
+__all__ = [
+    "draw_auxiliary_matrix",
+    "auxiliary_matrix_is_valid",
+    "build_coding_matrix",
+]
+
+#: How close to singular a column submatrix ``C_i`` may be before we retry
+#: with a fresh random ``C``.  Uniform(0,1) entries make singularity a
+#: probability-zero event, but finite precision still warrants a guard.
+_CONDITION_LIMIT = 1e12
+
+#: Number of fresh draws of ``C`` attempted before giving up.
+_MAX_DRAWS = 16
+
+
+def draw_auxiliary_matrix(
+    num_stragglers: int,
+    num_workers: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Draw the auxiliary matrix ``C`` of shape ``(s + 1, m)``.
+
+    Entries are independent uniform samples from the open interval (0, 1),
+    exactly as in Algorithm 1 (line 4).
+    """
+    if num_stragglers < 0:
+        raise ConstructionError("num_stragglers must be non-negative")
+    if num_workers <= 0:
+        raise ConstructionError("num_workers must be positive")
+    rows = num_stragglers + 1
+    # Resample any exact 0.0 draws so every entry lies strictly inside (0, 1).
+    matrix = rng.uniform(0.0, 1.0, size=(rows, num_workers))
+    while np.any(matrix == 0.0):
+        zero_mask = matrix == 0.0
+        matrix[zero_mask] = rng.uniform(0.0, 1.0, size=int(zero_mask.sum()))
+    return matrix
+
+
+def auxiliary_matrix_is_valid(
+    matrix: np.ndarray,
+    assignment: PartitionAssignment,
+) -> bool:
+    """Check that every per-partition submatrix ``C_i`` is well conditioned.
+
+    Property (P1) guarantees invertibility with probability 1; this check
+    protects against numerically degenerate draws before they poison the
+    construction.
+    """
+    matrix = np.asarray(matrix, dtype=np.float64)
+    rows = matrix.shape[0]
+    for partition in range(assignment.num_partitions):
+        holders = assignment.workers_holding(partition)
+        if len(holders) != rows:
+            raise ConstructionError(
+                f"partition {partition} is held by {len(holders)} workers but "
+                f"the auxiliary matrix expects exactly {rows} holders"
+            )
+        submatrix = matrix[:, holders]
+        if np.linalg.cond(submatrix) > _CONDITION_LIMIT:
+            return False
+    return True
+
+
+def build_coding_matrix(
+    assignment: PartitionAssignment,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Construct ``B`` from a support structure via Algorithm 1.
+
+    Parameters
+    ----------
+    assignment:
+        The partition assignment (support of ``B``).  Every partition must be
+        held by exactly ``num_stragglers + 1`` workers.
+    num_stragglers:
+        ``s``, the number of full stragglers to tolerate.
+    rng:
+        Seed or :class:`numpy.random.Generator` used to draw ``C``.
+
+    Returns
+    -------
+    (B, C):
+        ``B`` of shape ``(m, k)`` satisfying Condition 1 and ``C`` of shape
+        ``(s + 1, m)`` with ``C @ B == 1`` (up to floating point error).
+
+    Raises
+    ------
+    ConstructionError
+        If the support does not replicate every partition exactly ``s + 1``
+        times, or no well-conditioned auxiliary matrix could be drawn.
+    """
+    generator = np.random.default_rng(rng)
+    replication = assignment.replication_counts()
+    expected = num_stragglers + 1
+    if not np.all(replication == expected):
+        raise ConstructionError(
+            "Algorithm 1 requires every partition to be replicated exactly "
+            f"s + 1 = {expected} times; replication counts are "
+            f"{replication.tolist()}"
+        )
+
+    m = assignment.num_workers
+    k = assignment.num_partitions
+
+    for _ in range(_MAX_DRAWS):
+        auxiliary = draw_auxiliary_matrix(num_stragglers, m, generator)
+        if not auxiliary_matrix_is_valid(auxiliary, assignment):
+            continue
+        matrix = np.zeros((m, k), dtype=np.float64)
+        ones = np.ones(expected, dtype=np.float64)
+        for partition in range(k):
+            holders = list(assignment.workers_holding(partition))
+            submatrix = auxiliary[:, holders]
+            coefficients = np.linalg.solve(submatrix, ones)
+            matrix[holders, partition] = coefficients
+        residual = np.abs(auxiliary @ matrix - 1.0).max()
+        if residual < 1e-8:
+            return matrix, auxiliary
+    raise ConstructionError(
+        "failed to draw a well-conditioned auxiliary matrix C after "
+        f"{_MAX_DRAWS} attempts"
+    )

@@ -1,0 +1,268 @@
+"""Decoding of coded gradients at the master (Section III-B and Eq. 2, 8).
+
+The master receives coded gradients ``g~_i = b_i @ [g_1, ..., g_k]^T`` from a
+subset of workers and must recover the aggregated gradient
+``g = sum_i g_i``.  Decoding is a linear combination: find coefficients
+``a`` supported on the finished workers with ``a @ B = 1_{1 x k}``, then
+``g = sum_j a_j g~_j``.
+
+Two paths are implemented, mirroring the paper:
+
+* **General decoding** (Eq. 2): solve the linear system restricted to the
+  rows of finished workers.  The offline decoding matrix ``A`` — one row per
+  straggler pattern — can be precomputed with
+  :func:`build_decoding_matrix`; unseen patterns are solved on-line in
+  ``O(m k^2)`` as the paper notes.
+* **Group decoding** (Eq. 8): for group-based strategies, a complete group
+  ``G`` decodes by simply summing the coded gradients of its members because
+  their partition sets tile the dataset and their coding rows are indicator
+  vectors.
+
+The :class:`Decoder` class caches decoding vectors per finished-set so
+repeated iterations with the same straggler pattern pay the solve cost once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .types import CodingStrategy, DecodingError, StragglerPattern
+from .verification import iter_straggler_patterns, solve_decoding_vector
+
+__all__ = [
+    "DecodeResult",
+    "Decoder",
+    "build_decoding_matrix",
+    "decode_gradient",
+]
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Result of a decoding attempt.
+
+    Attributes
+    ----------
+    coefficients:
+        Dense decoding vector ``a`` of shape ``(m,)``; zero outside the
+        workers actually used.
+    workers_used:
+        The workers whose coded gradients carry non-zero weight.
+    used_group:
+        The group that produced the decoding when the group fast path fired,
+        otherwise ``None``.
+    """
+
+    coefficients: np.ndarray
+    workers_used: tuple[int, ...]
+    used_group: tuple[int, ...] | None = None
+
+
+class Decoder:
+    """Decoder for a fixed :class:`CodingStrategy`.
+
+    Parameters
+    ----------
+    strategy:
+        The coding strategy whose matrix ``B`` the workers used for encoding.
+    tolerance:
+        Numerical tolerance on the reconstruction residual.
+    """
+
+    def __init__(self, strategy: CodingStrategy, tolerance: float = 1e-6) -> None:
+        self._strategy = strategy
+        self._tolerance = float(tolerance)
+        self._cache: dict[frozenset[int], DecodeResult | None] = {}
+
+    @property
+    def strategy(self) -> CodingStrategy:
+        return self._strategy
+
+    def can_decode(self, finished_workers: Sequence[int]) -> bool:
+        """Return ``True`` when the finished set suffices to recover ``g``."""
+        return self.decoding_vector(finished_workers) is not None
+
+    def decoding_vector(
+        self, finished_workers: Sequence[int]
+    ) -> DecodeResult | None:
+        """Return the decoding coefficients for a finished set, or ``None``.
+
+        The group fast path is tried first (Eq. 8): if any group of the
+        strategy is entirely contained in the finished set, the decoding
+        vector is simply the indicator of that group.  Otherwise the general
+        least-squares solve over the finished rows of ``B`` is used (Eq. 2).
+        """
+        finished = frozenset(int(w) for w in finished_workers)
+        for worker in finished:
+            if not 0 <= worker < self._strategy.num_workers:
+                raise DecodingError(
+                    f"finished worker index {worker} out of range "
+                    f"[0, {self._strategy.num_workers})"
+                )
+        if finished in self._cache:
+            return self._cache[finished]
+
+        result = self._group_decode(finished)
+        if result is None:
+            result = self._general_decode(finished)
+        self._cache[finished] = result
+        return result
+
+    def decode(
+        self,
+        coded_gradients: Mapping[int, np.ndarray],
+    ) -> np.ndarray:
+        """Recover the aggregated gradient from coded worker results.
+
+        Parameters
+        ----------
+        coded_gradients:
+            Mapping from worker index to that worker's coded gradient
+            ``g~_i`` (an arbitrary-shape array; all must share one shape).
+
+        Returns
+        -------
+        numpy.ndarray
+            The aggregated gradient ``g = sum_i g_i``.
+
+        Raises
+        ------
+        DecodingError
+            When the finished workers cannot decode (too many stragglers) or
+            the input mapping is empty / inconsistent.
+        """
+        if not coded_gradients:
+            raise DecodingError("no coded gradients were provided")
+        result = self.decoding_vector(tuple(coded_gradients.keys()))
+        if result is None:
+            raise DecodingError(
+                "the finished workers "
+                f"{sorted(coded_gradients.keys())} cannot recover the "
+                "aggregated gradient; too many stragglers for scheme "
+                f"{self._strategy.scheme!r} (s={self._strategy.num_stragglers})"
+            )
+        shapes = {np.asarray(g).shape for g in coded_gradients.values()}
+        if len(shapes) != 1:
+            raise DecodingError(
+                f"coded gradients have inconsistent shapes: {sorted(shapes)}"
+            )
+        aggregated: np.ndarray | None = None
+        for worker in result.workers_used:
+            weight = result.coefficients[worker]
+            if worker not in coded_gradients:
+                raise DecodingError(
+                    f"decoding vector uses worker {worker} but no coded "
+                    "gradient was provided for it"
+                )
+            term = weight * np.asarray(coded_gradients[worker], dtype=np.float64)
+            aggregated = term if aggregated is None else aggregated + term
+        assert aggregated is not None  # workers_used is never empty here
+        return aggregated
+
+    def earliest_decodable_prefix(
+        self, completion_order: Sequence[int]
+    ) -> int | None:
+        """Smallest prefix length of ``completion_order`` that can decode.
+
+        The simulator sorts workers by completion time and uses this to find
+        the moment the master can recover the gradient.  Returns ``None``
+        when even the full ordering cannot decode (e.g. failed workers are
+        excluded from the ordering and too many failed).
+        """
+        finished: list[int] = []
+        for index, worker in enumerate(completion_order, start=1):
+            finished.append(int(worker))
+            if self.can_decode(finished):
+                return index
+        return None
+
+    # ------------------------------------------------------------------
+    # internal helpers
+    # ------------------------------------------------------------------
+    def _group_decode(self, finished: frozenset[int]) -> DecodeResult | None:
+        for group in self._strategy.groups:
+            if set(group) <= finished:
+                coefficients = np.zeros(self._strategy.num_workers)
+                coefficients[list(group)] = 1.0
+                # Sanity check that the group's rows really sum to all-ones.
+                residual = np.abs(
+                    coefficients @ self._strategy.matrix - 1.0
+                ).max()
+                if residual <= self._tolerance:
+                    return DecodeResult(
+                        coefficients=coefficients,
+                        workers_used=tuple(sorted(group)),
+                        used_group=tuple(sorted(group)),
+                    )
+        return None
+
+    def _general_decode(self, finished: frozenset[int]) -> DecodeResult | None:
+        if not finished:
+            return None
+        workers = sorted(finished)
+        rows = self._strategy.matrix[workers]
+        solution = solve_decoding_vector(rows, tolerance=self._tolerance)
+        if solution is None:
+            return None
+        coefficients = np.zeros(self._strategy.num_workers)
+        coefficients[workers] = solution
+        used = tuple(
+            w for w in workers if abs(coefficients[w]) > 10 * np.finfo(float).eps
+        )
+        if not used:
+            # Degenerate but possible when k-dimensional all-ones happens to
+            # be the zero vector combination; treat as undecodable.
+            return None
+        return DecodeResult(
+            coefficients=coefficients, workers_used=used, used_group=None
+        )
+
+
+def build_decoding_matrix(
+    strategy: CodingStrategy,
+    num_stragglers: int | None = None,
+) -> tuple[np.ndarray, list[StragglerPattern]]:
+    """Precompute the offline decoding matrix ``A`` (Eq. 2).
+
+    One row is produced per straggler pattern of size exactly ``s``; row
+    ``i`` decodes the corresponding active set.  For patterns with fewer
+    stragglers any superset row applies, so only the exact-``s`` rows are
+    materialised (matching the paper's ``S = (m choose s)`` row count).
+
+    Returns
+    -------
+    (A, patterns):
+        ``A`` of shape ``(S, m)`` and the list of straggler patterns in row
+        order.
+
+    Raises
+    ------
+    DecodingError
+        When some pattern is undecodable (the strategy is not robust).
+    """
+    s = strategy.num_stragglers if num_stragglers is None else num_stragglers
+    decoder = Decoder(strategy)
+    rows: list[np.ndarray] = []
+    patterns: list[StragglerPattern] = []
+    for pattern in iter_straggler_patterns(strategy.num_workers, s):
+        result = decoder.decoding_vector(pattern.active)
+        if result is None:
+            raise DecodingError(
+                f"strategy {strategy.scheme!r} cannot decode straggler "
+                f"pattern {pattern.stragglers}"
+            )
+        rows.append(result.coefficients)
+        patterns.append(pattern)
+    matrix = np.vstack(rows) if rows else np.zeros((0, strategy.num_workers))
+    return matrix, patterns
+
+
+def decode_gradient(
+    strategy: CodingStrategy,
+    coded_gradients: Mapping[int, np.ndarray],
+) -> np.ndarray:
+    """One-shot convenience wrapper: decode without keeping a Decoder around."""
+    return Decoder(strategy).decode(coded_gradients)

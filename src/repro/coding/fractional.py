@@ -1,0 +1,90 @@
+"""Fractional repetition gradient coding (Tandon et al., ICML 2017).
+
+The fractional repetition scheme is mentioned (but not evaluated) by the
+paper: it requires ``(s + 1) | m``, splits the workers into ``s + 1``
+replica groups of ``m / (s + 1)`` workers each, divides the ``k`` partitions
+evenly inside each replica group, and uses all-ones coding rows.  Any replica
+group whose members all finish can decode by plain summation, so the scheme
+tolerates ``s`` stragglers.
+
+It is included both for completeness of the baseline family and because its
+group structure is the degenerate, homogeneous special case of the paper's
+group-based scheme.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .types import AllocationError, CodingStrategy, PartitionAssignment
+
+__all__ = ["fractional_repetition_strategy"]
+
+
+def fractional_repetition_strategy(
+    num_workers: int,
+    num_stragglers: int,
+    num_partitions: int | None = None,
+) -> CodingStrategy:
+    """Build the fractional repetition strategy.
+
+    Parameters
+    ----------
+    num_workers:
+        ``m``; must be divisible by ``s + 1``.
+    num_stragglers:
+        ``s``.
+    num_partitions:
+        ``k``; defaults to ``m``.  Must be divisible by ``m / (s + 1)`` so
+        partitions split evenly inside each replica group.
+
+    Returns
+    -------
+    CodingStrategy
+        Strategy whose ``groups`` attribute lists the ``s + 1`` replica
+        groups, enabling the group decoding fast path.
+    """
+    if num_workers <= 0:
+        raise AllocationError("num_workers must be positive")
+    if num_stragglers < 0:
+        raise AllocationError("num_stragglers must be non-negative")
+    replicas = num_stragglers + 1
+    if num_workers % replicas != 0:
+        raise AllocationError(
+            "fractional repetition requires (s + 1) | m: "
+            f"m={num_workers}, s={num_stragglers}"
+        )
+    group_size = num_workers // replicas
+    k = num_workers if num_partitions is None else int(num_partitions)
+    if k <= 0:
+        raise AllocationError("num_partitions must be positive")
+    if k % group_size != 0:
+        raise AllocationError(
+            "fractional repetition requires (m / (s + 1)) | k: "
+            f"k={k}, group size={group_size}"
+        )
+    per_worker = k // group_size
+
+    partitions_per_worker: list[tuple[int, ...]] = []
+    groups: list[tuple[int, ...]] = []
+    for replica in range(replicas):
+        members = tuple(range(replica * group_size, (replica + 1) * group_size))
+        groups.append(members)
+        for position, _worker in enumerate(members):
+            start = position * per_worker
+            partitions_per_worker.append(tuple(range(start, start + per_worker)))
+
+    assignment = PartitionAssignment(
+        num_workers=num_workers,
+        num_partitions=k,
+        partitions_per_worker=tuple(partitions_per_worker),
+    )
+    matrix = assignment.support_matrix().astype(np.float64)
+    return CodingStrategy(
+        matrix=matrix,
+        assignment=assignment,
+        num_stragglers=num_stragglers,
+        scheme="fractional",
+        groups=tuple(groups),
+        metadata={"partitions_per_worker": per_worker, "group_size": group_size},
+    )

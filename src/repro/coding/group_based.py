@@ -1,0 +1,170 @@
+"""Group-based gradient coding scheme (Section V, Algorithm 3).
+
+The heter-aware scheme of Algorithm 1 is makespan-optimal when the
+throughput estimates ``c_i`` are exact, but it needs ``m - s`` workers to
+decode.  When estimates are noisy, waiting for the ``(m - s)``-th completion
+is wasteful.  The group-based scheme reduces the number of workers the master
+has to wait for by exploiting *groups*: disjoint worker sets whose partition
+sets exactly tile the dataset (see :mod:`repro.coding.groups`).
+
+Construction (Algorithm 3, with the completion the paper leaves implicit):
+
+1. Allocate partitions with the heterogeneity-aware allocation (Eq. 5-6).
+2. Detect groups on that support and prune them to be pairwise disjoint.
+   Let ``P`` be the number of groups and ``E`` the union of group workers.
+3. For every worker in ``E`` set its coding row to the indicator of its
+   partitions (all ones on its support) — a complete group then decodes by
+   plain summation (Eq. 8).
+4. Because the pruned groups are disjoint and each tiles the dataset, every
+   partition has exactly ``P`` of its ``s + 1`` copies on group workers and
+   ``s + 1 - P`` copies on non-group workers.  The rows of the non-group
+   workers are therefore completed with Algorithm 1 applied to the
+   sub-system of non-group workers with straggler parameter ``s - P``
+   (the count used in the proof of Theorem 6).
+
+Robustness to any ``s`` stragglers (Theorem 6) follows by case analysis: if
+some group contains no straggler it decodes on its own; otherwise every
+group lost at least one worker, so at most ``s - P`` stragglers hit the
+non-group sub-system, which Algorithm 1 made robust to exactly that many.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .allocation import heterogeneity_aware_allocation
+from .construction import build_coding_matrix
+from .groups import detect_groups
+from .types import (
+    CodingStrategy,
+    ConstructionError,
+    PartitionAssignment,
+)
+
+__all__ = ["group_based_strategy"]
+
+
+def group_based_strategy(
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+    max_groups: int = 4096,
+) -> CodingStrategy:
+    """Build the group-based gradient coding strategy (Algorithm 3).
+
+    Parameters
+    ----------
+    throughputs:
+        Estimated per-worker throughputs ``c_i``.
+    num_partitions:
+        ``k``, the number of data partitions.
+    num_stragglers:
+        ``s``, the number of full stragglers to tolerate.
+    rng:
+        Seed or generator for the random auxiliary matrix used on the
+        non-group sub-system.
+    max_groups:
+        Bound on the group enumeration (see
+        :func:`repro.coding.groups.find_all_groups`).
+
+    Returns
+    -------
+    CodingStrategy
+        Strategy whose ``groups`` attribute holds the pruned disjoint groups;
+        the decoder uses them as a fast path.
+    """
+    throughputs = list(float(c) for c in throughputs)
+    num_workers = len(throughputs)
+    assignment = heterogeneity_aware_allocation(
+        throughputs=throughputs,
+        num_partitions=num_partitions,
+        num_stragglers=num_stragglers,
+    )
+    groups = tuple(detect_groups(assignment, max_groups=max_groups))
+    num_groups = len(groups)
+
+    if num_groups == 0:
+        # No tiling exists on this support; the scheme degenerates to the
+        # plain heter-aware construction (still robust to s stragglers).
+        matrix, auxiliary = _full_construction(assignment, num_stragglers, rng)
+        return CodingStrategy(
+            matrix=matrix,
+            assignment=assignment,
+            num_stragglers=num_stragglers,
+            scheme="group_based",
+            groups=(),
+            metadata={
+                "throughputs": tuple(throughputs),
+                "num_groups": 0,
+                "auxiliary_matrix": auxiliary,
+            },
+        )
+
+    group_workers = sorted({worker for group in groups for worker in group})
+    non_group_workers = [w for w in range(num_workers) if w not in group_workers]
+
+    matrix = np.zeros((num_workers, num_partitions), dtype=np.float64)
+    support = assignment.support_matrix()
+    for worker in group_workers:
+        matrix[worker, support[worker]] = 1.0
+
+    residual_stragglers = num_stragglers - num_groups
+    non_group_loads = [
+        len(assignment.partitions_per_worker[w]) for w in non_group_workers
+    ]
+    if residual_stragglers < 0:
+        # More disjoint groups than stragglers: s+1 copies of each partition
+        # are all on group workers, so non-group workers necessarily hold
+        # nothing and their rows stay zero.
+        if any(non_group_loads):
+            raise ConstructionError(
+                "internal error: found more disjoint groups than s + 1 while "
+                "non-group workers still hold partitions"
+            )
+    elif non_group_workers and any(non_group_loads):
+        sub_assignment = PartitionAssignment(
+            num_workers=len(non_group_workers),
+            num_partitions=num_partitions,
+            partitions_per_worker=tuple(
+                assignment.partitions_per_worker[w] for w in non_group_workers
+            ),
+        )
+        if residual_stragglers == 0:
+            sub_matrix = sub_assignment.support_matrix().astype(np.float64)
+        else:
+            sub_matrix, _ = build_coding_matrix(
+                sub_assignment, num_stragglers=residual_stragglers, rng=rng
+            )
+        for local_index, worker in enumerate(non_group_workers):
+            matrix[worker] = sub_matrix[local_index]
+
+    return CodingStrategy(
+        matrix=matrix,
+        assignment=assignment,
+        num_stragglers=num_stragglers,
+        scheme="group_based",
+        groups=groups,
+        metadata={
+            "throughputs": tuple(throughputs),
+            "num_groups": num_groups,
+            "group_workers": tuple(group_workers),
+            "non_group_workers": tuple(non_group_workers),
+            "residual_stragglers": max(residual_stragglers, 0),
+        },
+    )
+
+
+def _full_construction(
+    assignment: PartitionAssignment,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Plain Algorithm 1 construction used when no group exists."""
+    if num_stragglers == 0:
+        matrix = assignment.support_matrix().astype(np.float64)
+        auxiliary = np.ones((1, assignment.num_workers))
+        return matrix, auxiliary
+    return build_coding_matrix(assignment, num_stragglers=num_stragglers, rng=rng)

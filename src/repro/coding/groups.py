@@ -1,0 +1,165 @@
+"""Group detection for the group-based coding scheme (Algorithm 2).
+
+A *group* ``G`` is a set of workers whose assigned partition sets are
+pairwise disjoint and together cover the whole dataset (condition ``(*)`` of
+the paper).  Because the coding rows of group members are set to indicator
+vectors, a complete group can decode the aggregated gradient by plain
+summation — without waiting for ``m - s`` workers.
+
+Algorithm 2 has two parts, both implemented here:
+
+* :func:`find_all_groups` — recursively enumerate every group that exists in
+  a partition assignment (``FindAllGroups``).
+* :func:`prune_groups` — repeatedly drop the group that overlaps the most
+  other groups until the remaining groups are pairwise worker-disjoint
+  (condition ``(**)``, ``PruneGroups``).
+
+:func:`detect_groups` chains the two and is what the group-based scheme
+calls.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .types import PartitionAssignment
+
+__all__ = [
+    "find_all_groups",
+    "prune_groups",
+    "detect_groups",
+]
+
+#: Safety valves for the exponential recursive enumeration.  Real
+#: deployments have modest m (the paper uses 8-58 workers) but the number of
+#: dataset tilings can still explode combinatorially, so both the number of
+#: groups returned and the amount of search work are bounded.
+_DEFAULT_MAX_GROUPS = 256
+_DEFAULT_MAX_NODES = 200_000
+
+
+def find_all_groups(
+    assignment: PartitionAssignment,
+    max_groups: int = _DEFAULT_MAX_GROUPS,
+    max_nodes: int = _DEFAULT_MAX_NODES,
+) -> list[tuple[int, ...]]:
+    """Enumerate groups in the assignment (``FindAllGroups``).
+
+    A group is returned as a sorted tuple of worker indices whose partition
+    sets are pairwise disjoint and whose union is the full partition set
+    ``{0, ..., k - 1}``.  Workers that hold no partitions are never group
+    members.
+
+    Parameters
+    ----------
+    assignment:
+        The partition assignment (support structure) to analyse.
+    max_groups:
+        Upper bound on the number of groups returned; enumeration stops once
+        the bound is reached.
+    max_nodes:
+        Upper bound on the number of recursion steps.  Tilings of a large
+        cluster are combinatorially numerous; bounding the search keeps the
+        scheme constructible on the paper's 58-worker Cluster-D.  The search
+        visits heavily-loaded workers first, so the groups found within the
+        budget are the small ones — exactly the ones that decode fastest.
+
+    Notes
+    -----
+    Each group is enumerated at most once: members are explored in a fixed
+    order (descending load, then worker index) and the recursion only moves
+    forward in that order.
+    """
+    full = frozenset(range(assignment.num_partitions))
+    worker_sets = [
+        frozenset(parts) for parts in assignment.partitions_per_worker
+    ]
+    # Fixed exploration order: heavily loaded workers first so that small
+    # groups (few members covering many partitions each) surface early.
+    eligible = sorted(
+        (w for w, parts in enumerate(worker_sets) if parts),
+        key=lambda w: (-len(worker_sets[w]), w),
+    )
+
+    groups: list[tuple[int, ...]] = []
+    nodes_visited = 0
+
+    def recurse(remaining: frozenset[int], start: int, members: list[int]) -> None:
+        nonlocal nodes_visited
+        if len(groups) >= max_groups or nodes_visited >= max_nodes:
+            return
+        for position in range(start, len(eligible)):
+            nodes_visited += 1
+            if nodes_visited >= max_nodes:
+                return
+            worker = eligible[position]
+            parts = worker_sets[worker]
+            if not parts <= remaining:
+                continue
+            if parts == remaining:
+                groups.append(tuple(sorted(members + [worker])))
+                if len(groups) >= max_groups:
+                    return
+            else:
+                recurse(remaining - parts, position + 1, members + [worker])
+
+    recurse(full, 0, [])
+    return groups
+
+
+def prune_groups(groups: Sequence[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """Prune groups until they are pairwise worker-disjoint (``PruneGroups``).
+
+    While two groups share a worker, the group that intersects the largest
+    number of other groups is removed (ties broken toward larger groups, then
+    lexicographically, so the result is deterministic).
+
+    Parameters
+    ----------
+    groups:
+        Candidate groups, e.g. the output of :func:`find_all_groups`.
+
+    Returns
+    -------
+    list[tuple[int, ...]]
+        A pairwise-disjoint subset of the input groups.
+    """
+    remaining = [tuple(sorted(set(g))) for g in groups]
+    # Deduplicate while keeping a stable order.
+    seen: set[tuple[int, ...]] = set()
+    unique: list[tuple[int, ...]] = []
+    for group in remaining:
+        if group not in seen:
+            seen.add(group)
+            unique.append(group)
+    remaining = unique
+
+    def overlap_count(index: int) -> int:
+        members = set(remaining[index])
+        return sum(
+            1
+            for other, group in enumerate(remaining)
+            if other != index and members & set(group)
+        )
+
+    while True:
+        counts = [overlap_count(i) for i in range(len(remaining))]
+        if not counts or max(counts) == 0:
+            break
+        worst = max(
+            range(len(remaining)),
+            key=lambda i: (counts[i], len(remaining[i]), remaining[i]),
+        )
+        remaining.pop(worst)
+    return remaining
+
+
+def detect_groups(
+    assignment: PartitionAssignment,
+    max_groups: int = _DEFAULT_MAX_GROUPS,
+    max_nodes: int = _DEFAULT_MAX_NODES,
+) -> list[tuple[int, ...]]:
+    """Find and prune groups for an assignment (Algorithm 2 end to end)."""
+    return prune_groups(
+        find_all_groups(assignment, max_groups=max_groups, max_nodes=max_nodes)
+    )

@@ -1,0 +1,84 @@
+"""Heterogeneity-aware gradient coding scheme (Section IV, Algorithm 1).
+
+This is the paper's first contribution.  Given per-worker throughput
+estimates ``c_i``:
+
+1. Allocate ``n_i = k (s + 1) c_i / sum_j c_j`` partition copies to worker
+   ``W_i`` (Eq. 5) and place them cyclically (Eq. 6) so every partition ends
+   up on exactly ``s + 1`` distinct workers —
+   :func:`repro.coding.allocation.heterogeneity_aware_allocation`.
+2. Construct the coding matrix ``B`` from a random auxiliary matrix ``C``
+   (Lemma 2 / Algorithm 1) — :func:`repro.coding.construction.build_coding_matrix`.
+
+Theorem 5 shows the resulting strategy is an optimal solution of the
+min-makespan problem (4): when throughputs are estimated exactly every
+worker finishes its local work in ``(s + 1) k / sum_j c_j`` time, which is a
+lower bound for any ``s``-robust strategy.  See
+:mod:`repro.coding.optimality` for the bound.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .allocation import heterogeneity_aware_allocation
+from .construction import build_coding_matrix
+from .types import CodingStrategy
+
+__all__ = ["heterogeneity_aware_strategy"]
+
+
+def heterogeneity_aware_strategy(
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+) -> CodingStrategy:
+    """Build the heterogeneity-aware gradient coding strategy (Algorithm 1).
+
+    Parameters
+    ----------
+    throughputs:
+        Estimated throughput ``c_i`` of each worker, in data partitions per
+        unit time.  Only the *ratios* matter for the allocation.
+    num_partitions:
+        ``k``, the number of data partitions the dataset is divided into.
+        Larger ``k`` gives a finer-grained (more exactly proportional)
+        allocation.
+    num_stragglers:
+        ``s``, the number of full stragglers to tolerate.
+    rng:
+        Seed or :class:`numpy.random.Generator` for the random auxiliary
+        matrix ``C``.
+
+    Returns
+    -------
+    CodingStrategy
+        Strategy robust to any ``s`` stragglers whose per-worker loads are
+        proportional to the supplied throughputs.
+    """
+    throughputs = list(float(c) for c in throughputs)
+    assignment = heterogeneity_aware_allocation(
+        throughputs=throughputs,
+        num_partitions=num_partitions,
+        num_stragglers=num_stragglers,
+    )
+    if num_stragglers == 0:
+        matrix = assignment.support_matrix().astype(np.float64)
+        auxiliary = np.ones((1, len(throughputs)))
+    else:
+        matrix, auxiliary = build_coding_matrix(
+            assignment, num_stragglers=num_stragglers, rng=rng
+        )
+    return CodingStrategy(
+        matrix=matrix,
+        assignment=assignment,
+        num_stragglers=num_stragglers,
+        scheme="heter_aware",
+        metadata={
+            "throughputs": tuple(throughputs),
+            "auxiliary_matrix": auxiliary,
+        },
+    )

@@ -1,0 +1,63 @@
+"""Naive (uncoded) distribution baseline.
+
+The naive scheme is the plain BSP data-parallel setup the paper compares
+against: the dataset is divided uniformly across workers, every partition
+lives on exactly one worker, every worker sends the plain sum of its partial
+gradients, and the master must wait for *all* workers.  A single failed
+worker therefore stalls the whole job (``s = 0``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .allocation import cyclic_placement
+from .types import AllocationError, CodingStrategy
+
+__all__ = ["naive_strategy"]
+
+
+def naive_strategy(
+    num_workers: int,
+    num_partitions: int | None = None,
+) -> CodingStrategy:
+    """Build the uncoded baseline strategy.
+
+    Parameters
+    ----------
+    num_workers:
+        ``m``, the number of workers.
+    num_partitions:
+        ``k``; defaults to ``m`` (one partition per worker).  When ``k`` is
+        not a multiple of ``m`` the leftover partitions are spread over the
+        first workers, mirroring how a plain data-parallel job shards an
+        uneven dataset.
+
+    Returns
+    -------
+    CodingStrategy
+        Strategy with ``s = 0``: every partition is stored exactly once and
+        the coding matrix restricted to each worker's support is all ones.
+    """
+    if num_workers <= 0:
+        raise AllocationError("num_workers must be positive")
+    k = num_workers if num_partitions is None else int(num_partitions)
+    if k <= 0:
+        raise AllocationError("num_partitions must be positive")
+    if k < num_workers:
+        raise AllocationError(
+            "the naive scheme requires at least one partition per worker: "
+            f"k={k} < m={num_workers}"
+        )
+    base = k // num_workers
+    remainder = k % num_workers
+    loads = [base + (1 if i < remainder else 0) for i in range(num_workers)]
+    assignment = cyclic_placement(loads, k)
+    matrix = assignment.support_matrix().astype(np.float64)
+    return CodingStrategy(
+        matrix=matrix,
+        assignment=assignment,
+        num_stragglers=0,
+        scheme="naive",
+        metadata={"loads": loads},
+    )

@@ -1,0 +1,112 @@
+"""Scheme registry: build any coding strategy by name.
+
+The experiment harness, the benchmarks and the examples all select schemes
+by a short string (``"naive"``, ``"cyclic"``, ``"fractional"``,
+``"heter_aware"``, ``"group_based"``).  This module centralises that mapping
+so new schemes can be added in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .cyclic import cyclic_strategy
+from .fractional import fractional_repetition_strategy
+from .group_based import group_based_strategy
+from .heter_aware import heterogeneity_aware_strategy
+from .naive import naive_strategy
+from .types import CodingError, CodingStrategy
+
+__all__ = ["SCHEME_NAMES", "build_strategy", "natural_partitions"]
+
+#: Names accepted by :func:`build_strategy`, in canonical presentation order
+#: (the order used by the paper's figures).
+SCHEME_NAMES: tuple[str, ...] = (
+    "naive",
+    "cyclic",
+    "fractional",
+    "heter_aware",
+    "group_based",
+)
+
+
+def natural_partitions(
+    scheme: str,
+    num_workers: int,
+    heter_multiplier: int = 2,
+) -> int:
+    """The partition count ``k`` each scheme naturally uses in the paper.
+
+    The naive, cyclic and fractional baselines divide the dataset uniformly
+    into ``k = m`` partitions (Section VI: "cyclic coding scheme uniformly
+    divides the dataset into m data partitions").  The heterogeneity-aware
+    and group-based schemes are free to choose ``k``; a small multiple of
+    ``m`` (default 2) gives the proportional allocation enough granularity.
+    SSP-style protocols also shard uniformly, i.e. ``k = m``.
+
+    Parameters
+    ----------
+    scheme:
+        Scheme or protocol name.
+    num_workers:
+        ``m``.
+    heter_multiplier:
+        ``k / m`` for the heterogeneity-aware family.
+    """
+    if num_workers <= 0:
+        raise CodingError("num_workers must be positive")
+    if heter_multiplier <= 0:
+        raise CodingError("heter_multiplier must be positive")
+    if scheme in ("heter_aware", "group_based"):
+        return heter_multiplier * num_workers
+    return num_workers
+
+
+def build_strategy(
+    scheme: str,
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+) -> CodingStrategy:
+    """Build a coding strategy by scheme name.
+
+    Parameters
+    ----------
+    scheme:
+        One of :data:`SCHEME_NAMES`.
+    throughputs:
+        Estimated per-worker throughputs.  Heterogeneity-oblivious schemes
+        (naive, cyclic, fractional) only use the length of this sequence.
+    num_partitions:
+        ``k``.  The naive/cyclic/fractional baselines require divisibility
+        constraints documented on their factories; pass ``k`` equal to a
+        multiple of ``m`` to satisfy all of them.
+    num_stragglers:
+        ``s``.  Ignored by the naive scheme (which tolerates none).
+    rng:
+        Seed or generator for the randomised constructions.
+    """
+    num_workers = len(list(throughputs))
+    builders: dict[str, Callable[[], CodingStrategy]] = {
+        "naive": lambda: naive_strategy(num_workers, num_partitions),
+        "cyclic": lambda: cyclic_strategy(
+            num_workers, num_stragglers, num_partitions, rng=rng
+        ),
+        "fractional": lambda: fractional_repetition_strategy(
+            num_workers, num_stragglers, num_partitions
+        ),
+        "heter_aware": lambda: heterogeneity_aware_strategy(
+            throughputs, num_partitions, num_stragglers, rng=rng
+        ),
+        "group_based": lambda: group_based_strategy(
+            throughputs, num_partitions, num_stragglers, rng=rng
+        ),
+    }
+    if scheme not in builders:
+        raise CodingError(
+            f"unknown scheme {scheme!r}; expected one of {SCHEME_NAMES}"
+        )
+    return builders[scheme]()

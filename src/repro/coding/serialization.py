@@ -1,0 +1,131 @@
+"""Serialization of coding strategies.
+
+In a real deployment the master constructs ``B`` once (it involves a random
+draw, so every node must use the *same* matrix) and ships each worker its
+row together with the partition assignment.  These helpers serialise a
+:class:`~repro.coding.types.CodingStrategy` to a JSON-compatible dict — and
+therefore to a file — and back, preserving the coding matrix bit-exactly via
+a base-ascii float encoding (plain lists of Python floats round-trip exactly
+through ``json``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from .types import CodingError, CodingStrategy, PartitionAssignment
+
+__all__ = [
+    "strategy_to_dict",
+    "strategy_from_dict",
+    "save_strategy",
+    "load_strategy",
+    "worker_payload",
+]
+
+#: Format marker embedded in every serialised strategy.
+_FORMAT = "repro.coding.strategy"
+_VERSION = 1
+
+
+def strategy_to_dict(strategy: CodingStrategy) -> dict[str, Any]:
+    """Convert a strategy to a JSON-serialisable dictionary."""
+    metadata = {}
+    for key, value in strategy.metadata.items():
+        if isinstance(value, np.ndarray):
+            metadata[key] = value.tolist()
+        elif isinstance(value, (list, tuple)):
+            metadata[key] = list(value)
+        elif isinstance(value, (str, int, float, bool)) or value is None:
+            metadata[key] = value
+        else:
+            metadata[key] = repr(value)
+    return {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "scheme": strategy.scheme,
+        "num_workers": strategy.num_workers,
+        "num_partitions": strategy.num_partitions,
+        "num_stragglers": strategy.num_stragglers,
+        "matrix": strategy.matrix.tolist(),
+        "partitions_per_worker": [
+            list(parts) for parts in strategy.assignment.partitions_per_worker
+        ],
+        "groups": [list(group) for group in strategy.groups],
+        "metadata": metadata,
+    }
+
+
+def strategy_from_dict(payload: dict[str, Any]) -> CodingStrategy:
+    """Rebuild a strategy from :func:`strategy_to_dict` output.
+
+    Raises
+    ------
+    CodingError
+        If the payload is not a serialised strategy or uses an unsupported
+        format version.
+    """
+    if not isinstance(payload, dict) or payload.get("format") != _FORMAT:
+        raise CodingError("payload is not a serialised coding strategy")
+    if payload.get("version") != _VERSION:
+        raise CodingError(
+            f"unsupported strategy format version {payload.get('version')!r}"
+        )
+    assignment = PartitionAssignment(
+        num_workers=int(payload["num_workers"]),
+        num_partitions=int(payload["num_partitions"]),
+        partitions_per_worker=tuple(
+            tuple(int(p) for p in parts)
+            for parts in payload["partitions_per_worker"]
+        ),
+    )
+    return CodingStrategy(
+        matrix=np.asarray(payload["matrix"], dtype=np.float64),
+        assignment=assignment,
+        num_stragglers=int(payload["num_stragglers"]),
+        scheme=str(payload["scheme"]),
+        groups=tuple(tuple(int(w) for w in group) for group in payload["groups"]),
+        metadata=dict(payload.get("metadata", {})),
+    )
+
+
+def save_strategy(strategy: CodingStrategy, path: str | Path) -> Path:
+    """Write a strategy to a JSON file and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(strategy_to_dict(strategy), handle, indent=2)
+    return path
+
+
+def load_strategy(path: str | Path) -> CodingStrategy:
+    """Read a strategy previously written by :func:`save_strategy`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return strategy_from_dict(payload)
+
+
+def worker_payload(strategy: CodingStrategy, worker: int) -> dict[str, Any]:
+    """The per-worker slice of a strategy a master would ship to worker ``i``.
+
+    Contains only what that worker needs: its partition list and the
+    corresponding coding coefficients ``b_i`` restricted to its support.
+    """
+    if not 0 <= worker < strategy.num_workers:
+        raise CodingError(
+            f"worker index {worker} out of range [0, {strategy.num_workers})"
+        )
+    support = list(strategy.support(worker))
+    coefficients = [float(strategy.row(worker)[p]) for p in support]
+    return {
+        "worker": worker,
+        "partitions": support,
+        "coefficients": coefficients,
+        "num_partitions": strategy.num_partitions,
+        "scheme": strategy.scheme,
+    }

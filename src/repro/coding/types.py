@@ -1,0 +1,309 @@
+"""Core data types shared by all gradient-coding schemes.
+
+The central object is :class:`CodingStrategy`, which bundles the coding
+matrix ``B`` (one row per worker, one column per data partition) together
+with the partition assignment it encodes and metadata about how it was
+constructed.  The notation follows Table I of the paper:
+
+==========  ==================================================================
+Symbol      Meaning
+==========  ==================================================================
+``m``       number of workers
+``k``       number of data partitions
+``s``       number of stragglers the scheme must tolerate
+``n_i``     number of data partitions assigned to worker ``W_i``
+``c_i``     throughput of worker ``W_i`` (partitions per unit time)
+``B``       coding matrix, shape ``(m, k)``
+``A``       decoding matrix, one row per straggler pattern
+``supp(b)`` indices of the non-zero entries of a row ``b`` of ``B``
+==========  ==================================================================
+
+Every scheme in :mod:`repro.coding` produces a :class:`CodingStrategy`; the
+decoder in :mod:`repro.coding.decoding` and the simulator in
+:mod:`repro.simulation` consume it without needing to know which scheme
+built it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "CodingError",
+    "AllocationError",
+    "ConstructionError",
+    "DecodingError",
+    "PartitionAssignment",
+    "CodingStrategy",
+    "StragglerPattern",
+]
+
+
+class CodingError(Exception):
+    """Base class for every error raised by :mod:`repro.coding`."""
+
+
+class AllocationError(CodingError):
+    """Raised when data partitions cannot be allocated to workers.
+
+    Typical causes are an infeasible configuration (``s >= m``), a worker
+    count of zero, or throughputs that are not strictly positive.
+    """
+
+
+class ConstructionError(CodingError):
+    """Raised when a coding matrix ``B`` cannot be constructed."""
+
+
+class DecodingError(CodingError):
+    """Raised when the master cannot recover the aggregated gradient.
+
+    This happens when the set of finished workers does not span the all-ones
+    vector, i.e. too many workers are straggling for the chosen scheme.
+    """
+
+
+@dataclass(frozen=True)
+class PartitionAssignment:
+    """Assignment of data partitions to workers (the support of ``B``).
+
+    Attributes
+    ----------
+    num_workers:
+        ``m``, the number of workers.
+    num_partitions:
+        ``k``, the number of data partitions.
+    partitions_per_worker:
+        A tuple of ``m`` tuples; entry ``i`` lists the partition indices
+        assigned to worker ``W_i`` (``supp(b_i)`` in the paper).
+    """
+
+    num_workers: int
+    num_partitions: int
+    partitions_per_worker: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise AllocationError("num_workers must be positive")
+        if self.num_partitions <= 0:
+            raise AllocationError("num_partitions must be positive")
+        if len(self.partitions_per_worker) != self.num_workers:
+            raise AllocationError(
+                "partitions_per_worker must have one entry per worker: "
+                f"expected {self.num_workers}, got {len(self.partitions_per_worker)}"
+            )
+        for worker, parts in enumerate(self.partitions_per_worker):
+            if len(set(parts)) != len(parts):
+                raise AllocationError(
+                    f"worker {worker} is assigned duplicate partitions: {parts}"
+                )
+            for p in parts:
+                if not 0 <= p < self.num_partitions:
+                    raise AllocationError(
+                        f"worker {worker} assigned out-of-range partition {p}"
+                    )
+
+    @property
+    def loads(self) -> tuple[int, ...]:
+        """``n_i`` for every worker: how many partitions each one computes."""
+        return tuple(len(parts) for parts in self.partitions_per_worker)
+
+    @property
+    def total_copies(self) -> int:
+        """Total number of partition copies placed on the cluster."""
+        return sum(self.loads)
+
+    def workers_holding(self, partition: int) -> tuple[int, ...]:
+        """Return the workers that hold ``partition`` (sorted by index)."""
+        if not 0 <= partition < self.num_partitions:
+            raise AllocationError(
+                f"partition index {partition} out of range [0, {self.num_partitions})"
+            )
+        return tuple(
+            worker
+            for worker, parts in enumerate(self.partitions_per_worker)
+            if partition in parts
+        )
+
+    def replication_counts(self) -> np.ndarray:
+        """Number of copies of each partition, shape ``(k,)``."""
+        counts = np.zeros(self.num_partitions, dtype=np.int64)
+        for parts in self.partitions_per_worker:
+            for p in parts:
+                counts[p] += 1
+        return counts
+
+    def support_matrix(self) -> np.ndarray:
+        """Boolean matrix of shape ``(m, k)``; ``True`` where ``B`` may be non-zero."""
+        support = np.zeros((self.num_workers, self.num_partitions), dtype=bool)
+        for worker, parts in enumerate(self.partitions_per_worker):
+            support[worker, list(parts)] = True
+        return support
+
+    def min_replication(self) -> int:
+        """The smallest number of copies any partition has.
+
+        A scheme built on this assignment can tolerate at most
+        ``min_replication() - 1`` full stragglers.
+        """
+        return int(self.replication_counts().min())
+
+
+@dataclass(frozen=True)
+class StragglerPattern:
+    """A concrete set of straggling workers.
+
+    Attributes
+    ----------
+    stragglers:
+        Sorted tuple of worker indices considered stragglers (set ``S``).
+    num_workers:
+        Total number of workers ``m``; used to derive the active set.
+    """
+
+    stragglers: tuple[int, ...]
+    num_workers: int
+
+    def __post_init__(self) -> None:
+        stragglers = tuple(sorted(set(self.stragglers)))
+        object.__setattr__(self, "stragglers", stragglers)
+        if self.num_workers <= 0:
+            raise CodingError("num_workers must be positive")
+        for w in stragglers:
+            if not 0 <= w < self.num_workers:
+                raise CodingError(
+                    f"straggler index {w} out of range [0, {self.num_workers})"
+                )
+
+    @property
+    def active(self) -> tuple[int, ...]:
+        """Workers that are *not* straggling (the decodable candidates)."""
+        straggler_set = set(self.stragglers)
+        return tuple(w for w in range(self.num_workers) if w not in straggler_set)
+
+    @property
+    def num_stragglers(self) -> int:
+        return len(self.stragglers)
+
+    @classmethod
+    def from_active(
+        cls, active: Sequence[int], num_workers: int
+    ) -> "StragglerPattern":
+        """Build a pattern from the set of *active* (non-straggler) workers."""
+        active_set = set(active)
+        stragglers = tuple(w for w in range(num_workers) if w not in active_set)
+        return cls(stragglers=stragglers, num_workers=num_workers)
+
+
+@dataclass(frozen=True)
+class CodingStrategy:
+    """A complete gradient coding strategy.
+
+    Attributes
+    ----------
+    matrix:
+        The coding matrix ``B`` of shape ``(m, k)``.  Row ``i`` holds the
+        linear-combination coefficients worker ``W_i`` applies to the partial
+        gradients of its assigned partitions.
+    assignment:
+        The :class:`PartitionAssignment` describing ``supp(B)``.
+    num_stragglers:
+        ``s``, the number of full stragglers the strategy is robust to.
+    scheme:
+        Human-readable name of the scheme that produced the strategy
+        (``"naive"``, ``"cyclic"``, ``"fractional"``, ``"heter_aware"``,
+        ``"group_based"``).
+    groups:
+        For group-based strategies, the pruned set of disjoint groups (each a
+        tuple of worker indices whose partition sets tile the dataset).
+        Empty for other schemes.
+    metadata:
+        Free-form construction metadata (e.g. the throughputs used for
+        allocation, random seed).
+    """
+
+    matrix: np.ndarray
+    assignment: PartitionAssignment
+    num_stragglers: int
+    scheme: str
+    groups: tuple[tuple[int, ...], ...] = ()
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.matrix, dtype=np.float64)
+        object.__setattr__(self, "matrix", matrix)
+        m, k = matrix.shape
+        if m != self.assignment.num_workers:
+            raise ConstructionError(
+                f"matrix has {m} rows but assignment has "
+                f"{self.assignment.num_workers} workers"
+            )
+        if k != self.assignment.num_partitions:
+            raise ConstructionError(
+                f"matrix has {k} columns but assignment has "
+                f"{self.assignment.num_partitions} partitions"
+            )
+        if self.num_stragglers < 0:
+            raise ConstructionError("num_stragglers must be non-negative")
+        if self.num_stragglers >= m and m > 0 and self.num_stragglers > 0:
+            raise ConstructionError(
+                f"cannot tolerate {self.num_stragglers} stragglers with only "
+                f"{m} workers"
+            )
+        support = self.assignment.support_matrix()
+        outside = np.abs(matrix[~support])
+        if outside.size and outside.max() > 1e-12:
+            raise ConstructionError(
+                "matrix B has non-zero entries outside the declared support"
+            )
+
+    @property
+    def num_workers(self) -> int:
+        """``m``, the number of workers."""
+        return self.matrix.shape[0]
+
+    @property
+    def num_partitions(self) -> int:
+        """``k``, the number of data partitions."""
+        return self.matrix.shape[1]
+
+    @property
+    def loads(self) -> tuple[int, ...]:
+        """``n_i`` for every worker (the ``l0`` norm of each row of ``B``)."""
+        return self.assignment.loads
+
+    def row(self, worker: int) -> np.ndarray:
+        """Return ``b_i``, the coding vector of worker ``worker``."""
+        return self.matrix[worker]
+
+    def support(self, worker: int) -> tuple[int, ...]:
+        """Return ``supp(b_i)`` for worker ``worker``."""
+        return self.assignment.partitions_per_worker[worker]
+
+    def computation_times(self, throughputs: Sequence[float]) -> np.ndarray:
+        """Per-worker computation time ``t_i = ||b_i||_0 / c_i``.
+
+        Parameters
+        ----------
+        throughputs:
+            ``c_i`` for each worker, in partitions per unit time.
+        """
+        c = np.asarray(throughputs, dtype=np.float64)
+        if c.shape != (self.num_workers,):
+            raise CodingError(
+                f"expected {self.num_workers} throughputs, got shape {c.shape}"
+            )
+        if np.any(c <= 0):
+            raise CodingError("throughputs must be strictly positive")
+        return np.asarray(self.loads, dtype=np.float64) / c
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the strategy."""
+        return (
+            f"CodingStrategy(scheme={self.scheme!r}, m={self.num_workers}, "
+            f"k={self.num_partitions}, s={self.num_stragglers}, "
+            f"loads={list(self.loads)}, groups={len(self.groups)})"
+        )

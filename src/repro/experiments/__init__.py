@@ -1,0 +1,69 @@
+"""Experiment harness: one module per paper table / figure.
+
+* :mod:`repro.experiments.table2_clusters` — Table II cluster configurations.
+* :mod:`repro.experiments.fig2_straggler_delay` — Fig. 2a/2b (artificial
+  delays and faults on Cluster-A).
+* :mod:`repro.experiments.fig3_clusters` — Fig. 3a/3b/3c (Cluster-B/C/D).
+* :mod:`repro.experiments.fig4_loss_curve` — Fig. 4 (loss vs time, incl. SSP).
+* :mod:`repro.experiments.fig5_resource_usage` — Fig. 5 (resource usage).
+* :mod:`repro.experiments.sweep` — ablations: estimation error, Theorem 5.
+
+Every module exposes ``run_*`` (returns a result dataclass), ``report_*``
+(renders it as text) and ``main`` (prints at default scale).
+"""
+
+from .clusters import CLUSTER_NAMES, TABLE_II, build_all_clusters, build_cluster
+from .common import default_partitions, measure_timing_trace
+from .fig2_straggler_delay import Fig2Result, report_fig2, run_fig2
+from .fig3_clusters import Fig3Result, report_fig3, run_fig3
+from .fig4_loss_curve import Fig4Result, report_fig4, run_fig4
+from .fig5_resource_usage import Fig5Result, report_fig5, run_fig5
+from .sweep import (
+    CommunicationOverlapResult,
+    EstimationErrorResult,
+    OptimalitySweepResult,
+    report_communication_overlap,
+    report_estimation_error,
+    report_optimality_sweep,
+    run_communication_overlap_sweep,
+    run_estimation_error_sweep,
+    run_optimality_sweep,
+)
+from .table2_clusters import Table2Result, report_table2, run_table2
+from .workloads import WORKLOADS, Workload, get_workload
+
+__all__ = [
+    "TABLE_II",
+    "CLUSTER_NAMES",
+    "build_cluster",
+    "build_all_clusters",
+    "default_partitions",
+    "measure_timing_trace",
+    "Workload",
+    "WORKLOADS",
+    "get_workload",
+    "Fig2Result",
+    "run_fig2",
+    "report_fig2",
+    "Fig3Result",
+    "run_fig3",
+    "report_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "report_fig4",
+    "Fig5Result",
+    "run_fig5",
+    "report_fig5",
+    "Table2Result",
+    "run_table2",
+    "report_table2",
+    "EstimationErrorResult",
+    "run_estimation_error_sweep",
+    "report_estimation_error",
+    "OptimalitySweepResult",
+    "run_optimality_sweep",
+    "report_optimality_sweep",
+    "CommunicationOverlapResult",
+    "run_communication_overlap_sweep",
+    "report_communication_overlap",
+]

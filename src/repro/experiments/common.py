@@ -1,0 +1,154 @@
+"""Shared helpers for the per-figure experiment modules.
+
+Two measurement modes are used by the experiments:
+
+* **Timing-only** (:func:`measure_timing_trace`) — Figures 2, 3 and 5 report
+  wall-clock quantities (average time per iteration, resource usage) that do
+  not depend on the actual gradient values, so the experiments drive the
+  timing engine directly and skip the numpy training.  This keeps large
+  sweeps (58-worker Cluster-D, many delay values, many schemes) fast.
+* **Full training** (Fig. 4, via :mod:`repro.protocols`) — the loss-versus-
+  time comparison needs real learning, so it runs the complete protocols.
+
+Fairness conventions shared by both modes:
+
+* Every scheme processes the same *total* number of samples per iteration;
+  the partition count ``k`` is the scheme's natural one (``k = m`` for the
+  uniform baselines, ``k = multiplier * m`` for the heterogeneity-aware
+  family — see :func:`repro.coding.natural_partitions`).
+* The random stream that builds the coding matrix is separated from the one
+  that drives timing jitter and straggler choice, so two schemes measured
+  with the same seed see *identical* per-iteration conditions and their
+  comparison is paired.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coding.decoding import Decoder
+from ..coding.registry import build_strategy, natural_partitions
+from ..simulation.cluster import ClusterSpec
+from ..simulation.network import CommunicationModel, SimpleNetwork
+from ..simulation.stragglers import NoStragglers, StragglerInjector
+from ..simulation.timing import simulate_iteration
+from ..simulation.trace import IterationRecord, RunTrace
+
+__all__ = ["measure_timing_trace", "default_partitions", "TIMING_SEED_OFFSET"]
+
+#: Offset separating the construction RNG stream from the timing RNG stream.
+TIMING_SEED_OFFSET = 104_729
+
+
+def default_partitions(num_workers: int, multiplier: int = 2) -> int:
+    """Default ``k`` for the heterogeneity-aware family: ``multiplier * m``."""
+    if num_workers <= 0:
+        raise ValueError("num_workers must be positive")
+    if multiplier <= 0:
+        raise ValueError("multiplier must be positive")
+    return multiplier * num_workers
+
+
+def measure_timing_trace(
+    scheme: str,
+    cluster: ClusterSpec,
+    num_stragglers: int,
+    total_samples: int,
+    num_iterations: int,
+    partitions_multiplier: int = 2,
+    num_partitions: int | None = None,
+    injector: StragglerInjector | None = None,
+    network: CommunicationModel | None = None,
+    gradient_bytes: float = 8.0 * 65536,
+    seed: int | None = 0,
+) -> RunTrace:
+    """Simulate ``num_iterations`` of one scheme and return a timing trace.
+
+    The returned :class:`~repro.simulation.trace.RunTrace` has ``nan``
+    training losses (no learning is performed); durations, per-worker
+    compute times and workers-used are all populated, which is exactly what
+    the Figs. 2/3/5 metrics need.
+
+    Parameters
+    ----------
+    scheme:
+        Scheme name from :data:`repro.coding.SCHEME_NAMES`.
+    cluster:
+        The simulated cluster; the strategy is built from its *estimated*
+        throughputs while timing uses the *true* ones.
+    num_stragglers:
+        ``s``, the straggler tolerance the coded schemes are built for.
+    total_samples:
+        Dataset size processed each iteration; split into the scheme's
+        natural number of partitions.
+    num_iterations:
+        How many iterations to simulate.
+    partitions_multiplier:
+        ``k / m`` for the heterogeneity-aware family.
+    num_partitions:
+        Explicit override of ``k`` (all schemes then use it).
+    injector, network, gradient_bytes, seed:
+        Simulation knobs; see :func:`repro.simulation.simulate_iteration`.
+    """
+    if num_iterations <= 0:
+        raise ValueError("num_iterations must be positive")
+    if total_samples <= 0:
+        raise ValueError("total_samples must be positive")
+    construction_rng = np.random.default_rng(seed)
+    timing_rng = np.random.default_rng(
+        None if seed is None else seed + TIMING_SEED_OFFSET
+    )
+    injector = injector or NoStragglers()
+    network = network or SimpleNetwork()
+
+    k = num_partitions or natural_partitions(
+        scheme, cluster.num_workers, partitions_multiplier
+    )
+    samples_per_partition = max(1, total_samples // k)
+    strategy = build_strategy(
+        scheme,
+        throughputs=cluster.estimated_throughputs,
+        num_partitions=k,
+        num_stragglers=num_stragglers,
+        rng=construction_rng,
+    )
+    decoder = Decoder(strategy)
+    trace = RunTrace(
+        scheme=scheme,
+        cluster_name=cluster.name,
+        metadata={
+            "mode": "timing_only",
+            "num_partitions": k,
+            "num_stragglers": num_stragglers,
+            "total_samples": total_samples,
+            "samples_per_partition": samples_per_partition,
+            "loads": list(strategy.loads),
+            "num_groups": len(strategy.groups),
+            "injector": injector.describe(),
+            "network": network.describe(),
+        },
+    )
+    for iteration in range(num_iterations):
+        timing = simulate_iteration(
+            strategy,
+            cluster,
+            samples_per_partition=samples_per_partition,
+            decoder=decoder,
+            injector=injector,
+            iteration=iteration,
+            gradient_bytes=gradient_bytes,
+            network=network,
+            rng=timing_rng,
+        )
+        trace.append(
+            IterationRecord(
+                iteration=iteration,
+                duration=timing.duration,
+                train_loss=float("nan"),
+                compute_times=tuple(timing.compute_times),
+                completion_times=tuple(timing.completion_times),
+                workers_used=timing.workers_used,
+                used_group=timing.used_group,
+            )
+        )
+    return trace

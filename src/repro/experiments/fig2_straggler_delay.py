@@ -1,0 +1,151 @@
+"""Figure 2 — robustness to artificial straggler delays (Cluster-A).
+
+The paper adds an extra delay to ``s`` random workers of Cluster-A each
+iteration and plots the average time per iteration of every scheme against
+the delay, for ``s = 1`` (Fig. 2a) and ``s = 2`` (Fig. 2b).  An infinite
+delay models a fault (the worker never reports).
+
+Expected shape (the paper's observations):
+
+* **naive** grows with the delay and cannot finish at all when a worker
+  faults;
+* **cyclic** tolerates the stragglers but its flat level is set by the
+  slowest workers because the allocation ignores heterogeneity, and it
+  degrades as the delay approaches the slow workers' compute time;
+* **heter-aware** and **group-based** stay flat at the load-balanced level;
+  at the fault point the paper reports up to a 3x speedup over cyclic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..metrics.timing_stats import timing_stats
+from ..simulation.network import SimpleNetwork
+from ..simulation.stragglers import ArtificialDelay, NoStragglers
+from .clusters import build_cluster
+from .common import measure_timing_trace
+
+__all__ = ["Fig2Result", "run_fig2", "report_fig2", "main"]
+
+DEFAULT_SCHEMES: tuple[str, ...] = ("naive", "cyclic", "heter_aware", "group_based")
+DEFAULT_DELAYS: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0, float("inf"))
+
+
+@dataclass
+class Fig2Result:
+    """Average time per iteration for each (scheme, delay) pair.
+
+    ``mean_times[scheme]`` is a list aligned with ``delays``; ``inf`` means
+    the scheme could not complete iterations at that delay (the naive scheme
+    under a fault).
+    """
+
+    cluster_name: str
+    num_stragglers: int
+    delays: tuple[float, ...]
+    schemes: tuple[str, ...]
+    mean_times: dict[str, list[float]] = field(default_factory=dict)
+
+    def speedup_over(self, baseline: str, scheme: str, delay_index: int) -> float:
+        """Speedup of ``scheme`` over ``baseline`` at one delay point."""
+        base = self.mean_times[baseline][delay_index]
+        mine = self.mean_times[scheme][delay_index]
+        return base / mine if mine > 0 else float("inf")
+
+
+def run_fig2(
+    num_stragglers: int = 1,
+    delays: Sequence[float] = DEFAULT_DELAYS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    cluster_name: str = "Cluster-A",
+    num_iterations: int = 20,
+    total_samples: int = 2048,
+    partitions_multiplier: int = 2,
+    samples_per_second_per_vcpu: float = 50.0,
+    seed: int = 0,
+) -> Fig2Result:
+    """Run the Fig. 2 sweep (Fig. 2a with ``num_stragglers=1``, 2b with 2).
+
+    Parameters
+    ----------
+    num_stragglers:
+        ``s`` — how many workers are delayed each iteration and how many
+        stragglers the coded schemes are built to tolerate.
+    delays:
+        Extra delays in seconds; include ``inf`` for the fault point.
+    schemes, cluster_name, num_iterations, total_samples,
+    partitions_multiplier, samples_per_second_per_vcpu, seed:
+        Experiment geometry and scale knobs.
+    """
+    cluster = build_cluster(
+        cluster_name,
+        samples_per_second_per_vcpu=samples_per_second_per_vcpu,
+        rng=seed,
+    )
+    result = Fig2Result(
+        cluster_name=cluster_name,
+        num_stragglers=num_stragglers,
+        delays=tuple(float(d) for d in delays),
+        schemes=tuple(schemes),
+    )
+    network = SimpleNetwork()
+    for scheme in schemes:
+        means: list[float] = []
+        for delay in delays:
+            if delay == 0:
+                injector = NoStragglers()
+            else:
+                injector = ArtificialDelay(
+                    num_stragglers=num_stragglers, delay_seconds=float(delay)
+                )
+            trace = measure_timing_trace(
+                scheme,
+                cluster,
+                num_stragglers=num_stragglers,
+                total_samples=total_samples,
+                num_iterations=num_iterations,
+                partitions_multiplier=partitions_multiplier,
+                injector=injector,
+                network=network,
+                seed=seed,
+            )
+            means.append(timing_stats(trace).mean)
+        result.mean_times[scheme] = means
+    return result
+
+
+def report_fig2(result: Fig2Result, precision: int = 3) -> str:
+    """Render the result as the paper's figure would read as a table."""
+    from ..metrics.report import format_table
+
+    headers = ["scheme"] + [
+        "fault" if np.isinf(d) else f"delay={d:g}s" for d in result.delays
+    ]
+    rows = [
+        [scheme, *result.mean_times[scheme]] for scheme in result.schemes
+    ]
+    title = (
+        f"Fig. 2 ({result.cluster_name}, s={result.num_stragglers}): "
+        "average time per iteration [s]"
+    )
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def main() -> None:
+    """Run both Fig. 2a and Fig. 2b at default scale and print the tables."""
+    for s in (1, 2):
+        result = run_fig2(num_stragglers=s)
+        print(report_fig2(result))
+        fault_index = len(result.delays) - 1
+        speedup = result.speedup_over("cyclic", "heter_aware", fault_index)
+        print(
+            f"heter-aware speedup over cyclic at the fault point: {speedup:.2f}x\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,133 @@
+"""Figure 3 — efficiency on clusters of different scales (B, C, D).
+
+The paper repeats the average-time-per-iteration comparison on three larger
+clusters (Table II's Cluster-B, Cluster-C and Cluster-D) without artificial
+delays: the stragglers here are the *consistent* ones caused by
+heterogeneity itself, plus natural jitter.
+
+Expected shape: heter-aware and group-based are fastest on every cluster;
+the cyclic scheme can even be slower than naive because it both waits for
+the slow workers *and* assigns them ``s + 1`` times more data than the
+naive scheme does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..metrics.timing_stats import timing_stats
+from ..simulation.network import SimpleNetwork
+from ..simulation.stragglers import NoStragglers, TransientSlowdown
+from .clusters import build_cluster
+from .common import measure_timing_trace
+
+__all__ = ["Fig3Result", "run_fig3", "report_fig3", "main"]
+
+DEFAULT_SCHEMES: tuple[str, ...] = ("naive", "cyclic", "heter_aware", "group_based")
+DEFAULT_CLUSTERS: tuple[str, ...] = ("Cluster-B", "Cluster-C", "Cluster-D")
+
+
+@dataclass
+class Fig3Result:
+    """Average time per iteration for each (cluster, scheme) pair."""
+
+    clusters: tuple[str, ...]
+    schemes: tuple[str, ...]
+    num_stragglers: int
+    mean_times: dict[str, dict[str, float]] = field(default_factory=dict)
+    num_workers: dict[str, int] = field(default_factory=dict)
+
+    def fastest_scheme(self, cluster: str) -> str:
+        """Scheme with the lowest mean iteration time on ``cluster``."""
+        times = self.mean_times[cluster]
+        return min(times, key=lambda scheme: times[scheme])
+
+
+def run_fig3(
+    clusters: Sequence[str] = DEFAULT_CLUSTERS,
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    num_stragglers: int = 1,
+    num_iterations: int = 20,
+    total_samples: int = 4096,
+    partitions_multiplier: int = 2,
+    samples_per_second_per_vcpu: float = 50.0,
+    transient_probability: float = 0.05,
+    transient_mean_delay: float = 0.5,
+    seed: int = 0,
+) -> Fig3Result:
+    """Run the Fig. 3 comparison across clusters.
+
+    A light :class:`~repro.simulation.stragglers.TransientSlowdown` is
+    applied (probability and mean configurable, zero disables it) to model
+    the background interference present on any real shared cluster.
+    """
+    result = Fig3Result(
+        clusters=tuple(clusters),
+        schemes=tuple(schemes),
+        num_stragglers=num_stragglers,
+    )
+    network = SimpleNetwork()
+    if transient_probability > 0:
+        injector = TransientSlowdown(
+            probability=transient_probability,
+            mean_delay_seconds=transient_mean_delay,
+        )
+    else:
+        injector = NoStragglers()
+
+    for cluster_name in clusters:
+        cluster = build_cluster(
+            cluster_name,
+            samples_per_second_per_vcpu=samples_per_second_per_vcpu,
+            rng=seed,
+        )
+        result.num_workers[cluster_name] = cluster.num_workers
+        result.mean_times[cluster_name] = {}
+        for scheme in schemes:
+            trace = measure_timing_trace(
+                scheme,
+                cluster,
+                num_stragglers=num_stragglers,
+                total_samples=total_samples,
+                num_iterations=num_iterations,
+                partitions_multiplier=partitions_multiplier,
+                injector=injector,
+                network=network,
+                seed=seed,
+            )
+            result.mean_times[cluster_name][scheme] = timing_stats(trace).mean
+    return result
+
+
+def report_fig3(result: Fig3Result, precision: int = 3) -> str:
+    """Render the per-cluster comparison as a table."""
+    from ..metrics.report import format_table
+
+    headers = ["cluster", "workers", *result.schemes]
+    rows = []
+    for cluster in result.clusters:
+        rows.append(
+            [
+                cluster,
+                result.num_workers.get(cluster, 0),
+                *[result.mean_times[cluster][scheme] for scheme in result.schemes],
+            ]
+        )
+    title = (
+        f"Fig. 3 (s={result.num_stragglers}): average time per iteration [s] "
+        "per cluster"
+    )
+    return format_table(headers, rows, precision=precision, title=title)
+
+
+def main() -> None:
+    """Run Fig. 3 at default scale and print the table."""
+    result = run_fig3()
+    print(report_fig3(result))
+    for cluster in result.clusters:
+        print(f"fastest on {cluster}: {result.fastest_scheme(cluster)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Table II — cluster configurations report.
+
+Table II of the paper lists the vCPU composition of the four evaluation
+clusters.  This module rebuilds the clusters from
+:data:`repro.experiments.clusters.TABLE_II` and reports their composition,
+worker counts and modelled heterogeneity, so the remaining experiments run
+on exactly the documented configurations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .clusters import CLUSTER_NAMES, TABLE_II, build_all_clusters
+
+__all__ = ["Table2Result", "run_table2", "report_table2", "main"]
+
+_VCPU_SIZES: tuple[int, ...] = (2, 4, 8, 12, 16)
+
+
+@dataclass
+class Table2Result:
+    """Composition and derived statistics of every Table II cluster."""
+
+    compositions: dict[str, dict[int, int]] = field(default_factory=dict)
+    num_workers: dict[str, int] = field(default_factory=dict)
+    total_vcpus: dict[str, int] = field(default_factory=dict)
+    heterogeneity_ratio: dict[str, float] = field(default_factory=dict)
+
+
+def run_table2(
+    samples_per_second_per_vcpu: float = 50.0, seed: int = 0
+) -> Table2Result:
+    """Build every Table II cluster and collect its statistics."""
+    clusters = build_all_clusters(
+        samples_per_second_per_vcpu=samples_per_second_per_vcpu, rng=seed
+    )
+    result = Table2Result()
+    for name in CLUSTER_NAMES:
+        composition = TABLE_II[name]
+        cluster = clusters[name]
+        result.compositions[name] = dict(composition)
+        result.num_workers[name] = cluster.num_workers
+        result.total_vcpus[name] = sum(v * c for v, c in composition.items())
+        result.heterogeneity_ratio[name] = cluster.heterogeneity_ratio
+    return result
+
+
+def report_table2(result: Table2Result, precision: int = 2) -> str:
+    """Render Table II (plus derived columns) as text."""
+    from ..metrics.report import format_table
+
+    headers = [
+        "cluster",
+        *[f"{v}-vCPU" for v in _VCPU_SIZES],
+        "workers",
+        "total vCPUs",
+        "heterogeneity",
+    ]
+    rows = []
+    for name in result.compositions:
+        composition = result.compositions[name]
+        rows.append(
+            [
+                name,
+                *[composition.get(v, 0) for v in _VCPU_SIZES],
+                result.num_workers[name],
+                result.total_vcpus[name],
+                result.heterogeneity_ratio[name],
+            ]
+        )
+    return format_table(
+        headers, rows, precision=precision, title="Table II: cluster configurations"
+    )
+
+
+def main() -> None:
+    """Print the Table II report."""
+    print(report_table2(run_table2()))
+
+
+if __name__ == "__main__":
+    main()

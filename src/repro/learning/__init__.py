@@ -1,0 +1,84 @@
+"""Learning substrate: datasets, partitioning, models, losses, optimisers.
+
+Everything is pure numpy — no PyTorch — but the interfaces mirror what the
+paper's distributed learning system needs: per-partition partial gradients
+that sum exactly to the full-batch gradient, and models whose per-sample
+compute cost is constant so a partition's cost is proportional to its size.
+"""
+
+from .datasets import (
+    Dataset,
+    make_blobs,
+    make_cifar10_like,
+    make_image_classification,
+    make_imagenet_like,
+    make_linear_regression,
+    train_test_split,
+)
+from .gradients import (
+    compute_partial_gradients,
+    compute_partition_gradient,
+    encode_all_workers,
+    encode_worker_gradient,
+    full_gradient,
+    partition_losses,
+)
+from .losses import (
+    cross_entropy_loss,
+    log_softmax,
+    mean_squared_error_loss,
+    one_hot,
+    softmax,
+)
+from .models import (
+    LinearRegressionModel,
+    MLPClassifier,
+    Model,
+    ModelError,
+    ParameterLayout,
+    SimpleCNN,
+    SoftmaxClassifier,
+)
+from .optimizers import SGD, Adam, MomentumSGD, Optimizer
+from .partition import DataPartition, PartitionedDataset, partition_dataset
+
+__all__ = [
+    # datasets
+    "Dataset",
+    "make_blobs",
+    "make_image_classification",
+    "make_cifar10_like",
+    "make_imagenet_like",
+    "make_linear_regression",
+    "train_test_split",
+    # partitioning
+    "DataPartition",
+    "PartitionedDataset",
+    "partition_dataset",
+    # losses
+    "softmax",
+    "log_softmax",
+    "cross_entropy_loss",
+    "mean_squared_error_loss",
+    "one_hot",
+    # models
+    "Model",
+    "ModelError",
+    "ParameterLayout",
+    "LinearRegressionModel",
+    "SoftmaxClassifier",
+    "MLPClassifier",
+    "SimpleCNN",
+    # optimizers
+    "Optimizer",
+    "SGD",
+    "MomentumSGD",
+    "Adam",
+    # gradients
+    "compute_partial_gradients",
+    "compute_partition_gradient",
+    "full_gradient",
+    "encode_worker_gradient",
+    "encode_all_workers",
+    "partition_losses",
+]

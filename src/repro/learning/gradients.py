@@ -1,0 +1,144 @@
+"""Partial-gradient computation and gradient encoding helpers.
+
+This module glues the learning substrate to the coding layer:
+
+* :func:`compute_partial_gradients` evaluates ``g_i`` — the gradient of the
+  summed loss over partition ``D_i`` — for every partition, producing the
+  matrix ``[g_1; ...; g_k]`` the paper's encoding operates on.
+* :func:`encode_worker_gradient` computes ``g~_i = b_i @ [g_1, ..., g_k]^T``
+  for one worker, touching only the partitions in its support (exactly what
+  a real worker would compute locally).
+* :func:`full_gradient` is the uncoded reference ``g = sum_i g_i``.
+
+Keeping these as free functions (rather than methods on a "worker" object)
+makes the encoding exactness properties easy to test in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..coding.types import CodingStrategy
+from .models.base import Model
+from .partition import PartitionedDataset
+
+__all__ = [
+    "compute_partial_gradients",
+    "compute_partition_gradient",
+    "full_gradient",
+    "encode_worker_gradient",
+    "encode_all_workers",
+    "partition_losses",
+]
+
+
+def compute_partition_gradient(
+    model: Model,
+    partitioned: PartitionedDataset,
+    partition_index: int,
+) -> tuple[float, np.ndarray]:
+    """Loss and gradient (both summed over samples) of one partition."""
+    features, labels = partitioned.partition_data(partition_index)
+    return model.loss_and_gradient(features, labels)
+
+
+def compute_partial_gradients(
+    model: Model,
+    partitioned: PartitionedDataset,
+    partition_indices: Sequence[int] | None = None,
+) -> dict[int, np.ndarray]:
+    """Compute ``g_i`` for the requested partitions (all by default).
+
+    Returns a mapping ``partition index -> flat gradient``; every gradient
+    has length ``model.num_parameters``.
+    """
+    indices = (
+        range(partitioned.num_partitions)
+        if partition_indices is None
+        else partition_indices
+    )
+    gradients: dict[int, np.ndarray] = {}
+    for index in indices:
+        _, grad = compute_partition_gradient(model, partitioned, int(index))
+        gradients[int(index)] = grad
+    return gradients
+
+
+def partition_losses(
+    model: Model,
+    partitioned: PartitionedDataset,
+    partition_indices: Sequence[int] | None = None,
+) -> dict[int, float]:
+    """Summed loss of each requested partition (all by default)."""
+    indices = (
+        range(partitioned.num_partitions)
+        if partition_indices is None
+        else partition_indices
+    )
+    losses: dict[int, float] = {}
+    for index in indices:
+        features, labels = partitioned.partition_data(int(index))
+        losses[int(index)] = model.loss(features, labels)
+    return losses
+
+
+def full_gradient(model: Model, partitioned: PartitionedDataset) -> np.ndarray:
+    """The uncoded aggregate ``g = sum_i g_i`` over all partitions."""
+    total = np.zeros(model.num_parameters)
+    for index in range(partitioned.num_partitions):
+        _, grad = compute_partition_gradient(model, partitioned, index)
+        total += grad
+    return total
+
+
+def encode_worker_gradient(
+    strategy: CodingStrategy,
+    worker: int,
+    partial_gradients: Mapping[int, np.ndarray],
+) -> np.ndarray:
+    """Encode one worker's result ``g~_i = sum_j b_i[j] g_j`` over its support.
+
+    Parameters
+    ----------
+    strategy:
+        The coding strategy whose row ``b_i`` defines the combination.
+    worker:
+        Worker index ``i``.
+    partial_gradients:
+        Mapping that contains (at least) the partitions in the worker's
+        support.  In a real deployment the worker computes exactly these.
+
+    Raises
+    ------
+    KeyError
+        If a partition in the worker's support is missing from
+        ``partial_gradients``.
+    """
+    support = strategy.support(worker)
+    row = strategy.row(worker)
+    if not support:
+        # A worker with an empty assignment contributes a zero vector of the
+        # right length (inferred from any provided gradient, else length 0).
+        any_grad = next(iter(partial_gradients.values()), np.zeros(0))
+        return np.zeros_like(np.asarray(any_grad, dtype=np.float64))
+    encoded: np.ndarray | None = None
+    for partition in support:
+        term = row[partition] * np.asarray(
+            partial_gradients[partition], dtype=np.float64
+        )
+        encoded = term if encoded is None else encoded + term
+    assert encoded is not None
+    return encoded
+
+
+def encode_all_workers(
+    strategy: CodingStrategy,
+    partial_gradients: Mapping[int, np.ndarray],
+) -> dict[int, np.ndarray]:
+    """Encode every worker's coded gradient from the full partial-gradient set."""
+    return {
+        worker: encode_worker_gradient(strategy, worker, partial_gradients)
+        for worker in range(strategy.num_workers)
+    }

@@ -1,0 +1,97 @@
+"""Loss functions with analytic gradients (numpy only).
+
+All losses return the *sum* over samples rather than the mean.  This is the
+convention used throughout the package because the paper's aggregation is
+``g = sum_i g_i`` over partitions — summed losses/gradients make partial
+results additive, and the optimiser divides by the global sample count when
+taking a step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "cross_entropy_loss",
+    "mean_squared_error_loss",
+    "one_hot",
+]
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels into shape ``(n, num_classes)``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    if labels.ndim != 1:
+        raise ValueError("labels must be a 1-D integer array")
+    if num_classes <= 0:
+        raise ValueError("num_classes must be positive")
+    if labels.size and (labels.min() < 0 or labels.max() >= num_classes):
+        raise ValueError("labels must lie in [0, num_classes)")
+    encoded = np.zeros((labels.size, num_classes), dtype=np.float64)
+    encoded[np.arange(labels.size), labels] = 1.0
+    return encoded
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable softmax along the last axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=-1, keepdims=True)
+
+
+def log_softmax(logits: np.ndarray) -> np.ndarray:
+    """Numerically stable log-softmax along the last axis."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+
+
+def cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Summed cross-entropy loss and its gradient with respect to the logits.
+
+    Parameters
+    ----------
+    logits:
+        Raw scores of shape ``(n, num_classes)``.
+    labels:
+        Integer labels of shape ``(n,)``.
+
+    Returns
+    -------
+    (loss, dlogits):
+        ``loss`` is the *sum* of per-sample cross entropies; ``dlogits`` has
+        the same shape as ``logits`` and is the gradient of that sum.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 2:
+        raise ValueError("logits must be 2-D (n, num_classes)")
+    if labels.shape != (logits.shape[0],):
+        raise ValueError("labels must be 1-D with one entry per logit row")
+    n = logits.shape[0]
+    log_probs = log_softmax(logits)
+    loss = float(-log_probs[np.arange(n), labels].sum())
+    dlogits = softmax(logits)
+    dlogits[np.arange(n), labels] -= 1.0
+    return loss, dlogits
+
+
+def mean_squared_error_loss(
+    predictions: np.ndarray, targets: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Summed 0.5 * squared error and its gradient with respect to predictions."""
+    predictions = np.asarray(predictions, dtype=np.float64)
+    targets = np.asarray(targets, dtype=np.float64)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"predictions shape {predictions.shape} and targets shape "
+            f"{targets.shape} must match"
+        )
+    diff = predictions - targets
+    loss = float(0.5 * np.sum(diff * diff))
+    return loss, diff

@@ -1,0 +1,23 @@
+"""Numpy model zoo used as the learning substrate.
+
+* :class:`LinearRegressionModel` — least-squares linear model.
+* :class:`SoftmaxClassifier` — multinomial logistic regression.
+* :class:`MLPClassifier` — fully connected network (AlexNet stand-in).
+* :class:`SimpleCNN` — small convolutional network (ResNet stand-in).
+"""
+
+from .base import Model, ModelError, ParameterLayout
+from .cnn import SimpleCNN
+from .linear import LinearRegressionModel
+from .mlp import MLPClassifier
+from .softmax import SoftmaxClassifier
+
+__all__ = [
+    "Model",
+    "ModelError",
+    "ParameterLayout",
+    "LinearRegressionModel",
+    "SoftmaxClassifier",
+    "MLPClassifier",
+    "SimpleCNN",
+]

@@ -1,0 +1,161 @@
+"""Model interface used by every training protocol.
+
+A model exposes its parameters as a single flat vector so that gradient
+coding — which operates on linear combinations of gradient *vectors* — works
+uniformly regardless of the model's internal layer structure.  Every model
+implements:
+
+* ``parameters()`` / ``set_parameters(flat)`` — flat-vector access,
+* ``loss(features, labels)`` — **summed** loss over the given samples,
+* ``gradient(features, labels)`` — gradient of that summed loss, flat,
+* ``loss_and_gradient(features, labels)`` — both in one pass,
+* ``predict(features)`` — labels (classification) or values (regression).
+
+Losses and gradients are summed (not averaged) so that partial results over
+disjoint partitions are additive: ``g = sum_i g_i`` exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["Model", "ParameterLayout", "ModelError"]
+
+
+class ModelError(ValueError):
+    """Raised on shape mismatches or invalid model configuration."""
+
+
+class ParameterLayout:
+    """Bookkeeping for packing named arrays into one flat vector.
+
+    Parameters
+    ----------
+    shapes:
+        Ordered mapping-like iterable of ``(name, shape)`` pairs.
+    """
+
+    def __init__(self, shapes: Iterable[tuple[str, tuple[int, ...]]]) -> None:
+        self._names: list[str] = []
+        self._shapes: dict[str, tuple[int, ...]] = {}
+        self._offsets: dict[str, int] = {}
+        offset = 0
+        for name, shape in shapes:
+            if name in self._shapes:
+                raise ModelError(f"duplicate parameter name {name!r}")
+            size = int(np.prod(shape)) if shape else 1
+            self._names.append(name)
+            self._shapes[name] = tuple(int(d) for d in shape)
+            self._offsets[name] = offset
+            offset += size
+        self._total = offset
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._names)
+
+    @property
+    def total_size(self) -> int:
+        """Length of the flat vector."""
+        return self._total
+
+    def shape(self, name: str) -> tuple[int, ...]:
+        return self._shapes[name]
+
+    def pack(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+        """Flatten named arrays into one vector (in layout order)."""
+        flat = np.empty(self._total, dtype=np.float64)
+        for name in self._names:
+            expected = self._shapes[name]
+            array = np.asarray(arrays[name], dtype=np.float64)
+            if array.shape != expected:
+                raise ModelError(
+                    f"parameter {name!r} has shape {array.shape}, expected {expected}"
+                )
+            start = self._offsets[name]
+            size = int(np.prod(expected)) if expected else 1
+            flat[start : start + size] = array.ravel()
+        return flat
+
+    def unpack(self, flat: np.ndarray) -> dict[str, np.ndarray]:
+        """Split a flat vector back into named, shaped arrays (copies)."""
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.shape != (self._total,):
+            raise ModelError(
+                f"flat vector has shape {flat.shape}, expected ({self._total},)"
+            )
+        arrays: dict[str, np.ndarray] = {}
+        for name in self._names:
+            shape = self._shapes[name]
+            size = int(np.prod(shape)) if shape else 1
+            start = self._offsets[name]
+            arrays[name] = flat[start : start + size].reshape(shape).copy()
+        return arrays
+
+
+class Model(ABC):
+    """Abstract base class for all numpy models."""
+
+    layout: ParameterLayout
+
+    @property
+    def num_parameters(self) -> int:
+        """Dimension of the flat parameter vector."""
+        return self.layout.total_size
+
+    @abstractmethod
+    def parameters(self) -> np.ndarray:
+        """Return a *copy* of the current parameters as a flat vector."""
+
+    @abstractmethod
+    def set_parameters(self, flat: np.ndarray) -> None:
+        """Overwrite the model parameters from a flat vector."""
+
+    @abstractmethod
+    def loss_and_gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Summed loss and its flat gradient over the given samples."""
+
+    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Summed loss over the given samples."""
+        value, _ = self.loss_and_gradient(features, labels)
+        return value
+
+    def gradient(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+        """Flat gradient of the summed loss over the given samples."""
+        _, grad = self.loss_and_gradient(features, labels)
+        return grad
+
+    @abstractmethod
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted labels (classification) or values (regression)."""
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Fraction of correct predictions (classification models only)."""
+        predictions = self.predict(features)
+        labels = np.asarray(labels)
+        if predictions.shape != labels.shape:
+            raise ModelError(
+                "accuracy is only defined when predictions and labels share a shape"
+            )
+        return float(np.mean(predictions == labels))
+
+    def clone(self) -> "Model":
+        """Return a new model of the same architecture with copied parameters."""
+        import copy
+
+        return copy.deepcopy(self)
+
+    @staticmethod
+    def _flatten_features(features: np.ndarray) -> np.ndarray:
+        """Reshape ``(n, ...)`` features to ``(n, d)`` for dense models."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            return features.reshape(-1, 1)
+        if features.ndim > 2:
+            return features.reshape(features.shape[0], -1)
+        return features

@@ -1,0 +1,273 @@
+"""Small convolutional network (the ResNet-34 stand-in).
+
+Architecture: ``conv(3x3) -> ReLU -> 2x2 max-pool -> flatten -> dense ->
+softmax``.  The convolution is implemented with im2col so the whole
+forward/backward pass is dense matrix algebra in numpy.  The purpose of this
+model in the reproduction is *not* ImageNet accuracy — it provides a second,
+heavier workload whose per-sample gradient cost is substantially larger than
+the MLP's, mirroring the paper's CIFAR-10-vs-ImageNet pairing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..losses import cross_entropy_loss, softmax
+from .base import Model, ModelError, ParameterLayout
+
+__all__ = ["SimpleCNN"]
+
+
+def _im2col(
+    images: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
+) -> tuple[np.ndarray, int, int]:
+    """Rearrange image patches into columns.
+
+    Parameters
+    ----------
+    images:
+        Array of shape ``(n, height, width, channels)``.
+    kernel, stride, padding:
+        Convolution geometry.
+
+    Returns
+    -------
+    (columns, out_height, out_width):
+        ``columns`` has shape ``(n * out_height * out_width,
+        kernel * kernel * channels)``.
+    """
+    n, height, width, channels = images.shape
+    if padding:
+        images = np.pad(
+            images,
+            ((0, 0), (padding, padding), (padding, padding), (0, 0)),
+            mode="constant",
+        )
+    out_height = (height + 2 * padding - kernel) // stride + 1
+    out_width = (width + 2 * padding - kernel) // stride + 1
+    if out_height <= 0 or out_width <= 0:
+        raise ModelError("kernel larger than padded image")
+
+    columns = np.empty(
+        (n, out_height, out_width, kernel * kernel * channels), dtype=np.float64
+    )
+    for row in range(kernel):
+        row_end = row + stride * out_height
+        for col in range(kernel):
+            col_end = col + stride * out_width
+            patch = images[:, row:row_end:stride, col:col_end:stride, :]
+            start = (row * kernel + col) * channels
+            columns[:, :, :, start : start + channels] = patch
+    return columns.reshape(n * out_height * out_width, -1), out_height, out_width
+
+
+def _col2im(
+    column_grads: np.ndarray,
+    image_shape: tuple[int, int, int, int],
+    kernel: int,
+    out_height: int,
+    out_width: int,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col` for gradients (scatter-add of patches)."""
+    n, height, width, channels = image_shape
+    padded = np.zeros(
+        (n, height + 2 * padding, width + 2 * padding, channels), dtype=np.float64
+    )
+    column_grads = column_grads.reshape(n, out_height, out_width, -1)
+    for row in range(kernel):
+        row_end = row + stride * out_height
+        for col in range(kernel):
+            col_end = col + stride * out_width
+            start = (row * kernel + col) * channels
+            padded[:, row:row_end:stride, col:col_end:stride, :] += column_grads[
+                :, :, :, start : start + channels
+            ]
+    if padding:
+        return padded[:, padding:-padding, padding:-padding, :]
+    return padded
+
+
+class SimpleCNN(Model):
+    """Single-conv-layer CNN classifier for image datasets.
+
+    Parameters
+    ----------
+    image_size:
+        Height (= width) of the square input images.
+    channels:
+        Number of input channels.
+    num_classes:
+        Number of output classes.
+    num_filters:
+        Number of convolution filters.
+    kernel_size:
+        Side length of the square convolution kernel.
+    rng:
+        Seed or generator for weight initialisation.
+    """
+
+    def __init__(
+        self,
+        image_size: int,
+        channels: int,
+        num_classes: int,
+        num_filters: int = 8,
+        kernel_size: int = 3,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if image_size < kernel_size:
+            raise ModelError("image_size must be at least kernel_size")
+        if channels <= 0 or num_filters <= 0:
+            raise ModelError("channels and num_filters must be positive")
+        if num_classes < 2:
+            raise ModelError("num_classes must be at least 2")
+        self.image_size = int(image_size)
+        self.channels = int(channels)
+        self.num_classes = int(num_classes)
+        self.num_filters = int(num_filters)
+        self.kernel_size = int(kernel_size)
+
+        self._conv_out = self.image_size - self.kernel_size + 1
+        self._pool_out = self._conv_out // 2
+        if self._pool_out <= 0:
+            raise ModelError("image too small for conv + 2x2 pooling")
+        dense_in = self._pool_out * self._pool_out * self.num_filters
+
+        generator = np.random.default_rng(rng)
+        kernel_fan_in = self.kernel_size * self.kernel_size * self.channels
+        self._kernels = generator.normal(
+            0.0, np.sqrt(2.0 / kernel_fan_in), size=(kernel_fan_in, self.num_filters)
+        )
+        self._kernel_bias = np.zeros(self.num_filters)
+        self._dense = generator.normal(
+            0.0, np.sqrt(2.0 / dense_in), size=(dense_in, self.num_classes)
+        )
+        self._dense_bias = np.zeros(self.num_classes)
+
+        self.layout = ParameterLayout(
+            [
+                ("kernels", (kernel_fan_in, self.num_filters)),
+                ("kernel_bias", (self.num_filters,)),
+                ("dense", (dense_in, self.num_classes)),
+                ("dense_bias", (self.num_classes,)),
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # parameter access
+    # ------------------------------------------------------------------
+    def parameters(self) -> np.ndarray:
+        return self.layout.pack(
+            {
+                "kernels": self._kernels,
+                "kernel_bias": self._kernel_bias,
+                "dense": self._dense,
+                "dense_bias": self._dense_bias,
+            }
+        )
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        arrays = self.layout.unpack(flat)
+        self._kernels = arrays["kernels"]
+        self._kernel_bias = arrays["kernel_bias"]
+        self._dense = arrays["dense"]
+        self._dense_bias = arrays["dense_bias"]
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def _check_images(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        expected = (self.image_size, self.image_size, self.channels)
+        if features.ndim == 2 and features.shape[1] == int(np.prod(expected)):
+            features = features.reshape(features.shape[0], *expected)
+        if features.ndim != 4 or features.shape[1:] != expected:
+            raise ModelError(
+                f"expected images of shape (n, {expected[0]}, {expected[1]}, "
+                f"{expected[2]}), got {features.shape}"
+            )
+        return features
+
+    def _forward(self, features: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        images = self._check_images(features)
+        n = images.shape[0]
+        columns, out_h, out_w = _im2col(images, self.kernel_size)
+        conv = columns @ self._kernels + self._kernel_bias
+        conv = conv.reshape(n, out_h, out_w, self.num_filters)
+        relu_mask = conv > 0.0
+        activated = conv * relu_mask
+
+        # 2x2 max pooling with stride 2 (truncate ragged edge).
+        pool_h = pool_w = self._pool_out
+        cropped = activated[:, : 2 * pool_h, : 2 * pool_w, :]
+        windows = cropped.reshape(n, pool_h, 2, pool_w, 2, self.num_filters)
+        pooled = windows.max(axis=(2, 4))
+        # argmax mask for backprop
+        pooled_expanded = pooled[:, :, None, :, None, :]
+        pool_mask = windows == pooled_expanded
+
+        flat = pooled.reshape(n, -1)
+        logits = flat @ self._dense + self._dense_bias
+        cache = {
+            "images": images,
+            "columns": columns,
+            "relu_mask": relu_mask,
+            "pool_mask": pool_mask,
+            "flat": flat,
+            "out_h": np.asarray(out_h),
+            "out_w": np.asarray(out_w),
+        }
+        return logits, cache
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        logits, _ = self._forward(features)
+        return np.argmax(logits, axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities of shape ``(n, num_classes)``."""
+        logits, _ = self._forward(features)
+        return softmax(logits)
+
+    def loss_and_gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        logits, cache = self._forward(features)
+        loss, dlogits = cross_entropy_loss(logits, labels)
+
+        flat = cache["flat"]
+        grad_dense = flat.T @ dlogits
+        grad_dense_bias = dlogits.sum(axis=0)
+
+        dflat = dlogits @ self._dense.T
+        n = flat.shape[0]
+        pool_h = pool_w = self._pool_out
+        dpooled = dflat.reshape(n, pool_h, pool_w, self.num_filters)
+        # Route gradients through the max locations (ties share the gradient).
+        pool_mask = cache["pool_mask"]
+        tie_counts = pool_mask.sum(axis=(2, 4), keepdims=True)
+        dwindows = (
+            pool_mask * dpooled[:, :, None, :, None, :] / np.maximum(tie_counts, 1)
+        )
+        out_h = int(cache["out_h"])
+        out_w = int(cache["out_w"])
+        dactivated = np.zeros((n, out_h, out_w, self.num_filters))
+        dactivated[:, : 2 * pool_h, : 2 * pool_w, :] = dwindows.reshape(
+            n, 2 * pool_h, 2 * pool_w, self.num_filters
+        )
+
+        dconv = dactivated * cache["relu_mask"]
+        dconv_cols = dconv.reshape(-1, self.num_filters)
+        grad_kernels = cache["columns"].T @ dconv_cols
+        grad_kernel_bias = dconv_cols.sum(axis=0)
+
+        flat_grad = self.layout.pack(
+            {
+                "kernels": grad_kernels,
+                "kernel_bias": grad_kernel_bias,
+                "dense": grad_dense,
+                "dense_bias": grad_dense_bias,
+            }
+        )
+        return loss, flat_grad

@@ -1,0 +1,81 @@
+"""Linear regression model (least squares) on flat features.
+
+Included because much of the prior coded-computation literature the paper
+discusses (Lee et al., Maity et al.) is restricted to linear models; having
+one in the substrate lets the examples contrast "coding the data" versus
+"coding the gradients".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..losses import mean_squared_error_loss
+from .base import Model, ModelError, ParameterLayout
+
+__all__ = ["LinearRegressionModel"]
+
+
+class LinearRegressionModel(Model):
+    """Linear model ``y_hat = X w + b`` trained with summed squared error.
+
+    Parameters
+    ----------
+    num_features:
+        Dimension of the (flattened) input features.
+    rng:
+        Seed or generator for the initial weights.
+    init_scale:
+        Standard deviation of the random weight initialisation.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        rng: np.random.Generator | int | None = None,
+        init_scale: float = 0.01,
+    ) -> None:
+        if num_features <= 0:
+            raise ModelError("num_features must be positive")
+        generator = np.random.default_rng(rng)
+        self.num_features = int(num_features)
+        self.layout = ParameterLayout(
+            [("weights", (self.num_features,)), ("bias", ())]
+        )
+        self._weights = generator.normal(0.0, init_scale, size=self.num_features)
+        self._bias = 0.0
+
+    def parameters(self) -> np.ndarray:
+        return self.layout.pack(
+            {"weights": self._weights, "bias": np.asarray(self._bias)}
+        )
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        arrays = self.layout.unpack(flat)
+        self._weights = arrays["weights"]
+        self._bias = float(arrays["bias"])
+
+    def _predict_values(self, features: np.ndarray) -> np.ndarray:
+        features = self._flatten_features(features)
+        if features.shape[1] != self.num_features:
+            raise ModelError(
+                f"expected {self.num_features} features, got {features.shape[1]}"
+            )
+        return features @ self._weights + self._bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return self._predict_values(features)
+
+    def loss_and_gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        features = self._flatten_features(features)
+        labels = np.asarray(labels, dtype=np.float64).ravel()
+        predictions = self._predict_values(features)
+        loss, dpred = mean_squared_error_loss(predictions, labels)
+        grad_weights = features.T @ dpred
+        grad_bias = dpred.sum()
+        flat_grad = self.layout.pack(
+            {"weights": grad_weights, "bias": np.asarray(grad_bias)}
+        )
+        return loss, flat_grad

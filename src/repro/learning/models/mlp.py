@@ -1,0 +1,155 @@
+"""Multi-layer perceptron classifier (the AlexNet stand-in for dense inputs).
+
+A configurable stack of fully connected layers with ReLU (or tanh)
+activations and a softmax cross-entropy head.  This is the default model for
+the paper's CIFAR-10/AlexNet workload in this reproduction: it has enough
+parameters and compute per sample to make iteration times meaningful while
+staying laptop-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..losses import cross_entropy_loss, softmax
+from .base import Model, ModelError, ParameterLayout
+
+__all__ = ["MLPClassifier"]
+
+_ACTIVATIONS = ("relu", "tanh")
+
+
+class MLPClassifier(Model):
+    """Fully connected neural network classifier.
+
+    Parameters
+    ----------
+    num_features:
+        Dimension of the flattened input.
+    num_classes:
+        Number of output classes.
+    hidden_sizes:
+        Widths of the hidden layers, e.g. ``(128, 64)``.  Empty means a
+        plain softmax classifier.
+    activation:
+        ``"relu"`` (default) or ``"tanh"``.
+    rng:
+        Seed or generator for He/Xavier-style initialisation.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        hidden_sizes: Sequence[int] = (128,),
+        activation: str = "relu",
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if num_features <= 0:
+            raise ModelError("num_features must be positive")
+        if num_classes < 2:
+            raise ModelError("num_classes must be at least 2")
+        if activation not in _ACTIVATIONS:
+            raise ModelError(
+                f"unknown activation {activation!r}; expected one of {_ACTIVATIONS}"
+            )
+        hidden = [int(h) for h in hidden_sizes]
+        if any(h <= 0 for h in hidden):
+            raise ModelError("hidden layer sizes must be positive")
+
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        self.hidden_sizes = tuple(hidden)
+        self.activation = activation
+
+        sizes = [self.num_features, *hidden, self.num_classes]
+        self._num_layers = len(sizes) - 1
+        generator = np.random.default_rng(rng)
+
+        layout_entries: list[tuple[str, tuple[int, ...]]] = []
+        self._weights: list[np.ndarray] = []
+        self._biases: list[np.ndarray] = []
+        for layer in range(self._num_layers):
+            fan_in, fan_out = sizes[layer], sizes[layer + 1]
+            scale = np.sqrt(2.0 / fan_in) if activation == "relu" else np.sqrt(1.0 / fan_in)
+            self._weights.append(generator.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+            layout_entries.append((f"W{layer}", (fan_in, fan_out)))
+            layout_entries.append((f"b{layer}", (fan_out,)))
+        self.layout = ParameterLayout(layout_entries)
+
+    # ------------------------------------------------------------------
+    # parameter access
+    # ------------------------------------------------------------------
+    def parameters(self) -> np.ndarray:
+        arrays: dict[str, np.ndarray] = {}
+        for layer in range(self._num_layers):
+            arrays[f"W{layer}"] = self._weights[layer]
+            arrays[f"b{layer}"] = self._biases[layer]
+        return self.layout.pack(arrays)
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        arrays = self.layout.unpack(flat)
+        for layer in range(self._num_layers):
+            self._weights[layer] = arrays[f"W{layer}"]
+            self._biases[layer] = arrays[f"b{layer}"]
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+    def _activate(self, values: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return np.maximum(values, 0.0)
+        return np.tanh(values)
+
+    def _activate_grad(self, pre_activation: np.ndarray) -> np.ndarray:
+        if self.activation == "relu":
+            return (pre_activation > 0.0).astype(np.float64)
+        return 1.0 - np.tanh(pre_activation) ** 2
+
+    def _forward(self, features: np.ndarray) -> tuple[np.ndarray, list[np.ndarray], list[np.ndarray]]:
+        """Return logits plus per-layer inputs and pre-activations."""
+        features = self._flatten_features(features)
+        if features.shape[1] != self.num_features:
+            raise ModelError(
+                f"expected {self.num_features} features, got {features.shape[1]}"
+            )
+        layer_inputs: list[np.ndarray] = []
+        pre_activations: list[np.ndarray] = []
+        current = features
+        for layer in range(self._num_layers):
+            layer_inputs.append(current)
+            pre = current @ self._weights[layer] + self._biases[layer]
+            pre_activations.append(pre)
+            if layer < self._num_layers - 1:
+                current = self._activate(pre)
+            else:
+                current = pre
+        return current, layer_inputs, pre_activations
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        logits, _, _ = self._forward(features)
+        return np.argmax(logits, axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities of shape ``(n, num_classes)``."""
+        logits, _, _ = self._forward(features)
+        return softmax(logits)
+
+    def loss_and_gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        logits, layer_inputs, pre_activations = self._forward(features)
+        loss, delta = cross_entropy_loss(logits, labels)
+
+        grads: dict[str, np.ndarray] = {}
+        for layer in range(self._num_layers - 1, -1, -1):
+            grads[f"W{layer}"] = layer_inputs[layer].T @ delta
+            grads[f"b{layer}"] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self._weights[layer].T) * self._activate_grad(
+                    pre_activations[layer - 1]
+                )
+        return loss, self.layout.pack(grads)

@@ -1,0 +1,89 @@
+"""Multinomial logistic regression (softmax classifier) on flat features.
+
+This is the smallest classification model in the substrate and the default
+for fast experiments: a single affine map followed by softmax cross-entropy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..losses import cross_entropy_loss, softmax
+from .base import Model, ModelError, ParameterLayout
+
+__all__ = ["SoftmaxClassifier"]
+
+
+class SoftmaxClassifier(Model):
+    """Softmax classifier ``logits = X W + b``.
+
+    Parameters
+    ----------
+    num_features:
+        Dimension of the flattened input features.
+    num_classes:
+        Number of output classes.
+    rng:
+        Seed or generator for weight initialisation.
+    init_scale:
+        Standard deviation of the random weight initialisation.
+    """
+
+    def __init__(
+        self,
+        num_features: int,
+        num_classes: int,
+        rng: np.random.Generator | int | None = None,
+        init_scale: float = 0.01,
+    ) -> None:
+        if num_features <= 0:
+            raise ModelError("num_features must be positive")
+        if num_classes < 2:
+            raise ModelError("num_classes must be at least 2")
+        generator = np.random.default_rng(rng)
+        self.num_features = int(num_features)
+        self.num_classes = int(num_classes)
+        self.layout = ParameterLayout(
+            [
+                ("weights", (self.num_features, self.num_classes)),
+                ("bias", (self.num_classes,)),
+            ]
+        )
+        self._weights = generator.normal(
+            0.0, init_scale, size=(self.num_features, self.num_classes)
+        )
+        self._bias = np.zeros(self.num_classes)
+
+    def parameters(self) -> np.ndarray:
+        return self.layout.pack({"weights": self._weights, "bias": self._bias})
+
+    def set_parameters(self, flat: np.ndarray) -> None:
+        arrays = self.layout.unpack(flat)
+        self._weights = arrays["weights"]
+        self._bias = arrays["bias"]
+
+    def _logits(self, features: np.ndarray) -> np.ndarray:
+        features = self._flatten_features(features)
+        if features.shape[1] != self.num_features:
+            raise ModelError(
+                f"expected {self.num_features} features, got {features.shape[1]}"
+            )
+        return features @ self._weights + self._bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return np.argmax(self._logits(features), axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Class probabilities of shape ``(n, num_classes)``."""
+        return softmax(self._logits(features))
+
+    def loss_and_gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        features = self._flatten_features(features)
+        logits = self._logits(features)
+        loss, dlogits = cross_entropy_loss(logits, labels)
+        grad_weights = features.T @ dlogits
+        grad_bias = dlogits.sum(axis=0)
+        flat_grad = self.layout.pack({"weights": grad_weights, "bias": grad_bias})
+        return loss, flat_grad

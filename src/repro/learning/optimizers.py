@@ -1,0 +1,167 @@
+"""Gradient-descent optimisers operating on flat parameter vectors.
+
+The distributed protocols recover an *aggregated* gradient (the sum of
+partial gradients over all partitions) and hand it to one of these
+optimisers together with the total sample count; the optimiser normalises to
+a mean gradient and updates the flat parameter vector.
+
+Implemented: plain SGD, SGD with (Nesterov or classical) momentum, and Adam
+(Kingma & Ba, 2014 — reference [11] of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+__all__ = ["Optimizer", "SGD", "MomentumSGD", "Adam"]
+
+
+class OptimizerError(ValueError):
+    """Raised on invalid optimiser hyper-parameters or gradient shapes."""
+
+
+class Optimizer(ABC):
+    """Base class: stateful update rule on a flat parameter vector."""
+
+    def __init__(self, learning_rate: float) -> None:
+        if learning_rate <= 0:
+            raise OptimizerError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+        self._step_count = 0
+
+    @property
+    def steps_taken(self) -> int:
+        """Number of updates applied so far."""
+        return self._step_count
+
+    def step(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Apply one update and return the new parameter vector.
+
+        Parameters
+        ----------
+        parameters:
+            Current flat parameter vector.
+        gradient:
+            Gradient of the objective with respect to ``parameters`` (already
+            normalised to a mean over samples by the caller).
+        """
+        parameters = np.asarray(parameters, dtype=np.float64)
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if parameters.shape != gradient.shape:
+            raise OptimizerError(
+                f"parameter shape {parameters.shape} and gradient shape "
+                f"{gradient.shape} must match"
+            )
+        self._step_count += 1
+        return self._update(parameters, gradient)
+
+    @abstractmethod
+    def _update(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Scheme-specific update; must not mutate its inputs."""
+
+    def reset(self) -> None:
+        """Clear all accumulated state (momentum buffers, step counts)."""
+        self._step_count = 0
+
+
+class SGD(Optimizer):
+    """Plain stochastic gradient descent: ``theta <- theta - lr * g``."""
+
+    def _update(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        return parameters - self.learning_rate * gradient
+
+
+class MomentumSGD(Optimizer):
+    """SGD with momentum (classical or Nesterov).
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size.
+    momentum:
+        Momentum coefficient in ``[0, 1)``.
+    nesterov:
+        Use the Nesterov variant when ``True``.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float,
+        momentum: float = 0.9,
+        nesterov: bool = False,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= momentum < 1.0:
+            raise OptimizerError("momentum must lie in [0, 1)")
+        self.momentum = float(momentum)
+        self.nesterov = bool(nesterov)
+        self._velocity: np.ndarray | None = None
+
+    def _update(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        if self._velocity is None or self._velocity.shape != parameters.shape:
+            self._velocity = np.zeros_like(parameters)
+        self._velocity = self.momentum * self._velocity - self.learning_rate * gradient
+        if self.nesterov:
+            return parameters + self.momentum * self._velocity - self.learning_rate * gradient
+        return parameters + self._velocity
+
+    def reset(self) -> None:
+        super().reset()
+        self._velocity = None
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba, 2014).
+
+    Parameters
+    ----------
+    learning_rate:
+        Step size (alpha).
+    beta1, beta2:
+        Exponential decay rates for the first and second moment estimates.
+    epsilon:
+        Numerical stability constant.
+    """
+
+    def __init__(
+        self,
+        learning_rate: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+    ) -> None:
+        super().__init__(learning_rate)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise OptimizerError("beta1 and beta2 must lie in [0, 1)")
+        if epsilon <= 0:
+            raise OptimizerError("epsilon must be positive")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._first_moment: np.ndarray | None = None
+        self._second_moment: np.ndarray | None = None
+
+    def _update(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        if self._first_moment is None or self._first_moment.shape != parameters.shape:
+            self._first_moment = np.zeros_like(parameters)
+            self._second_moment = np.zeros_like(parameters)
+        assert self._second_moment is not None
+        t = self._step_count
+        self._first_moment = (
+            self.beta1 * self._first_moment + (1.0 - self.beta1) * gradient
+        )
+        self._second_moment = (
+            self.beta2 * self._second_moment + (1.0 - self.beta2) * gradient**2
+        )
+        first_hat = self._first_moment / (1.0 - self.beta1**t)
+        second_hat = self._second_moment / (1.0 - self.beta2**t)
+        return parameters - self.learning_rate * first_hat / (
+            np.sqrt(second_hat) + self.epsilon
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._first_moment = None
+        self._second_moment = None

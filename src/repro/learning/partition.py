@@ -1,0 +1,134 @@
+"""Dataset partitioning into ``k`` equal-sized partitions (Section III-A).
+
+The paper divides the whole dataset ``D`` into ``k`` equal-sized partitions
+``D_1, ..., D_k``; the partial gradient ``g_i`` is computed over ``D_i`` and
+the master's goal is ``g = sum_i g_i``.  Equal sizes matter because the
+allocation model assumes every partition costs the same to process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .datasets import Dataset
+
+__all__ = ["DataPartition", "PartitionedDataset", "partition_dataset"]
+
+
+class PartitionError(ValueError):
+    """Raised when a dataset cannot be split as requested."""
+
+
+@dataclass(frozen=True)
+class DataPartition:
+    """One partition ``D_i``: a contiguous block of sample indices."""
+
+    index: int
+    sample_indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.sample_indices, dtype=np.int64)
+        object.__setattr__(self, "sample_indices", indices)
+
+    @property
+    def size(self) -> int:
+        return int(self.sample_indices.size)
+
+
+@dataclass(frozen=True)
+class PartitionedDataset:
+    """A dataset together with its division into ``k`` partitions.
+
+    Attributes
+    ----------
+    dataset:
+        The underlying :class:`~repro.learning.datasets.Dataset`.  Samples
+        that do not fit an exact ``k``-way equal split are dropped (at most
+        ``k - 1`` of them), mirroring how mini-batch pipelines truncate the
+        last ragged batch.
+    partitions:
+        Tuple of ``k`` :class:`DataPartition`, all of identical size.
+    """
+
+    dataset: Dataset
+    partitions: tuple[DataPartition, ...]
+
+    @property
+    def num_partitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def partition_size(self) -> int:
+        return self.partitions[0].size if self.partitions else 0
+
+    @property
+    def samples_used(self) -> int:
+        return sum(p.size for p in self.partitions)
+
+    def partition_data(self, index: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(features, labels)`` of partition ``index``."""
+        if not 0 <= index < self.num_partitions:
+            raise PartitionError(
+                f"partition index {index} out of range [0, {self.num_partitions})"
+            )
+        ids = self.partitions[index].sample_indices
+        return self.dataset.features[ids], self.dataset.labels[ids]
+
+    def iter_partitions(self):
+        """Yield ``(index, features, labels)`` for every partition."""
+        for partition in self.partitions:
+            ids = partition.sample_indices
+            yield partition.index, self.dataset.features[ids], self.dataset.labels[ids]
+
+
+def partition_dataset(
+    dataset: Dataset,
+    num_partitions: int,
+    shuffle: bool = True,
+    rng: np.random.Generator | int | None = None,
+) -> PartitionedDataset:
+    """Split a dataset into ``k`` equal-sized partitions.
+
+    Parameters
+    ----------
+    dataset:
+        Dataset to split; must contain at least ``num_partitions`` samples.
+    num_partitions:
+        ``k``.
+    shuffle:
+        Shuffle sample order before splitting (recommended so class
+        structure does not correlate with partition index).
+    rng:
+        Random source for the shuffle.
+
+    Returns
+    -------
+    PartitionedDataset
+        ``k`` partitions of identical size ``floor(n / k)``.
+    """
+    if num_partitions <= 0:
+        raise PartitionError("num_partitions must be positive")
+    if dataset.num_samples < num_partitions:
+        raise PartitionError(
+            f"cannot split {dataset.num_samples} samples into "
+            f"{num_partitions} non-empty partitions"
+        )
+    per_partition = dataset.num_samples // num_partitions
+    usable = per_partition * num_partitions
+
+    if shuffle:
+        generator = np.random.default_rng(rng)
+        order = generator.permutation(dataset.num_samples)[:usable]
+    else:
+        order = np.arange(usable)
+
+    partitions = tuple(
+        DataPartition(
+            index=i,
+            sample_indices=order[i * per_partition : (i + 1) * per_partition],
+        )
+        for i in range(num_partitions)
+    )
+    return PartitionedDataset(dataset=dataset, partitions=partitions)

@@ -1,0 +1,35 @@
+"""Metrics: the quantities the paper's evaluation section reports.
+
+* Timing — :func:`timing_stats`, :func:`speedup`, :func:`speedup_table`
+  (Figs. 2-3).
+* Convergence — :func:`loss_at_time`, :func:`time_to_loss`,
+  :func:`area_under_loss_curve`, :func:`align_curves` (Fig. 4).
+* Resource usage — :func:`run_resource_usage` (Fig. 5).
+* Reporting — :func:`format_table`, :func:`to_csv`.
+"""
+
+from .convergence import (
+    align_curves,
+    area_under_loss_curve,
+    loss_at_time,
+    time_to_loss,
+)
+from .report import format_mapping, format_table, to_csv
+from .resource_usage import iteration_resource_usage, run_resource_usage
+from .timing_stats import TimingStats, speedup, speedup_table, timing_stats
+
+__all__ = [
+    "iteration_resource_usage",
+    "run_resource_usage",
+    "TimingStats",
+    "timing_stats",
+    "speedup",
+    "speedup_table",
+    "loss_at_time",
+    "time_to_loss",
+    "area_under_loss_curve",
+    "align_curves",
+    "format_table",
+    "format_mapping",
+    "to_csv",
+]

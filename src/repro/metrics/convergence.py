@@ -1,0 +1,105 @@
+"""Convergence (statistical-efficiency) metrics for loss-versus-time curves.
+
+The paper's Fig. 4 plots training loss against wall-clock time; the scheme
+whose curve drops fastest has the best *overall* efficiency (statistical x
+hardware).  These helpers turn run traces into comparable scalar summaries:
+loss reached by a deadline, time needed to reach a loss target, and the
+area under the loss curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..simulation.trace import RunTrace
+
+__all__ = [
+    "loss_at_time",
+    "time_to_loss",
+    "area_under_loss_curve",
+    "align_curves",
+]
+
+
+def _finite_curve(trace: RunTrace) -> tuple[np.ndarray, np.ndarray]:
+    times, losses = trace.loss_curve()
+    mask = np.isfinite(times) & np.isfinite(losses)
+    return times[mask], losses[mask]
+
+
+def loss_at_time(trace: RunTrace, deadline: float) -> float:
+    """Training loss of the last iteration completed by ``deadline``.
+
+    Returns the initial loss when no iteration finished in time, and the
+    final loss when the deadline exceeds the whole run.
+    """
+    times, losses = _finite_curve(trace)
+    if times.size == 0:
+        return float("nan")
+    if deadline < times[0]:
+        return float(losses[0])
+    index = int(np.searchsorted(times, deadline, side="right") - 1)
+    return float(losses[index])
+
+
+def time_to_loss(trace: RunTrace, target_loss: float) -> float:
+    """Earliest wall-clock time at which the training loss reached the target.
+
+    Returns ``inf`` when the run never reached it.
+    """
+    times, losses = _finite_curve(trace)
+    reached = np.nonzero(losses <= target_loss)[0]
+    if reached.size == 0:
+        return float("inf")
+    return float(times[reached[0]])
+
+
+def area_under_loss_curve(trace: RunTrace, horizon: float | None = None) -> float:
+    """Integral of the (step-interpolated) loss curve up to ``horizon``.
+
+    Lower is better; this is a single-number proxy for "which curve is below
+    which" that is robust to noisy tails.  ``horizon`` defaults to the run's
+    total time.
+    """
+    times, losses = _finite_curve(trace)
+    if times.size == 0:
+        return float("nan")
+    end = float(times[-1]) if horizon is None else float(horizon)
+    grid_times = np.concatenate([[0.0], times, [end]])
+    grid_losses = np.concatenate([[losses[0]], losses, [losses[-1]]])
+    keep = grid_times <= end
+    grid_times = grid_times[keep]
+    grid_losses = grid_losses[keep]
+    if grid_times[-1] < end:
+        grid_times = np.concatenate([grid_times, [end]])
+        grid_losses = np.concatenate([grid_losses, [grid_losses[-1]]])
+    # Step interpolation: the loss recorded at t_i holds until t_{i+1}.
+    widths = np.diff(grid_times)
+    return float(np.sum(widths * grid_losses[:-1]))
+
+
+def align_curves(
+    traces: dict[str, RunTrace], num_points: int = 50
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Sample every trace's loss curve on a common time grid.
+
+    Returns the grid (from 0 to the shortest run's total time) and one loss
+    series per scheme, step-interpolated.  Useful for tabulating Fig. 4.
+    """
+    if not traces:
+        raise ValueError("traces must not be empty")
+    if num_points < 2:
+        raise ValueError("num_points must be at least 2")
+    horizons = []
+    for trace in traces.values():
+        times, _ = _finite_curve(trace)
+        if times.size:
+            horizons.append(times[-1])
+    if not horizons:
+        raise ValueError("no trace contains finite iterations")
+    grid = np.linspace(0.0, min(horizons), num_points)
+    curves = {
+        name: np.array([loss_at_time(trace, t) for t in grid])
+        for name, trace in traces.items()
+    }
+    return grid, curves

@@ -1,0 +1,91 @@
+"""Per-iteration timing statistics and scheme-versus-scheme speedups.
+
+The headline numbers of the paper's Figs. 2 and 3 are average time per
+iteration for each scheme and the speedup of the proposed schemes over the
+cyclic baseline ("up to 3x").  These helpers compute them from
+:class:`~repro.simulation.trace.RunTrace` objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..simulation.trace import RunTrace
+
+__all__ = ["TimingStats", "timing_stats", "speedup", "speedup_table"]
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Summary statistics of per-iteration durations.
+
+    Attributes
+    ----------
+    mean, median, p95, maximum, minimum:
+        Statistics over the finite iteration durations (seconds).
+    stalled_iterations:
+        Number of iterations that never completed (infinite duration).
+    num_iterations:
+        Total number of recorded iterations.
+    """
+
+    mean: float
+    median: float
+    p95: float
+    maximum: float
+    minimum: float
+    stalled_iterations: int
+    num_iterations: int
+
+
+def timing_stats(trace: RunTrace) -> TimingStats:
+    """Compute :class:`TimingStats` for a run."""
+    durations = trace.durations
+    finite = durations[np.isfinite(durations)]
+    stalled = int(np.sum(~np.isfinite(durations)))
+    if finite.size == 0:
+        nan = float("nan")
+        return TimingStats(
+            mean=float("inf"),
+            median=nan,
+            p95=nan,
+            maximum=nan,
+            minimum=nan,
+            stalled_iterations=stalled,
+            num_iterations=int(durations.size),
+        )
+    return TimingStats(
+        mean=float(finite.mean()),
+        median=float(np.median(finite)),
+        p95=float(np.percentile(finite, 95)),
+        maximum=float(finite.max()),
+        minimum=float(finite.min()),
+        stalled_iterations=stalled,
+        num_iterations=int(durations.size),
+    )
+
+
+def speedup(baseline: RunTrace, candidate: RunTrace) -> float:
+    """Mean-iteration-time speedup of ``candidate`` over ``baseline``.
+
+    Values above 1 mean the candidate is faster.  ``inf`` when the baseline
+    stalled (e.g. naive under a fault) but the candidate did not.
+    """
+    baseline_mean = timing_stats(baseline).mean
+    candidate_mean = timing_stats(candidate).mean
+    if candidate_mean == 0:
+        return float("inf")
+    return baseline_mean / candidate_mean
+
+
+def speedup_table(
+    traces: Mapping[str, RunTrace], baseline: str
+) -> dict[str, float]:
+    """Speedup of every scheme relative to ``baseline`` (by mean iteration time)."""
+    if baseline not in traces:
+        raise KeyError(f"baseline scheme {baseline!r} not among traces {list(traces)}")
+    reference = traces[baseline]
+    return {name: speedup(reference, trace) for name, trace in traces.items()}

@@ -1,0 +1,28 @@
+"""Distributed training protocols built on the coding + simulation layers.
+
+* :class:`NaiveBSPProtocol` — uncoded bulk-synchronous baseline.
+* :class:`CodedBSPProtocol` — BSP with any gradient coding strategy
+  (cyclic, fractional, heter-aware, group-based).
+* :class:`SSPProtocol` / :class:`AsyncProtocol` — stale-synchronous and
+  fully asynchronous parameter-server baselines (Fig. 4 comparison).
+* :func:`run_scheme` / :func:`compare_schemes` — high-level runners.
+"""
+
+from .base import TrainingConfig, TrainingProtocol, evaluate_mean_loss
+from .coded import CodedBSPProtocol, NaiveBSPProtocol
+from .runner import PROTOCOL_NAMES, compare_schemes, make_protocol, run_scheme
+from .ssp import AsyncProtocol, SSPProtocol
+
+__all__ = [
+    "TrainingConfig",
+    "TrainingProtocol",
+    "evaluate_mean_loss",
+    "CodedBSPProtocol",
+    "NaiveBSPProtocol",
+    "SSPProtocol",
+    "AsyncProtocol",
+    "PROTOCOL_NAMES",
+    "make_protocol",
+    "run_scheme",
+    "compare_schemes",
+]

@@ -1,0 +1,175 @@
+"""Common infrastructure for distributed training protocols.
+
+A *protocol* combines the three lower layers: it asks the cluster simulator
+how long an iteration takes, runs the corresponding real numpy gradient
+computation, applies the optimiser, and records everything in a
+:class:`~repro.simulation.trace.RunTrace`.
+
+:class:`TrainingConfig` gathers the knobs shared by all protocols so that
+experiments can sweep a single object.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..learning.models.base import Model
+from ..learning.optimizers import SGD, Optimizer
+from ..learning.partition import PartitionedDataset
+from ..simulation.cluster import ClusterSpec
+from ..simulation.network import CommunicationModel, SimpleNetwork
+from ..simulation.stragglers import NoStragglers, StragglerInjector
+from ..simulation.trace import RunTrace
+
+__all__ = ["TrainingConfig", "TrainingProtocol", "evaluate_mean_loss"]
+
+
+class ProtocolError(ValueError):
+    """Raised on invalid protocol configuration."""
+
+
+@dataclass
+class TrainingConfig:
+    """Knobs shared by every training protocol.
+
+    Attributes
+    ----------
+    num_iterations:
+        Number of BSP iterations (or, for asynchronous protocols, the number
+        of *equivalent* passes used to derive a time budget).
+    num_stragglers:
+        ``s``, the straggler tolerance the coded schemes are built for.
+    num_partitions:
+        ``k``; when ``None`` every scheme uses its natural partition count
+        (``k = m`` for the uniform baselines and SSP,
+        ``k = partitions_multiplier * m`` for the heterogeneity-aware
+        family — see :func:`repro.coding.natural_partitions`).
+    partitions_multiplier:
+        ``k / m`` used for the heterogeneity-aware family when
+        ``num_partitions`` is not given.
+    optimizer_factory:
+        Callable returning a fresh optimiser for each run.
+    straggler_injector:
+        Transient straggler model applied on top of cluster heterogeneity.
+    network:
+        Communication model for the worker -> master gradient push.
+    bytes_per_parameter:
+        Size of one gradient entry on the wire (8 for float64).
+    seed:
+        Seed for all randomness inside the run (timing jitter, straggler
+        choice, coding matrix construction).
+    record_loss_every:
+        Evaluate and record the training loss every this many iterations
+        (loss evaluation is the most expensive part of a simulated step).
+    loss_eval_samples:
+        Evaluate the loss on at most this many samples (0 = all).
+    """
+
+    num_iterations: int = 20
+    num_stragglers: int = 1
+    num_partitions: int | None = None
+    partitions_multiplier: int = 2
+    optimizer_factory: Callable[[], Optimizer] = field(
+        default_factory=lambda: (lambda: SGD(learning_rate=0.1))
+    )
+    straggler_injector: StragglerInjector = field(default_factory=NoStragglers)
+    network: CommunicationModel = field(default_factory=SimpleNetwork)
+    bytes_per_parameter: int = 8
+    seed: int | None = 0
+    record_loss_every: int = 1
+    loss_eval_samples: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_iterations <= 0:
+            raise ProtocolError("num_iterations must be positive")
+        if self.num_stragglers < 0:
+            raise ProtocolError("num_stragglers must be non-negative")
+        if self.num_partitions is not None and self.num_partitions <= 0:
+            raise ProtocolError("num_partitions must be positive when given")
+        if self.partitions_multiplier <= 0:
+            raise ProtocolError("partitions_multiplier must be positive")
+        if self.bytes_per_parameter <= 0:
+            raise ProtocolError("bytes_per_parameter must be positive")
+        if self.record_loss_every <= 0:
+            raise ProtocolError("record_loss_every must be positive")
+        if self.loss_eval_samples < 0:
+            raise ProtocolError("loss_eval_samples must be non-negative")
+
+    def resolve_partitions(self, num_workers: int, scheme: str = "heter_aware") -> int:
+        """Pick ``k`` for a scheme: the explicit override or the natural count."""
+        if self.num_partitions is not None:
+            return self.num_partitions
+        from ..coding.registry import natural_partitions
+
+        return natural_partitions(
+            scheme, num_workers, heter_multiplier=self.partitions_multiplier
+        )
+
+    def make_rng(self, stream_offset: int = 0) -> np.random.Generator:
+        """Fresh generator seeded from ``seed`` (optionally a separate stream).
+
+        Passing different ``stream_offset`` values yields independent
+        streams (e.g. one for coding-matrix construction, one for timing
+        jitter) so that comparisons between schemes sharing a seed are
+        paired: both see identical per-iteration conditions.
+        """
+        if self.seed is None:
+            return np.random.default_rng(None)
+        return np.random.default_rng(self.seed + stream_offset)
+
+
+def evaluate_mean_loss(
+    model: Model,
+    partitioned: PartitionedDataset,
+    max_samples: int = 0,
+    rng: np.random.Generator | None = None,
+) -> float:
+    """Mean training loss over the (optionally subsampled) dataset.
+
+    Parameters
+    ----------
+    model:
+        The current model.
+    partitioned:
+        The partitioned training set.
+    max_samples:
+        When positive, evaluate on a random subset of this size — loss
+        evaluation is for reporting only and need not touch every sample.
+    rng:
+        Random source for the subsample.
+    """
+    dataset = partitioned.dataset
+    used = partitioned.samples_used
+    indices = np.concatenate(
+        [p.sample_indices for p in partitioned.partitions]
+    )
+    if max_samples and used > max_samples:
+        generator = rng or np.random.default_rng(0)
+        indices = generator.choice(indices, size=max_samples, replace=False)
+    features = dataset.features[indices]
+    labels = dataset.labels[indices]
+    return model.loss(features, labels) / len(indices)
+
+
+class TrainingProtocol(ABC):
+    """Base class for all training protocols."""
+
+    name: str = "protocol"
+
+    @abstractmethod
+    def run(
+        self,
+        model: Model,
+        partitioned: PartitionedDataset,
+        cluster: ClusterSpec,
+        config: TrainingConfig,
+    ) -> RunTrace:
+        """Train ``model`` in place and return the run trace."""
+
+    def describe(self) -> str:
+        """Short human-readable description for reports."""
+        return self.name

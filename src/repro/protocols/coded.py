@@ -1,0 +1,203 @@
+"""Gradient-coded BSP training (and the uncoded naive BSP special case).
+
+Each iteration proceeds exactly as in the paper's framework (Section III-A):
+
+1. The simulator determines every worker's completion time for this
+   iteration — heterogeneity, jitter, injected delays, communication.
+2. The master's iteration duration is the earliest moment a decodable set of
+   workers has reported (for the naive scheme that means *all* workers).
+3. The real numpy computation mirrors what those workers did: partial
+   gradients ``g_j`` per partition, coded combinations ``g~_i = b_i g``, and
+   the master's decoding ``g = sum a_i g~_i``.
+4. The optimiser applies the mean gradient; the loss before the update is
+   recorded together with the simulated duration.
+
+The decoded gradient is numerically identical to the full-batch gradient
+(this is asserted in the integration tests), so the *statistical* path of
+every coded scheme is identical — exactly the paper's point that coded BSP
+keeps the accuracy of synchronous training.  What differs between schemes is
+the simulated time axis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..coding.decoding import Decoder
+from ..coding.registry import build_strategy
+from ..coding.types import CodingStrategy
+from ..learning.gradients import compute_partial_gradients, encode_worker_gradient
+from ..learning.models.base import Model
+from ..learning.partition import PartitionedDataset
+from ..simulation.cluster import ClusterSpec
+from ..simulation.timing import simulate_iteration
+from ..simulation.trace import IterationRecord, RunTrace
+from .base import ProtocolError, TrainingConfig, TrainingProtocol, evaluate_mean_loss
+
+__all__ = ["CodedBSPProtocol", "NaiveBSPProtocol"]
+
+
+class CodedBSPProtocol(TrainingProtocol):
+    """Bulk-synchronous training with a gradient coding strategy.
+
+    Parameters
+    ----------
+    scheme:
+        Scheme name understood by :func:`repro.coding.build_strategy`
+        (``"naive"``, ``"cyclic"``, ``"fractional"``, ``"heter_aware"``,
+        ``"group_based"``) — or pass a pre-built strategy via ``strategy``.
+    strategy:
+        Optional explicit :class:`~repro.coding.types.CodingStrategy`; when
+        given, ``scheme`` is only used as the trace label.
+    """
+
+    def __init__(
+        self, scheme: str = "heter_aware", strategy: CodingStrategy | None = None
+    ) -> None:
+        self.scheme = scheme
+        self._fixed_strategy = strategy
+        self.name = scheme
+
+    # ------------------------------------------------------------------
+    def build_strategy(
+        self,
+        cluster: ClusterSpec,
+        num_partitions: int,
+        num_stragglers: int,
+        rng: np.random.Generator | int | None,
+    ) -> CodingStrategy:
+        """Build (or return) the coding strategy for this run.
+
+        The *estimated* throughputs drive the allocation — the paper's
+        allocator never sees the true speeds.
+        """
+        if self._fixed_strategy is not None:
+            return self._fixed_strategy
+        return build_strategy(
+            self.scheme,
+            throughputs=cluster.estimated_throughputs,
+            num_partitions=num_partitions,
+            num_stragglers=num_stragglers,
+            rng=rng,
+        )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        model: Model,
+        partitioned: PartitionedDataset,
+        cluster: ClusterSpec,
+        config: TrainingConfig,
+    ) -> RunTrace:
+        # Two independent streams: one for the randomised coding-matrix
+        # construction, one for timing jitter / straggler choice.  Schemes
+        # run with the same seed then face identical iteration conditions.
+        construction_rng = config.make_rng()
+        timing_rng = config.make_rng(stream_offset=104_729)
+        num_partitions = partitioned.num_partitions
+        strategy = self.build_strategy(
+            cluster, num_partitions, config.num_stragglers, construction_rng
+        )
+        if strategy.num_partitions != num_partitions:
+            raise ProtocolError(
+                f"strategy expects {strategy.num_partitions} partitions but the "
+                f"dataset was split into {num_partitions}"
+            )
+        if strategy.num_workers != cluster.num_workers:
+            raise ProtocolError(
+                f"strategy has {strategy.num_workers} workers but cluster "
+                f"{cluster.name!r} has {cluster.num_workers}"
+            )
+        decoder = Decoder(strategy)
+        optimizer = config.optimizer_factory()
+        gradient_bytes = model.num_parameters * config.bytes_per_parameter
+        total_samples = partitioned.samples_used
+
+        trace = RunTrace(
+            scheme=self.name,
+            cluster_name=cluster.name,
+            metadata={
+                "protocol": "coded_bsp",
+                "scheme": self.scheme,
+                "num_partitions": num_partitions,
+                "num_stragglers": config.num_stragglers,
+                "loads": list(strategy.loads),
+                "num_groups": len(strategy.groups),
+                "straggler_injector": config.straggler_injector.describe(),
+                "network": config.network.describe(),
+            },
+        )
+
+        parameters = model.parameters()
+        last_loss = float("nan")
+        for iteration in range(config.num_iterations):
+            timing = simulate_iteration(
+                strategy,
+                cluster,
+                samples_per_partition=partitioned.partition_size,
+                decoder=decoder,
+                injector=config.straggler_injector,
+                iteration=iteration,
+                gradient_bytes=gradient_bytes,
+                network=config.network,
+                rng=timing_rng,
+            )
+            if iteration % config.record_loss_every == 0:
+                last_loss = evaluate_mean_loss(
+                    model, partitioned, config.loss_eval_samples, construction_rng
+                )
+
+            if not timing.decodable:
+                # The master can never recover this iteration (e.g. naive
+                # scheme with a failed worker): record the stall and abort.
+                trace.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        duration=float("inf"),
+                        train_loss=last_loss,
+                        compute_times=tuple(timing.compute_times),
+                        completion_times=tuple(timing.completion_times),
+                        workers_used=(),
+                        used_group=None,
+                    )
+                )
+                break
+
+            # Real gradient computation for the workers the master used.
+            needed_partitions = sorted(
+                {
+                    partition
+                    for worker in timing.workers_used
+                    for partition in strategy.support(worker)
+                }
+            )
+            partial_gradients = compute_partial_gradients(
+                model, partitioned, needed_partitions
+            )
+            coded = {
+                worker: encode_worker_gradient(strategy, worker, partial_gradients)
+                for worker in timing.workers_used
+            }
+            aggregated = decoder.decode(coded)
+            parameters = optimizer.step(parameters, aggregated / total_samples)
+            model.set_parameters(parameters)
+
+            trace.append(
+                IterationRecord(
+                    iteration=iteration,
+                    duration=timing.duration,
+                    train_loss=last_loss,
+                    compute_times=tuple(timing.compute_times),
+                    completion_times=tuple(timing.completion_times),
+                    workers_used=timing.workers_used,
+                    used_group=timing.used_group,
+                )
+            )
+        return trace
+
+
+class NaiveBSPProtocol(CodedBSPProtocol):
+    """Uncoded BSP: uniform data division, the master waits for every worker."""
+
+    def __init__(self) -> None:
+        super().__init__(scheme="naive")

@@ -1,0 +1,148 @@
+"""High-level runner: train one model per scheme and collect traces.
+
+Experiments typically want "run the same workload under schemes X, Y, Z on
+cluster C and compare".  :func:`run_scheme` handles one scheme;
+:func:`compare_schemes` loops over several, giving every scheme an identical
+fresh model (same seed) so that loss curves differ only because of the time
+axis and, for SSP, the update semantics.
+
+Fairness convention: every scheme trains on the *same dataset* but divides
+it into its own natural number of partitions — ``k = m`` for the naive /
+cyclic / fractional baselines and SSP, ``k = multiplier * m`` for the
+heterogeneity-aware family (see :func:`repro.coding.natural_partitions`) —
+unless :class:`~repro.protocols.base.TrainingConfig` pins ``num_partitions``
+explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from ..learning.datasets import Dataset
+from ..learning.models.base import Model
+from ..learning.partition import PartitionedDataset, partition_dataset
+from ..simulation.cluster import ClusterSpec
+from ..simulation.trace import RunTrace
+from .base import ProtocolError, TrainingConfig, TrainingProtocol
+from .coded import CodedBSPProtocol, NaiveBSPProtocol
+from .ssp import AsyncProtocol, SSPProtocol
+
+__all__ = [
+    "PROTOCOL_NAMES",
+    "make_protocol",
+    "run_scheme",
+    "compare_schemes",
+]
+
+#: Protocols the runner can build by name, in presentation order.
+PROTOCOL_NAMES: tuple[str, ...] = (
+    "naive",
+    "cyclic",
+    "fractional",
+    "heter_aware",
+    "group_based",
+    "ssp",
+    "dyn_ssp",
+    "async",
+)
+
+
+def make_protocol(
+    name: str,
+    ssp_staleness: float = 3,
+    ssp_batch_size: int | None = None,
+) -> TrainingProtocol:
+    """Instantiate a protocol by name.
+
+    ``"naive"``, ``"cyclic"``, ``"fractional"``, ``"heter_aware"`` and
+    ``"group_based"`` are coded/uncoded BSP variants; ``"ssp"`` and
+    ``"async"`` are the parameter-server baselines (``ssp_staleness`` and
+    ``ssp_batch_size`` configure them and are ignored by the BSP variants).
+    """
+    if name == "naive":
+        return NaiveBSPProtocol()
+    if name in ("cyclic", "fractional", "heter_aware", "group_based"):
+        return CodedBSPProtocol(scheme=name)
+    if name == "ssp":
+        return SSPProtocol(staleness=ssp_staleness, batch_size=ssp_batch_size)
+    if name == "dyn_ssp":
+        return SSPProtocol(
+            staleness=ssp_staleness,
+            batch_size=ssp_batch_size,
+            adaptive_learning_rate=True,
+        )
+    if name == "async":
+        return AsyncProtocol(batch_size=ssp_batch_size)
+    raise ProtocolError(
+        f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}"
+    )
+
+
+def _partition_for_scheme(
+    scheme: str,
+    dataset: Dataset,
+    cluster: ClusterSpec,
+    config: TrainingConfig,
+) -> PartitionedDataset:
+    """Split the dataset into the scheme's natural number of partitions."""
+    num_partitions = config.resolve_partitions(cluster.num_workers, scheme)
+    return partition_dataset(dataset, num_partitions, rng=config.seed)
+
+
+def run_scheme(
+    scheme: str,
+    model_factory: Callable[[], Model],
+    dataset: Dataset,
+    cluster: ClusterSpec,
+    config: TrainingConfig,
+    ssp_staleness: float = 3,
+    ssp_batch_size: int | None = None,
+) -> RunTrace:
+    """Run one scheme on a fresh model and return its trace.
+
+    Parameters
+    ----------
+    scheme:
+        Protocol name from :data:`PROTOCOL_NAMES`.
+    model_factory:
+        Builds a fresh model; every scheme gets its own, identically-seeded
+        instance.
+    dataset:
+        The (unpartitioned) training set; it is split into the scheme's
+        natural partition count.
+    cluster, config:
+        Cluster and shared training configuration.
+    ssp_staleness, ssp_batch_size:
+        SSP staleness bound and per-step mini-batch size (ignored by the
+        BSP protocols).
+    """
+    protocol = make_protocol(
+        scheme, ssp_staleness=ssp_staleness, ssp_batch_size=ssp_batch_size
+    )
+    partitioned = _partition_for_scheme(scheme, dataset, cluster, config)
+    model = model_factory()
+    return protocol.run(model, partitioned, cluster, config)
+
+
+def compare_schemes(
+    schemes: Sequence[str],
+    model_factory: Callable[[], Model],
+    dataset: Dataset,
+    cluster: ClusterSpec,
+    config: TrainingConfig,
+    ssp_staleness: float = 3,
+    ssp_batch_size: int | None = None,
+) -> Mapping[str, RunTrace]:
+    """Run several schemes on identical fresh models; return traces by name."""
+    traces: dict[str, RunTrace] = {}
+    for scheme in schemes:
+        traces[scheme] = run_scheme(
+            scheme,
+            model_factory,
+            dataset,
+            cluster,
+            config,
+            ssp_staleness=ssp_staleness,
+            ssp_batch_size=ssp_batch_size,
+        )
+    return traces

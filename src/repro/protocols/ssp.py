@@ -1,0 +1,266 @@
+"""Stale Synchronous Parallel (SSP) and fully asynchronous baselines.
+
+The paper's Fig. 4 compares its coded BSP schemes against SSP (Ho et al.,
+2013), the classic approach of *avoiding* stragglers by letting workers run
+ahead of each other up to a staleness bound.  In a heterogeneous cluster the
+paper observes that (a) the staleness threshold is hit almost every step, so
+the synchronisation overhead approaches BSP's, and (b) fast workers dominate
+the updates with stale gradients, hurting the convergence rate.
+
+This module reproduces that behaviour mechanistically with an event-driven
+simulation:
+
+* the dataset's partitions are divided uniformly across workers (SSP has no
+  notion of coded redundancy);
+* each worker repeatedly pulls the parameters, computes the gradient of its
+  shard against that (possibly stale) snapshot, and pushes an update;
+* a worker whose local clock is more than ``staleness`` steps ahead of the
+  slowest worker blocks until the slowest catches up;
+* the master applies updates immediately as they arrive.
+
+``staleness=inf`` gives the fully asynchronous (TAP-style) baseline.
+
+One :class:`~repro.simulation.trace.RunTrace` record is emitted per *round*
+(= ``num_workers`` pushed updates), so traces are comparable with the BSP
+protocols' per-iteration records.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from ..learning.models.base import Model
+from ..learning.partition import PartitionedDataset
+from ..simulation.cluster import ClusterSpec
+from ..simulation.trace import IterationRecord, RunTrace
+from .base import ProtocolError, TrainingConfig, TrainingProtocol, evaluate_mean_loss
+
+__all__ = ["SSPProtocol", "AsyncProtocol"]
+
+
+class SSPProtocol(TrainingProtocol):
+    """Stale Synchronous Parallel training.
+
+    Parameters
+    ----------
+    staleness:
+        Maximum number of steps any worker may run ahead of the slowest
+        worker.  ``0`` degenerates to BSP-like lockstep, ``numpy.inf`` to
+        fully asynchronous training.
+    batch_size:
+        When given, each worker step computes its gradient on a random
+        mini-batch of this many samples from its shard (the way SSP
+        parameter servers are actually run) instead of the full shard.  The
+        coded BSP schemes always use exact full-batch partial gradients, as
+        the paper's framework requires, so this knob controls how much
+        gradient noise the SSP baseline carries.
+    adaptive_learning_rate:
+        Enable DynSSP-style staleness-adaptive step sizes (Jiang et al.,
+        SIGMOD 2017 — reference [6] of the paper): an update computed from a
+        snapshot that is ``d`` master updates old is scaled by
+        ``1 / (1 + d)``, damping the damage stale gradients do.  The paper
+        cites DynSSP as the strongest asynchronous competitor; this flag
+        reproduces that variant.
+    """
+
+    def __init__(
+        self,
+        staleness: float = 3,
+        batch_size: int | None = None,
+        adaptive_learning_rate: bool = False,
+    ) -> None:
+        if staleness < 0:
+            raise ProtocolError("staleness must be non-negative")
+        if batch_size is not None and batch_size <= 0:
+            raise ProtocolError("batch_size must be positive when given")
+        self.staleness = float(staleness)
+        self.batch_size = batch_size
+        self.adaptive_learning_rate = bool(adaptive_learning_rate)
+        if adaptive_learning_rate:
+            self.name = "dyn_ssp"
+        else:
+            self.name = "ssp" if np.isfinite(staleness) else "async"
+
+    # ------------------------------------------------------------------
+    def _assign_shards(
+        self, partitioned: PartitionedDataset, num_workers: int
+    ) -> list[list[int]]:
+        """Round-robin the partitions over workers (uniform division)."""
+        shards: list[list[int]] = [[] for _ in range(num_workers)]
+        for partition in range(partitioned.num_partitions):
+            shards[partition % num_workers].append(partition)
+        return shards
+
+    def _shard_data(
+        self, partitioned: PartitionedDataset, shard: list[int]
+    ) -> tuple[np.ndarray, np.ndarray]:
+        indices = np.concatenate(
+            [partitioned.partitions[p].sample_indices for p in shard]
+        )
+        dataset = partitioned.dataset
+        return dataset.features[indices], dataset.labels[indices]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        model: Model,
+        partitioned: PartitionedDataset,
+        cluster: ClusterSpec,
+        config: TrainingConfig,
+    ) -> RunTrace:
+        # Same stream split as the BSP protocols: the timing stream is
+        # separate from everything else so runs with a shared seed are
+        # comparable across protocols.  Mini-batch sampling gets its own
+        # stream so enabling it does not perturb the timing draws.
+        eval_rng = config.make_rng()
+        timing_rng = config.make_rng(stream_offset=104_729)
+        batch_rng = config.make_rng(stream_offset=208_003)
+        num_workers = cluster.num_workers
+        if partitioned.num_partitions < num_workers:
+            raise ProtocolError(
+                "SSP requires at least one partition per worker: "
+                f"k={partitioned.num_partitions} < m={num_workers}"
+            )
+        shards = self._assign_shards(partitioned, num_workers)
+        shard_data = [self._shard_data(partitioned, shard) for shard in shards]
+        shard_sizes = np.array([features.shape[0] for features, _ in shard_data])
+        gradient_bytes = model.num_parameters * config.bytes_per_parameter
+
+        optimizer = config.optimizer_factory()
+        parameters = model.parameters()
+
+        trace = RunTrace(
+            scheme=self.name,
+            cluster_name=cluster.name,
+            metadata={
+                "protocol": "ssp",
+                "staleness": self.staleness,
+                "batch_size": self.batch_size,
+                "adaptive_learning_rate": self.adaptive_learning_rate,
+                "num_partitions": partitioned.num_partitions,
+                "shard_sizes": shard_sizes.tolist(),
+                "straggler_injector": config.straggler_injector.describe(),
+                "network": config.network.describe(),
+            },
+        )
+
+        clocks = np.zeros(num_workers, dtype=np.int64)
+        snapshots: list[np.ndarray] = [parameters.copy() for _ in range(num_workers)]
+        snapshot_versions = np.zeros(num_workers, dtype=np.int64)
+        blocked: set[int] = set()
+        heap: list[tuple[float, int]] = []
+        updates = 0
+
+        def step_duration(worker: int, iteration: int) -> float:
+            spec = cluster.workers[worker]
+            compute = spec.compute_time(float(shard_sizes[worker]), rng=timing_rng)
+            delay = float(
+                config.straggler_injector.delays(iteration, num_workers, timing_rng)[
+                    worker
+                ]
+            )
+            comm = config.network.transfer_time(gradient_bytes)
+            return compute + delay + comm
+
+        def start_worker(worker: int, now: float) -> None:
+            snapshots[worker] = parameters.copy()
+            snapshot_versions[worker] = updates
+            duration = step_duration(worker, int(clocks[worker]))
+            if np.isfinite(duration):
+                heapq.heappush(heap, (now + duration, worker))
+            # Workers with infinite duration (failed) simply never report.
+
+        for worker in range(num_workers):
+            start_worker(worker, 0.0)
+
+        total_updates_target = config.num_iterations * num_workers
+        current_time = 0.0
+        round_start_time = 0.0
+        round_index = 0
+        last_loss = evaluate_mean_loss(
+            model, partitioned, config.loss_eval_samples, eval_rng
+        )
+
+        while updates < total_updates_target and heap:
+            completion_time, worker = heapq.heappop(heap)
+            current_time = completion_time
+
+            # Master applies the (stale) update from this worker.
+            model.set_parameters(snapshots[worker])
+            features, labels = shard_data[worker]
+            if self.batch_size is not None and self.batch_size < features.shape[0]:
+                batch = batch_rng.choice(
+                    features.shape[0], size=self.batch_size, replace=False
+                )
+                features, labels = features[batch], labels[batch]
+            _, shard_grad = model.loss_and_gradient(features, labels)
+            mean_grad = shard_grad / max(features.shape[0], 1)
+            if self.adaptive_learning_rate:
+                # DynSSP-style damping: the older the snapshot this gradient
+                # was computed against, the smaller the step it takes.
+                gradient_staleness = int(updates - snapshot_versions[worker])
+                mean_grad = mean_grad / (1.0 + gradient_staleness)
+            parameters = optimizer.step(parameters, mean_grad)
+            model.set_parameters(parameters)
+            clocks[worker] += 1
+            updates += 1
+
+            # Unblock workers whose staleness condition is now satisfied.
+            min_clock = clocks.min()
+            for other in sorted(blocked):
+                if clocks[other] - min_clock <= self.staleness:
+                    blocked.discard(other)
+                    start_worker(other, current_time)
+
+            # Decide what this worker does next.
+            if clocks[worker] - clocks.min() > self.staleness:
+                blocked.add(worker)
+            else:
+                start_worker(worker, current_time)
+
+            # Emit one trace record per round of m updates.  As in the BSP
+            # protocols, the recorded loss is the one *before* this round's
+            # updates (``last_loss`` was evaluated at the round boundary), so
+            # curves from different protocols are directly comparable.
+            if updates % num_workers == 0:
+                trace.append(
+                    IterationRecord(
+                        iteration=round_index,
+                        duration=current_time - round_start_time,
+                        train_loss=last_loss,
+                        compute_times=tuple(np.zeros(num_workers)),
+                        completion_times=tuple(np.zeros(num_workers)),
+                        workers_used=tuple(range(num_workers)),
+                        used_group=None,
+                    )
+                )
+                round_start_time = current_time
+                round_index += 1
+                if round_index % config.record_loss_every == 0:
+                    last_loss = evaluate_mean_loss(
+                        model, partitioned, config.loss_eval_samples, eval_rng
+                    )
+
+        if updates < total_updates_target and not heap:
+            # Every runnable worker is blocked (or failed): the run stalls.
+            trace.append(
+                IterationRecord(
+                    iteration=round_index,
+                    duration=float("inf"),
+                    train_loss=last_loss,
+                    compute_times=tuple(np.zeros(num_workers)),
+                    completion_times=tuple(np.zeros(num_workers)),
+                    workers_used=(),
+                    used_group=None,
+                )
+            )
+        return trace
+
+
+class AsyncProtocol(SSPProtocol):
+    """Fully asynchronous (TAP-style) training: SSP with unbounded staleness."""
+
+    def __init__(self, batch_size: int | None = None) -> None:
+        super().__init__(staleness=float("inf"), batch_size=batch_size)

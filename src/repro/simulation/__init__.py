@@ -1,0 +1,65 @@
+"""Heterogeneous-cluster simulator.
+
+The simulator replaces the paper's QingCloud testbed: workers have true and
+estimated throughputs, per-iteration jitter, injectable transient delays and
+failures, and a simple latency/bandwidth network.  The timing engine decides
+when the master can decode each iteration; the protocols layer combines that
+with real numpy gradient computation.
+"""
+
+from .cluster import ClusterSpec, cluster_from_vcpu_counts, uniform_cluster
+from .network import (
+    CommunicationModel,
+    OverlappedNetwork,
+    SimpleNetwork,
+    ZeroCommunication,
+)
+from .stragglers import (
+    ArtificialDelay,
+    BurstyStragglers,
+    CompositeInjector,
+    FailStop,
+    NoStragglers,
+    StragglerInjector,
+    TransientSlowdown,
+)
+from .timing import (
+    IterationTiming,
+    WorkerTiming,
+    simulate_iteration,
+    simulate_worker_timings,
+    worker_workloads,
+)
+from .trace import IterationRecord, RunTrace
+from .workers import WorkerSpec, perturb_estimates
+
+__all__ = [
+    # workers / cluster
+    "WorkerSpec",
+    "perturb_estimates",
+    "ClusterSpec",
+    "cluster_from_vcpu_counts",
+    "uniform_cluster",
+    # stragglers
+    "StragglerInjector",
+    "NoStragglers",
+    "ArtificialDelay",
+    "TransientSlowdown",
+    "BurstyStragglers",
+    "FailStop",
+    "CompositeInjector",
+    # network
+    "CommunicationModel",
+    "ZeroCommunication",
+    "SimpleNetwork",
+    "OverlappedNetwork",
+    # timing
+    "WorkerTiming",
+    "IterationTiming",
+    "worker_workloads",
+    "simulate_worker_timings",
+    "simulate_iteration",
+    # traces
+    "IterationRecord",
+    "RunTrace",
+]

@@ -1,0 +1,120 @@
+"""Communication-time models for the worker -> master gradient push.
+
+The paper's resource-usage discussion (Fig. 5) attributes roughly half of
+the iteration time to communication overhead, so the simulator models the
+time to ship a coded gradient explicitly:
+
+``comm_time = latency + gradient_bytes / bandwidth``
+
+per worker, optionally serialised at the master (``master_serialization``)
+to capture in-cast congestion when many workers report at once.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+__all__ = [
+    "CommunicationModel",
+    "ZeroCommunication",
+    "SimpleNetwork",
+    "OverlappedNetwork",
+]
+
+
+class NetworkError(ValueError):
+    """Raised on invalid network configurations."""
+
+
+class CommunicationModel(ABC):
+    """Base class: time for one worker to deliver its coded gradient."""
+
+    @abstractmethod
+    def transfer_time(self, gradient_bytes: float) -> float:
+        """Seconds to transfer a payload of ``gradient_bytes`` bytes."""
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+
+class ZeroCommunication(CommunicationModel):
+    """Idealised network: transfers are instantaneous."""
+
+    def transfer_time(self, gradient_bytes: float) -> float:
+        if gradient_bytes < 0:
+            raise NetworkError("gradient_bytes must be non-negative")
+        return 0.0
+
+
+@dataclass(frozen=True)
+class SimpleNetwork(CommunicationModel):
+    """Latency + bandwidth model.
+
+    Attributes
+    ----------
+    latency_seconds:
+        Fixed per-message latency.
+    bandwidth_bytes_per_second:
+        Link bandwidth from a worker to the master.
+    """
+
+    latency_seconds: float = 0.005
+    bandwidth_bytes_per_second: float = 1.25e8  # ~1 Gbit/s
+
+    def __post_init__(self) -> None:
+        if self.latency_seconds < 0:
+            raise NetworkError("latency_seconds must be non-negative")
+        if self.bandwidth_bytes_per_second <= 0:
+            raise NetworkError("bandwidth_bytes_per_second must be positive")
+
+    def transfer_time(self, gradient_bytes: float) -> float:
+        if gradient_bytes < 0:
+            raise NetworkError("gradient_bytes must be non-negative")
+        return self.latency_seconds + gradient_bytes / self.bandwidth_bytes_per_second
+
+    def describe(self) -> str:
+        return (
+            f"SimpleNetwork(latency={self.latency_seconds * 1e3:.1f} ms, "
+            f"bandwidth={self.bandwidth_bytes_per_second / 1.25e8:.2f} Gbit/s)"
+        )
+
+
+@dataclass(frozen=True)
+class OverlappedNetwork(CommunicationModel):
+    """Communication partially hidden behind computation.
+
+    The paper's conclusion points at Poseidon-style layer-by-layer gradient
+    coding (reference [42]) as the way to recover the roughly 50 % of
+    iteration time Fig. 5 attributes to communication: once a layer's
+    gradient is ready it can be encoded and pushed while the next layer is
+    still computing.  This model captures that effect abstractly: only a
+    fraction ``1 - overlap_fraction`` of the underlying transfer time
+    remains on the critical path.
+
+    Attributes
+    ----------
+    base:
+        The underlying network model whose transfer time is being hidden.
+    overlap_fraction:
+        Fraction of the transfer hidden behind computation, in ``[0, 1]``.
+        0 reproduces ``base`` exactly; 1 hides communication entirely.
+    """
+
+    base: CommunicationModel
+    overlap_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise NetworkError("overlap_fraction must lie in [0, 1]")
+
+    def transfer_time(self, gradient_bytes: float) -> float:
+        return (1.0 - self.overlap_fraction) * self.base.transfer_time(
+            gradient_bytes
+        )
+
+    def describe(self) -> str:
+        return (
+            f"OverlappedNetwork({self.base.describe()}, "
+            f"overlap={self.overlap_fraction:.0%})"
+        )

@@ -1,0 +1,147 @@
+"""Trace containers: per-iteration records and whole-run traces.
+
+Protocols append an :class:`IterationRecord` per step; experiments and
+metrics consume the resulting :class:`RunTrace`.  Keeping raw per-iteration
+data (rather than pre-aggregated statistics) lets the metrics layer compute
+everything the paper reports — average time per iteration (Figs. 2-3), loss
+versus wall-clock time (Fig. 4) and resource usage (Fig. 5) — from the same
+run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IterationRecord", "RunTrace"]
+
+
+class TraceError(ValueError):
+    """Raised on inconsistent trace data."""
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Everything recorded about one training iteration.
+
+    Attributes
+    ----------
+    iteration:
+        Zero-based iteration index.
+    duration:
+        Simulated wall-clock duration of the iteration (seconds); ``inf``
+        when the master could not decode (the run is then aborted).
+    train_loss:
+        Mean training loss *before* the update computed this iteration.
+    compute_times:
+        Per-worker pure computation time this iteration.
+    completion_times:
+        Per-worker completion times (``inf`` for failed workers).
+    workers_used:
+        Workers whose results the master combined.
+    used_group:
+        Group used for decoding, when the group fast path fired.
+    """
+
+    iteration: int
+    duration: float
+    train_loss: float
+    compute_times: tuple[float, ...]
+    completion_times: tuple[float, ...]
+    workers_used: tuple[int, ...]
+    used_group: tuple[int, ...] | None = None
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.compute_times)
+
+
+@dataclass
+class RunTrace:
+    """The full record of one training run.
+
+    Attributes
+    ----------
+    scheme:
+        Scheme / protocol name (``"naive"``, ``"cyclic"``, ``"heter_aware"``,
+        ``"group_based"``, ``"ssp"``, ...).
+    cluster_name:
+        Name of the cluster the run simulated.
+    records:
+        Per-iteration records, in order.
+    metadata:
+        Free-form run parameters (model, dataset, s, k, seed, ...).
+    """
+
+    scheme: str
+    cluster_name: str
+    records: list[IterationRecord] = field(default_factory=list)
+    metadata: dict = field(default_factory=dict)
+
+    def append(self, record: IterationRecord) -> None:
+        """Append an iteration record (iterations must arrive in order)."""
+        if self.records and record.iteration <= self.records[-1].iteration:
+            raise TraceError(
+                "iteration records must be appended in increasing order: "
+                f"{record.iteration} after {self.records[-1].iteration}"
+            )
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    # convenience accessors used by metrics and experiments
+    # ------------------------------------------------------------------
+    @property
+    def num_iterations(self) -> int:
+        return len(self.records)
+
+    @property
+    def durations(self) -> np.ndarray:
+        """Per-iteration wall-clock durations (seconds)."""
+        return np.array([r.duration for r in self.records])
+
+    @property
+    def losses(self) -> np.ndarray:
+        """Per-iteration mean training losses."""
+        return np.array([r.train_loss for r in self.records])
+
+    @property
+    def elapsed_times(self) -> np.ndarray:
+        """Cumulative wall-clock time at the end of each iteration."""
+        return np.cumsum(self.durations)
+
+    @property
+    def total_time(self) -> float:
+        """Total simulated wall-clock time of the run."""
+        durations = self.durations
+        return float(durations.sum()) if durations.size else 0.0
+
+    @property
+    def completed(self) -> bool:
+        """Whether every iteration decoded successfully (no ``inf`` durations)."""
+        return bool(np.all(np.isfinite(self.durations)))
+
+    def mean_iteration_time(self) -> float:
+        """Average time per iteration (the paper's Fig. 2 / Fig. 3 metric)."""
+        durations = self.durations
+        if durations.size == 0:
+            return float("nan")
+        return float(durations.mean())
+
+    def loss_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(elapsed time, loss) pairs for loss-versus-time plots (Fig. 4)."""
+        return self.elapsed_times, self.losses
+
+    def summary(self) -> dict:
+        """Aggregate statistics for quick textual reports."""
+        durations = self.durations
+        finite = durations[np.isfinite(durations)]
+        return {
+            "scheme": self.scheme,
+            "cluster": self.cluster_name,
+            "iterations": self.num_iterations,
+            "mean_iteration_time": float(finite.mean()) if finite.size else float("inf"),
+            "total_time": float(finite.sum()) if finite.size else float("inf"),
+            "final_loss": float(self.losses[-1]) if self.records else float("nan"),
+            "completed": self.completed,
+        }

@@ -1,0 +1,119 @@
+"""Worker specifications for the simulated heterogeneous cluster.
+
+A worker is described by its nominal hardware size (vCPU count, matching the
+paper's Table II cluster configurations) and two throughput numbers:
+
+* ``true_throughput`` — samples per second the worker actually processes in
+  the simulation clock;
+* ``estimated_throughput`` — the throughput the *master believes* the worker
+  has, i.e. what the allocation of Eq. 5 uses.
+
+The distinction is the whole point of the group-based scheme (Section V):
+when estimates are exact the heter-aware scheme is optimal, when they drift
+the group decoding fast path recovers some of the loss.  Estimation error is
+therefore a first-class input here, not an afterthought.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+__all__ = ["WorkerSpec", "perturb_estimates"]
+
+
+class WorkerError(ValueError):
+    """Raised on invalid worker specifications."""
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Static description of one worker.
+
+    Attributes
+    ----------
+    worker_id:
+        Index of the worker within its cluster.
+    vcpus:
+        Nominal vCPU count (Table II uses 2, 4, 8, 12 and 16 vCPU instances).
+    true_throughput:
+        Samples per second the worker actually achieves.
+    estimated_throughput:
+        Samples per second the master's sampling-based estimation reports;
+        defaults to the true throughput (exact estimation).
+    compute_noise:
+        Relative standard deviation of the per-iteration multiplicative
+        runtime noise (small jitter every healthy worker exhibits).
+    """
+
+    worker_id: int
+    vcpus: int
+    true_throughput: float
+    estimated_throughput: float | None = None
+    compute_noise: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.worker_id < 0:
+            raise WorkerError("worker_id must be non-negative")
+        if self.vcpus <= 0:
+            raise WorkerError("vcpus must be positive")
+        if self.true_throughput <= 0 or not np.isfinite(self.true_throughput):
+            raise WorkerError("true_throughput must be positive and finite")
+        if self.estimated_throughput is None:
+            object.__setattr__(
+                self, "estimated_throughput", float(self.true_throughput)
+            )
+        elif self.estimated_throughput <= 0 or not np.isfinite(
+            self.estimated_throughput
+        ):
+            raise WorkerError("estimated_throughput must be positive and finite")
+        if self.compute_noise < 0:
+            raise WorkerError("compute_noise must be non-negative")
+
+    def compute_time(
+        self,
+        num_samples: float,
+        rng: np.random.Generator | None = None,
+    ) -> float:
+        """Time to process ``num_samples`` samples on this worker.
+
+        The time is ``num_samples / true_throughput`` scaled by a lognormal
+        jitter of relative width ``compute_noise`` when an ``rng`` is given.
+        """
+        if num_samples < 0:
+            raise WorkerError("num_samples must be non-negative")
+        base = num_samples / self.true_throughput
+        if rng is None or self.compute_noise == 0.0 or num_samples == 0:
+            return base
+        jitter = rng.lognormal(mean=0.0, sigma=self.compute_noise)
+        return base * jitter
+
+    def with_estimate(self, estimated_throughput: float) -> "WorkerSpec":
+        """Return a copy with a different estimated throughput."""
+        return replace(self, estimated_throughput=float(estimated_throughput))
+
+
+def perturb_estimates(
+    workers: list[WorkerSpec],
+    relative_error: float,
+    rng: np.random.Generator | int | None = None,
+) -> list[WorkerSpec]:
+    """Return workers whose *estimated* throughputs are noisy copies of truth.
+
+    Each estimate is the true throughput multiplied by a lognormal factor of
+    relative width ``relative_error``.  Used by the estimation-error ablation
+    (the setting that motivates the group-based scheme).
+    """
+    if relative_error < 0:
+        raise WorkerError("relative_error must be non-negative")
+    generator = np.random.default_rng(rng)
+    perturbed = []
+    for worker in workers:
+        factor = (
+            1.0
+            if relative_error == 0
+            else float(generator.lognormal(mean=0.0, sigma=relative_error))
+        )
+        perturbed.append(worker.with_estimate(worker.true_throughput * factor))
+    return perturbed

@@ -1,0 +1,185 @@
+"""Unit and property tests for repro.coding.allocation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.allocation import (
+    cyclic_placement,
+    heterogeneity_aware_allocation,
+    proportional_integer_loads,
+    uniform_allocation,
+)
+from repro.coding.types import AllocationError
+
+
+class TestProportionalIntegerLoads:
+    def test_exact_proportions(self):
+        # Example 1 of the paper: c = [1,2,3,4,4], k = 7, s = 1 -> loads 1,2,3,4,4.
+        loads = proportional_integer_loads([1, 2, 3, 4, 4], total=14, cap=7)
+        assert loads == [1, 2, 3, 4, 4]
+
+    def test_sum_preserved_with_rounding(self):
+        loads = proportional_integer_loads([1.0, 1.0, 1.0], total=10, cap=10)
+        assert sum(loads) == 10
+
+    def test_cap_respected(self):
+        loads = proportional_integer_loads([100.0, 1.0, 1.0], total=12, cap=6)
+        assert max(loads) <= 6
+        assert sum(loads) == 12
+
+    def test_zero_total(self):
+        assert proportional_integer_loads([1.0, 2.0], total=0, cap=5) == [0, 0]
+
+    def test_rejects_negative_throughput(self):
+        with pytest.raises(AllocationError):
+            proportional_integer_loads([1.0, -1.0], total=4, cap=4)
+
+    def test_rejects_infeasible_capacity(self):
+        with pytest.raises(AllocationError):
+            proportional_integer_loads([1.0, 1.0], total=10, cap=4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AllocationError):
+            proportional_integer_loads([], total=2, cap=2)
+
+    @given(
+        throughputs=st.lists(
+            st.floats(min_value=0.1, max_value=100.0), min_size=2, max_size=12
+        ),
+        k=st.integers(min_value=2, max_value=20),
+        s=st.integers(min_value=0, max_value=4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_sum_and_cap(self, throughputs, k, s):
+        """Loads always sum to k(s+1) and never exceed k (when feasible)."""
+        m = len(throughputs)
+        total = k * (s + 1)
+        if total > m * k:
+            return  # infeasible: more copies than capacity
+        loads = proportional_integer_loads(throughputs, total=total, cap=k)
+        assert sum(loads) == total
+        assert all(0 <= n <= k for n in loads)
+
+    @given(
+        scale=st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_scale_invariance(self, scale):
+        """Only throughput ratios matter, not their absolute scale."""
+        base = [1.0, 2.0, 3.0, 4.0]
+        scaled = [scale * c for c in base]
+        assert proportional_integer_loads(
+            base, total=16, cap=8
+        ) == proportional_integer_loads(scaled, total=16, cap=8)
+
+
+class TestCyclicPlacement:
+    def test_basic_wraparound(self):
+        assignment = cyclic_placement([2, 2, 2], num_partitions=3)
+        assert assignment.partitions_per_worker == ((0, 1), (2, 0), (1, 2))
+
+    def test_replication_uniform(self):
+        assignment = cyclic_placement([2, 2, 2], num_partitions=3)
+        assert assignment.replication_counts().tolist() == [2, 2, 2]
+
+    def test_zero_load_worker(self):
+        assignment = cyclic_placement([0, 3, 0], num_partitions=3)
+        assert assignment.partitions_per_worker[0] == ()
+        assert assignment.partitions_per_worker[2] == ()
+        assert assignment.loads == (0, 3, 0)
+
+    def test_rejects_load_above_k(self):
+        with pytest.raises(AllocationError):
+            cyclic_placement([4], num_partitions=3)
+
+    def test_rejects_negative_load(self):
+        with pytest.raises(AllocationError):
+            cyclic_placement([-1, 2], num_partitions=3)
+
+
+class TestUniformAllocation:
+    def test_canonical_tandon_configuration(self):
+        # k = m: every worker holds s + 1 consecutive partitions.
+        assignment = uniform_allocation(num_workers=5, num_partitions=5, num_stragglers=2)
+        assert assignment.loads == (3, 3, 3, 3, 3)
+        assert assignment.replication_counts().tolist() == [3] * 5
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(AllocationError):
+            uniform_allocation(num_workers=5, num_partitions=7, num_stragglers=1)
+
+    def test_rejects_too_many_stragglers(self):
+        with pytest.raises(AllocationError):
+            uniform_allocation(num_workers=3, num_partitions=3, num_stragglers=3)
+
+    def test_rejects_overfull_workers(self):
+        # k(s+1)/m > k  <=>  s + 1 > m
+        with pytest.raises(AllocationError):
+            uniform_allocation(num_workers=2, num_partitions=2, num_stragglers=1 + 1)
+
+
+class TestHeterogeneityAwareAllocation:
+    def test_paper_example_1(self, example_throughputs):
+        assignment = heterogeneity_aware_allocation(
+            example_throughputs, num_partitions=7, num_stragglers=1
+        )
+        assert assignment.loads == (1, 2, 3, 4, 4)
+        assert assignment.replication_counts().tolist() == [2] * 7
+
+    def test_replication_is_exactly_s_plus_1(self):
+        assignment = heterogeneity_aware_allocation(
+            [1, 1, 5, 10], num_partitions=8, num_stragglers=2
+        )
+        assert assignment.replication_counts().tolist() == [3] * 8
+
+    def test_loads_monotone_in_throughput(self):
+        assignment = heterogeneity_aware_allocation(
+            [1, 2, 4, 8], num_partitions=15, num_stragglers=1
+        )
+        loads = assignment.loads
+        assert list(loads) == sorted(loads)
+
+    def test_homogeneous_matches_uniform(self):
+        hetero = heterogeneity_aware_allocation(
+            [3.0] * 4, num_partitions=4, num_stragglers=1
+        )
+        uniform = uniform_allocation(num_workers=4, num_partitions=4, num_stragglers=1)
+        assert hetero.loads == uniform.loads
+
+    def test_rejects_s_geq_m(self):
+        with pytest.raises(AllocationError):
+            heterogeneity_aware_allocation([1, 2], num_partitions=4, num_stragglers=2)
+
+    def test_rejects_nonpositive_throughput(self):
+        with pytest.raises(AllocationError):
+            heterogeneity_aware_allocation([1, 0], num_partitions=4, num_stragglers=1)
+
+    @given(
+        throughputs=st.lists(
+            st.floats(min_value=0.2, max_value=20.0), min_size=2, max_size=10
+        ),
+        multiplier=st.integers(min_value=1, max_value=4),
+        s=st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_every_partition_has_s_plus_1_copies(
+        self, throughputs, multiplier, s
+    ):
+        m = len(throughputs)
+        if s >= m:
+            return
+        k = multiplier * m
+        assignment = heterogeneity_aware_allocation(
+            throughputs, num_partitions=k, num_stragglers=s
+        )
+        counts = assignment.replication_counts()
+        assert np.all(counts == s + 1)
+        assert assignment.total_copies == k * (s + 1)
+        # Every copy of a partition sits on a distinct worker by construction.
+        for partition in range(k):
+            holders = assignment.workers_holding(partition)
+            assert len(holders) == len(set(holders)) == s + 1

@@ -1,0 +1,97 @@
+"""Unit tests for repro.coding.analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coding import (
+    StrategyAnalysis,
+    analyze_strategy,
+    cyclic_strategy,
+    group_based_strategy,
+    heterogeneity_aware_strategy,
+    load_balance_index,
+    naive_strategy,
+)
+from repro.coding.types import CodingError
+
+
+class TestLoadBalanceIndex:
+    def test_perfectly_proportional(self):
+        assert load_balance_index([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_uniform_loads_on_heterogeneous_workers(self):
+        # Equal loads on 1x and 4x workers: the slow worker is 4x overloaded
+        # relative to a proportional split.
+        index = load_balance_index([2, 2], [1.0, 4.0])
+        assert index == pytest.approx((4 / 5) / 2)
+
+    def test_zero_loads(self):
+        assert load_balance_index([0, 0], [1.0, 2.0]) == 1.0
+
+    def test_bounds(self):
+        index = load_balance_index([5, 1, 1], [1.0, 1.0, 1.0])
+        assert 0.0 < index <= 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(CodingError):
+            load_balance_index([1, 2], [1.0])
+        with pytest.raises(CodingError):
+            load_balance_index([1, 2], [1.0, -1.0])
+        with pytest.raises(CodingError):
+            load_balance_index([-1, 2], [1.0, 1.0])
+
+
+class TestAnalyzeStrategy:
+    def test_naive_baseline(self):
+        analysis = analyze_strategy(naive_strategy(4))
+        assert isinstance(analysis, StrategyAnalysis)
+        assert analysis.replication_factor == pytest.approx(1.0)
+        assert analysis.computation_overhead == pytest.approx(0.0)
+        assert analysis.workers_needed_worst_case == 4
+        assert analysis.num_groups == 0
+        assert analysis.storage_fraction == pytest.approx(0.25)
+
+    def test_cyclic_overhead_is_s(self):
+        analysis = analyze_strategy(cyclic_strategy(6, 2, rng=0))
+        assert analysis.replication_factor == pytest.approx(3.0)
+        assert analysis.computation_overhead == pytest.approx(2.0)
+        # The cyclic scheme needs m - s workers in the worst case.
+        assert analysis.workers_needed_worst_case == 4
+
+    def test_heter_aware_balance(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=14, num_stragglers=1, rng=0
+        )
+        analysis = analyze_strategy(strategy, example_throughputs)
+        assert analysis.load_balance == pytest.approx(1.0)
+        assert analysis.replication_factor == pytest.approx(2.0)
+
+    def test_cyclic_balance_poor_on_heterogeneous_cluster(self, example_throughputs):
+        strategy = cyclic_strategy(5, 1, rng=0)
+        analysis = analyze_strategy(strategy, example_throughputs)
+        assert analysis.load_balance < 0.5
+
+    def test_group_based_best_case_smaller_than_worst(self, example_throughputs):
+        strategy = group_based_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        analysis = analyze_strategy(strategy, example_throughputs)
+        assert analysis.num_groups >= 1
+        assert analysis.workers_needed_best_case <= analysis.workers_needed_worst_case
+        assert analysis.workers_needed_best_case <= min(
+            len(group) for group in strategy.groups
+        )
+
+    def test_as_dict_round_trip(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        payload = analyze_strategy(strategy, example_throughputs).as_dict()
+        assert payload["scheme"] == "heter_aware"
+        assert payload["num_workers"] == 5
+        assert set(payload) >= {
+            "replication_factor",
+            "load_balance",
+            "workers_needed_worst_case",
+        }

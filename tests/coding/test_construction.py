@@ -1,0 +1,110 @@
+"""Unit tests for repro.coding.construction (Algorithm 1's matrix builder)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.allocation import heterogeneity_aware_allocation, uniform_allocation
+from repro.coding.construction import (
+    auxiliary_matrix_is_valid,
+    build_coding_matrix,
+    draw_auxiliary_matrix,
+)
+from repro.coding.types import ConstructionError, PartitionAssignment
+
+
+class TestDrawAuxiliaryMatrix:
+    def test_shape(self, rng):
+        matrix = draw_auxiliary_matrix(num_stragglers=2, num_workers=5, rng=rng)
+        assert matrix.shape == (3, 5)
+
+    def test_entries_in_open_unit_interval(self, rng):
+        matrix = draw_auxiliary_matrix(num_stragglers=3, num_workers=10, rng=rng)
+        assert np.all(matrix > 0.0)
+        assert np.all(matrix < 1.0)
+
+    def test_rejects_negative_stragglers(self, rng):
+        with pytest.raises(ConstructionError):
+            draw_auxiliary_matrix(num_stragglers=-1, num_workers=3, rng=rng)
+
+    def test_rejects_zero_workers(self, rng):
+        with pytest.raises(ConstructionError):
+            draw_auxiliary_matrix(num_stragglers=1, num_workers=0, rng=rng)
+
+
+class TestAuxiliaryMatrixIsValid:
+    def test_random_matrix_is_valid(self, rng, example_throughputs):
+        assignment = heterogeneity_aware_allocation(
+            example_throughputs, num_partitions=7, num_stragglers=1
+        )
+        matrix = draw_auxiliary_matrix(1, len(example_throughputs), rng)
+        assert auxiliary_matrix_is_valid(matrix, assignment)
+
+    def test_degenerate_matrix_is_invalid(self, example_throughputs):
+        assignment = heterogeneity_aware_allocation(
+            example_throughputs, num_partitions=7, num_stragglers=1
+        )
+        # Identical rows make every 2x2 submatrix singular.
+        matrix = np.ones((2, 5)) * 0.5
+        assert not auxiliary_matrix_is_valid(matrix, assignment)
+
+    def test_rejects_wrong_replication(self):
+        assignment = PartitionAssignment(
+            num_workers=2,
+            num_partitions=2,
+            partitions_per_worker=((0,), (1,)),
+        )
+        matrix = np.random.default_rng(0).uniform(size=(2, 2))
+        with pytest.raises(ConstructionError):
+            auxiliary_matrix_is_valid(matrix, assignment)
+
+
+class TestBuildCodingMatrix:
+    def test_cb_equals_all_ones(self, example_throughputs):
+        assignment = heterogeneity_aware_allocation(
+            example_throughputs, num_partitions=7, num_stragglers=1
+        )
+        matrix, auxiliary = build_coding_matrix(assignment, num_stragglers=1, rng=0)
+        assert matrix.shape == (5, 7)
+        assert np.allclose(auxiliary @ matrix, 1.0)
+
+    def test_support_respected(self, example_throughputs):
+        assignment = heterogeneity_aware_allocation(
+            example_throughputs, num_partitions=7, num_stragglers=1
+        )
+        matrix, _ = build_coding_matrix(assignment, num_stragglers=1, rng=0)
+        support = assignment.support_matrix()
+        assert np.all(matrix[~support] == 0.0)
+        # Non-zero everywhere on the support (probability-1 event).
+        assert np.all(np.abs(matrix[support]) > 0.0)
+
+    def test_uniform_support_also_works(self):
+        assignment = uniform_allocation(num_workers=6, num_partitions=6, num_stragglers=2)
+        matrix, auxiliary = build_coding_matrix(assignment, num_stragglers=2, rng=1)
+        assert np.allclose(auxiliary @ matrix, 1.0)
+
+    def test_deterministic_for_fixed_seed(self, example_throughputs):
+        assignment = heterogeneity_aware_allocation(
+            example_throughputs, num_partitions=7, num_stragglers=1
+        )
+        matrix_a, _ = build_coding_matrix(assignment, num_stragglers=1, rng=42)
+        matrix_b, _ = build_coding_matrix(assignment, num_stragglers=1, rng=42)
+        assert np.array_equal(matrix_a, matrix_b)
+
+    def test_different_seeds_differ(self, example_throughputs):
+        assignment = heterogeneity_aware_allocation(
+            example_throughputs, num_partitions=7, num_stragglers=1
+        )
+        matrix_a, _ = build_coding_matrix(assignment, num_stragglers=1, rng=1)
+        matrix_b, _ = build_coding_matrix(assignment, num_stragglers=1, rng=2)
+        assert not np.array_equal(matrix_a, matrix_b)
+
+    def test_rejects_wrong_replication(self):
+        assignment = PartitionAssignment(
+            num_workers=3,
+            num_partitions=3,
+            partitions_per_worker=((0, 1), (1, 2), (0,)),
+        )
+        with pytest.raises(ConstructionError, match="replicated"):
+            build_coding_matrix(assignment, num_stragglers=1, rng=0)

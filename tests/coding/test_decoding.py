@@ -1,0 +1,190 @@
+"""Unit tests for repro.coding.decoding."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    Decoder,
+    build_decoding_matrix,
+    cyclic_strategy,
+    decode_gradient,
+    fractional_repetition_strategy,
+    group_based_strategy,
+    heterogeneity_aware_strategy,
+    naive_strategy,
+)
+from repro.coding.types import DecodingError
+
+
+def encode_all(strategy, partial_gradients):
+    """Encode every worker's coded gradient directly from B."""
+    coded = {}
+    for worker in range(strategy.num_workers):
+        support = list(strategy.support(worker))
+        if support:
+            coded[worker] = strategy.row(worker)[support] @ partial_gradients[support]
+        else:
+            coded[worker] = np.zeros(partial_gradients.shape[1])
+    return coded
+
+
+@pytest.fixture
+def heter_strategy(example_throughputs):
+    return heterogeneity_aware_strategy(
+        example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+    )
+
+
+@pytest.fixture
+def partial_gradients(heter_strategy, rng):
+    return rng.normal(size=(heter_strategy.num_partitions, 13))
+
+
+class TestDecoder:
+    def test_exact_recovery_with_no_stragglers(self, heter_strategy, partial_gradients):
+        coded = encode_all(heter_strategy, partial_gradients)
+        recovered = Decoder(heter_strategy).decode(coded)
+        assert np.allclose(recovered, partial_gradients.sum(axis=0))
+
+    def test_exact_recovery_under_every_single_straggler(
+        self, heter_strategy, partial_gradients
+    ):
+        coded = encode_all(heter_strategy, partial_gradients)
+        expected = partial_gradients.sum(axis=0)
+        decoder = Decoder(heter_strategy)
+        for straggler in range(heter_strategy.num_workers):
+            received = {w: g for w, g in coded.items() if w != straggler}
+            assert np.allclose(decoder.decode(received), expected, atol=1e-8)
+
+    def test_two_stragglers_fail_for_s_equals_one(
+        self, heter_strategy, partial_gradients
+    ):
+        coded = encode_all(heter_strategy, partial_gradients)
+        decoder = Decoder(heter_strategy)
+        undecodable = 0
+        for drop in itertools.combinations(range(heter_strategy.num_workers), 2):
+            received = {w: g for w, g in coded.items() if w not in drop}
+            if not decoder.can_decode(received.keys()):
+                undecodable += 1
+        # At least one 2-straggler pattern must be undecodable for an s=1 code
+        # whose minimum replication is 2.
+        assert undecodable > 0
+
+    def test_empty_input_raises(self, heter_strategy):
+        with pytest.raises(DecodingError):
+            Decoder(heter_strategy).decode({})
+
+    def test_inconsistent_shapes_raise(self, heter_strategy, partial_gradients):
+        coded = encode_all(heter_strategy, partial_gradients)
+        coded[0] = np.zeros(5)
+        with pytest.raises(DecodingError, match="shapes"):
+            Decoder(heter_strategy).decode(coded)
+
+    def test_out_of_range_worker_raises(self, heter_strategy):
+        with pytest.raises(DecodingError, match="out of range"):
+            Decoder(heter_strategy).decoding_vector([99])
+
+    def test_undecodable_set_raises_on_decode(self, heter_strategy, partial_gradients):
+        coded = encode_all(heter_strategy, partial_gradients)
+        received = {0: coded[0]}
+        with pytest.raises(DecodingError, match="cannot recover"):
+            Decoder(heter_strategy).decode(received)
+
+    def test_group_fast_path_used(self, example_throughputs, rng):
+        strategy = group_based_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        assert strategy.groups, "the example configuration should contain groups"
+        decoder = Decoder(strategy)
+        group = strategy.groups[0]
+        result = decoder.decoding_vector(group)
+        assert result is not None
+        assert result.used_group == tuple(sorted(group))
+
+    def test_decode_result_cached(self, heter_strategy):
+        decoder = Decoder(heter_strategy)
+        first = decoder.decoding_vector([1, 2, 3, 4])
+        second = decoder.decoding_vector([4, 3, 2, 1])
+        assert first is second  # cache keyed on the set of workers
+
+    def test_earliest_decodable_prefix(self, heter_strategy):
+        decoder = Decoder(heter_strategy)
+        order = [4, 3, 2, 1, 0]
+        prefix = decoder.earliest_decodable_prefix(order)
+        assert prefix is not None
+        assert decoder.can_decode(order[:prefix])
+        if prefix > 1:
+            assert not decoder.can_decode(order[: prefix - 1])
+
+    def test_earliest_decodable_prefix_none_when_impossible(self, heter_strategy):
+        decoder = Decoder(heter_strategy)
+        assert decoder.earliest_decodable_prefix([0]) is None
+
+
+class TestNaiveAndFractionalDecoding:
+    def test_naive_requires_all_workers(self, rng):
+        strategy = naive_strategy(4)
+        gradients = rng.normal(size=(4, 6))
+        coded = encode_all(strategy, gradients)
+        decoder = Decoder(strategy)
+        assert np.allclose(decoder.decode(coded), gradients.sum(axis=0))
+        del coded[2]
+        assert not decoder.can_decode(coded.keys())
+
+    def test_fractional_group_decoding(self, rng):
+        strategy = fractional_repetition_strategy(6, 2, 6)
+        gradients = rng.normal(size=(6, 4))
+        coded = encode_all(strategy, gradients)
+        decoder = Decoder(strategy)
+        # Any one replica group suffices.
+        group = strategy.groups[0]
+        received = {w: coded[w] for w in group}
+        assert np.allclose(decoder.decode(received), gradients.sum(axis=0))
+
+
+class TestBuildDecodingMatrix:
+    def test_one_row_per_pattern(self, heter_strategy):
+        matrix, patterns = build_decoding_matrix(heter_strategy)
+        assert matrix.shape == (5, heter_strategy.num_workers)
+        assert len(patterns) == 5
+
+    def test_rows_decode_their_pattern(self, heter_strategy, partial_gradients):
+        matrix, patterns = build_decoding_matrix(heter_strategy)
+        expected = np.ones(heter_strategy.num_partitions)
+        for row, pattern in zip(matrix, patterns):
+            assert np.allclose(row @ heter_strategy.matrix, expected, atol=1e-6)
+            # A pattern's row never uses a straggler's result.
+            for straggler in pattern.stragglers:
+                assert row[straggler] == pytest.approx(0.0, abs=1e-12)
+
+    def test_raises_for_undecodable_strategy(self):
+        strategy = naive_strategy(3)
+        with pytest.raises(DecodingError):
+            build_decoding_matrix(strategy, num_stragglers=1)
+
+
+class TestDecodeGradientHelper:
+    def test_matches_decoder(self, heter_strategy, partial_gradients):
+        coded = encode_all(heter_strategy, partial_gradients)
+        del coded[1]
+        a = decode_gradient(heter_strategy, coded)
+        b = Decoder(heter_strategy).decode(coded)
+        assert np.allclose(a, b)
+
+    def test_cyclic_decoding_with_tensor_gradients(self, rng):
+        """Coded gradients can be arbitrary-shape arrays, not just vectors."""
+        strategy = cyclic_strategy(5, 1, rng=0)
+        gradients = rng.normal(size=(5, 3, 4))
+        coded = {}
+        for worker in range(5):
+            support = list(strategy.support(worker))
+            weights = strategy.row(worker)[support]
+            coded[worker] = np.tensordot(weights, gradients[support], axes=1)
+        del coded[3]
+        recovered = decode_gradient(strategy, coded)
+        assert recovered.shape == (3, 4)
+        assert np.allclose(recovered, gradients.sum(axis=0), atol=1e-8)

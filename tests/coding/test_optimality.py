@@ -1,0 +1,112 @@
+"""Unit tests for repro.coding.optimality (Theorem 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    completion_time,
+    cyclic_strategy,
+    heterogeneity_aware_strategy,
+    makespan_lower_bound,
+    naive_strategy,
+    optimality_report,
+    worst_case_completion_time,
+)
+from repro.coding.types import CodingError
+
+
+class TestMakespanLowerBound:
+    def test_formula(self):
+        # (s + 1) k / sum(c) = 2 * 14 / 14 = 2.
+        assert makespan_lower_bound([1, 2, 3, 4, 4], 14, 1) == pytest.approx(2.0)
+
+    def test_scales_with_s(self):
+        low = makespan_lower_bound([1.0, 1.0], 4, 0)
+        high = makespan_lower_bound([1.0, 1.0], 4, 1)
+        assert high == pytest.approx(2 * low)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(CodingError):
+            makespan_lower_bound([1.0, -1.0], 4, 1)
+        with pytest.raises(CodingError):
+            makespan_lower_bound([1.0, 1.0], 0, 1)
+        with pytest.raises(CodingError):
+            makespan_lower_bound([1.0, 1.0], 4, -1)
+
+
+class TestCompletionTime:
+    def test_no_stragglers_heter_aware(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        time = completion_time(strategy, example_throughputs, stragglers=())
+        # Every worker finishes at exactly (s+1)k / sum(c) = 1.0 here.
+        assert time == pytest.approx(1.0)
+
+    def test_straggler_does_not_slow_heter_aware(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        for straggler in range(5):
+            time = completion_time(strategy, example_throughputs, [straggler])
+            assert time == pytest.approx(1.0)
+
+    def test_naive_full_straggler_is_fatal(self):
+        strategy = naive_strategy(4)
+        with pytest.raises(CodingError):
+            completion_time(strategy, [1.0] * 4, stragglers=[0])
+
+    def test_cyclic_limited_by_slow_workers(self):
+        throughputs = [1.0, 1.0, 4.0, 4.0]
+        strategy = cyclic_strategy(4, 1, rng=0)
+        # Each worker computes 2 partitions; dropping the slowest still
+        # leaves the other 1-throughput worker on the critical path.
+        time = completion_time(strategy, throughputs, stragglers=[0])
+        assert time == pytest.approx(2.0)
+
+
+class TestWorstCaseAndReport:
+    def test_heter_aware_meets_lower_bound(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        report = optimality_report(strategy, example_throughputs)
+        assert report.is_optimal
+        assert report.ratio == pytest.approx(1.0)
+
+    def test_cyclic_is_suboptimal_on_heterogeneous_cluster(self, example_throughputs):
+        # k = 5 partitions so the uniform scheme is constructible.
+        strategy = cyclic_strategy(5, 1, rng=0)
+        report = optimality_report(strategy, example_throughputs)
+        assert report.ratio > 1.5
+
+    def test_worst_case_at_least_no_straggler_time(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        worst = worst_case_completion_time(strategy, example_throughputs)
+        base = completion_time(strategy, example_throughputs, ())
+        assert worst >= base - 1e-12
+
+    def test_sampled_worst_case(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        sampled = worst_case_completion_time(
+            strategy, example_throughputs, max_patterns=2, rng=0
+        )
+        exhaustive = worst_case_completion_time(strategy, example_throughputs)
+        assert sampled <= exhaustive + 1e-12
+
+    def test_report_rounding_tolerance(self):
+        # With loads that cannot divide exactly, the ratio exceeds 1 but the
+        # strategy is still within the quantisation gap.
+        throughputs = [1.0, 1.7, 2.3]
+        strategy = heterogeneity_aware_strategy(
+            throughputs, num_partitions=5, num_stragglers=1, rng=0
+        )
+        report = optimality_report(strategy, throughputs, tolerance=0.5)
+        assert report.ratio >= 1.0
+        assert report.is_optimal  # within the generous tolerance

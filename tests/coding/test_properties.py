@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for the coding core's key invariants.
+
+The invariants checked here are the ones the paper's correctness rests on:
+
+1. every scheme's strategy is robust to its declared straggler count
+   (Condition 1 / Theorem 4 / Theorem 6);
+2. decoding recovers the exact sum of partial gradients under any straggler
+   pattern of the declared size;
+3. the heter-aware worst-case makespan matches Theorem 5's lower bound up to
+   load quantisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import (
+    Decoder,
+    certify_robustness,
+    cyclic_strategy,
+    group_based_strategy,
+    heterogeneity_aware_strategy,
+    makespan_lower_bound,
+    optimality_report,
+)
+
+# Cluster generator: 3-7 workers with throughputs spanning up to ~10x.
+throughput_lists = st.lists(
+    st.floats(min_value=0.5, max_value=5.0),
+    min_size=3,
+    max_size=7,
+)
+
+
+@given(throughputs=throughput_lists, multiplier=st.integers(1, 3), seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_heter_aware_robustness_property(throughputs, multiplier, seed):
+    """Any heter-aware strategy tolerates its declared s = 1 stragglers."""
+    k = multiplier * len(throughputs)
+    strategy = heterogeneity_aware_strategy(
+        throughputs, num_partitions=k, num_stragglers=1, rng=seed
+    )
+    assert certify_robustness(strategy).robust
+
+
+@given(throughputs=throughput_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_group_based_robustness_property(throughputs, seed):
+    """Any group-based strategy tolerates its declared s = 1 stragglers."""
+    k = 2 * len(throughputs)
+    strategy = group_based_strategy(
+        throughputs, num_partitions=k, num_stragglers=1, rng=seed
+    )
+    assert certify_robustness(strategy).robust
+
+
+@given(
+    num_workers=st.integers(4, 8),
+    num_stragglers=st.integers(1, 3),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_cyclic_robustness_property(num_workers, num_stragglers, seed):
+    """The cyclic baseline tolerates any s < m stragglers it is built for."""
+    if num_stragglers >= num_workers:
+        return
+    strategy = cyclic_strategy(num_workers, num_stragglers, rng=seed)
+    assert certify_robustness(strategy).robust
+
+
+@given(
+    throughputs=throughput_lists,
+    seed=st.integers(0, 2**16),
+    gradient_dim=st.integers(1, 8),
+    data=st.data(),
+)
+@settings(max_examples=30, deadline=None)
+def test_decoding_exactness_property(throughputs, seed, gradient_dim, data):
+    """Decoded gradient == sum of partial gradients under any 1-straggler pattern."""
+    m = len(throughputs)
+    k = 2 * m
+    strategy = heterogeneity_aware_strategy(
+        throughputs, num_partitions=k, num_stragglers=1, rng=seed
+    )
+    rng = np.random.default_rng(seed)
+    partial_gradients = rng.normal(size=(k, gradient_dim))
+    expected = partial_gradients.sum(axis=0)
+
+    coded = {}
+    for worker in range(m):
+        support = list(strategy.support(worker))
+        if support:
+            coded[worker] = (
+                strategy.row(worker)[support] @ partial_gradients[support]
+            )
+        else:
+            coded[worker] = np.zeros(gradient_dim)
+
+    straggler = data.draw(st.integers(0, m - 1))
+    received = {w: g for w, g in coded.items() if w != straggler}
+    recovered = Decoder(strategy).decode(received)
+    scale = max(1.0, float(np.abs(expected).max()))
+    assert np.allclose(recovered, expected, atol=1e-6 * scale, rtol=1e-6)
+
+
+@given(throughputs=throughput_lists, seed=st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_theorem5_lower_bound_property(throughputs, seed):
+    """No strategy beats the bound; heter-aware stays within quantisation of it."""
+    m = len(throughputs)
+    k = 3 * m
+    strategy = heterogeneity_aware_strategy(
+        throughputs, num_partitions=k, num_stragglers=1, rng=seed
+    )
+    bound = makespan_lower_bound(throughputs, k, 1)
+    report = optimality_report(strategy, throughputs, tolerance=0.0)
+    assert report.worst_case >= bound - 1e-9
+    # When no worker's proportional share exceeds k (the paper's implicit
+    # n_i <= k assumption), integer rounding of the loads costs at most one
+    # partition on the critical worker: T(B) <= bound + max_i (1 / c_i).
+    total = float(np.sum(throughputs))
+    if 2 * k * max(throughputs) / total <= k:
+        slack = 1.0 / min(throughputs)
+        assert report.worst_case <= bound + slack + 1e-9
+
+
+@given(
+    throughputs=throughput_lists,
+    multiplier=st.integers(1, 3),
+    seed=st.integers(0, 2**16),
+)
+@settings(max_examples=30, deadline=None)
+def test_group_rows_tile_property(throughputs, multiplier, seed):
+    """Every detected group's rows sum to the all-ones vector exactly."""
+    k = multiplier * len(throughputs)
+    strategy = group_based_strategy(
+        throughputs, num_partitions=k, num_stragglers=1, rng=seed
+    )
+    for group in strategy.groups:
+        combined = strategy.matrix[list(group)].sum(axis=0)
+        assert np.allclose(combined, 1.0)

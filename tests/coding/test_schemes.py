@@ -1,0 +1,180 @@
+"""Unit tests for the scheme factories (naive, cyclic, fractional, heter-aware)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    SCHEME_NAMES,
+    build_strategy,
+    certify_robustness,
+    cyclic_strategy,
+    fractional_repetition_strategy,
+    heterogeneity_aware_strategy,
+    naive_strategy,
+    natural_partitions,
+)
+from repro.coding.types import AllocationError, CodingError
+
+
+class TestNaiveStrategy:
+    def test_one_partition_per_worker(self):
+        strategy = naive_strategy(6)
+        assert strategy.num_partitions == 6
+        assert strategy.loads == (1,) * 6
+        assert strategy.num_stragglers == 0
+
+    def test_uneven_partitions_spread(self):
+        strategy = naive_strategy(4, num_partitions=10)
+        assert sum(strategy.loads) == 10
+        assert max(strategy.loads) - min(strategy.loads) <= 1
+
+    def test_matrix_is_support_indicator(self):
+        strategy = naive_strategy(3)
+        assert np.array_equal(strategy.matrix, np.eye(3))
+
+    def test_rejects_fewer_partitions_than_workers(self):
+        with pytest.raises(AllocationError):
+            naive_strategy(5, num_partitions=3)
+
+    def test_rejects_zero_workers(self):
+        with pytest.raises(AllocationError):
+            naive_strategy(0)
+
+
+class TestCyclicStrategy:
+    def test_canonical_configuration(self):
+        strategy = cyclic_strategy(6, 2, rng=0)
+        assert strategy.num_partitions == 6
+        assert strategy.loads == (3,) * 6
+        assert strategy.scheme == "cyclic"
+
+    def test_staggered_supports(self):
+        strategy = cyclic_strategy(5, 1, rng=0)
+        assert strategy.support(0) == (0, 1)
+        assert strategy.support(1) == (1, 2)
+        assert strategy.support(4) == (4, 0)
+
+    def test_supports_are_all_distinct(self):
+        strategy = cyclic_strategy(8, 1, num_partitions=16, rng=0)
+        supports = {frozenset(strategy.support(w)) for w in range(8)}
+        assert len(supports) == 8
+
+    def test_robustness(self):
+        for s in (1, 2, 3):
+            strategy = cyclic_strategy(6, s, rng=s)
+            assert certify_robustness(strategy).robust
+
+    def test_zero_stragglers_degenerates_to_indicator(self):
+        strategy = cyclic_strategy(4, 0, rng=0)
+        assert np.array_equal(strategy.matrix, np.eye(4))
+
+    def test_rejects_indivisible_partitions(self):
+        with pytest.raises(AllocationError):
+            cyclic_strategy(4, 1, num_partitions=6, rng=0)
+
+
+class TestFractionalRepetitionStrategy:
+    def test_group_structure(self):
+        strategy = fractional_repetition_strategy(6, 2, 6)
+        # s + 1 = 3 replica groups of 2 workers; each worker stores half the
+        # 6 partitions, i.e. 3 of them.
+        assert len(strategy.groups) == 3
+        assert strategy.loads == (3,) * 6
+
+    def test_robustness(self):
+        strategy = fractional_repetition_strategy(6, 1, 12)
+        assert certify_robustness(strategy).robust
+
+    def test_rows_are_indicators(self):
+        strategy = fractional_repetition_strategy(4, 1, 4)
+        assert set(np.unique(strategy.matrix)) <= {0.0, 1.0}
+
+    def test_rejects_non_divisible_workers(self):
+        with pytest.raises(AllocationError):
+            fractional_repetition_strategy(5, 1, 5)
+
+    def test_rejects_non_divisible_partitions(self):
+        with pytest.raises(AllocationError):
+            fractional_repetition_strategy(6, 1, 7)
+
+
+class TestHeterogeneityAwareStrategy:
+    def test_paper_example_support_structure(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        # Example 1 of the paper: loads proportional to [1,2,3,4,4].
+        assert strategy.loads == (1, 2, 3, 4, 4)
+        assert strategy.scheme == "heter_aware"
+
+    def test_robust_for_various_s(self):
+        throughputs = [1.0, 2.0, 2.0, 3.0, 4.0, 6.0]
+        for s in (0, 1, 2):
+            strategy = heterogeneity_aware_strategy(
+                throughputs, num_partitions=12, num_stragglers=s, rng=s
+            )
+            assert certify_robustness(strategy).robust
+
+    def test_metadata_records_throughputs(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        assert strategy.metadata["throughputs"] == tuple(example_throughputs)
+
+    def test_equal_throughputs_give_equal_loads(self):
+        strategy = heterogeneity_aware_strategy(
+            [2.0] * 4, num_partitions=8, num_stragglers=1, rng=0
+        )
+        assert strategy.loads == (4, 4, 4, 4)
+
+    def test_computation_times_balanced_for_exact_estimates(self):
+        throughputs = [1.0, 2.0, 3.0, 4.0]
+        strategy = heterogeneity_aware_strategy(
+            throughputs, num_partitions=20, num_stragglers=1, rng=0
+        )
+        times = strategy.computation_times(throughputs)
+        # Loads proportional to throughput => near-equal completion times
+        # (up to integer rounding of the loads).
+        assert times.max() / times.min() < 1.3
+
+
+class TestRegistry:
+    def test_all_names_buildable(self):
+        # m = 6 and k = 12 satisfy every baseline's divisibility constraints
+        # for s = 1 (fractional needs (s + 1) | m, cyclic needs m | k).
+        throughputs = [1.0, 2.0, 2.0, 3.0, 4.0, 4.0]
+        for scheme in SCHEME_NAMES:
+            strategy = build_strategy(
+                scheme,
+                throughputs=throughputs,
+                num_partitions=12,
+                num_stragglers=1,
+                rng=0,
+            )
+            assert strategy.num_workers == 6
+            assert strategy.num_partitions == 12
+
+    def test_unknown_scheme_rejected(self, example_throughputs):
+        with pytest.raises(CodingError, match="unknown scheme"):
+            build_strategy(
+                "bogus",
+                throughputs=example_throughputs,
+                num_partitions=10,
+                num_stragglers=1,
+            )
+
+    def test_natural_partitions(self):
+        assert natural_partitions("naive", 8) == 8
+        assert natural_partitions("cyclic", 8) == 8
+        assert natural_partitions("fractional", 8) == 8
+        assert natural_partitions("ssp", 8) == 8
+        assert natural_partitions("heter_aware", 8) == 16
+        assert natural_partitions("group_based", 8, heter_multiplier=3) == 24
+
+    def test_natural_partitions_rejects_bad_input(self):
+        with pytest.raises(CodingError):
+            natural_partitions("naive", 0)
+        with pytest.raises(CodingError):
+            natural_partitions("heter_aware", 4, heter_multiplier=0)

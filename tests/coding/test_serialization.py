@@ -1,0 +1,104 @@
+"""Unit tests for repro.coding.serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    Decoder,
+    certify_robustness,
+    group_based_strategy,
+    heterogeneity_aware_strategy,
+    load_strategy,
+    save_strategy,
+    strategy_from_dict,
+    strategy_to_dict,
+    worker_payload,
+)
+from repro.coding.types import CodingError
+
+
+@pytest.fixture
+def strategy(example_throughputs):
+    return heterogeneity_aware_strategy(
+        example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+    )
+
+
+class TestDictRoundTrip:
+    def test_matrix_preserved_exactly(self, strategy):
+        rebuilt = strategy_from_dict(strategy_to_dict(strategy))
+        assert np.array_equal(rebuilt.matrix, strategy.matrix)
+        assert rebuilt.scheme == strategy.scheme
+        assert rebuilt.num_stragglers == strategy.num_stragglers
+        assert rebuilt.assignment.partitions_per_worker == (
+            strategy.assignment.partitions_per_worker
+        )
+
+    def test_groups_preserved(self, example_throughputs):
+        strategy = group_based_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        rebuilt = strategy_from_dict(strategy_to_dict(strategy))
+        assert rebuilt.groups == strategy.groups
+
+    def test_rebuilt_strategy_still_robust_and_decodes(self, strategy, rng):
+        rebuilt = strategy_from_dict(strategy_to_dict(strategy))
+        assert certify_robustness(rebuilt).robust
+        gradients = rng.normal(size=(7, 9))
+        coded = {}
+        for worker in range(5):
+            support = list(rebuilt.support(worker))
+            coded[worker] = rebuilt.row(worker)[support] @ gradients[support]
+        del coded[2]
+        recovered = Decoder(rebuilt).decode(coded)
+        assert np.allclose(recovered, gradients.sum(axis=0), atol=1e-8)
+
+    def test_numpy_metadata_serialisable(self, strategy):
+        payload = strategy_to_dict(strategy)
+        # The auxiliary matrix (a numpy array in metadata) must be plain lists.
+        assert isinstance(payload["metadata"]["auxiliary_matrix"], list)
+
+    def test_rejects_foreign_payload(self):
+        with pytest.raises(CodingError):
+            strategy_from_dict({"format": "something-else"})
+        with pytest.raises(CodingError):
+            strategy_from_dict(
+                {"format": "repro.coding.strategy", "version": 999}
+            )
+
+
+class TestFileRoundTrip:
+    def test_save_and_load(self, strategy, tmp_path):
+        path = save_strategy(strategy, tmp_path / "strategy.json")
+        assert path.exists()
+        loaded = load_strategy(path)
+        assert np.array_equal(loaded.matrix, strategy.matrix)
+        assert loaded.loads == strategy.loads
+
+    def test_save_creates_parent_directories(self, strategy, tmp_path):
+        path = save_strategy(strategy, tmp_path / "nested" / "dir" / "s.json")
+        assert path.exists()
+
+    def test_file_is_valid_json(self, strategy, tmp_path):
+        import json
+
+        path = save_strategy(strategy, tmp_path / "strategy.json")
+        with path.open() as handle:
+            payload = json.load(handle)
+        assert payload["scheme"] == "heter_aware"
+
+
+class TestWorkerPayload:
+    def test_contains_support_and_coefficients(self, strategy):
+        payload = worker_payload(strategy, 3)
+        assert payload["worker"] == 3
+        assert payload["partitions"] == list(strategy.support(3))
+        assert len(payload["coefficients"]) == len(payload["partitions"])
+        expected = [strategy.row(3)[p] for p in strategy.support(3)]
+        assert np.allclose(payload["coefficients"], expected)
+
+    def test_out_of_range_worker(self, strategy):
+        with pytest.raises(CodingError):
+            worker_payload(strategy, 9)

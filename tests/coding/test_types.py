@@ -1,0 +1,195 @@
+"""Unit tests for repro.coding.types."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding.types import (
+    AllocationError,
+    CodingError,
+    CodingStrategy,
+    ConstructionError,
+    PartitionAssignment,
+    StragglerPattern,
+)
+
+
+def make_assignment() -> PartitionAssignment:
+    return PartitionAssignment(
+        num_workers=3,
+        num_partitions=4,
+        partitions_per_worker=((0, 1), (1, 2, 3), (0, 3)),
+    )
+
+
+class TestPartitionAssignment:
+    def test_loads(self):
+        assignment = make_assignment()
+        assert assignment.loads == (2, 3, 2)
+
+    def test_total_copies(self):
+        assert make_assignment().total_copies == 7
+
+    def test_workers_holding(self):
+        assignment = make_assignment()
+        assert assignment.workers_holding(0) == (0, 2)
+        assert assignment.workers_holding(1) == (0, 1)
+        assert assignment.workers_holding(3) == (1, 2)
+
+    def test_workers_holding_out_of_range(self):
+        with pytest.raises(AllocationError):
+            make_assignment().workers_holding(4)
+        with pytest.raises(AllocationError):
+            make_assignment().workers_holding(-1)
+
+    def test_replication_counts(self):
+        counts = make_assignment().replication_counts()
+        assert counts.tolist() == [2, 2, 1, 2]
+
+    def test_min_replication(self):
+        assert make_assignment().min_replication() == 1
+
+    def test_support_matrix(self):
+        support = make_assignment().support_matrix()
+        expected = np.array(
+            [
+                [True, True, False, False],
+                [False, True, True, True],
+                [True, False, False, True],
+            ]
+        )
+        assert np.array_equal(support, expected)
+
+    def test_rejects_duplicate_partitions_per_worker(self):
+        with pytest.raises(AllocationError, match="duplicate"):
+            PartitionAssignment(
+                num_workers=1,
+                num_partitions=3,
+                partitions_per_worker=((0, 0),),
+            )
+
+    def test_rejects_out_of_range_partition(self):
+        with pytest.raises(AllocationError, match="out-of-range"):
+            PartitionAssignment(
+                num_workers=1,
+                num_partitions=2,
+                partitions_per_worker=((0, 2),),
+            )
+
+    def test_rejects_wrong_worker_count(self):
+        with pytest.raises(AllocationError):
+            PartitionAssignment(
+                num_workers=2,
+                num_partitions=2,
+                partitions_per_worker=((0,),),
+            )
+
+    @pytest.mark.parametrize("workers,partitions", [(0, 1), (1, 0), (-1, 2)])
+    def test_rejects_non_positive_sizes(self, workers, partitions):
+        with pytest.raises(AllocationError):
+            PartitionAssignment(
+                num_workers=workers,
+                num_partitions=partitions,
+                partitions_per_worker=tuple(() for _ in range(max(workers, 0))),
+            )
+
+
+class TestStragglerPattern:
+    def test_active_is_complement(self):
+        pattern = StragglerPattern(stragglers=(1, 3), num_workers=5)
+        assert pattern.active == (0, 2, 4)
+        assert pattern.num_stragglers == 2
+
+    def test_deduplicates_and_sorts(self):
+        pattern = StragglerPattern(stragglers=(3, 1, 3), num_workers=5)
+        assert pattern.stragglers == (1, 3)
+
+    def test_from_active_roundtrip(self):
+        pattern = StragglerPattern.from_active([0, 2, 4], num_workers=5)
+        assert pattern.stragglers == (1, 3)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(CodingError):
+            StragglerPattern(stragglers=(5,), num_workers=5)
+
+    def test_empty_pattern(self):
+        pattern = StragglerPattern(stragglers=(), num_workers=3)
+        assert pattern.active == (0, 1, 2)
+
+
+class TestCodingStrategy:
+    def _strategy(self) -> CodingStrategy:
+        assignment = make_assignment()
+        matrix = assignment.support_matrix().astype(float)
+        return CodingStrategy(
+            matrix=matrix,
+            assignment=assignment,
+            num_stragglers=0,
+            scheme="test",
+        )
+
+    def test_dimensions(self):
+        strategy = self._strategy()
+        assert strategy.num_workers == 3
+        assert strategy.num_partitions == 4
+        assert strategy.loads == (2, 3, 2)
+
+    def test_row_and_support(self):
+        strategy = self._strategy()
+        assert strategy.support(1) == (1, 2, 3)
+        assert np.array_equal(strategy.row(1), np.array([0.0, 1.0, 1.0, 1.0]))
+
+    def test_computation_times(self):
+        strategy = self._strategy()
+        times = strategy.computation_times([1.0, 3.0, 2.0])
+        assert np.allclose(times, [2.0, 1.0, 1.0])
+
+    def test_computation_times_rejects_bad_throughputs(self):
+        strategy = self._strategy()
+        with pytest.raises(CodingError):
+            strategy.computation_times([1.0, 2.0])
+        with pytest.raises(CodingError):
+            strategy.computation_times([1.0, -1.0, 2.0])
+
+    def test_rejects_matrix_outside_support(self):
+        assignment = make_assignment()
+        matrix = np.ones((3, 4))
+        with pytest.raises(ConstructionError, match="outside"):
+            CodingStrategy(
+                matrix=matrix,
+                assignment=assignment,
+                num_stragglers=0,
+                scheme="bad",
+            )
+
+    def test_rejects_shape_mismatch(self):
+        assignment = make_assignment()
+        with pytest.raises(ConstructionError):
+            CodingStrategy(
+                matrix=np.zeros((2, 4)),
+                assignment=assignment,
+                num_stragglers=0,
+                scheme="bad",
+            )
+        with pytest.raises(ConstructionError):
+            CodingStrategy(
+                matrix=np.zeros((3, 5)),
+                assignment=assignment,
+                num_stragglers=0,
+                scheme="bad",
+            )
+
+    def test_rejects_too_many_stragglers(self):
+        assignment = make_assignment()
+        matrix = assignment.support_matrix().astype(float)
+        with pytest.raises(ConstructionError):
+            CodingStrategy(
+                matrix=matrix,
+                assignment=assignment,
+                num_stragglers=3,
+                scheme="bad",
+            )
+
+    def test_describe_mentions_scheme(self):
+        assert "test" in self._strategy().describe()

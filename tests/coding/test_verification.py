@@ -1,0 +1,109 @@
+"""Unit tests for repro.coding.verification (Condition 1 checks)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import (
+    certify_robustness,
+    cyclic_strategy,
+    heterogeneity_aware_strategy,
+    is_robust,
+    iter_straggler_patterns,
+    naive_strategy,
+    solve_decoding_vector,
+    spans_all_ones,
+)
+from repro.coding.types import CodingError
+
+
+class TestSpansAllOnes:
+    def test_identity_rows_span(self):
+        assert spans_all_ones(np.eye(3))
+
+    def test_single_all_ones_row(self):
+        assert spans_all_ones(np.ones((1, 5)))
+
+    def test_insufficient_rows(self):
+        rows = np.array([[1.0, 0.0, 0.0], [0.0, 1.0, 0.0]])
+        assert not spans_all_ones(rows)
+
+    def test_empty_rows(self):
+        assert not spans_all_ones(np.zeros((0, 4)))
+
+    def test_solution_reconstructs_ones(self):
+        rows = np.array([[2.0, 0.0, 1.0], [0.0, 1.0, 0.5], [1.0, 1.0, 1.0]])
+        solution = solve_decoding_vector(rows)
+        assert solution is not None
+        assert np.allclose(solution @ rows, 1.0)
+
+    def test_solution_none_when_impossible(self):
+        rows = np.array([[1.0, 2.0, 3.0]])
+        assert solve_decoding_vector(rows) is None
+
+
+class TestIterStragglerPatterns:
+    def test_exact_count(self):
+        patterns = list(iter_straggler_patterns(5, 2))
+        assert len(patterns) == 10
+        assert all(p.num_stragglers == 2 for p in patterns)
+
+    def test_inclusive_sizes(self):
+        patterns = list(iter_straggler_patterns(4, 2, exact=False))
+        # C(4,0) + C(4,1) + C(4,2) = 1 + 4 + 6
+        assert len(patterns) == 11
+
+    def test_zero_stragglers(self):
+        patterns = list(iter_straggler_patterns(3, 0))
+        assert len(patterns) == 1
+        assert patterns[0].stragglers == ()
+
+
+class TestCertifyRobustness:
+    def test_heter_aware_is_robust(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        report = certify_robustness(strategy)
+        assert report.robust
+        assert report.exhaustive
+        assert report.patterns_checked == 5
+        assert report.failing_pattern is None
+
+    def test_naive_is_not_robust_to_one_straggler(self):
+        strategy = naive_strategy(4)
+        report = certify_robustness(strategy, num_stragglers=1)
+        assert not report.robust
+        assert report.failing_pattern is not None
+
+    def test_naive_is_robust_to_zero_stragglers(self):
+        assert is_robust(naive_strategy(4), num_stragglers=0)
+
+    def test_cyclic_robust_to_declared_but_not_more(self):
+        strategy = cyclic_strategy(6, 2, rng=0)
+        assert is_robust(strategy, num_stragglers=2)
+        assert not is_robust(strategy, num_stragglers=3)
+
+    def test_sampled_verification(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        report = certify_robustness(strategy, max_patterns=3, rng=0)
+        assert report.robust
+        assert not report.exhaustive
+        assert report.patterns_checked == 3
+
+    def test_s_geq_m_is_never_robust(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        report = certify_robustness(strategy, num_stragglers=5)
+        assert not report.robust
+
+    def test_negative_s_rejected(self, example_throughputs):
+        strategy = heterogeneity_aware_strategy(
+            example_throughputs, num_partitions=7, num_stragglers=1, rng=0
+        )
+        with pytest.raises(CodingError):
+            certify_robustness(strategy, num_stragglers=-1)

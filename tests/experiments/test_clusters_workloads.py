@@ -1,0 +1,95 @@
+"""Unit tests for the Table II cluster registry and the workload presets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.clusters import (
+    CLUSTER_NAMES,
+    TABLE_II,
+    build_all_clusters,
+    build_cluster,
+)
+from repro.experiments.workloads import WORKLOADS, get_workload
+
+
+class TestTableII:
+    def test_four_clusters(self):
+        assert CLUSTER_NAMES == ("Cluster-A", "Cluster-B", "Cluster-C", "Cluster-D")
+
+    def test_worker_counts_match_table(self):
+        expected = {"Cluster-A": 8, "Cluster-B": 16, "Cluster-C": 32, "Cluster-D": 58}
+        for name, count in expected.items():
+            assert sum(TABLE_II[name].values()) == count
+
+    def test_vcpu_compositions_match_paper(self):
+        assert TABLE_II["Cluster-A"] == {2: 2, 4: 2, 8: 3, 12: 1, 16: 0}
+        assert TABLE_II["Cluster-B"] == {2: 2, 4: 4, 8: 8, 12: 0, 16: 2}
+        assert TABLE_II["Cluster-C"] == {2: 1, 4: 4, 8: 10, 12: 12, 16: 5}
+        assert TABLE_II["Cluster-D"] == {2: 0, 4: 4, 8: 20, 12: 18, 16: 16}
+
+
+class TestBuildCluster:
+    def test_build_by_name(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        assert cluster.num_workers == 8
+        assert cluster.name == "Cluster-A"
+
+    def test_build_all(self):
+        clusters = build_all_clusters(rng=0)
+        assert {c.num_workers for c in clusters.values()} == {8, 16, 32, 58}
+
+    def test_throughput_scales_with_vcpus(self):
+        cluster = build_cluster("Cluster-A", rng=0, machine_spread=0.0)
+        speeds = cluster.true_throughputs
+        vcpus = np.array(cluster.vcpu_counts)
+        ratio = speeds / vcpus
+        assert np.allclose(ratio, ratio[0])
+
+    def test_custom_composition(self):
+        cluster = build_cluster("tiny", vcpu_counts={2: 1, 4: 1}, rng=0)
+        assert cluster.num_workers == 2
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_cluster("Cluster-Z")
+
+    def test_deterministic_per_seed(self):
+        a = build_cluster("Cluster-B", rng=3)
+        b = build_cluster("Cluster-B", rng=3)
+        assert np.allclose(a.true_throughputs, b.true_throughputs)
+
+
+class TestWorkloads:
+    def test_registry_contents(self):
+        assert {
+            "blobs_softmax",
+            "cifar10_softmax",
+            "cifar10_mlp",
+            "imagenet_cnn",
+        } <= set(WORKLOADS)
+
+    def test_get_workload_unknown(self):
+        with pytest.raises(KeyError):
+            get_workload("mnist")
+
+    @pytest.mark.parametrize("name", sorted(WORKLOADS))
+    def test_dataset_and_model_compatible(self, name):
+        workload = get_workload(name)
+        dataset = workload.make_dataset(num_samples=40, seed=0)
+        model = workload.make_model(dataset, seed=0)
+        loss, grad = model.loss_and_gradient(dataset.features[:8], dataset.labels[:8])
+        assert np.isfinite(loss)
+        assert grad.shape == (model.num_parameters,)
+
+    def test_default_samples_used(self):
+        workload = get_workload("blobs_softmax")
+        dataset = workload.make_dataset(seed=0)
+        assert dataset.num_samples == workload.default_samples
+
+    def test_dataset_deterministic(self):
+        workload = get_workload("cifar10_softmax")
+        a = workload.make_dataset(num_samples=16, seed=5)
+        b = workload.make_dataset(num_samples=16, seed=5)
+        assert np.array_equal(a.features, b.features)

@@ -1,0 +1,237 @@
+"""Tests for the per-figure experiment harnesses (small-scale runs).
+
+These tests run every figure's ``run_*`` function at a deliberately small
+scale and assert the *qualitative shape* the paper reports — who wins, what
+grows, what stays flat — not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    measure_timing_trace,
+    report_estimation_error,
+    report_fig2,
+    report_fig3,
+    report_fig4,
+    report_fig5,
+    report_optimality_sweep,
+    report_table2,
+    run_estimation_error_sweep,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_optimality_sweep,
+    run_table2,
+)
+from repro.experiments.clusters import build_cluster
+
+
+class TestMeasureTimingTrace:
+    def test_trace_shape(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        trace = measure_timing_trace(
+            "heter_aware",
+            cluster,
+            num_stragglers=1,
+            total_samples=1024,
+            num_iterations=5,
+            seed=0,
+        )
+        assert trace.num_iterations == 5
+        assert trace.metadata["mode"] == "timing_only"
+        assert np.all(np.isfinite(trace.durations))
+
+    def test_scheme_partition_conventions(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        cyclic = measure_timing_trace(
+            "cyclic", cluster, 1, total_samples=1024, num_iterations=2, seed=0
+        )
+        heter = measure_timing_trace(
+            "heter_aware", cluster, 1, total_samples=1024, num_iterations=2, seed=0
+        )
+        assert cyclic.metadata["num_partitions"] == cluster.num_workers
+        assert heter.metadata["num_partitions"] == 2 * cluster.num_workers
+
+    def test_rejects_bad_arguments(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        with pytest.raises(ValueError):
+            measure_timing_trace("naive", cluster, 0, total_samples=0, num_iterations=2)
+        with pytest.raises(ValueError):
+            measure_timing_trace("naive", cluster, 0, total_samples=10, num_iterations=0)
+
+
+class TestTable2:
+    def test_report_contains_every_cluster(self):
+        result = run_table2()
+        text = report_table2(result)
+        for name in ("Cluster-A", "Cluster-B", "Cluster-C", "Cluster-D"):
+            assert name in text
+
+    def test_worker_counts(self):
+        result = run_table2()
+        assert result.num_workers["Cluster-A"] == 8
+        assert result.num_workers["Cluster-D"] == 58
+
+    def test_heterogeneity_above_one(self):
+        result = run_table2()
+        assert all(ratio > 1.0 for ratio in result.heterogeneity_ratio.values())
+
+
+class TestFig2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig2(
+            num_stragglers=1,
+            delays=(0.0, 2.0, float("inf")),
+            num_iterations=6,
+            total_samples=1024,
+            seed=0,
+        )
+
+    def test_naive_grows_with_delay_and_stalls_on_fault(self, result):
+        naive = result.mean_times["naive"]
+        assert naive[1] > naive[0]
+        assert np.isinf(naive[-1])
+
+    def test_coded_schemes_stay_flat(self, result):
+        for scheme in ("heter_aware", "group_based"):
+            times = result.mean_times[scheme]
+            assert np.isfinite(times[-1])
+            assert times[-1] < 1.5 * times[0]
+
+    def test_heter_aware_beats_cyclic_at_fault(self, result):
+        fault = len(result.delays) - 1
+        assert result.speedup_over("cyclic", "heter_aware", fault) > 1.5
+
+    def test_report_renders(self, result):
+        text = report_fig2(result)
+        assert "Fig. 2" in text
+        assert "fault" in text
+
+
+class TestFig3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig3(
+            clusters=("Cluster-A", "Cluster-B"),
+            num_iterations=5,
+            total_samples=1024,
+            seed=0,
+        )
+
+    def test_heter_family_fastest_everywhere(self, result):
+        for cluster in result.clusters:
+            fastest = result.fastest_scheme(cluster)
+            assert fastest in ("heter_aware", "group_based")
+
+    def test_worker_counts_recorded(self, result):
+        assert result.num_workers["Cluster-A"] == 8
+        assert result.num_workers["Cluster-B"] == 16
+
+    def test_report_renders(self, result):
+        assert "Fig. 3" in report_fig3(result)
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig4(
+            schemes=("naive", "cyclic", "heter_aware", "group_based", "ssp"),
+            cluster_name="Cluster-A",
+            workload="blobs_softmax",
+            num_samples=256,
+            num_iterations=6,
+            loss_eval_samples=128,
+            num_grid_points=10,
+            seed=0,
+        )
+
+    def test_all_schemes_have_curves(self, result):
+        assert set(result.loss_curves) == set(result.schemes)
+        for curve in result.loss_curves.values():
+            assert curve.shape == result.time_grid.shape
+
+    def test_losses_decrease_over_time(self, result):
+        for scheme in ("naive", "heter_aware", "group_based"):
+            curve = result.loss_curves[scheme]
+            assert curve[-1] < curve[0]
+
+    def test_heter_aware_auc_beats_naive(self, result):
+        assert (
+            result.area_under_curve["heter_aware"]
+            <= result.area_under_curve["naive"] + 1e-9
+        )
+
+    def test_ranking_has_all_schemes(self, result):
+        assert sorted(result.ranking()) == sorted(result.schemes)
+
+    def test_report_renders(self, result):
+        text = report_fig4(result)
+        assert "Fig. 4" in text
+        assert "ranking" in text
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig5(num_iterations=8, total_samples=1024, seed=0)
+
+    def test_naive_has_lowest_usage(self, result):
+        naive = result.resource_usage["naive"]
+        assert all(
+            naive <= result.resource_usage[s] + 1e-9
+            for s in result.schemes
+            if s != "naive"
+        )
+
+    def test_heter_family_highest_usage(self, result):
+        assert result.best_scheme() in ("heter_aware", "group_based")
+
+    def test_usages_are_fractions(self, result):
+        for usage in result.resource_usage.values():
+            assert 0.0 < usage <= 1.0
+
+    def test_report_renders(self, result):
+        assert "Fig. 5" in report_fig5(result)
+
+
+class TestSweeps:
+    def test_estimation_error_sweep_shape(self):
+        result = run_estimation_error_sweep(
+            error_levels=(0.0, 0.3),
+            num_iterations=5,
+            total_samples=1024,
+            seed=0,
+        )
+        assert result.error_levels == (0.0, 0.3)
+        for scheme in result.schemes:
+            assert len(result.mean_times[scheme]) == 2
+            assert all(np.isfinite(t) for t in result.mean_times[scheme])
+        assert "ablation" in report_estimation_error(result)
+
+    def test_optimality_sweep(self):
+        result = run_optimality_sweep(num_trials=3, num_workers=6, seed=0)
+        assert result.mean_ratio("heter_aware") < result.mean_ratio("cyclic")
+        assert result.mean_ratio("heter_aware") < 1.35
+        assert "Theorem 5" in report_optimality_sweep(result)
+
+    def test_communication_overlap_sweep(self):
+        from repro.experiments import (
+            report_communication_overlap,
+            run_communication_overlap_sweep,
+        )
+
+        result = run_communication_overlap_sweep(
+            overlap_fractions=(0.0, 1.0),
+            num_iterations=5,
+            total_samples=1024,
+            seed=0,
+        )
+        assert len(result.mean_iteration_time) == 2
+        assert result.mean_iteration_time[1] <= result.mean_iteration_time[0]
+        assert result.resource_usage[1] >= result.resource_usage[0]
+        assert "overlap" in report_communication_overlap(result)

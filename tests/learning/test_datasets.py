@@ -1,0 +1,149 @@
+"""Unit tests for repro.learning.datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.datasets import (
+    Dataset,
+    DatasetError,
+    make_blobs,
+    make_cifar10_like,
+    make_image_classification,
+    make_imagenet_like,
+    make_linear_regression,
+    train_test_split,
+)
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        dataset = Dataset(
+            features=np.zeros((10, 4)), labels=np.zeros(10, dtype=int), num_classes=2
+        )
+        assert dataset.num_samples == 10
+        assert dataset.num_features == 4
+        assert dataset.feature_shape == (4,)
+        assert dataset.is_classification
+
+    def test_regression_dataset(self):
+        dataset = Dataset(
+            features=np.zeros((5, 3)), labels=np.zeros(5), num_classes=0
+        )
+        assert not dataset.is_classification
+
+    def test_subset(self):
+        dataset = make_blobs(num_samples=20, num_features=4, num_classes=2, rng=0)
+        subset = dataset.subset([0, 5, 7])
+        assert subset.num_samples == 3
+        assert np.array_equal(subset.features[1], dataset.features[5])
+
+    def test_flattened(self):
+        dataset = make_cifar10_like(num_samples=6, rng=0)
+        flat = dataset.flattened()
+        assert flat.feature_shape == (32 * 32 * 3,)
+        assert flat.num_samples == 6
+
+    def test_flattened_noop_for_flat_data(self):
+        dataset = make_blobs(num_samples=6, num_features=4, num_classes=2, rng=0)
+        assert dataset.flattened() is dataset
+
+    def test_rejects_mismatched_rows(self):
+        with pytest.raises(DatasetError):
+            Dataset(features=np.zeros((3, 2)), labels=np.zeros(4), num_classes=0)
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(DatasetError):
+            Dataset(
+                features=np.zeros((3, 2)),
+                labels=np.array([0, 1, 5]),
+                num_classes=3,
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(DatasetError):
+            Dataset(features=np.zeros((0, 2)), labels=np.zeros(0), num_classes=2)
+
+
+class TestGenerators:
+    def test_blobs_shapes_and_balance(self):
+        dataset = make_blobs(num_samples=100, num_features=8, num_classes=4, rng=0)
+        assert dataset.features.shape == (100, 8)
+        counts = np.bincount(dataset.labels, minlength=4)
+        assert counts.min() >= 20  # roughly balanced
+
+    def test_blobs_deterministic(self):
+        a = make_blobs(num_samples=30, num_features=4, num_classes=3, rng=7)
+        b = make_blobs(num_samples=30, num_features=4, num_classes=3, rng=7)
+        assert np.array_equal(a.features, b.features)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_blobs_separation_improves_separability(self):
+        near = make_blobs(num_samples=200, num_features=8, num_classes=2,
+                          separation=0.1, rng=0)
+        far = make_blobs(num_samples=200, num_features=8, num_classes=2,
+                         separation=10.0, rng=0)
+
+        def class_distance(dataset):
+            centroids = [
+                dataset.features[dataset.labels == c].mean(axis=0) for c in range(2)
+            ]
+            return float(np.linalg.norm(centroids[0] - centroids[1]))
+
+        assert class_distance(far) > class_distance(near)
+
+    def test_image_classification_shape(self):
+        dataset = make_image_classification(
+            num_samples=12, image_size=16, channels=3, num_classes=4, rng=0
+        )
+        assert dataset.features.shape == (12, 16, 16, 3)
+        assert dataset.num_features == 16 * 16 * 3
+
+    def test_cifar_like_profile(self):
+        dataset = make_cifar10_like(num_samples=10, rng=0)
+        assert dataset.feature_shape == (32, 32, 3)
+        assert dataset.num_classes == 10
+
+    def test_imagenet_like_profile(self):
+        dataset = make_imagenet_like(num_samples=10, num_classes=20, image_size=32, rng=0)
+        assert dataset.feature_shape == (32, 32, 3)
+        assert dataset.num_classes == 20
+
+    def test_linear_regression_targets(self):
+        dataset = make_linear_regression(num_samples=50, num_features=5, rng=0)
+        assert dataset.num_classes == 0
+        assert dataset.labels.shape == (50,)
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(DatasetError):
+            make_blobs(num_samples=0)
+        with pytest.raises(DatasetError):
+            make_image_classification(
+                num_samples=4, image_size=0, channels=3, num_classes=2
+            )
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self):
+        dataset = make_blobs(num_samples=100, rng=0)
+        train, test = train_test_split(dataset, test_fraction=0.25, rng=0)
+        assert train.num_samples == 75
+        assert test.num_samples == 25
+
+    def test_disjoint_and_complete(self):
+        dataset = make_blobs(num_samples=40, num_features=3, num_classes=2, rng=0)
+        train, test = train_test_split(dataset, test_fraction=0.5, rng=1)
+        combined = np.vstack([train.features, test.features])
+        assert combined.shape[0] == dataset.num_samples
+        # Every original row appears exactly once in the union.
+        original = {tuple(row) for row in dataset.features.round(12)}
+        split_rows = {tuple(row) for row in combined.round(12)}
+        assert original == split_rows
+
+    def test_rejects_bad_fraction(self):
+        dataset = make_blobs(num_samples=10, rng=0)
+        with pytest.raises(DatasetError):
+            train_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(DatasetError):
+            train_test_split(dataset, test_fraction=1.0)

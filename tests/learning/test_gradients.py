@@ -1,0 +1,135 @@
+"""Unit and property tests for repro.learning.gradients (the coding glue)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import Decoder, heterogeneity_aware_strategy, naive_strategy
+from repro.learning.datasets import make_blobs
+from repro.learning.gradients import (
+    compute_partial_gradients,
+    compute_partition_gradient,
+    encode_all_workers,
+    encode_worker_gradient,
+    full_gradient,
+    partition_losses,
+)
+from repro.learning.models import SoftmaxClassifier
+from repro.learning.partition import partition_dataset
+
+
+class TestPartialGradients:
+    def test_partial_gradients_sum_to_full_batch_gradient(
+        self, softmax_model, partitioned_blobs, blob_dataset
+    ):
+        """The core additivity property: sum_i g_i == full-batch gradient."""
+        partial = compute_partial_gradients(softmax_model, partitioned_blobs)
+        total = sum(partial.values())
+        used_indices = np.concatenate(
+            [p.sample_indices for p in partitioned_blobs.partitions]
+        )
+        _, direct = softmax_model.loss_and_gradient(
+            blob_dataset.features[used_indices], blob_dataset.labels[used_indices]
+        )
+        assert np.allclose(total, direct, atol=1e-9)
+
+    def test_full_gradient_helper_matches_sum(self, softmax_model, partitioned_blobs):
+        partial = compute_partial_gradients(softmax_model, partitioned_blobs)
+        assert np.allclose(
+            full_gradient(softmax_model, partitioned_blobs), sum(partial.values())
+        )
+
+    def test_subset_of_partitions(self, softmax_model, partitioned_blobs):
+        partial = compute_partial_gradients(softmax_model, partitioned_blobs, [0, 3, 5])
+        assert set(partial.keys()) == {0, 3, 5}
+
+    def test_partition_gradient_shape(self, softmax_model, partitioned_blobs):
+        loss, grad = compute_partition_gradient(softmax_model, partitioned_blobs, 0)
+        assert np.isfinite(loss)
+        assert grad.shape == (softmax_model.num_parameters,)
+
+    def test_partition_losses_sum(self, softmax_model, partitioned_blobs, blob_dataset):
+        losses = partition_losses(softmax_model, partitioned_blobs)
+        used_indices = np.concatenate(
+            [p.sample_indices for p in partitioned_blobs.partitions]
+        )
+        direct = softmax_model.loss(
+            blob_dataset.features[used_indices], blob_dataset.labels[used_indices]
+        )
+        assert sum(losses.values()) == pytest.approx(direct)
+
+
+class TestEncoding:
+    def test_encode_respects_support(self, softmax_model, partitioned_blobs):
+        strategy = heterogeneity_aware_strategy(
+            [1, 2, 3, 4, 4], num_partitions=10, num_stragglers=1, rng=0
+        )
+        partial = compute_partial_gradients(softmax_model, partitioned_blobs)
+        coded = encode_worker_gradient(strategy, 0, partial)
+        support = list(strategy.support(0))
+        expected = strategy.row(0)[support] @ np.vstack([partial[j] for j in support])
+        assert np.allclose(coded, expected)
+
+    def test_encode_all_and_decode_equals_full_gradient(
+        self, softmax_model, partitioned_blobs
+    ):
+        strategy = heterogeneity_aware_strategy(
+            [1, 2, 3, 4, 4], num_partitions=10, num_stragglers=1, rng=0
+        )
+        partial = compute_partial_gradients(softmax_model, partitioned_blobs)
+        coded = encode_all_workers(strategy, partial)
+        expected = full_gradient(softmax_model, partitioned_blobs)
+        decoder = Decoder(strategy)
+        for straggler in range(strategy.num_workers):
+            received = {w: g for w, g in coded.items() if w != straggler}
+            recovered = decoder.decode(received)
+            assert np.allclose(recovered, expected, atol=1e-7)
+
+    def test_missing_partition_raises(self, softmax_model, partitioned_blobs):
+        strategy = heterogeneity_aware_strategy(
+            [1, 2, 3, 4, 4], num_partitions=10, num_stragglers=1, rng=0
+        )
+        partial = compute_partial_gradients(softmax_model, partitioned_blobs, [0])
+        with pytest.raises(KeyError):
+            encode_worker_gradient(strategy, 4, partial)
+
+    def test_empty_support_worker_encodes_zero(self, softmax_model, partitioned_blobs):
+        # Build a strategy in which one worker ends up with zero partitions:
+        # one extremely slow worker among fast ones.
+        strategy = heterogeneity_aware_strategy(
+            [0.01, 10, 10, 10], num_partitions=8, num_stragglers=1, rng=0
+        )
+        if strategy.loads[0] != 0:
+            pytest.skip("allocation assigned the slow worker a partition")
+        partial = compute_partial_gradients(softmax_model, partitioned_blobs)
+        coded = encode_worker_gradient(strategy, 0, partial)
+        assert np.allclose(coded, 0.0)
+
+    def test_naive_encoding_is_plain_sum(self, softmax_model, blob_dataset):
+        partitioned = partition_dataset(blob_dataset, 5, rng=0)
+        strategy = naive_strategy(5)
+        partial = compute_partial_gradients(softmax_model, partitioned)
+        coded = encode_all_workers(strategy, partial)
+        for worker in range(5):
+            assert np.allclose(coded[worker], partial[worker])
+
+    @given(seed=st.integers(0, 1000), straggler=st.integers(0, 4))
+    @settings(max_examples=15, deadline=None)
+    def test_property_decode_equals_full_gradient(self, seed, straggler):
+        """For random models and data, decoding is always exact."""
+        dataset = make_blobs(num_samples=60, num_features=6, num_classes=3, rng=seed)
+        partitioned = partition_dataset(dataset, 10, rng=seed)
+        model = SoftmaxClassifier(6, 3, rng=seed)
+        strategy = heterogeneity_aware_strategy(
+            [1, 2, 3, 4, 4], num_partitions=10, num_stragglers=1, rng=seed
+        )
+        partial = compute_partial_gradients(model, partitioned)
+        coded = encode_all_workers(strategy, partial)
+        received = {w: g for w, g in coded.items() if w != straggler}
+        recovered = Decoder(strategy).decode(received)
+        expected = full_gradient(model, partitioned)
+        scale = max(1.0, float(np.abs(expected).max()))
+        assert np.allclose(recovered, expected, atol=1e-7 * scale)

@@ -1,0 +1,124 @@
+"""Unit tests for repro.learning.losses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.losses import (
+    cross_entropy_loss,
+    log_softmax,
+    mean_squared_error_loss,
+    one_hot,
+    softmax,
+)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        logits = rng.normal(size=(7, 5))
+        probs = softmax(logits)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs > 0)
+
+    def test_shift_invariance(self, rng):
+        logits = rng.normal(size=(4, 3))
+        assert np.allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_numerical_stability_large_logits(self):
+        logits = np.array([[1000.0, 0.0], [0.0, -1000.0]])
+        probs = softmax(logits)
+        assert np.all(np.isfinite(probs))
+        assert probs[0, 0] == pytest.approx(1.0)
+
+    def test_log_softmax_consistency(self, rng):
+        logits = rng.normal(size=(6, 4))
+        assert np.allclose(np.exp(log_softmax(logits)), softmax(logits))
+
+
+class TestOneHot:
+    def test_encoding(self):
+        encoded = one_hot(np.array([0, 2, 1]), 3)
+        assert np.array_equal(
+            encoded, np.array([[1, 0, 0], [0, 0, 1], [0, 1, 0]], dtype=float)
+        )
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            one_hot(np.array([0, 3]), 3)
+
+    def test_rejects_2d_labels(self):
+        with pytest.raises(ValueError):
+            one_hot(np.zeros((2, 2), dtype=int), 3)
+
+
+class TestCrossEntropy:
+    def test_perfect_prediction_low_loss(self):
+        logits = np.array([[100.0, 0.0], [0.0, 100.0]])
+        labels = np.array([0, 1])
+        loss, _ = cross_entropy_loss(logits, labels)
+        assert loss == pytest.approx(0.0, abs=1e-6)
+
+    def test_uniform_prediction_loss(self):
+        logits = np.zeros((3, 4))
+        labels = np.array([0, 1, 2])
+        loss, _ = cross_entropy_loss(logits, labels)
+        assert loss == pytest.approx(3 * np.log(4))
+
+    def test_loss_is_sum_over_samples(self, rng):
+        logits = rng.normal(size=(8, 3))
+        labels = rng.integers(0, 3, size=8)
+        total, _ = cross_entropy_loss(logits, labels)
+        partial = sum(
+            cross_entropy_loss(logits[i : i + 1], labels[i : i + 1])[0]
+            for i in range(8)
+        )
+        assert total == pytest.approx(partial)
+
+    def test_gradient_matches_finite_differences(self, rng):
+        logits = rng.normal(size=(4, 3))
+        labels = rng.integers(0, 3, size=4)
+        _, grad = cross_entropy_loss(logits, labels)
+        eps = 1e-6
+        for i in range(4):
+            for j in range(3):
+                plus = logits.copy()
+                plus[i, j] += eps
+                minus = logits.copy()
+                minus[i, j] -= eps
+                numeric = (
+                    cross_entropy_loss(plus, labels)[0]
+                    - cross_entropy_loss(minus, labels)[0]
+                ) / (2 * eps)
+                assert grad[i, j] == pytest.approx(numeric, abs=1e-5)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        logits = rng.normal(size=(5, 4))
+        labels = rng.integers(0, 4, size=5)
+        _, grad = cross_entropy_loss(logits, labels)
+        assert np.allclose(grad.sum(axis=1), 0.0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.zeros(3), np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            cross_entropy_loss(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestMeanSquaredError:
+    def test_zero_for_exact_prediction(self):
+        predictions = np.array([1.0, 2.0, 3.0])
+        loss, grad = mean_squared_error_loss(predictions, predictions)
+        assert loss == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_value_and_gradient(self):
+        predictions = np.array([1.0, 3.0])
+        targets = np.array([0.0, 0.0])
+        loss, grad = mean_squared_error_loss(predictions, targets)
+        assert loss == pytest.approx(0.5 * (1 + 9))
+        assert np.allclose(grad, [1.0, 3.0])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error_loss(np.zeros(3), np.zeros(4))

@@ -1,0 +1,232 @@
+"""Unit tests for the numpy model zoo (gradient checks, parameter round-trips)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.datasets import make_blobs, make_image_classification, make_linear_regression
+from repro.learning.models import (
+    LinearRegressionModel,
+    MLPClassifier,
+    ModelError,
+    ParameterLayout,
+    SimpleCNN,
+    SoftmaxClassifier,
+)
+
+
+def finite_difference_check(model, features, labels, num_checks=10, epsilon=1e-6):
+    """Max relative error between analytic and numeric gradients."""
+    theta = model.parameters()
+    _, grad = model.loss_and_gradient(features, labels)
+    rng = np.random.default_rng(0)
+    indices = rng.choice(theta.size, size=min(num_checks, theta.size), replace=False)
+    worst = 0.0
+    for index in indices:
+        plus = theta.copy()
+        plus[index] += epsilon
+        model.set_parameters(plus)
+        loss_plus = model.loss(features, labels)
+        minus = theta.copy()
+        minus[index] -= epsilon
+        model.set_parameters(minus)
+        loss_minus = model.loss(features, labels)
+        numeric = (loss_plus - loss_minus) / (2 * epsilon)
+        denominator = max(1.0, abs(numeric), abs(grad[index]))
+        worst = max(worst, abs(numeric - grad[index]) / denominator)
+    model.set_parameters(theta)
+    return worst
+
+
+class TestParameterLayout:
+    def test_pack_unpack_roundtrip(self, rng):
+        layout = ParameterLayout([("a", (2, 3)), ("b", (4,)), ("c", ())])
+        arrays = {
+            "a": rng.normal(size=(2, 3)),
+            "b": rng.normal(size=4),
+            "c": np.asarray(1.5),
+        }
+        flat = layout.pack(arrays)
+        assert flat.shape == (11,)
+        unpacked = layout.unpack(flat)
+        for name in arrays:
+            assert np.allclose(unpacked[name], arrays[name])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ModelError):
+            ParameterLayout([("a", (2,)), ("a", (3,))])
+
+    def test_rejects_wrong_shape_on_pack(self):
+        layout = ParameterLayout([("a", (2,))])
+        with pytest.raises(ModelError):
+            layout.pack({"a": np.zeros(3)})
+
+    def test_rejects_wrong_length_on_unpack(self):
+        layout = ParameterLayout([("a", (2,))])
+        with pytest.raises(ModelError):
+            layout.unpack(np.zeros(3))
+
+
+class TestSoftmaxClassifier:
+    def test_gradient_check(self):
+        dataset = make_blobs(num_samples=40, num_features=6, num_classes=3, rng=0)
+        model = SoftmaxClassifier(6, 3, rng=0)
+        assert finite_difference_check(model, dataset.features, dataset.labels) < 1e-5
+
+    def test_parameter_roundtrip(self):
+        model = SoftmaxClassifier(4, 3, rng=0)
+        theta = model.parameters()
+        model.set_parameters(theta * 2)
+        assert np.allclose(model.parameters(), theta * 2)
+
+    def test_training_improves_accuracy(self):
+        dataset = make_blobs(num_samples=200, num_features=8, num_classes=4,
+                             separation=4.0, rng=0)
+        model = SoftmaxClassifier(8, 4, rng=0)
+        theta = model.parameters()
+        for _ in range(60):
+            _, grad = model.loss_and_gradient(dataset.features, dataset.labels)
+            theta = theta - 0.01 * grad / dataset.num_samples
+            model.set_parameters(theta)
+        assert model.accuracy(dataset.features, dataset.labels) > 0.9
+
+    def test_predict_proba_sums_to_one(self):
+        dataset = make_blobs(num_samples=10, num_features=4, num_classes=3, rng=0)
+        model = SoftmaxClassifier(4, 3, rng=0)
+        probs = model.predict_proba(dataset.features)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_accepts_image_shaped_input(self):
+        dataset = make_image_classification(
+            num_samples=6, image_size=8, channels=3, num_classes=2, rng=0
+        )
+        model = SoftmaxClassifier(8 * 8 * 3, 2, rng=0)
+        assert model.predict(dataset.features).shape == (6,)
+
+    def test_rejects_wrong_feature_count(self):
+        model = SoftmaxClassifier(4, 3, rng=0)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((2, 5)))
+
+    def test_rejects_bad_construction(self):
+        with pytest.raises(ModelError):
+            SoftmaxClassifier(0, 3)
+        with pytest.raises(ModelError):
+            SoftmaxClassifier(4, 1)
+
+
+class TestMLPClassifier:
+    def test_gradient_check_relu(self):
+        dataset = make_blobs(num_samples=30, num_features=5, num_classes=3, rng=1)
+        model = MLPClassifier(5, 3, hidden_sizes=(8, 6), activation="relu", rng=1)
+        assert finite_difference_check(model, dataset.features, dataset.labels) < 1e-4
+
+    def test_gradient_check_tanh(self):
+        dataset = make_blobs(num_samples=30, num_features=5, num_classes=3, rng=1)
+        model = MLPClassifier(5, 3, hidden_sizes=(8,), activation="tanh", rng=1)
+        assert finite_difference_check(model, dataset.features, dataset.labels) < 1e-5
+
+    def test_no_hidden_layers_behaves_like_softmax(self):
+        dataset = make_blobs(num_samples=30, num_features=5, num_classes=3, rng=1)
+        model = MLPClassifier(5, 3, hidden_sizes=(), rng=1)
+        assert finite_difference_check(model, dataset.features, dataset.labels) < 1e-5
+
+    def test_parameter_count(self):
+        model = MLPClassifier(10, 4, hidden_sizes=(16,), rng=0)
+        expected = 10 * 16 + 16 + 16 * 4 + 4
+        assert model.num_parameters == expected
+
+    def test_clone_is_independent(self):
+        model = MLPClassifier(4, 2, hidden_sizes=(3,), rng=0)
+        clone = model.clone()
+        clone.set_parameters(clone.parameters() + 1.0)
+        assert not np.allclose(model.parameters(), clone.parameters())
+
+    def test_training_reduces_loss(self):
+        dataset = make_blobs(num_samples=150, num_features=6, num_classes=3,
+                             separation=3.0, rng=2)
+        model = MLPClassifier(6, 3, hidden_sizes=(16,), rng=2)
+        theta = model.parameters()
+        initial = model.loss(dataset.features, dataset.labels) / dataset.num_samples
+        for _ in range(80):
+            _, grad = model.loss_and_gradient(dataset.features, dataset.labels)
+            theta = theta - 0.05 * grad / dataset.num_samples
+            model.set_parameters(theta)
+        final = model.loss(dataset.features, dataset.labels) / dataset.num_samples
+        assert final < 0.5 * initial
+
+    def test_rejects_bad_activation(self):
+        with pytest.raises(ModelError):
+            MLPClassifier(4, 2, activation="sigmoid")
+
+    def test_rejects_bad_hidden_size(self):
+        with pytest.raises(ModelError):
+            MLPClassifier(4, 2, hidden_sizes=(0,))
+
+
+class TestSimpleCNN:
+    def test_gradient_check(self):
+        dataset = make_image_classification(
+            num_samples=8, image_size=10, channels=2, num_classes=3, rng=3
+        )
+        model = SimpleCNN(image_size=10, channels=2, num_classes=3, num_filters=3, rng=3)
+        assert finite_difference_check(model, dataset.features, dataset.labels) < 1e-4
+
+    def test_accepts_flattened_images(self):
+        dataset = make_image_classification(
+            num_samples=4, image_size=8, channels=3, num_classes=2, rng=0
+        )
+        model = SimpleCNN(image_size=8, channels=3, num_classes=2, rng=0)
+        flat = dataset.features.reshape(4, -1)
+        assert model.predict(flat).shape == (4,)
+
+    def test_predict_proba(self):
+        dataset = make_image_classification(
+            num_samples=4, image_size=8, channels=1, num_classes=3, rng=0
+        )
+        model = SimpleCNN(image_size=8, channels=1, num_classes=3, rng=0)
+        probs = model.predict_proba(dataset.features)
+        assert probs.shape == (4, 3)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_parameter_roundtrip(self):
+        model = SimpleCNN(image_size=8, channels=1, num_classes=2, rng=0)
+        theta = model.parameters()
+        model.set_parameters(theta * 0.5)
+        assert np.allclose(model.parameters(), theta * 0.5)
+
+    def test_rejects_wrong_image_shape(self):
+        model = SimpleCNN(image_size=8, channels=3, num_classes=2, rng=0)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((2, 9, 9, 3)))
+
+    def test_rejects_image_smaller_than_kernel(self):
+        with pytest.raises(ModelError):
+            SimpleCNN(image_size=2, channels=1, num_classes=2, kernel_size=3)
+
+
+class TestLinearRegressionModel:
+    def test_gradient_check(self):
+        dataset = make_linear_regression(num_samples=30, num_features=5, rng=0)
+        model = LinearRegressionModel(5, rng=0)
+        assert finite_difference_check(model, dataset.features, dataset.labels) < 1e-6
+
+    def test_recovers_true_weights(self):
+        dataset = make_linear_regression(
+            num_samples=400, num_features=4, noise=0.01, rng=1
+        )
+        model = LinearRegressionModel(4, rng=1)
+        theta = model.parameters()
+        for _ in range(400):
+            _, grad = model.loss_and_gradient(dataset.features, dataset.labels)
+            theta = theta - 0.1 * grad / dataset.num_samples
+            model.set_parameters(theta)
+        predictions = model.predict(dataset.features)
+        residual = np.mean((predictions - dataset.labels) ** 2)
+        assert residual < 0.01
+
+    def test_rejects_wrong_feature_count(self):
+        model = LinearRegressionModel(3, rng=0)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((2, 4)))

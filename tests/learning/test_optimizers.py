@@ -1,0 +1,121 @@
+"""Unit tests for repro.learning.optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.optimizers import SGD, Adam, MomentumSGD
+from repro.learning.optimizers import OptimizerError
+
+
+def quadratic_gradient(theta: np.ndarray) -> np.ndarray:
+    """Gradient of f(theta) = 0.5 ||theta - 3||^2."""
+    return theta - 3.0
+
+
+class TestSGD:
+    def test_single_step(self):
+        optimizer = SGD(learning_rate=0.1)
+        theta = np.array([1.0, 2.0])
+        grad = np.array([0.5, -0.5])
+        updated = optimizer.step(theta, grad)
+        assert np.allclose(updated, [0.95, 2.05])
+
+    def test_converges_on_quadratic(self):
+        optimizer = SGD(learning_rate=0.2)
+        theta = np.zeros(4)
+        for _ in range(100):
+            theta = optimizer.step(theta, quadratic_gradient(theta))
+        assert np.allclose(theta, 3.0, atol=1e-6)
+
+    def test_does_not_mutate_inputs(self):
+        optimizer = SGD(learning_rate=0.1)
+        theta = np.ones(3)
+        grad = np.ones(3)
+        optimizer.step(theta, grad)
+        assert np.allclose(theta, 1.0)
+        assert np.allclose(grad, 1.0)
+
+    def test_step_count(self):
+        optimizer = SGD(learning_rate=0.1)
+        theta = np.zeros(2)
+        for expected in range(1, 4):
+            theta = optimizer.step(theta, np.ones(2))
+            assert optimizer.steps_taken == expected
+        optimizer.reset()
+        assert optimizer.steps_taken == 0
+
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(OptimizerError):
+            SGD(learning_rate=0.0)
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(OptimizerError):
+            SGD(0.1).step(np.zeros(3), np.zeros(4))
+
+
+class TestMomentumSGD:
+    def test_momentum_accumulates(self):
+        optimizer = MomentumSGD(learning_rate=0.1, momentum=0.9)
+        theta = np.zeros(1)
+        grad = np.ones(1)
+        first = optimizer.step(theta, grad)
+        second = optimizer.step(first, grad)
+        # The second step moves further than the first due to momentum.
+        assert abs(second[0] - first[0]) > abs(first[0] - theta[0])
+
+    def test_converges_on_quadratic(self):
+        optimizer = MomentumSGD(learning_rate=0.05, momentum=0.8)
+        theta = np.zeros(3)
+        for _ in range(300):
+            theta = optimizer.step(theta, quadratic_gradient(theta))
+        assert np.allclose(theta, 3.0, atol=1e-4)
+
+    def test_nesterov_variant_runs(self):
+        optimizer = MomentumSGD(learning_rate=0.05, momentum=0.8, nesterov=True)
+        theta = np.zeros(3)
+        for _ in range(300):
+            theta = optimizer.step(theta, quadratic_gradient(theta))
+        assert np.allclose(theta, 3.0, atol=1e-3)
+
+    def test_reset_clears_velocity(self):
+        optimizer = MomentumSGD(learning_rate=0.1, momentum=0.9)
+        theta = optimizer.step(np.zeros(2), np.ones(2))
+        optimizer.reset()
+        after_reset = optimizer.step(np.zeros(2), np.ones(2))
+        assert np.allclose(theta, after_reset)
+
+    def test_rejects_bad_momentum(self):
+        with pytest.raises(OptimizerError):
+            MomentumSGD(learning_rate=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        optimizer = Adam(learning_rate=0.1)
+        theta = np.zeros(5)
+        for _ in range(500):
+            theta = optimizer.step(theta, quadratic_gradient(theta))
+        assert np.allclose(theta, 3.0, atol=1e-3)
+
+    def test_first_step_magnitude_close_to_learning_rate(self):
+        optimizer = Adam(learning_rate=0.01)
+        updated = optimizer.step(np.zeros(1), np.array([5.0]))
+        # Adam's first step is ~lr regardless of gradient scale.
+        assert abs(updated[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_reset(self):
+        optimizer = Adam(learning_rate=0.01)
+        first = optimizer.step(np.zeros(2), np.ones(2))
+        optimizer.reset()
+        again = optimizer.step(np.zeros(2), np.ones(2))
+        assert np.allclose(first, again)
+
+    def test_rejects_bad_betas(self):
+        with pytest.raises(OptimizerError):
+            Adam(beta1=1.0)
+        with pytest.raises(OptimizerError):
+            Adam(beta2=-0.1)
+        with pytest.raises(OptimizerError):
+            Adam(epsilon=0.0)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.learning.partition."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learning.datasets import make_blobs
+from repro.learning.partition import PartitionError, partition_dataset
+
+
+class TestPartitionDataset:
+    def test_equal_sizes(self):
+        dataset = make_blobs(num_samples=103, rng=0)
+        partitioned = partition_dataset(dataset, 10, rng=0)
+        assert partitioned.num_partitions == 10
+        assert partitioned.partition_size == 10
+        assert partitioned.samples_used == 100
+
+    def test_exact_division(self):
+        dataset = make_blobs(num_samples=100, rng=0)
+        partitioned = partition_dataset(dataset, 4, rng=0)
+        assert partitioned.samples_used == 100
+        assert all(p.size == 25 for p in partitioned.partitions)
+
+    def test_partitions_are_disjoint(self):
+        dataset = make_blobs(num_samples=60, rng=0)
+        partitioned = partition_dataset(dataset, 6, rng=0)
+        all_indices = np.concatenate(
+            [p.sample_indices for p in partitioned.partitions]
+        )
+        assert len(all_indices) == len(set(all_indices.tolist()))
+
+    def test_partition_data_returns_correct_rows(self):
+        dataset = make_blobs(num_samples=30, num_features=4, rng=0)
+        partitioned = partition_dataset(dataset, 3, shuffle=False)
+        features, labels = partitioned.partition_data(1)
+        assert np.array_equal(features, dataset.features[10:20])
+        assert np.array_equal(labels, dataset.labels[10:20])
+
+    def test_no_shuffle_preserves_order(self):
+        dataset = make_blobs(num_samples=12, rng=0)
+        partitioned = partition_dataset(dataset, 3, shuffle=False)
+        assert partitioned.partitions[0].sample_indices.tolist() == [0, 1, 2, 3]
+
+    def test_shuffle_changes_assignment(self):
+        dataset = make_blobs(num_samples=50, rng=0)
+        a = partition_dataset(dataset, 5, shuffle=True, rng=1)
+        b = partition_dataset(dataset, 5, shuffle=False)
+        assert not np.array_equal(
+            a.partitions[0].sample_indices, b.partitions[0].sample_indices
+        )
+
+    def test_shuffle_deterministic_with_seed(self):
+        dataset = make_blobs(num_samples=50, rng=0)
+        a = partition_dataset(dataset, 5, rng=3)
+        b = partition_dataset(dataset, 5, rng=3)
+        for pa, pb in zip(a.partitions, b.partitions):
+            assert np.array_equal(pa.sample_indices, pb.sample_indices)
+
+    def test_iter_partitions(self):
+        dataset = make_blobs(num_samples=20, rng=0)
+        partitioned = partition_dataset(dataset, 4, rng=0)
+        seen = list(partitioned.iter_partitions())
+        assert [index for index, _, _ in seen] == [0, 1, 2, 3]
+        assert all(features.shape[0] == 5 for _, features, _ in seen)
+
+    def test_out_of_range_partition_index(self):
+        dataset = make_blobs(num_samples=20, rng=0)
+        partitioned = partition_dataset(dataset, 4, rng=0)
+        with pytest.raises(PartitionError):
+            partitioned.partition_data(4)
+
+    def test_rejects_more_partitions_than_samples(self):
+        dataset = make_blobs(num_samples=3, rng=0)
+        with pytest.raises(PartitionError):
+            partition_dataset(dataset, 5)
+
+    def test_rejects_zero_partitions(self):
+        dataset = make_blobs(num_samples=10, rng=0)
+        with pytest.raises(PartitionError):
+            partition_dataset(dataset, 0)
+
+    @given(
+        num_samples=st.integers(min_value=10, max_value=200),
+        k=st.integers(min_value=1, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_property_equal_sizes_and_coverage(self, num_samples, k):
+        """All partitions are equal-sized and use floor(n/k)*k distinct samples."""
+        if k > num_samples:
+            return
+        dataset = make_blobs(num_samples=num_samples, num_features=3, rng=0)
+        partitioned = partition_dataset(dataset, k, rng=0)
+        sizes = {p.size for p in partitioned.partitions}
+        assert sizes == {num_samples // k}
+        used = np.concatenate([p.sample_indices for p in partitioned.partitions])
+        assert len(used) == (num_samples // k) * k
+        assert len(set(used.tolist())) == len(used)

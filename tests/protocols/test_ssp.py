@@ -1,0 +1,160 @@
+"""Unit tests for the SSP / asynchronous protocols."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.models import SoftmaxClassifier
+from repro.learning.optimizers import SGD
+from repro.learning.partition import partition_dataset
+from repro.protocols.base import ProtocolError, TrainingConfig
+from repro.protocols.ssp import AsyncProtocol, SSPProtocol
+from repro.simulation.network import ZeroCommunication
+from repro.simulation.stragglers import FailStop, NoStragglers
+
+
+@pytest.fixture
+def config():
+    return TrainingConfig(
+        num_iterations=4,
+        num_stragglers=0,
+        optimizer_factory=lambda: SGD(learning_rate=0.05),
+        straggler_injector=NoStragglers(),
+        network=ZeroCommunication(),
+        seed=0,
+        loss_eval_samples=60,
+    )
+
+
+@pytest.fixture
+def model(blob_dataset):
+    return SoftmaxClassifier(blob_dataset.num_features, blob_dataset.num_classes, rng=0)
+
+
+class TestSSPProtocol:
+    def test_one_record_per_round(self, model, partitioned_blobs, small_cluster, config):
+        trace = SSPProtocol(staleness=2).run(
+            model, partitioned_blobs, small_cluster, config
+        )
+        assert trace.num_iterations == config.num_iterations
+        assert trace.scheme == "ssp"
+
+    def test_training_reduces_loss(self, model, partitioned_blobs, small_cluster, config):
+        trace = SSPProtocol(staleness=2).run(
+            model, partitioned_blobs, small_cluster, config
+        )
+        assert trace.losses[-1] < trace.losses[0]
+
+    def test_durations_are_positive_and_finite(
+        self, model, partitioned_blobs, small_cluster, config
+    ):
+        trace = SSPProtocol(staleness=2).run(
+            model, partitioned_blobs, small_cluster, config
+        )
+        assert np.all(trace.durations > 0)
+        assert trace.completed
+
+    def test_small_staleness_slower_than_unbounded(
+        self, blob_dataset, small_cluster, config
+    ):
+        """A tight staleness bound forces fast workers to wait on slow ones."""
+        partitioned = partition_dataset(blob_dataset, small_cluster.num_workers, rng=0)
+
+        def run(staleness):
+            model = SoftmaxClassifier(
+                blob_dataset.num_features, blob_dataset.num_classes, rng=0
+            )
+            return SSPProtocol(staleness=staleness).run(
+                model, partitioned, small_cluster, config
+            )
+
+        tight = run(0)
+        loose = run(float("inf"))
+        assert tight.total_time >= loose.total_time
+
+    def test_fail_stop_stalls_bounded_staleness(
+        self, model, blob_dataset, small_cluster
+    ):
+        """With a failed worker and bounded staleness the run eventually stalls."""
+        partitioned = partition_dataset(blob_dataset, small_cluster.num_workers, rng=0)
+        config = TrainingConfig(
+            num_iterations=50,
+            num_stragglers=0,
+            optimizer_factory=lambda: SGD(0.05),
+            straggler_injector=FailStop({0: 0}),
+            network=ZeroCommunication(),
+            seed=0,
+            loss_eval_samples=40,
+        )
+        trace = SSPProtocol(staleness=1).run(model, partitioned, small_cluster, config)
+        assert not trace.completed
+
+    def test_metadata(self, model, partitioned_blobs, small_cluster, config):
+        trace = SSPProtocol(staleness=3).run(
+            model, partitioned_blobs, small_cluster, config
+        )
+        assert trace.metadata["protocol"] == "ssp"
+        assert trace.metadata["staleness"] == 3
+        assert len(trace.metadata["shard_sizes"]) == small_cluster.num_workers
+
+    def test_rejects_negative_staleness(self):
+        with pytest.raises(ProtocolError):
+            SSPProtocol(staleness=-1)
+
+    def test_rejects_fewer_partitions_than_workers(
+        self, model, blob_dataset, small_cluster, config
+    ):
+        partitioned = partition_dataset(blob_dataset, 3, rng=0)
+        with pytest.raises(ProtocolError):
+            SSPProtocol(staleness=1).run(model, partitioned, small_cluster, config)
+
+
+class TestDynSSP:
+    def test_name_and_metadata(self, model, partitioned_blobs, small_cluster, config):
+        protocol = SSPProtocol(staleness=2, adaptive_learning_rate=True)
+        trace = protocol.run(model, partitioned_blobs, small_cluster, config)
+        assert trace.scheme == "dyn_ssp"
+        assert trace.metadata["adaptive_learning_rate"] is True
+
+    def test_training_still_reduces_loss(
+        self, model, partitioned_blobs, small_cluster, config
+    ):
+        protocol = SSPProtocol(staleness=2, adaptive_learning_rate=True)
+        trace = protocol.run(model, partitioned_blobs, small_cluster, config)
+        assert trace.losses[-1] < trace.losses[0]
+
+    def test_mini_batch_option(self, model, partitioned_blobs, small_cluster, config):
+        protocol = SSPProtocol(staleness=2, batch_size=4)
+        trace = protocol.run(model, partitioned_blobs, small_cluster, config)
+        assert trace.metadata["batch_size"] == 4
+        assert trace.completed
+
+    def test_rejects_bad_batch_size(self):
+        with pytest.raises(ProtocolError):
+            SSPProtocol(staleness=1, batch_size=0)
+
+
+class TestAsyncProtocol:
+    def test_name_and_run(self, model, partitioned_blobs, small_cluster, config):
+        trace = AsyncProtocol().run(model, partitioned_blobs, small_cluster, config)
+        assert trace.scheme == "async"
+        assert trace.num_iterations == config.num_iterations
+
+    def test_never_blocks_on_failed_worker(
+        self, model, blob_dataset, small_cluster, config
+    ):
+        """Unbounded staleness keeps running even when one worker fails."""
+        partitioned = partition_dataset(blob_dataset, small_cluster.num_workers, rng=0)
+        failing_config = TrainingConfig(
+            num_iterations=3,
+            num_stragglers=0,
+            optimizer_factory=lambda: SGD(0.05),
+            straggler_injector=FailStop({0: 0}),
+            network=ZeroCommunication(),
+            seed=0,
+            loss_eval_samples=40,
+        )
+        trace = AsyncProtocol().run(model, partitioned, small_cluster, failing_config)
+        # The remaining workers keep pushing updates, so rounds still complete.
+        assert trace.num_iterations >= 1

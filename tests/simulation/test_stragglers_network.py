@@ -1,0 +1,236 @@
+"""Unit tests for straggler injectors and communication models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.network import (
+    NetworkError,
+    OverlappedNetwork,
+    SimpleNetwork,
+    ZeroCommunication,
+)
+from repro.simulation.stragglers import (
+    ArtificialDelay,
+    BurstyStragglers,
+    CompositeInjector,
+    FailStop,
+    NoStragglers,
+    StragglerError,
+    TransientSlowdown,
+)
+
+
+class TestNoStragglers:
+    def test_all_zero(self, rng):
+        delays = NoStragglers().delays(0, 5, rng)
+        assert np.allclose(delays, 0.0)
+
+
+class TestArtificialDelay:
+    def test_exactly_s_workers_delayed(self, rng):
+        injector = ArtificialDelay(num_stragglers=2, delay_seconds=3.0)
+        delays = injector.delays(0, 8, rng)
+        assert np.sum(delays == 3.0) == 2
+        assert np.sum(delays == 0.0) == 6
+
+    def test_fault_delay_is_infinite(self, rng):
+        injector = ArtificialDelay(num_stragglers=1, delay_seconds=np.inf)
+        delays = injector.delays(0, 4, rng)
+        assert np.sum(np.isinf(delays)) == 1
+
+    def test_fixed_worker_set(self, rng):
+        injector = ArtificialDelay(num_stragglers=2, delay_seconds=1.0, workers=(1, 3))
+        delays = injector.delays(0, 5, rng)
+        assert delays[1] == 1.0 and delays[3] == 1.0
+        assert delays[0] == 0.0
+
+    def test_workers_change_between_iterations(self):
+        injector = ArtificialDelay(num_stragglers=1, delay_seconds=1.0)
+        rng = np.random.default_rng(0)
+        chosen = {
+            int(np.argmax(injector.delays(i, 10, rng))) for i in range(30)
+        }
+        assert len(chosen) > 1  # random choice, not always the same worker
+
+    def test_zero_stragglers(self, rng):
+        injector = ArtificialDelay(num_stragglers=0, delay_seconds=5.0)
+        assert np.allclose(injector.delays(0, 4, rng), 0.0)
+
+    def test_more_stragglers_than_workers_clamped(self, rng):
+        injector = ArtificialDelay(num_stragglers=10, delay_seconds=1.0)
+        delays = injector.delays(0, 3, rng)
+        assert np.sum(delays > 0) == 3
+
+    def test_describe_mentions_fault(self):
+        assert "fault" in ArtificialDelay(1, np.inf).describe()
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(StragglerError):
+            ArtificialDelay(-1, 1.0)
+        with pytest.raises(StragglerError):
+            ArtificialDelay(1, -1.0)
+        with pytest.raises(StragglerError):
+            ArtificialDelay(3, 1.0, workers=(0, 1))
+
+
+class TestTransientSlowdown:
+    def test_probability_zero_never_delays(self, rng):
+        injector = TransientSlowdown(probability=0.0, mean_delay_seconds=2.0)
+        assert np.allclose(injector.delays(0, 10, rng), 0.0)
+
+    def test_probability_one_always_delays(self, rng):
+        injector = TransientSlowdown(probability=1.0, mean_delay_seconds=2.0)
+        assert np.all(injector.delays(0, 10, rng) > 0.0)
+
+    def test_average_rate_matches_probability(self):
+        injector = TransientSlowdown(probability=0.3, mean_delay_seconds=1.0)
+        rng = np.random.default_rng(0)
+        hits = np.mean(
+            [np.mean(injector.delays(i, 100, rng) > 0) for i in range(50)]
+        )
+        assert hits == pytest.approx(0.3, abs=0.05)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(StragglerError):
+            TransientSlowdown(probability=1.5, mean_delay_seconds=1.0)
+        with pytest.raises(StragglerError):
+            TransientSlowdown(probability=0.5, mean_delay_seconds=-1.0)
+
+
+class TestBurstyStragglers:
+    def test_all_healthy_with_zero_enter_probability(self, rng):
+        injector = BurstyStragglers(enter_probability=0.0, exit_probability=0.5)
+        for iteration in range(5):
+            assert np.allclose(injector.delays(iteration, 6, rng), 0.0)
+
+    def test_all_degraded_with_certain_entry_and_no_exit(self, rng):
+        injector = BurstyStragglers(
+            enter_probability=1.0, exit_probability=0.0, mean_delay_seconds=2.0
+        )
+        first = injector.delays(0, 6, rng)
+        second = injector.delays(1, 6, rng)
+        assert np.all(first > 0)
+        assert np.all(second > 0)
+
+    def test_bursts_are_temporally_correlated(self):
+        injector = BurstyStragglers(
+            enter_probability=0.1, exit_probability=0.1, mean_delay_seconds=1.0
+        )
+        rng = np.random.default_rng(0)
+        history = np.array(
+            [injector.delays(i, 20, rng) > 0 for i in range(200)]
+        )
+        # A degraded worker tends to stay degraded: the probability of being
+        # degraded at t+1 given degraded at t should exceed the marginal rate.
+        degraded_now = history[:-1]
+        degraded_next = history[1:]
+        joint = np.mean(degraded_next[degraded_now]) if degraded_now.any() else 0.0
+        marginal = history.mean()
+        assert joint > marginal
+
+    def test_reset_clears_state(self):
+        injector = BurstyStragglers(enter_probability=1.0, exit_probability=0.0)
+        rng = np.random.default_rng(0)
+        injector.delays(0, 4, rng)
+        injector.reset()
+        assert injector._degraded is None
+
+    def test_describe(self):
+        assert "Bursty" in BurstyStragglers().describe()
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(StragglerError):
+            BurstyStragglers(enter_probability=1.5)
+        with pytest.raises(StragglerError):
+            BurstyStragglers(exit_probability=-0.1)
+        with pytest.raises(StragglerError):
+            BurstyStragglers(mean_delay_seconds=-1.0)
+
+
+class TestFailStop:
+    def test_failure_starts_at_given_iteration(self, rng):
+        injector = FailStop({2: 5})
+        assert injector.delays(4, 4, rng)[2] == 0.0
+        assert np.isinf(injector.delays(5, 4, rng)[2])
+        assert np.isinf(injector.delays(9, 4, rng)[2])
+
+    def test_out_of_range_worker_ignored(self, rng):
+        injector = FailStop({10: 0})
+        assert np.all(np.isfinite(injector.delays(3, 4, rng)))
+
+    def test_rejects_negative_keys(self):
+        with pytest.raises(StragglerError):
+            FailStop({-1: 0})
+        with pytest.raises(StragglerError):
+            FailStop({0: -2})
+
+
+class TestCompositeInjector:
+    def test_sums_delays(self, rng):
+        composite = CompositeInjector(
+            [
+                ArtificialDelay(1, 2.0, workers=(0,)),
+                ArtificialDelay(1, 3.0, workers=(0,)),
+            ]
+        )
+        delays = composite.delays(0, 3, rng)
+        assert delays[0] == pytest.approx(5.0)
+
+    def test_infinite_dominates(self, rng):
+        composite = CompositeInjector(
+            [ArtificialDelay(1, np.inf, workers=(1,)), NoStragglers()]
+        )
+        assert np.isinf(composite.delays(0, 3, rng)[1])
+
+    def test_describe_lists_members(self):
+        composite = CompositeInjector([NoStragglers(), FailStop({0: 1})])
+        text = composite.describe()
+        assert "NoStragglers" in text and "FailStop" in text
+
+
+class TestCommunicationModels:
+    def test_zero_communication(self):
+        assert ZeroCommunication().transfer_time(1e9) == 0.0
+
+    def test_zero_communication_rejects_negative(self):
+        with pytest.raises(NetworkError):
+            ZeroCommunication().transfer_time(-1)
+
+    def test_simple_network_formula(self):
+        network = SimpleNetwork(latency_seconds=0.01, bandwidth_bytes_per_second=1e6)
+        assert network.transfer_time(2e6) == pytest.approx(2.01)
+
+    def test_simple_network_zero_payload_is_latency(self):
+        network = SimpleNetwork(latency_seconds=0.02, bandwidth_bytes_per_second=1e6)
+        assert network.transfer_time(0) == pytest.approx(0.02)
+
+    def test_simple_network_rejects_bad_config(self):
+        with pytest.raises(NetworkError):
+            SimpleNetwork(latency_seconds=-0.1)
+        with pytest.raises(NetworkError):
+            SimpleNetwork(bandwidth_bytes_per_second=0)
+
+    def test_describe(self):
+        assert "ms" in SimpleNetwork().describe()
+
+    def test_overlapped_network_scales_transfer_time(self):
+        base = SimpleNetwork(latency_seconds=0.0, bandwidth_bytes_per_second=1e6)
+        overlapped = OverlappedNetwork(base=base, overlap_fraction=0.75)
+        assert overlapped.transfer_time(1e6) == pytest.approx(0.25)
+
+    def test_overlapped_network_extremes(self):
+        base = SimpleNetwork(latency_seconds=0.1, bandwidth_bytes_per_second=1e9)
+        assert OverlappedNetwork(base, 0.0).transfer_time(0) == pytest.approx(
+            base.transfer_time(0)
+        )
+        assert OverlappedNetwork(base, 1.0).transfer_time(1e9) == 0.0
+
+    def test_overlapped_network_rejects_bad_fraction(self):
+        with pytest.raises(NetworkError):
+            OverlappedNetwork(SimpleNetwork(), overlap_fraction=1.5)
+
+    def test_overlapped_network_describe(self):
+        text = OverlappedNetwork(SimpleNetwork(), 0.5).describe()
+        assert "overlap" in text and "50%" in text

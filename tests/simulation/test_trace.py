@@ -1,0 +1,79 @@
+"""Unit tests for trace containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.trace import IterationRecord, RunTrace, TraceError
+
+
+def make_record(iteration: int, duration: float = 1.0, loss: float = 0.5):
+    return IterationRecord(
+        iteration=iteration,
+        duration=duration,
+        train_loss=loss,
+        compute_times=(0.5, 0.8),
+        completion_times=(0.6, 0.9),
+        workers_used=(0, 1),
+    )
+
+
+class TestIterationRecord:
+    def test_num_workers(self):
+        assert make_record(0).num_workers == 2
+
+
+class TestRunTrace:
+    def test_append_and_accessors(self):
+        trace = RunTrace(scheme="heter_aware", cluster_name="Cluster-A")
+        trace.append(make_record(0, duration=1.0, loss=2.0))
+        trace.append(make_record(1, duration=2.0, loss=1.0))
+        assert trace.num_iterations == 2
+        assert np.allclose(trace.durations, [1.0, 2.0])
+        assert np.allclose(trace.losses, [2.0, 1.0])
+        assert np.allclose(trace.elapsed_times, [1.0, 3.0])
+        assert trace.total_time == pytest.approx(3.0)
+        assert trace.mean_iteration_time() == pytest.approx(1.5)
+        assert trace.completed
+
+    def test_rejects_out_of_order_iterations(self):
+        trace = RunTrace(scheme="x", cluster_name="y")
+        trace.append(make_record(3))
+        with pytest.raises(TraceError):
+            trace.append(make_record(3))
+        with pytest.raises(TraceError):
+            trace.append(make_record(1))
+
+    def test_incomplete_run_detected(self):
+        trace = RunTrace(scheme="naive", cluster_name="c")
+        trace.append(make_record(0, duration=float("inf")))
+        assert not trace.completed
+
+    def test_empty_trace(self):
+        trace = RunTrace(scheme="x", cluster_name="y")
+        assert trace.total_time == 0.0
+        assert np.isnan(trace.mean_iteration_time())
+
+    def test_loss_curve(self):
+        trace = RunTrace(scheme="x", cluster_name="y")
+        trace.append(make_record(0, duration=1.0, loss=3.0))
+        trace.append(make_record(1, duration=1.0, loss=2.0))
+        times, losses = trace.loss_curve()
+        assert np.allclose(times, [1.0, 2.0])
+        assert np.allclose(losses, [3.0, 2.0])
+
+    def test_summary_keys(self):
+        trace = RunTrace(scheme="cyclic", cluster_name="Cluster-B")
+        trace.append(make_record(0))
+        summary = trace.summary()
+        assert summary["scheme"] == "cyclic"
+        assert summary["cluster"] == "Cluster-B"
+        assert summary["iterations"] == 1
+        assert summary["completed"] is True
+
+    def test_summary_with_stall(self):
+        trace = RunTrace(scheme="naive", cluster_name="c")
+        trace.append(make_record(0, duration=float("inf")))
+        summary = trace.summary()
+        assert summary["completed"] is False

@@ -1,0 +1,163 @@
+"""Unit tests for worker specs and cluster construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.cluster import (
+    ClusterError,
+    ClusterSpec,
+    cluster_from_vcpu_counts,
+    uniform_cluster,
+)
+from repro.simulation.workers import WorkerError, WorkerSpec, perturb_estimates
+
+
+class TestWorkerSpec:
+    def test_defaults_estimate_to_truth(self):
+        worker = WorkerSpec(worker_id=0, vcpus=4, true_throughput=200.0)
+        assert worker.estimated_throughput == 200.0
+
+    def test_compute_time_without_noise(self):
+        worker = WorkerSpec(
+            worker_id=0, vcpus=2, true_throughput=100.0, compute_noise=0.0
+        )
+        assert worker.compute_time(250) == pytest.approx(2.5)
+
+    def test_compute_time_zero_samples(self, rng):
+        worker = WorkerSpec(worker_id=0, vcpus=2, true_throughput=100.0)
+        assert worker.compute_time(0, rng=rng) == 0.0
+
+    def test_compute_time_with_noise_close_to_nominal(self):
+        worker = WorkerSpec(
+            worker_id=0, vcpus=2, true_throughput=100.0, compute_noise=0.05
+        )
+        rng = np.random.default_rng(0)
+        samples = [worker.compute_time(100, rng=rng) for _ in range(200)]
+        assert np.mean(samples) == pytest.approx(1.0, rel=0.05)
+        assert np.std(samples) > 0
+
+    def test_with_estimate(self):
+        worker = WorkerSpec(worker_id=1, vcpus=2, true_throughput=100.0)
+        updated = worker.with_estimate(80.0)
+        assert updated.estimated_throughput == 80.0
+        assert updated.true_throughput == 100.0
+        assert worker.estimated_throughput == 100.0  # original untouched
+
+    def test_rejects_invalid_fields(self):
+        with pytest.raises(WorkerError):
+            WorkerSpec(worker_id=-1, vcpus=2, true_throughput=1.0)
+        with pytest.raises(WorkerError):
+            WorkerSpec(worker_id=0, vcpus=0, true_throughput=1.0)
+        with pytest.raises(WorkerError):
+            WorkerSpec(worker_id=0, vcpus=2, true_throughput=0.0)
+        with pytest.raises(WorkerError):
+            WorkerSpec(worker_id=0, vcpus=2, true_throughput=1.0, compute_noise=-1)
+
+    def test_rejects_negative_samples(self):
+        worker = WorkerSpec(worker_id=0, vcpus=2, true_throughput=100.0)
+        with pytest.raises(WorkerError):
+            worker.compute_time(-1)
+
+
+class TestPerturbEstimates:
+    def test_zero_error_is_identity(self):
+        workers = [
+            WorkerSpec(worker_id=i, vcpus=2, true_throughput=100.0) for i in range(3)
+        ]
+        perturbed = perturb_estimates(workers, relative_error=0.0, rng=0)
+        assert all(
+            w.estimated_throughput == w.true_throughput for w in perturbed
+        )
+
+    def test_error_changes_estimates_not_truth(self):
+        workers = [
+            WorkerSpec(worker_id=i, vcpus=2, true_throughput=100.0) for i in range(5)
+        ]
+        perturbed = perturb_estimates(workers, relative_error=0.3, rng=0)
+        assert all(w.true_throughput == 100.0 for w in perturbed)
+        assert any(w.estimated_throughput != 100.0 for w in perturbed)
+
+    def test_rejects_negative_error(self):
+        with pytest.raises(WorkerError):
+            perturb_estimates([], relative_error=-0.1)
+
+
+class TestClusterSpec:
+    def test_throughput_arrays(self, small_cluster):
+        assert np.allclose(
+            small_cluster.true_throughputs, [100, 200, 300, 400, 400]
+        )
+        assert np.allclose(
+            small_cluster.estimated_throughputs, small_cluster.true_throughputs
+        )
+
+    def test_heterogeneity_ratio(self, small_cluster):
+        assert small_cluster.heterogeneity_ratio == pytest.approx(4.0)
+
+    def test_describe_mentions_vcpu_counts(self, small_cluster):
+        text = small_cluster.describe()
+        assert "5 workers" in text
+        assert "4-vCPU" in text
+
+    def test_with_workers(self, small_cluster):
+        new_workers = perturb_estimates(list(small_cluster.workers), 0.1, rng=0)
+        updated = small_cluster.with_workers(new_workers)
+        assert updated.name == small_cluster.name
+        assert updated.num_workers == small_cluster.num_workers
+
+    def test_rejects_misnumbered_workers(self):
+        workers = (
+            WorkerSpec(worker_id=1, vcpus=2, true_throughput=1.0),
+        )
+        with pytest.raises(ClusterError):
+            ClusterSpec(name="bad", workers=workers)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ClusterError):
+            ClusterSpec(name="bad", workers=())
+
+
+class TestClusterBuilders:
+    def test_from_vcpu_counts_size_and_order(self):
+        cluster = cluster_from_vcpu_counts(
+            "test", {8: 2, 2: 1, 4: 1}, machine_spread=0.0, rng=0
+        )
+        assert cluster.num_workers == 4
+        assert cluster.vcpu_counts == (2, 4, 8, 8)
+
+    def test_throughput_proportional_to_vcpus_without_spread(self):
+        cluster = cluster_from_vcpu_counts(
+            "test", {2: 1, 8: 1}, samples_per_second_per_vcpu=10.0,
+            machine_spread=0.0, rng=0,
+        )
+        assert cluster.true_throughputs.tolist() == [20.0, 80.0]
+
+    def test_spread_is_deterministic_per_seed(self):
+        a = cluster_from_vcpu_counts("t", {4: 3}, machine_spread=0.1, rng=5)
+        b = cluster_from_vcpu_counts("t", {4: 3}, machine_spread=0.1, rng=5)
+        assert np.allclose(a.true_throughputs, b.true_throughputs)
+
+    def test_zero_count_entries_allowed(self):
+        cluster = cluster_from_vcpu_counts("t", {2: 2, 16: 0}, rng=0)
+        assert cluster.num_workers == 2
+
+    def test_rejects_empty_mapping(self):
+        with pytest.raises(ClusterError):
+            cluster_from_vcpu_counts("t", {})
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ClusterError):
+            cluster_from_vcpu_counts("t", {2: -1})
+
+    def test_uniform_cluster(self):
+        cluster = uniform_cluster("uniform", 6, samples_per_second=100.0)
+        assert cluster.num_workers == 6
+        assert cluster.heterogeneity_ratio == pytest.approx(1.0)
+
+    def test_uniform_cluster_rejects_bad_args(self):
+        with pytest.raises(ClusterError):
+            uniform_cluster("u", 0)
+        with pytest.raises(ClusterError):
+            uniform_cluster("u", 2, samples_per_second=0.0)

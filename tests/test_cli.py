@@ -1,0 +1,117 @@
+"""Tests for the command-line interface (python -m repro ...)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["table2"],
+            ["fig2", "--stragglers", "2"],
+            ["fig3", "--clusters", "Cluster-B"],
+            ["fig4", "--iterations", "3"],
+            ["fig5"],
+            ["optimality", "--trials", "2"],
+            ["estimation-error", "--errors", "0", "0.3"],
+            ["analyze", "--cluster", "Cluster-A"],
+        ):
+            args = parser.parse_args(argv)
+            assert args.command == argv[0]
+
+    def test_unknown_command_rejected(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig9"])
+
+
+class TestCommands:
+    """Run each sub-command at a tiny scale and check its report output."""
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out
+        assert "Cluster-D" in out
+
+    def test_fig2(self, capsys):
+        code = main(
+            ["fig2", "--stragglers", "1", "--iterations", "3", "--samples", "512"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 2" in out
+        assert "heter_aware" in out
+
+    def test_fig3(self, capsys):
+        code = main(
+            [
+                "fig3",
+                "--clusters",
+                "Cluster-A",
+                "--iterations",
+                "3",
+                "--samples",
+                "512",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 3" in out
+        assert "Cluster-A" in out
+
+    def test_fig4(self, capsys):
+        code = main(
+            [
+                "fig4",
+                "--cluster",
+                "Cluster-A",
+                "--workload",
+                "blobs_softmax",
+                "--samples",
+                "256",
+                "--iterations",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "ranking" in out
+
+    def test_fig5(self, capsys):
+        code = main(["fig5", "--iterations", "3", "--samples", "512"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Fig. 5" in out
+        assert "resource usage" in out
+
+    def test_optimality(self, capsys):
+        code = main(["optimality", "--trials", "2", "--workers", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 5" in out
+
+    def test_estimation_error(self, capsys):
+        code = main(
+            ["estimation-error", "--errors", "0", "0.3", "--iterations", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ablation" in out
+
+    def test_analyze(self, capsys):
+        code = main(["analyze", "--cluster", "Cluster-A", "--stragglers", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Static strategy analysis" in out
+        assert "group_based" in out

@@ -1,0 +1,47 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples double as living documentation; these tests import each one as
+a module and call its ``main()`` so a broken API surface shows up in CI, not
+when a user first tries the README commands.  Example defaults are sized for
+humans, so the slowest ones are marked accordingly.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLE_FILES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    # Register so dataclasses/typing introspection inside the module works.
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+    finally:
+        sys.modules.pop(spec.name, None)
+    return module
+
+
+def test_examples_directory_has_expected_scripts():
+    assert "quickstart.py" in EXAMPLE_FILES
+    assert len(EXAMPLE_FILES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLE_FILES)
+def test_example_runs(name, capsys):
+    module = _load_example(name)
+    assert hasattr(module, "main"), f"{name} must expose a main() function"
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
