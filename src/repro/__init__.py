@@ -15,32 +15,48 @@ The package is organised in layers:
   summaries (the quantities the paper's figures report).
 * :mod:`repro.experiments` — the per-figure experiment harness (Table II
   clusters, Figures 2-5).
+* :mod:`repro.api` — the declarative front door: :class:`~repro.api.RunSpec`
+  describes a run, :class:`~repro.api.Engine` executes it through pluggable
+  backends, :class:`~repro.api.RunResult` carries trace + metrics + JSON
+  round-trip, and the plugin registries (``@register_scheme``,
+  ``@register_protocol``, ``@register_cluster``, ``register_workload``, ...)
+  let new building blocks plug in without editing any dispatch table.
 
-Quickstart::
+Quickstart — run the paper's core comparison declaratively::
 
-    import numpy as np
-    from repro.coding import heterogeneity_aware_strategy, Decoder
+    from repro.api import Engine, RunSpec
 
-    throughputs = [1.0, 2.0, 3.0, 4.0, 4.0]
-    strategy = heterogeneity_aware_strategy(
-        throughputs, num_partitions=7, num_stragglers=1, rng=0
+    engine = Engine()
+    base = RunSpec(
+        mode="timing",               # Figs. 2/3/5 path ("training" = Fig. 4)
+        cluster="Cluster-A",         # Table II clusters are pre-registered
+        num_iterations=20,
+        total_samples=2048,
+        num_stragglers=1,
+        straggler={"kind": "artificial_delay",
+                   "params": {"num_stragglers": 1, "delay_seconds": 2.0}},
+        seed=0,
     )
-    partial_gradients = np.random.default_rng(0).normal(size=(7, 10))
-    coded = {
-        w: strategy.row(w)[list(strategy.support(w))]
-        @ partial_gradients[list(strategy.support(w))]
-        for w in range(5)
-    }
-    del coded[3]  # worker 3 straggles
-    g = Decoder(strategy).decode(coded)
-    assert np.allclose(g, partial_gradients.sum(axis=0))
+    runs = engine.compare(base, ["naive", "cyclic", "heter_aware", "group_based"])
+    for scheme, result in runs.items():
+        print(f"{scheme:12s} {result.mean_iteration_time:.3f}s/iter")
+    print(runs["heter_aware"].to_json())   # lossless round-trip
+
+The lower layers remain importable directly (see the quickstart in
+``examples/quickstart.py`` for the coding-theory walk-through).
 """
 
+# NOTE: `api` must come after the domain layers: the figure experiments
+# import `repro.api`, whose engine in turn imports the (by then loaded)
+# experiment leaf modules.  Keeping `api` last makes the circular edge
+# resolve deterministically regardless of which submodule is imported first.
 from . import coding, experiments, learning, metrics, protocols, simulation
+from . import api
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "api",
     "coding",
     "learning",
     "simulation",

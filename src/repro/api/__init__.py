@@ -1,0 +1,90 @@
+"""repro.api — the declarative front door to every experiment.
+
+One code path serves every scheme, protocol, cluster and workload:
+
+* :class:`RunSpec` — a frozen, validated, JSON-serialisable description of
+  a run (scheme, cluster, workload, straggler model, network, partitioning
+  policy, seed, execution mode);
+* :class:`Engine` — validates specs against the plugin registries and
+  dispatches them to execution backends (``"timing"`` for the Figs. 2/3/5
+  path, ``"training"`` for the full Fig. 4 protocol path), plus
+  :meth:`Engine.sweep` / :meth:`Engine.compare` for parameter grids;
+* :class:`RunResult` — the uniform outcome (spec + raw trace + derived
+  metrics) with a lossless JSON round-trip;
+* the plugin registries (:mod:`repro.api.registry`) and their decorators —
+  ``@register_scheme``, ``@register_protocol``, ``@register_cluster``,
+  ``register_workload``, ``@register_straggler_model``,
+  ``@register_network_model``, ``@register_backend`` — through which new
+  building blocks plug in without editing any dispatch table.
+
+Quickstart::
+
+    from repro.api import Engine, RunSpec
+
+    spec = RunSpec(
+        scheme="heter_aware",
+        mode="timing",
+        cluster="Cluster-A",
+        num_iterations=20,
+        total_samples=2048,
+        straggler={"kind": "artificial_delay",
+                   "params": {"num_stragglers": 1, "delay_seconds": 2.0}},
+        seed=0,
+    )
+    result = Engine().run(spec)
+    print(result.mean_iteration_time, result.resource_usage)
+    payload = result.to_json()              # store next to your plots
+    restored = type(result).from_json(payload)
+"""
+
+from .builders import build_injector, build_network
+from .engine import Engine, EngineError
+from .registry import (
+    CLUSTERS,
+    EXECUTION_BACKENDS,
+    NETWORK_MODELS,
+    PROTOCOLS,
+    SCHEMES,
+    STRAGGLER_MODELS,
+    WORKLOADS,
+    Registry,
+    RegistryError,
+    register_backend,
+    register_cluster,
+    register_network_model,
+    register_protocol,
+    register_scheme,
+    register_straggler_model,
+    register_workload,
+)
+from .result import RunResult
+from .spec import RUN_MODES, NetworkSpec, RunSpec, SpecError, StragglerSpec
+
+__all__ = [
+    "Engine",
+    "EngineError",
+    "RunSpec",
+    "RunResult",
+    "StragglerSpec",
+    "NetworkSpec",
+    "SpecError",
+    "RUN_MODES",
+    "Registry",
+    "RegistryError",
+    "SCHEMES",
+    "PROTOCOLS",
+    "CLUSTERS",
+    "WORKLOADS",
+    "STRAGGLER_MODELS",
+    "NETWORK_MODELS",
+    "EXECUTION_BACKENDS",
+    "register_scheme",
+    "register_protocol",
+    "register_cluster",
+    "register_workload",
+    "register_straggler_model",
+    "register_network_model",
+    "register_backend",
+    "build_injector",
+    "build_network",
+]

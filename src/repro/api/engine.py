@@ -1,0 +1,212 @@
+"""The engine: one entry point that executes any :class:`RunSpec`.
+
+The engine does three things and nothing else:
+
+1. **validate** the spec's names against the plugin registries (clear errors
+   listing what *is* available);
+2. **dispatch** to the execution backend registered for ``spec.mode`` —
+   ``"timing"`` wraps the timing-only path used by Figs. 2/3/5 and
+   ``"training"`` wraps the full protocol path used by Fig. 4;
+3. **normalise** the backend's :class:`~repro.simulation.trace.RunTrace`
+   into a :class:`~repro.api.result.RunResult` with a uniform metric set.
+
+:meth:`Engine.sweep` and :meth:`Engine.compare` are thin declarative loops
+over :meth:`Engine.run`, which is what the per-figure experiments and the
+CLI are built from.  Custom backends register with
+:func:`repro.api.register_backend` and immediately gain all three.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+from typing import Any, Iterable, Mapping, Sequence
+
+from .._registry import (
+    CLUSTERS,
+    EXECUTION_BACKENDS,
+    PROTOCOLS,
+    SCHEMES,
+    WORKLOADS,
+    register_backend,
+)
+from ..experiments.clusters import build_cluster
+from ..experiments.common import measure_timing_trace
+from ..experiments.workloads import get_workload
+from ..learning.optimizers import SGD
+from ..protocols.base import TrainingConfig
+from ..protocols.runner import run_scheme
+from ..simulation.cluster import ClusterSpec
+from ..simulation.trace import RunTrace
+from .builders import build_injector, build_network
+from .result import RunResult
+from .spec import RunSpec, SpecError
+
+__all__ = ["Engine", "EngineError"]
+
+
+class EngineError(ValueError):
+    """Raised when a spec cannot be executed (unknown names, bad mode)."""
+
+
+def _build_cluster_for(spec: RunSpec) -> ClusterSpec:
+    """Build the spec's cluster; the cluster RNG defaults to the run seed."""
+    options = dict(spec.cluster_options)
+    options.setdefault("rng", spec.seed)
+    return build_cluster(spec.cluster, **options)
+
+
+# ---------------------------------------------------------------------------
+# builtin backends
+# ---------------------------------------------------------------------------
+
+@register_backend("timing", description="timing-only simulation (Figs. 2/3/5)")
+def _run_timing(spec: RunSpec) -> RunTrace:
+    total_samples = spec.resolved_total_samples()
+    return measure_timing_trace(
+        spec.scheme,
+        _build_cluster_for(spec),
+        num_stragglers=spec.num_stragglers,
+        total_samples=total_samples,
+        num_iterations=spec.num_iterations,
+        partitions_multiplier=spec.partitions_multiplier,
+        num_partitions=spec.num_partitions,
+        injector=build_injector(spec.straggler),
+        network=build_network(spec.network),
+        gradient_bytes=spec.gradient_bytes,
+        seed=spec.seed,
+    )
+
+
+@functools.lru_cache(maxsize=8)
+def _cached_dataset(workload: str, total_samples: int | None, seed: int):
+    """Dataset construction is deterministic in (workload, size, seed), so
+    compare/sweep runs that differ only in scheme share one dataset object
+    (read-only) instead of regenerating it per run — the behaviour the
+    legacy ``compare_schemes`` path had."""
+    return get_workload(workload).make_dataset(total_samples, seed=seed)
+
+
+@register_backend("training", description="full protocol training (Fig. 4)")
+def _run_training(spec: RunSpec) -> RunTrace:
+    cluster = _build_cluster_for(spec)
+    preset = get_workload(spec.workload)
+    dataset = _cached_dataset(spec.workload, spec.total_samples, spec.seed or 0)
+    learning_rate = spec.learning_rate
+    config = TrainingConfig(
+        num_iterations=spec.num_iterations,
+        num_stragglers=spec.num_stragglers,
+        num_partitions=spec.num_partitions,
+        partitions_multiplier=spec.partitions_multiplier,
+        optimizer_factory=lambda: SGD(learning_rate=learning_rate),
+        straggler_injector=build_injector(spec.straggler),
+        network=build_network(spec.network),
+        seed=spec.seed,
+        record_loss_every=spec.record_loss_every,
+        loss_eval_samples=spec.loss_eval_samples,
+    )
+    return run_scheme(
+        spec.scheme,
+        model_factory=lambda: preset.make_model(dataset, seed=spec.seed or 0),
+        dataset=dataset,
+        cluster=cluster,
+        config=config,
+        ssp_staleness=spec.ssp_staleness,
+        ssp_batch_size=spec.ssp_batch_size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# the engine
+# ---------------------------------------------------------------------------
+
+class Engine:
+    """Execute :class:`RunSpec` objects through pluggable backends.
+
+    Parameters
+    ----------
+    backends:
+        Optional mode -> backend mapping overriding the global registry
+        (useful for tests injecting fakes); ``None`` uses
+        :data:`repro.api.registry.EXECUTION_BACKENDS`.
+    """
+
+    def __init__(self, backends: Mapping[str, Any] | None = None) -> None:
+        self._backends = None if backends is None else dict(backends)
+
+    # -- validation ----------------------------------------------------
+    def _backend(self, mode: str):
+        if self._backends is not None:
+            if mode not in self._backends:
+                raise EngineError(
+                    f"unknown mode {mode!r}; this engine supports "
+                    f"{sorted(self._backends)}"
+                )
+            return self._backends[mode]
+        if mode not in EXECUTION_BACKENDS:
+            raise EngineError(
+                f"unknown mode {mode!r}; registered backends: "
+                f"{list(EXECUTION_BACKENDS.names())}"
+            )
+        return EXECUTION_BACKENDS.get(mode)
+
+    def validate(self, spec: RunSpec) -> None:
+        """Check every name in ``spec`` against the registries."""
+        self._backend(spec.mode)
+        if spec.mode == "timing" and spec.scheme not in SCHEMES:
+            raise EngineError(
+                f"unknown scheme {spec.scheme!r}; registered schemes: "
+                f"{list(SCHEMES.names())}"
+            )
+        if spec.mode == "training":
+            if spec.scheme not in PROTOCOLS:
+                raise EngineError(
+                    f"unknown protocol {spec.scheme!r}; registered protocols: "
+                    f"{list(PROTOCOLS.names())}"
+                )
+            if spec.workload not in WORKLOADS:
+                raise EngineError(
+                    f"unknown workload {spec.workload!r}; registered workloads: "
+                    f"{list(WORKLOADS.names())}"
+                )
+        if spec.cluster not in CLUSTERS and "vcpu_counts" not in spec.cluster_options:
+            raise EngineError(
+                f"unknown cluster {spec.cluster!r}; registered clusters: "
+                f"{list(CLUSTERS.names())} (or pass cluster_options['vcpu_counts'])"
+            )
+
+    # -- execution ------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunResult:
+        """Execute one spec and return its uniform result."""
+        if not isinstance(spec, RunSpec):
+            raise SpecError(f"Engine.run expects a RunSpec, got {type(spec).__name__}")
+        self.validate(spec)
+        backend = self._backend(spec.mode)
+        trace = backend(spec)
+        return RunResult.from_trace(spec, trace)
+
+    def compare(
+        self, spec: RunSpec, schemes: Sequence[str]
+    ) -> dict[str, RunResult]:
+        """Run the same spec under several schemes (paired by shared seed)."""
+        return {scheme: self.run(spec.replace(scheme=scheme)) for scheme in schemes}
+
+    def sweep(
+        self, spec: RunSpec, **axes: Iterable[Any]
+    ) -> list[RunResult]:
+        """Run the cartesian product of field overrides.
+
+        Each keyword names a :class:`RunSpec` field and supplies the values
+        to sweep; results are returned in row-major order of the axes::
+
+            engine.sweep(base, scheme=["naive", "cyclic"], seed=[0, 1, 2])
+
+        yields the six runs naive/0, naive/1, ... cyclic/2.
+        """
+        if not axes:
+            return [self.run(spec)]
+        names = list(axes)
+        results = []
+        for values in itertools.product(*(list(axes[name]) for name in names)):
+            results.append(self.run(spec.replace(**dict(zip(names, values)))))
+        return results

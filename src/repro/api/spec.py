@@ -1,0 +1,244 @@
+"""Declarative run specifications: one validated object per experiment run.
+
+A :class:`RunSpec` captures *everything* that defines a run — scheme or
+protocol, cluster, workload, straggler model, network, partitioning policy,
+seed and execution mode — as a frozen, JSON-serialisable dataclass.  The
+:class:`~repro.api.engine.Engine` consumes specs and produces
+:class:`~repro.api.result.RunResult` objects; every figure experiment and
+the CLI build specs instead of threading positional knobs around.
+
+Only primitives (strings, numbers, plain dicts) appear in a spec, so specs
+round-trip through JSON losslessly and can be stored next to results::
+
+    spec = RunSpec(scheme="heter_aware", cluster="Cluster-A",
+                   num_iterations=20, total_samples=2048)
+    assert RunSpec.from_json(spec.to_json()) == spec
+
+Component models (stragglers, networks) are referenced declaratively by
+registry kind plus parameters (:class:`StragglerSpec`, :class:`NetworkSpec`)
+and instantiated freshly for every run, so runs never share mutable state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+__all__ = ["RunSpec", "StragglerSpec", "NetworkSpec", "SpecError", "RUN_MODES"]
+
+#: Execution modes understood by the engine's builtin backends.
+RUN_MODES: tuple[str, ...] = ("timing", "training")
+
+#: Default per-iteration dataset size for timing-only runs.
+DEFAULT_TIMING_SAMPLES = 2048
+
+
+class SpecError(ValueError):
+    """Raised when a run specification is structurally invalid."""
+
+
+def _component_spec(value: Any, cls: type, what: str) -> Any:
+    """Coerce ``value`` (spec, kind string or mapping) into ``cls``."""
+    if isinstance(value, cls):
+        return value
+    if isinstance(value, str):
+        return cls(kind=value)
+    if isinstance(value, Mapping):
+        data = dict(value)
+        kind = data.pop("kind", None)
+        if kind is None:
+            raise SpecError(f"{what} mapping needs a 'kind' key, got {value!r}")
+        params = data.pop("params", None)
+        if data:
+            raise SpecError(
+                f"unexpected {what} keys {sorted(data)}; "
+                "use {'kind': ..., 'params': {...}}"
+            )
+        return cls(kind=str(kind), params=dict(params or {}))
+    raise SpecError(f"cannot interpret {value!r} as a {what} spec")
+
+
+@dataclass(frozen=True)
+class StragglerSpec:
+    """Declarative straggler model: registry kind + constructor params."""
+
+    kind: str = "none"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Declarative communication model: registry kind + constructor params."""
+
+    kind: str = "simple"
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"kind": self.kind, "params": dict(self.params)}
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A fully-specified, validated, immutable experiment run.
+
+    Attributes
+    ----------
+    scheme:
+        Coding-scheme name (timing mode) or protocol name (training mode);
+        resolved against the scheme / protocol plugin registries.
+    mode:
+        ``"timing"`` simulates iteration timing only (Figs. 2/3/5);
+        ``"training"`` runs the full protocol with real numpy gradients
+        (Fig. 4).  Custom backends may register further modes.
+    cluster:
+        Cluster name from the cluster registry (Table II builtins:
+        ``"Cluster-A"`` ... ``"Cluster-D"``).
+    cluster_options:
+        Extra keyword arguments for the cluster factory
+        (``samples_per_second_per_vcpu``, ``machine_spread``,
+        ``compute_noise``, ``rng``, ``vcpu_counts``).  When ``rng`` is
+        omitted the cluster is built from :attr:`seed`.
+    workload:
+        Workload preset name (training mode only).
+    num_iterations:
+        Number of simulated iterations.
+    total_samples:
+        Dataset size processed per iteration (timing mode; defaults to
+        2048) or overall training-set size (training mode; ``None`` uses
+        the workload's preset size).
+    num_stragglers:
+        ``s``, the straggler tolerance the coded schemes are built for.
+    num_partitions:
+        Explicit ``k`` override; ``None`` uses each scheme's natural count.
+    partitions_multiplier:
+        ``k / m`` for the heterogeneity-aware family when
+        ``num_partitions`` is not pinned.
+    straggler:
+        Transient straggler model (:class:`StragglerSpec`, kind string or
+        mapping).
+    network:
+        Communication model (:class:`NetworkSpec`, kind string or mapping).
+    gradient_bytes:
+        Coded-gradient payload size on the wire (timing mode).
+    learning_rate:
+        SGD learning rate (training mode).
+    ssp_staleness, ssp_batch_size:
+        Parameter-server baseline knobs (training mode; ignored by BSP).
+    loss_eval_samples:
+        Evaluate training loss on at most this many samples (0 = all).
+    record_loss_every:
+        Record the loss every this many iterations.
+    seed:
+        Seed for all randomness in the run; two specs sharing a seed see
+        identical per-iteration conditions (paired comparisons).
+    """
+
+    scheme: str = "heter_aware"
+    mode: str = "timing"
+    cluster: str = "Cluster-A"
+    cluster_options: dict[str, Any] = field(default_factory=dict)
+    workload: str = "nonseparable_blobs"
+    num_iterations: int = 20
+    total_samples: int | None = None
+    num_stragglers: int = 1
+    num_partitions: int | None = None
+    partitions_multiplier: int = 2
+    straggler: StragglerSpec = field(default_factory=StragglerSpec)
+    network: NetworkSpec = field(default_factory=NetworkSpec)
+    gradient_bytes: float = 8.0 * 65536
+    learning_rate: float = 0.1
+    ssp_staleness: float = 3.0
+    ssp_batch_size: int | None = None
+    loss_eval_samples: int = 0
+    record_loss_every: int = 1
+    seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "straggler", _component_spec(self.straggler, StragglerSpec, "straggler")
+        )
+        object.__setattr__(
+            self, "network", _component_spec(self.network, NetworkSpec, "network")
+        )
+        cluster_options = dict(self.cluster_options)
+        # JSON turns the int keys of vcpu_counts into strings; normalise at
+        # construction so to_json/from_json round-trips compare equal.
+        counts = cluster_options.get("vcpu_counts")
+        if isinstance(counts, Mapping):
+            try:
+                cluster_options["vcpu_counts"] = {
+                    int(vcpus): int(count) for vcpus, count in counts.items()
+                }
+            except (TypeError, ValueError) as exc:
+                raise SpecError(
+                    f"vcpu_counts must map vCPU sizes to instance counts, "
+                    f"got {counts!r}"
+                ) from exc
+        object.__setattr__(self, "cluster_options", cluster_options)
+        if not self.scheme or not isinstance(self.scheme, str):
+            raise SpecError(f"scheme must be a non-empty string, got {self.scheme!r}")
+        if not self.mode or not isinstance(self.mode, str):
+            raise SpecError(f"mode must be a non-empty string, got {self.mode!r}")
+        if not self.cluster or not isinstance(self.cluster, str):
+            raise SpecError(f"cluster must be a non-empty string, got {self.cluster!r}")
+        if self.num_iterations <= 0:
+            raise SpecError("num_iterations must be positive")
+        if self.total_samples is not None and self.total_samples <= 0:
+            raise SpecError("total_samples must be positive when given")
+        if self.num_stragglers < 0:
+            raise SpecError("num_stragglers must be non-negative")
+        if self.num_partitions is not None and self.num_partitions <= 0:
+            raise SpecError("num_partitions must be positive when given")
+        if self.partitions_multiplier <= 0:
+            raise SpecError("partitions_multiplier must be positive")
+        if self.gradient_bytes < 0:
+            raise SpecError("gradient_bytes must be non-negative")
+        if self.learning_rate <= 0:
+            raise SpecError("learning_rate must be positive")
+        if self.ssp_batch_size is not None and self.ssp_batch_size <= 0:
+            raise SpecError("ssp_batch_size must be positive when given")
+        if self.loss_eval_samples < 0:
+            raise SpecError("loss_eval_samples must be non-negative")
+        if self.record_loss_every <= 0:
+            raise SpecError("record_loss_every must be positive")
+
+    # -- derived quantities --------------------------------------------
+    def resolved_total_samples(self) -> int | None:
+        """Per-iteration sample budget: the explicit value or the timing default."""
+        if self.total_samples is not None:
+            return self.total_samples
+        return DEFAULT_TIMING_SAMPLES if self.mode == "timing" else None
+
+    # -- functional updates --------------------------------------------
+    def replace(self, **changes: Any) -> "RunSpec":
+        """A copy of this spec with ``changes`` applied (re-validated)."""
+        return dataclasses.replace(self, **changes)
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-data form; inverse of :meth:`from_dict`."""
+        data = dataclasses.asdict(self)
+        data["straggler"] = self.straggler.to_dict()
+        data["network"] = self.network.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Build a spec from :meth:`to_dict` output (unknown keys rejected)."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise SpecError(f"unknown RunSpec fields: {sorted(unknown)}")
+        return cls(**dict(data))
+
+    def to_json(self, indent: int | None = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunSpec":
+        return cls.from_dict(json.loads(text))

@@ -10,18 +10,37 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH`` set)::
     python -m repro optimality --trials 10
     python -m repro estimation-error --errors 0 0.2 0.4
     python -m repro analyze --cluster Cluster-A --stragglers 1
+    python -m repro run --scheme heter_aware --iterations 20 --json
+    python -m repro run --spec my_run.json
+    python -m repro plugins
 
-Each sub-command runs the corresponding experiment at a configurable scale
-and prints the same text table the benchmarks produce, so results can be
-regenerated without going through pytest.
+Each figure sub-command runs the corresponding experiment at a configurable
+scale and prints the same text table the benchmarks produce, so results can
+be regenerated without going through pytest.  All of them, plus the generic
+``run`` sub-command, are thin declarative layers over
+:class:`repro.api.Engine`: ``run`` executes a single
+:class:`repro.api.RunSpec` (from flags or a JSON file) and can emit the full
+:class:`repro.api.RunResult` as JSON; ``plugins`` lists everything the
+registries currently know.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
+from .api import Engine, RunSpec
+from .api.registry import (
+    CLUSTERS,
+    EXECUTION_BACKENDS,
+    NETWORK_MODELS,
+    PROTOCOLS,
+    SCHEMES,
+    STRAGGLER_MODELS,
+    WORKLOADS,
+)
 from .coding.analysis import analyze_strategy
 from .coding.registry import build_strategy, natural_partitions
 from .experiments import (
@@ -115,6 +134,42 @@ def build_parser() -> argparse.ArgumentParser:
     estimation.add_argument("--iterations", type=int, default=20)
     estimation.add_argument("--seed", type=int, default=0)
 
+    run = subparsers.add_parser(
+        "run",
+        help="execute one declarative RunSpec through the Engine",
+        description=(
+            "Execute a single run. Either load a full RunSpec from --spec "
+            "(a JSON file produced by RunSpec.to_json) or assemble one from "
+            "the flags below."
+        ),
+    )
+    run.add_argument("--spec", help="path to a RunSpec JSON file ('-' for stdin)")
+    run.add_argument("--scheme", default="heter_aware")
+    run.add_argument("--mode", choices=("timing", "training"), default="timing")
+    run.add_argument("--cluster", default="Cluster-A")
+    run.add_argument("--workload", default="nonseparable_blobs")
+    run.add_argument("--iterations", type=int, default=20)
+    run.add_argument("--samples", type=int, default=None)
+    run.add_argument("--stragglers", type=int, default=1)
+    run.add_argument("--partitions", type=int, default=None, help="explicit k")
+    run.add_argument("--multiplier", type=int, default=2,
+                     help="k / m for the heterogeneity-aware family")
+    run.add_argument("--straggler-model", default="none",
+                     help="registered straggler kind (none, artificial_delay, ...)")
+    run.add_argument("--straggler-params", default=None, metavar="JSON",
+                     help="JSON object of parameters for --straggler-model, "
+                          "e.g. '{\"probability\": 0.1}'")
+    run.add_argument("--delay", type=float, default=None,
+                     help="delay_seconds shortcut for --straggler-model artificial_delay")
+    run.add_argument("--learning-rate", type=float, default=0.1)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true",
+                     help="print the full RunResult as JSON instead of a summary table")
+
+    subparsers.add_parser(
+        "plugins", help="list every registered scheme, protocol, cluster, ..."
+    )
+
     analyze = subparsers.add_parser(
         "analyze", help="static analysis of every scheme on one cluster"
     )
@@ -194,6 +249,69 @@ def _command_estimation_error(args: argparse.Namespace) -> str:
     return report_estimation_error(result)
 
 
+def _command_run(args: argparse.Namespace) -> str:
+    if args.spec:
+        if args.spec == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.spec, encoding="utf-8") as handle:
+                text = handle.read()
+        spec = RunSpec.from_json(text)
+    else:
+        straggler_model = args.straggler_model
+        straggler_params: dict = (
+            json.loads(args.straggler_params) if args.straggler_params else {}
+        )
+        if args.delay is not None:
+            straggler_model = "artificial_delay"
+            straggler_params.setdefault("delay_seconds", args.delay)
+        if straggler_model == "artificial_delay":
+            # keep the injector consistent with the tolerance the coded
+            # schemes are built for unless the user pinned it explicitly
+            straggler_params.setdefault("num_stragglers", args.stragglers)
+        spec = RunSpec(
+            scheme=args.scheme,
+            mode=args.mode,
+            cluster=args.cluster,
+            workload=args.workload,
+            num_iterations=args.iterations,
+            total_samples=args.samples,
+            num_stragglers=args.stragglers,
+            num_partitions=args.partitions,
+            partitions_multiplier=args.multiplier,
+            straggler={"kind": straggler_model, "params": straggler_params},
+            learning_rate=args.learning_rate,
+            seed=args.seed,
+        )
+    result = Engine().run(spec)
+    if args.json:
+        return result.to_json(indent=2)
+    summary = result.summary()
+    rows = [[key, value] for key, value in summary.items()]
+    return format_table(
+        ["metric", "value"],
+        rows,
+        precision=4,
+        title=f"RunSpec({spec.scheme}, {spec.mode}, {spec.cluster}, seed={spec.seed})",
+    )
+
+
+def _command_plugins(_: argparse.Namespace) -> str:
+    sections = [
+        ("schemes", SCHEMES),
+        ("protocols", PROTOCOLS),
+        ("clusters", CLUSTERS),
+        ("workloads", WORKLOADS),
+        ("straggler models", STRAGGLER_MODELS),
+        ("network models", NETWORK_MODELS),
+        ("execution backends", EXECUTION_BACKENDS),
+    ]
+    lines = ["Registered plugins:"]
+    for label, registry in sections:
+        lines.append(f"  {label:18s} {', '.join(registry.names())}")
+    return "\n".join(lines)
+
+
 def _command_analyze(args: argparse.Namespace) -> str:
     cluster = build_cluster(args.cluster, rng=args.seed)
     rows = []
@@ -245,6 +363,8 @@ _COMMANDS = {
     "optimality": _command_optimality,
     "estimation-error": _command_estimation_error,
     "analyze": _command_analyze,
+    "run": _command_run,
+    "plugins": _command_plugins,
 }
 
 

@@ -35,7 +35,13 @@ from .optimality import (
     optimality_report,
     worst_case_completion_time,
 )
-from .registry import SCHEME_NAMES, build_strategy, natural_partitions
+from .registry import (
+    SCHEME_NAMES,
+    build_strategy,
+    natural_partitions,
+    register_scheme,
+    registered_schemes,
+)
 from .serialization import (
     load_strategy,
     save_strategy,
@@ -87,6 +93,8 @@ __all__ = [
     "build_strategy",
     "natural_partitions",
     "SCHEME_NAMES",
+    "register_scheme",
+    "registered_schemes",
     # groups
     "find_all_groups",
     "prune_groups",

@@ -2,16 +2,27 @@
 
 The experiment harness, the benchmarks and the examples all select schemes
 by a short string (``"naive"``, ``"cyclic"``, ``"fractional"``,
-``"heter_aware"``, ``"group_based"``).  This module centralises that mapping
-so new schemes can be added in one place.
+``"heter_aware"``, ``"group_based"``).  The mapping lives in the shared
+plugin registry (:data:`repro.api.registry.SCHEMES`); this module registers
+the builtin schemes and keeps the long-standing helpers
+(:func:`build_strategy`, :func:`natural_partitions`) as thin wrappers, so
+new schemes can be added from anywhere with :func:`register_scheme` instead
+of editing a hard-coded dict here::
+
+    from repro.coding.registry import register_scheme
+
+    @register_scheme("my_scheme", partitioning="multiplier")
+    def _build_my_scheme(throughputs, num_partitions, num_stragglers, rng=None):
+        return ...  # a CodingStrategy
 """
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Sequence
 
 import numpy as np
 
+from .._registry import SCHEMES, register_scheme
 from .cyclic import cyclic_strategy
 from .fractional import fractional_repetition_strategy
 from .group_based import group_based_strategy
@@ -19,10 +30,17 @@ from .heter_aware import heterogeneity_aware_strategy
 from .naive import naive_strategy
 from .types import CodingError, CodingStrategy
 
-__all__ = ["SCHEME_NAMES", "build_strategy", "natural_partitions"]
+__all__ = [
+    "SCHEME_NAMES",
+    "build_strategy",
+    "natural_partitions",
+    "register_scheme",
+    "registered_schemes",
+]
 
-#: Names accepted by :func:`build_strategy`, in canonical presentation order
-#: (the order used by the paper's figures).
+#: The builtin schemes, in canonical presentation order (the order used by
+#: the paper's figures).  Plugins registered later extend
+#: :func:`registered_schemes` but not this tuple.
 SCHEME_NAMES: tuple[str, ...] = (
     "naive",
     "cyclic",
@@ -31,6 +49,73 @@ SCHEME_NAMES: tuple[str, ...] = (
     "group_based",
 )
 
+
+def registered_schemes() -> tuple[str, ...]:
+    """Every scheme currently registered (builtins plus plugins)."""
+    return SCHEMES.names()
+
+
+# ---------------------------------------------------------------------------
+# builtin registrations
+# ---------------------------------------------------------------------------
+
+@register_scheme("naive", partitioning="uniform")
+def _build_naive(
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+) -> CodingStrategy:
+    return naive_strategy(len(throughputs), num_partitions)
+
+
+@register_scheme("cyclic", partitioning="uniform")
+def _build_cyclic(
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+) -> CodingStrategy:
+    return cyclic_strategy(len(throughputs), num_stragglers, num_partitions, rng=rng)
+
+
+@register_scheme("fractional", partitioning="uniform")
+def _build_fractional(
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+) -> CodingStrategy:
+    return fractional_repetition_strategy(
+        len(throughputs), num_stragglers, num_partitions
+    )
+
+
+@register_scheme("heter_aware", partitioning="multiplier")
+def _build_heter_aware(
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+) -> CodingStrategy:
+    return heterogeneity_aware_strategy(
+        throughputs, num_partitions, num_stragglers, rng=rng
+    )
+
+
+@register_scheme("group_based", partitioning="multiplier")
+def _build_group_based(
+    throughputs: Sequence[float],
+    num_partitions: int,
+    num_stragglers: int,
+    rng: np.random.Generator | int | None = None,
+) -> CodingStrategy:
+    return group_based_strategy(throughputs, num_partitions, num_stragglers, rng=rng)
+
+
+# ---------------------------------------------------------------------------
+# public helpers
+# ---------------------------------------------------------------------------
 
 def natural_partitions(
     scheme: str,
@@ -46,6 +131,10 @@ def natural_partitions(
     ``m`` (default 2) gives the proportional allocation enough granularity.
     SSP-style protocols also shard uniformly, i.e. ``k = m``.
 
+    A registered scheme declares its convention through the ``partitioning``
+    registry metadata (``"uniform"`` or ``"multiplier"``); names not in the
+    registry (e.g. the SSP protocols) shard uniformly.
+
     Parameters
     ----------
     scheme:
@@ -53,13 +142,13 @@ def natural_partitions(
     num_workers:
         ``m``.
     heter_multiplier:
-        ``k / m`` for the heterogeneity-aware family.
+        ``k / m`` for schemes with ``"multiplier"`` partitioning.
     """
     if num_workers <= 0:
         raise CodingError("num_workers must be positive")
     if heter_multiplier <= 0:
         raise CodingError("heter_multiplier must be positive")
-    if scheme in ("heter_aware", "group_based"):
+    if SCHEMES.metadata(scheme).get("partitioning") == "multiplier":
         return heter_multiplier * num_workers
     return num_workers
 
@@ -76,7 +165,8 @@ def build_strategy(
     Parameters
     ----------
     scheme:
-        One of :data:`SCHEME_NAMES`.
+        Any name in :func:`registered_schemes` (builtins:
+        :data:`SCHEME_NAMES`).
     throughputs:
         Estimated per-worker throughputs.  Heterogeneity-oblivious schemes
         (naive, cyclic, fractional) only use the length of this sequence.
@@ -89,24 +179,14 @@ def build_strategy(
     rng:
         Seed or generator for the randomised constructions.
     """
-    num_workers = len(list(throughputs))
-    builders: dict[str, Callable[[], CodingStrategy]] = {
-        "naive": lambda: naive_strategy(num_workers, num_partitions),
-        "cyclic": lambda: cyclic_strategy(
-            num_workers, num_stragglers, num_partitions, rng=rng
-        ),
-        "fractional": lambda: fractional_repetition_strategy(
-            num_workers, num_stragglers, num_partitions
-        ),
-        "heter_aware": lambda: heterogeneity_aware_strategy(
-            throughputs, num_partitions, num_stragglers, rng=rng
-        ),
-        "group_based": lambda: group_based_strategy(
-            throughputs, num_partitions, num_stragglers, rng=rng
-        ),
-    }
-    if scheme not in builders:
+    if scheme not in SCHEMES:
         raise CodingError(
-            f"unknown scheme {scheme!r}; expected one of {SCHEME_NAMES}"
+            f"unknown scheme {scheme!r}; expected one of {registered_schemes()}"
         )
-    return builders[scheme]()
+    builder = SCHEMES.get(scheme)
+    return builder(
+        list(throughputs),
+        num_partitions=num_partitions,
+        num_stragglers=num_stragglers,
+        rng=rng,
+    )

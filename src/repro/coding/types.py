@@ -42,8 +42,13 @@ __all__ = [
 ]
 
 
-class CodingError(Exception):
-    """Base class for every error raised by :mod:`repro.coding`."""
+class CodingError(ValueError):
+    """Base class for every error raised by :mod:`repro.coding`.
+
+    Subclasses :class:`ValueError` (like the protocol/simulation error
+    types) so callers that guarded the registry helpers with
+    ``except ValueError`` keep working.
+    """
 
 
 class AllocationError(CodingError):

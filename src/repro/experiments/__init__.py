@@ -12,8 +12,14 @@ Every module exposes ``run_*`` (returns a result dataclass), ``report_*``
 (renders it as text) and ``main`` (prints at default scale).
 """
 
-from .clusters import CLUSTER_NAMES, TABLE_II, build_all_clusters, build_cluster
-from .common import default_partitions, measure_timing_trace
+from .clusters import (
+    CLUSTER_NAMES,
+    TABLE_II,
+    build_all_clusters,
+    build_cluster,
+    register_cluster,
+)
+from .common import SampleCountDriftWarning, default_partitions, measure_timing_trace
 from .fig2_straggler_delay import Fig2Result, report_fig2, run_fig2
 from .fig3_clusters import Fig3Result, report_fig3, run_fig3
 from .fig4_loss_curve import Fig4Result, report_fig4, run_fig4
@@ -30,18 +36,21 @@ from .sweep import (
     run_optimality_sweep,
 )
 from .table2_clusters import Table2Result, report_table2, run_table2
-from .workloads import WORKLOADS, Workload, get_workload
+from .workloads import WORKLOADS, Workload, get_workload, register_workload
 
 __all__ = [
     "TABLE_II",
     "CLUSTER_NAMES",
     "build_cluster",
     "build_all_clusters",
+    "register_cluster",
     "default_partitions",
     "measure_timing_trace",
+    "SampleCountDriftWarning",
     "Workload",
     "WORKLOADS",
     "get_workload",
+    "register_workload",
     "Fig2Result",
     "run_fig2",
     "report_fig2",

@@ -21,15 +21,35 @@ table literally and record the discrepancy in EXPERIMENTS.md.
 Throughputs are modelled as proportional to the vCPU count with a small
 machine-to-machine spread (see
 :func:`repro.simulation.cluster.cluster_from_vcpu_counts`).
+
+The four clusters are registered in the shared plugin registry
+(:data:`repro.api.registry.CLUSTERS`), so experiments and the
+:class:`~repro.api.Engine` resolve them by name; new clusters plug in with
+:func:`register_cluster`::
+
+    from repro.experiments.clusters import register_cluster
+
+    @register_cluster("my-cluster")
+    def _build(samples_per_second_per_vcpu=50.0, machine_spread=0.05,
+               compute_noise=0.02, rng=0):
+        return ...  # a ClusterSpec
 """
 
 from __future__ import annotations
 
 from typing import Mapping
 
+from .._registry import CLUSTERS, register_cluster
 from ..simulation.cluster import ClusterSpec, cluster_from_vcpu_counts
 
-__all__ = ["TABLE_II", "CLUSTER_NAMES", "build_cluster", "build_all_clusters"]
+__all__ = [
+    "TABLE_II",
+    "CLUSTER_NAMES",
+    "build_cluster",
+    "build_all_clusters",
+    "register_cluster",
+    "registered_clusters",
+]
 
 #: Table II of the paper: vCPU size -> instance count, per cluster.
 TABLE_II: dict[str, dict[int, int]] = {
@@ -42,6 +62,45 @@ TABLE_II: dict[str, dict[int, int]] = {
 CLUSTER_NAMES: tuple[str, ...] = tuple(TABLE_II)
 
 
+def registered_clusters() -> tuple[str, ...]:
+    """Every cluster currently registered (Table II plus plugins)."""
+    return CLUSTERS.names()
+
+
+def _cluster_factory(
+    name: str,
+    vcpu_counts: Mapping[int, int],
+    samples_per_second_per_vcpu: float = 50.0,
+    machine_spread: float = 0.05,
+    compute_noise: float = 0.02,
+    rng: int | None = 0,
+) -> ClusterSpec:
+    counts = {int(v): int(c) for v, c in vcpu_counts.items() if c > 0}
+    return cluster_from_vcpu_counts(
+        name,
+        counts,
+        samples_per_second_per_vcpu=samples_per_second_per_vcpu,
+        machine_spread=machine_spread,
+        compute_noise=compute_noise,
+        rng=rng,
+    )
+
+
+def _register_table_ii() -> None:
+    for cluster_name, counts in TABLE_II.items():
+        CLUSTERS.add(
+            cluster_name,
+            lambda _name=cluster_name, _counts=counts, **knobs: _cluster_factory(
+                _name, _counts, **knobs
+            ),
+            source="Table II",
+            num_workers=sum(counts.values()),
+        )
+
+
+_register_table_ii()
+
+
 def build_cluster(
     name: str,
     samples_per_second_per_vcpu: float = 50.0,
@@ -50,29 +109,35 @@ def build_cluster(
     rng: int | None = 0,
     vcpu_counts: Mapping[int, int] | None = None,
 ) -> ClusterSpec:
-    """Build one of the Table II clusters (or a custom composition).
+    """Build a registered cluster by name (or a custom composition).
 
     Parameters
     ----------
     name:
-        ``"Cluster-A"`` ... ``"Cluster-D"``, or any name when
+        Any name in :func:`registered_clusters` (builtins:
+        ``"Cluster-A"`` ... ``"Cluster-D"``), or any name when
         ``vcpu_counts`` is supplied explicitly.
     samples_per_second_per_vcpu, machine_spread, compute_noise, rng:
         Passed to :func:`repro.simulation.cluster.cluster_from_vcpu_counts`.
     vcpu_counts:
         Override the Table II composition (for scaled-down test runs).
     """
-    if vcpu_counts is None:
-        if name not in TABLE_II:
-            raise KeyError(
-                f"unknown cluster {name!r}; expected one of {CLUSTER_NAMES} "
-                "or an explicit vcpu_counts mapping"
-            )
-        vcpu_counts = TABLE_II[name]
-    counts = {int(v): int(c) for v, c in vcpu_counts.items() if c > 0}
-    return cluster_from_vcpu_counts(
-        name,
-        counts,
+    if vcpu_counts is not None:
+        return _cluster_factory(
+            name,
+            vcpu_counts,
+            samples_per_second_per_vcpu=samples_per_second_per_vcpu,
+            machine_spread=machine_spread,
+            compute_noise=compute_noise,
+            rng=rng,
+        )
+    if name not in CLUSTERS:
+        raise KeyError(
+            f"unknown cluster {name!r}; expected one of {registered_clusters()} "
+            "or an explicit vcpu_counts mapping"
+        )
+    factory = CLUSTERS.get(name)
+    return factory(
         samples_per_second_per_vcpu=samples_per_second_per_vcpu,
         machine_spread=machine_spread,
         compute_noise=compute_noise,

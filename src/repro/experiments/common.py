@@ -24,6 +24,8 @@ Fairness conventions shared by both modes:
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from ..coding.decoding import Decoder
@@ -34,19 +36,42 @@ from ..simulation.stragglers import NoStragglers, StragglerInjector
 from ..simulation.timing import simulate_iteration
 from ..simulation.trace import IterationRecord, RunTrace
 
-__all__ = ["measure_timing_trace", "default_partitions", "TIMING_SEED_OFFSET"]
+__all__ = [
+    "measure_timing_trace",
+    "default_partitions",
+    "SampleCountDriftWarning",
+    "TIMING_SEED_OFFSET",
+]
 
 #: Offset separating the construction RNG stream from the timing RNG stream.
 TIMING_SEED_OFFSET = 104_729
 
 
+class SampleCountDriftWarning(UserWarning):
+    """The effective per-iteration sample count differs from the request.
+
+    ``measure_timing_trace`` rounds ``total_samples`` down to a multiple of
+    the partition count ``k`` (at least one sample per partition), so two
+    schemes with different natural ``k`` can process slightly different
+    totals.  The trace metadata records the effective total; this warning
+    makes the drift visible instead of silent.
+    """
+
+
 def default_partitions(num_workers: int, multiplier: int = 2) -> int:
-    """Default ``k`` for the heterogeneity-aware family: ``multiplier * m``."""
-    if num_workers <= 0:
-        raise ValueError("num_workers must be positive")
-    if multiplier <= 0:
-        raise ValueError("multiplier must be positive")
-    return multiplier * num_workers
+    """Deprecated alias for the heterogeneity-aware partition count.
+
+    .. deprecated::
+        Use :func:`repro.coding.natural_partitions` with scheme
+        ``"heter_aware"`` instead; this duplicate will be removed.
+    """
+    warnings.warn(
+        "default_partitions is deprecated; use "
+        "repro.coding.natural_partitions('heter_aware', num_workers, multiplier)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return natural_partitions("heter_aware", num_workers, heter_multiplier=multiplier)
 
 
 def measure_timing_trace(
@@ -105,6 +130,17 @@ def measure_timing_trace(
         scheme, cluster.num_workers, partitions_multiplier
     )
     samples_per_partition = max(1, total_samples // k)
+    effective_total_samples = samples_per_partition * k
+    if effective_total_samples != total_samples:
+        warnings.warn(
+            f"scheme {scheme!r} with k={k} partitions processes "
+            f"{effective_total_samples} samples per iteration instead of the "
+            f"requested {total_samples} (total_samples is rounded to a "
+            "multiple of the partition count); pass a total divisible by k "
+            "to compare schemes on identical sample counts",
+            SampleCountDriftWarning,
+            stacklevel=2,
+        )
     strategy = build_strategy(
         scheme,
         throughputs=cluster.estimated_throughputs,
@@ -118,9 +154,11 @@ def measure_timing_trace(
         cluster_name=cluster.name,
         metadata={
             "mode": "timing_only",
+            "num_workers": cluster.num_workers,
             "num_partitions": k,
             "num_stragglers": num_stragglers,
             "total_samples": total_samples,
+            "effective_total_samples": effective_total_samples,
             "samples_per_partition": samples_per_partition,
             "loads": list(strategy.loads),
             "num_groups": len(strategy.groups),

@@ -23,11 +23,7 @@ from typing import Sequence
 
 import numpy as np
 
-from ..metrics.timing_stats import timing_stats
-from ..simulation.network import SimpleNetwork
-from ..simulation.stragglers import ArtificialDelay, NoStragglers
-from .clusters import build_cluster
-from .common import measure_timing_trace
+from ..api import Engine, RunSpec, StragglerSpec
 
 __all__ = ["Fig2Result", "run_fig2", "report_fig2", "main"]
 
@@ -81,39 +77,35 @@ def run_fig2(
     partitions_multiplier, samples_per_second_per_vcpu, seed:
         Experiment geometry and scale knobs.
     """
-    cluster = build_cluster(
-        cluster_name,
-        samples_per_second_per_vcpu=samples_per_second_per_vcpu,
-        rng=seed,
-    )
     result = Fig2Result(
         cluster_name=cluster_name,
         num_stragglers=num_stragglers,
         delays=tuple(float(d) for d in delays),
         schemes=tuple(schemes),
     )
-    network = SimpleNetwork()
+    engine = Engine()
+    base = RunSpec(
+        mode="timing",
+        cluster=cluster_name,
+        cluster_options={"samples_per_second_per_vcpu": samples_per_second_per_vcpu},
+        num_stragglers=num_stragglers,
+        total_samples=total_samples,
+        num_iterations=num_iterations,
+        partitions_multiplier=partitions_multiplier,
+        seed=seed,
+    )
     for scheme in schemes:
         means: list[float] = []
         for delay in delays:
             if delay == 0:
-                injector = NoStragglers()
+                straggler = StragglerSpec("none")
             else:
-                injector = ArtificialDelay(
-                    num_stragglers=num_stragglers, delay_seconds=float(delay)
+                straggler = StragglerSpec(
+                    "artificial_delay",
+                    {"num_stragglers": num_stragglers, "delay_seconds": float(delay)},
                 )
-            trace = measure_timing_trace(
-                scheme,
-                cluster,
-                num_stragglers=num_stragglers,
-                total_samples=total_samples,
-                num_iterations=num_iterations,
-                partitions_multiplier=partitions_multiplier,
-                injector=injector,
-                network=network,
-                seed=seed,
-            )
-            means.append(timing_stats(trace).mean)
+            run = engine.run(base.replace(scheme=scheme, straggler=straggler))
+            means.append(run.mean_iteration_time)
         result.mean_times[scheme] = means
     return result
 

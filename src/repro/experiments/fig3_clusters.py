@@ -16,11 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..metrics.timing_stats import timing_stats
-from ..simulation.network import SimpleNetwork
-from ..simulation.stragglers import NoStragglers, TransientSlowdown
+from ..api import Engine, RunSpec, StragglerSpec
 from .clusters import build_cluster
-from .common import measure_timing_trace
 
 __all__ = ["Fig3Result", "run_fig3", "report_fig3", "main"]
 
@@ -67,36 +64,38 @@ def run_fig3(
         schemes=tuple(schemes),
         num_stragglers=num_stragglers,
     )
-    network = SimpleNetwork()
     if transient_probability > 0:
-        injector = TransientSlowdown(
-            probability=transient_probability,
-            mean_delay_seconds=transient_mean_delay,
+        straggler = StragglerSpec(
+            "transient",
+            {
+                "probability": transient_probability,
+                "mean_delay_seconds": transient_mean_delay,
+            },
         )
     else:
-        injector = NoStragglers()
+        straggler = StragglerSpec("none")
 
+    engine = Engine()
+    base = RunSpec(
+        mode="timing",
+        cluster_options={"samples_per_second_per_vcpu": samples_per_second_per_vcpu},
+        num_stragglers=num_stragglers,
+        total_samples=total_samples,
+        num_iterations=num_iterations,
+        partitions_multiplier=partitions_multiplier,
+        straggler=straggler,
+        seed=seed,
+    )
     for cluster_name in clusters:
-        cluster = build_cluster(
+        result.num_workers[cluster_name] = build_cluster(
             cluster_name,
             samples_per_second_per_vcpu=samples_per_second_per_vcpu,
             rng=seed,
-        )
-        result.num_workers[cluster_name] = cluster.num_workers
+        ).num_workers
         result.mean_times[cluster_name] = {}
         for scheme in schemes:
-            trace = measure_timing_trace(
-                scheme,
-                cluster,
-                num_stragglers=num_stragglers,
-                total_samples=total_samples,
-                num_iterations=num_iterations,
-                partitions_multiplier=partitions_multiplier,
-                injector=injector,
-                network=network,
-                seed=seed,
-            )
-            result.mean_times[cluster_name][scheme] = timing_stats(trace).mean
+            run = engine.run(base.replace(cluster=cluster_name, scheme=scheme))
+            result.mean_times[cluster_name][scheme] = run.mean_iteration_time
     return result
 
 

@@ -22,15 +22,9 @@ from typing import Sequence
 
 import numpy as np
 
-from ..learning.optimizers import SGD
+from ..api import Engine, RunSpec, StragglerSpec
 from ..metrics.convergence import align_curves, area_under_loss_curve, loss_at_time
-from ..protocols.base import TrainingConfig
-from ..protocols.runner import compare_schemes
-from ..simulation.network import SimpleNetwork
-from ..simulation.stragglers import TransientSlowdown
 from ..simulation.trace import RunTrace
-from .clusters import build_cluster
-from .workloads import get_workload
 
 __all__ = ["Fig4Result", "run_fig4", "report_fig4", "main"]
 
@@ -90,38 +84,31 @@ def run_fig4(
     ``cluster_name="Cluster-A"`` and a smaller ``num_samples`` for a quick
     run (the benchmarks do).
     """
-    cluster = build_cluster(
-        cluster_name,
-        samples_per_second_per_vcpu=samples_per_second_per_vcpu,
-        rng=seed,
-    )
-    preset = get_workload(workload)
-    dataset = preset.make_dataset(num_samples, seed=seed)
-
-    config = TrainingConfig(
+    engine = Engine()
+    base = RunSpec(
+        mode="training",
+        cluster=cluster_name,
+        cluster_options={"samples_per_second_per_vcpu": samples_per_second_per_vcpu},
+        workload=workload,
+        total_samples=num_samples,
         num_iterations=num_iterations,
         num_stragglers=num_stragglers,
         partitions_multiplier=partitions_multiplier,
-        optimizer_factory=lambda: SGD(learning_rate=learning_rate),
-        straggler_injector=TransientSlowdown(
-            probability=transient_probability,
-            mean_delay_seconds=transient_mean_delay,
+        straggler=StragglerSpec(
+            "transient",
+            {
+                "probability": transient_probability,
+                "mean_delay_seconds": transient_mean_delay,
+            },
         ),
-        network=SimpleNetwork(),
-        seed=seed,
+        learning_rate=learning_rate,
+        ssp_staleness=ssp_staleness,
+        ssp_batch_size=ssp_batch_size,
         loss_eval_samples=loss_eval_samples,
+        seed=seed,
     )
-    traces = dict(
-        compare_schemes(
-            schemes,
-            model_factory=lambda: preset.make_model(dataset, seed=seed),
-            dataset=dataset,
-            cluster=cluster,
-            config=config,
-            ssp_staleness=ssp_staleness,
-            ssp_batch_size=ssp_batch_size,
-        )
-    )
+    runs = engine.compare(base, schemes)
+    traces = {scheme: run.trace for scheme, run in runs.items()}
 
     result = Fig4Result(
         cluster_name=cluster_name,

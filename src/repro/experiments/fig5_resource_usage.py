@@ -12,12 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from ..metrics.resource_usage import run_resource_usage
-from ..metrics.timing_stats import timing_stats
-from ..simulation.network import SimpleNetwork
-from ..simulation.stragglers import TransientSlowdown
-from .clusters import build_cluster
-from .common import measure_timing_trace
+from ..api import Engine, RunSpec, StragglerSpec
 
 __all__ = ["Fig5Result", "run_fig5", "report_fig5", "main"]
 
@@ -52,31 +47,29 @@ def run_fig5(
     seed: int = 0,
 ) -> Fig5Result:
     """Measure resource usage of every scheme on one cluster."""
-    cluster = build_cluster(
-        cluster_name,
-        samples_per_second_per_vcpu=samples_per_second_per_vcpu,
-        rng=seed,
+    engine = Engine()
+    base = RunSpec(
+        mode="timing",
+        cluster=cluster_name,
+        cluster_options={"samples_per_second_per_vcpu": samples_per_second_per_vcpu},
+        num_stragglers=num_stragglers,
+        total_samples=total_samples,
+        num_iterations=num_iterations,
+        partitions_multiplier=partitions_multiplier,
+        straggler=StragglerSpec(
+            "transient",
+            {
+                "probability": transient_probability,
+                "mean_delay_seconds": transient_mean_delay,
+            },
+        ),
+        gradient_bytes=gradient_bytes,
+        seed=seed,
     )
-    injector = TransientSlowdown(
-        probability=transient_probability, mean_delay_seconds=transient_mean_delay
-    )
-    network = SimpleNetwork()
     result = Fig5Result(cluster_name=cluster_name, schemes=tuple(schemes))
-    for scheme in schemes:
-        trace = measure_timing_trace(
-            scheme,
-            cluster,
-            num_stragglers=num_stragglers,
-            total_samples=total_samples,
-            num_iterations=num_iterations,
-            partitions_multiplier=partitions_multiplier,
-            injector=injector,
-            network=network,
-            gradient_bytes=gradient_bytes,
-            seed=seed,
-        )
-        result.resource_usage[scheme] = run_resource_usage(trace)
-        result.mean_iteration_time[scheme] = timing_stats(trace).mean
+    for scheme, run in engine.compare(base, schemes).items():
+        result.resource_usage[scheme] = run.resource_usage
+        result.mean_iteration_time[scheme] = run.mean_iteration_time
     return result
 
 

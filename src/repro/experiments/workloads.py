@@ -12,18 +12,32 @@ DESIGN.md §2) but keeps the pairing:
   (the heavy workload; ResNet stand-in).
 
 A workload is a factory pair so every run gets fresh, identically-seeded
-objects.
+objects.  Workloads live in the shared plugin registry
+(:data:`repro.api.registry.WORKLOADS`); new ones plug in with
+:func:`register_workload` instead of editing this module::
+
+    from repro.experiments.workloads import Workload, register_workload
+
+    register_workload(Workload(name="my_workload", ...))
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Mapping
 
+from .._registry import WORKLOADS as _WORKLOAD_REGISTRY
+from .._registry import register_workload
 from ..learning.datasets import Dataset, make_blobs, make_cifar10_like, make_imagenet_like
 from ..learning.models import MLPClassifier, Model, SimpleCNN, SoftmaxClassifier
 
-__all__ = ["Workload", "WORKLOADS", "get_workload"]
+__all__ = [
+    "Workload",
+    "WORKLOADS",
+    "get_workload",
+    "register_workload",
+    "registered_workloads",
+]
 
 
 @dataclass(frozen=True)
@@ -84,8 +98,8 @@ def _imagenet_cnn_model(dataset: Dataset, seed: int) -> Model:
     )
 
 
-WORKLOADS: dict[str, Workload] = {
-    "blobs_softmax": Workload(
+for _workload in (
+    Workload(
         name="blobs_softmax",
         dataset_factory=lambda n, seed: make_blobs(
             num_samples=n, num_features=32, num_classes=10, rng=seed
@@ -94,14 +108,14 @@ WORKLOADS: dict[str, Workload] = {
         default_samples=1024,
         description="Gaussian blobs + softmax classifier (fast smoke workload)",
     ),
-    "cifar10_softmax": Workload(
+    Workload(
         name="cifar10_softmax",
         dataset_factory=lambda n, seed: make_cifar10_like(num_samples=n, rng=seed),
         model_factory=_blobs_softmax_model,
         default_samples=1024,
         description="CIFAR-10-like images + softmax classifier",
     ),
-    "nonseparable_blobs": Workload(
+    Workload(
         name="nonseparable_blobs",
         dataset_factory=lambda n, seed: make_blobs(
             num_samples=n,
@@ -121,7 +135,7 @@ WORKLOADS: dict[str, Workload] = {
             "leave a visible loss gap."
         ),
     ),
-    "cifar10_hard": Workload(
+    Workload(
         name="cifar10_hard",
         dataset_factory=lambda n, seed: make_cifar10_like(
             num_samples=n, separation=0.6, noise=2.0, rng=seed
@@ -134,14 +148,14 @@ WORKLOADS: dict[str, Workload] = {
             "where gradient quality matters"
         ),
     ),
-    "cifar10_mlp": Workload(
+    Workload(
         name="cifar10_mlp",
         dataset_factory=lambda n, seed: make_cifar10_like(num_samples=n, rng=seed),
         model_factory=_cifar_mlp_model,
         default_samples=2048,
         description="CIFAR-10-like images + MLP (AlexNet stand-in)",
     ),
-    "imagenet_cnn": Workload(
+    Workload(
         name="imagenet_cnn",
         dataset_factory=lambda n, seed: make_imagenet_like(
             num_samples=n, num_classes=20, image_size=32, rng=seed
@@ -150,13 +164,22 @@ WORKLOADS: dict[str, Workload] = {
         default_samples=1024,
         description="ImageNet-like images + small CNN (ResNet stand-in)",
     ),
-}
+):
+    register_workload(_workload)
+
+#: Live read-only view of every registered workload (builtins plus plugins).
+WORKLOADS: Mapping[str, Workload] = _WORKLOAD_REGISTRY.as_mapping()
+
+
+def registered_workloads() -> tuple[str, ...]:
+    """Every workload currently registered (builtins plus plugins)."""
+    return _WORKLOAD_REGISTRY.names()
 
 
 def get_workload(name: str) -> Workload:
     """Look a workload up by name."""
-    if name not in WORKLOADS:
+    if name not in _WORKLOAD_REGISTRY:
         raise KeyError(
             f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
         )
-    return WORKLOADS[name]
+    return _WORKLOAD_REGISTRY.get(name)

@@ -10,7 +10,14 @@
 
 from .base import TrainingConfig, TrainingProtocol, evaluate_mean_loss
 from .coded import CodedBSPProtocol, NaiveBSPProtocol
-from .runner import PROTOCOL_NAMES, compare_schemes, make_protocol, run_scheme
+from .runner import (
+    PROTOCOL_NAMES,
+    compare_schemes,
+    make_protocol,
+    register_protocol,
+    registered_protocols,
+    run_scheme,
+)
 from .ssp import AsyncProtocol, SSPProtocol
 
 __all__ = [
@@ -23,6 +30,8 @@ __all__ = [
     "AsyncProtocol",
     "PROTOCOL_NAMES",
     "make_protocol",
+    "register_protocol",
+    "registered_protocols",
     "run_scheme",
     "compare_schemes",
 ]

@@ -6,6 +6,17 @@ cluster C and compare".  :func:`run_scheme` handles one scheme;
 fresh model (same seed) so that loss curves differ only because of the time
 axis and, for SSP, the update semantics.
 
+Protocols are looked up in the shared plugin registry
+(:data:`repro.api.registry.PROTOCOLS`): the builtins below are registered at
+import time, and new protocols plug in with :func:`register_protocol`
+instead of editing this module::
+
+    from repro.protocols.runner import register_protocol
+
+    @register_protocol("my_protocol")
+    def _build(ssp_staleness, ssp_batch_size):
+        return MyProtocol()
+
 Fairness convention: every scheme trains on the *same dataset* but divides
 it into its own natural number of partitions — ``k = m`` for the naive /
 cyclic / fractional baselines and SSP, ``k = multiplier * m`` for the
@@ -18,6 +29,7 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Sequence
 
+from .._registry import PROTOCOLS, register_protocol
 from ..learning.datasets import Dataset
 from ..learning.models.base import Model
 from ..learning.partition import PartitionedDataset, partition_dataset
@@ -30,11 +42,14 @@ from .ssp import AsyncProtocol, SSPProtocol
 __all__ = [
     "PROTOCOL_NAMES",
     "make_protocol",
+    "register_protocol",
+    "registered_protocols",
     "run_scheme",
     "compare_schemes",
 ]
 
-#: Protocols the runner can build by name, in presentation order.
+#: The builtin protocols, in presentation order.  Plugins registered later
+#: extend :func:`registered_protocols` but not this tuple.
 PROTOCOL_NAMES: tuple[str, ...] = (
     "naive",
     "cyclic",
@@ -46,6 +61,59 @@ PROTOCOL_NAMES: tuple[str, ...] = (
     "async",
 )
 
+
+def registered_protocols() -> tuple[str, ...]:
+    """Every protocol currently registered (builtins plus plugins)."""
+    return PROTOCOLS.names()
+
+
+# ---------------------------------------------------------------------------
+# builtin registrations
+# ---------------------------------------------------------------------------
+
+@register_protocol("naive")
+def _build_naive(ssp_staleness: float, ssp_batch_size: int | None) -> TrainingProtocol:
+    return NaiveBSPProtocol()
+
+
+def _register_coded_protocols() -> None:
+    for scheme in ("cyclic", "fractional", "heter_aware", "group_based"):
+        PROTOCOLS.add(
+            scheme,
+            lambda ssp_staleness, ssp_batch_size, _scheme=scheme: CodedBSPProtocol(
+                scheme=_scheme
+            ),
+            coded=True,
+        )
+
+
+_register_coded_protocols()
+
+
+@register_protocol("ssp")
+def _build_ssp(ssp_staleness: float, ssp_batch_size: int | None) -> TrainingProtocol:
+    return SSPProtocol(staleness=ssp_staleness, batch_size=ssp_batch_size)
+
+
+@register_protocol("dyn_ssp")
+def _build_dyn_ssp(
+    ssp_staleness: float, ssp_batch_size: int | None
+) -> TrainingProtocol:
+    return SSPProtocol(
+        staleness=ssp_staleness,
+        batch_size=ssp_batch_size,
+        adaptive_learning_rate=True,
+    )
+
+
+@register_protocol("async")
+def _build_async(ssp_staleness: float, ssp_batch_size: int | None) -> TrainingProtocol:
+    return AsyncProtocol(batch_size=ssp_batch_size)
+
+
+# ---------------------------------------------------------------------------
+# public helpers
+# ---------------------------------------------------------------------------
 
 def make_protocol(
     name: str,
@@ -59,23 +127,12 @@ def make_protocol(
     ``"async"`` are the parameter-server baselines (``ssp_staleness`` and
     ``ssp_batch_size`` configure them and are ignored by the BSP variants).
     """
-    if name == "naive":
-        return NaiveBSPProtocol()
-    if name in ("cyclic", "fractional", "heter_aware", "group_based"):
-        return CodedBSPProtocol(scheme=name)
-    if name == "ssp":
-        return SSPProtocol(staleness=ssp_staleness, batch_size=ssp_batch_size)
-    if name == "dyn_ssp":
-        return SSPProtocol(
-            staleness=ssp_staleness,
-            batch_size=ssp_batch_size,
-            adaptive_learning_rate=True,
+    if name not in PROTOCOLS:
+        raise ProtocolError(
+            f"unknown protocol {name!r}; expected one of {registered_protocols()}"
         )
-    if name == "async":
-        return AsyncProtocol(batch_size=ssp_batch_size)
-    raise ProtocolError(
-        f"unknown protocol {name!r}; expected one of {PROTOCOL_NAMES}"
-    )
+    builder = PROTOCOLS.get(name)
+    return builder(ssp_staleness, ssp_batch_size)
 
 
 def _partition_for_scheme(
@@ -103,7 +160,8 @@ def run_scheme(
     Parameters
     ----------
     scheme:
-        Protocol name from :data:`PROTOCOL_NAMES`.
+        Protocol name from :func:`registered_protocols` (builtins:
+        :data:`PROTOCOL_NAMES`).
     model_factory:
         Builds a fresh model; every scheme gets its own, identically-seeded
         instance.

@@ -56,6 +56,32 @@ class IterationRecord:
     def num_workers(self) -> int:
         return len(self.compute_times)
 
+    def to_dict(self) -> dict:
+        """Plain-data form (lists instead of tuples) for JSON serialization."""
+        return {
+            "iteration": self.iteration,
+            "duration": self.duration,
+            "train_loss": self.train_loss,
+            "compute_times": list(self.compute_times),
+            "completion_times": list(self.completion_times),
+            "workers_used": list(self.workers_used),
+            "used_group": None if self.used_group is None else list(self.used_group),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "IterationRecord":
+        """Inverse of :meth:`to_dict`."""
+        used_group = data.get("used_group")
+        return cls(
+            iteration=int(data["iteration"]),
+            duration=float(data["duration"]),
+            train_loss=float(data["train_loss"]),
+            compute_times=tuple(float(t) for t in data["compute_times"]),
+            completion_times=tuple(float(t) for t in data["completion_times"]),
+            workers_used=tuple(int(w) for w in data["workers_used"]),
+            used_group=None if used_group is None else tuple(int(w) for w in used_group),
+        )
+
 
 @dataclass
 class RunTrace:
@@ -131,6 +157,27 @@ class RunTrace:
     def loss_curve(self) -> tuple[np.ndarray, np.ndarray]:
         """(elapsed time, loss) pairs for loss-versus-time plots (Fig. 4)."""
         return self.elapsed_times, self.losses
+
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON serialization (see :meth:`from_dict`)."""
+        return {
+            "scheme": self.scheme,
+            "cluster_name": self.cluster_name,
+            "metadata": dict(self.metadata),
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunTrace":
+        """Rebuild a trace from :meth:`to_dict` output (JSON round-trip)."""
+        trace = cls(
+            scheme=str(data["scheme"]),
+            cluster_name=str(data["cluster_name"]),
+            metadata=dict(data.get("metadata", {})),
+        )
+        for record in data.get("records", ()):
+            trace.append(IterationRecord.from_dict(record))
+        return trace
 
     def summary(self) -> dict:
         """Aggregate statistics for quick textual reports."""

@@ -1,0 +1,246 @@
+"""Engine: dispatch, validation errors, sweep/compare, legacy equivalence.
+
+The equivalence tests are the contract of the API redesign: running a spec
+through ``Engine`` must reproduce the legacy ``measure_timing_trace`` /
+``run_scheme`` outputs seed-for-seed, because the figure experiments now
+route through the engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, EngineError, RunSpec, SpecError, StragglerSpec
+from repro.experiments.clusters import build_cluster
+from repro.experiments.common import measure_timing_trace
+from repro.experiments.workloads import get_workload
+from repro.learning.optimizers import SGD
+from repro.protocols.base import TrainingConfig
+from repro.protocols.runner import run_scheme
+from repro.simulation.network import SimpleNetwork
+from repro.simulation.stragglers import ArtificialDelay, TransientSlowdown
+
+
+class TestValidation:
+    def test_unknown_mode(self):
+        with pytest.raises(EngineError, match="unknown mode"):
+            Engine().run(RunSpec(mode="quantum"))
+
+    def test_unknown_scheme(self):
+        with pytest.raises(EngineError, match="unknown scheme"):
+            Engine().run(RunSpec(scheme="bogus", num_iterations=1, total_samples=8))
+
+    def test_unknown_protocol_in_training_mode(self):
+        with pytest.raises(EngineError, match="unknown protocol"):
+            Engine().run(RunSpec(mode="training", scheme="bogus"))
+
+    def test_unknown_cluster(self):
+        with pytest.raises(EngineError, match="unknown cluster"):
+            Engine().run(RunSpec(cluster="Cluster-Z"))
+
+    def test_unknown_workload(self):
+        with pytest.raises(EngineError, match="unknown workload"):
+            Engine().run(RunSpec(mode="training", scheme="naive", workload="bogus"))
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(SpecError, match="expects a RunSpec"):
+            Engine().run({"scheme": "naive"})
+
+    def test_ssp_is_a_protocol_not_a_scheme(self):
+        with pytest.raises(EngineError, match="unknown scheme"):
+            Engine().run(RunSpec(scheme="ssp", mode="timing"))
+
+    def test_backend_override(self):
+        sentinel_specs = []
+
+        def fake_backend(spec):
+            sentinel_specs.append(spec)
+            return measure_timing_trace(
+                "naive",
+                build_cluster("Cluster-A", rng=0),
+                num_stragglers=0,
+                total_samples=64,
+                num_iterations=1,
+                seed=0,
+            )
+
+        engine = Engine(backends={"timing": fake_backend})
+        result = engine.run(RunSpec(scheme="naive", num_iterations=1, total_samples=64))
+        assert len(sentinel_specs) == 1
+        assert result.metrics["num_iterations"] == 1
+        with pytest.raises(EngineError, match="unknown mode"):
+            engine.run(RunSpec(mode="training", scheme="naive"))
+
+
+class TestTimingEquivalence:
+    """Engine timing runs match the legacy direct calls seed-for-seed."""
+
+    @pytest.mark.parametrize("scheme", ["naive", "cyclic", "heter_aware", "group_based"])
+    def test_matches_measure_timing_trace(self, scheme):
+        seed = 7
+        cluster = build_cluster("Cluster-A", rng=seed)
+        legacy = measure_timing_trace(
+            scheme,
+            cluster,
+            num_stragglers=1,
+            total_samples=1024,
+            num_iterations=5,
+            injector=ArtificialDelay(num_stragglers=1, delay_seconds=1.5),
+            network=SimpleNetwork(),
+            seed=seed,
+        )
+        result = Engine().run(
+            RunSpec(
+                scheme=scheme,
+                cluster="Cluster-A",
+                num_stragglers=1,
+                total_samples=1024,
+                num_iterations=5,
+                straggler=StragglerSpec(
+                    "artificial_delay",
+                    {"num_stragglers": 1, "delay_seconds": 1.5},
+                ),
+                seed=seed,
+            )
+        )
+        np.testing.assert_array_equal(result.trace.durations, legacy.durations)
+        assert result.trace.metadata["loads"] == legacy.metadata["loads"]
+        assert result.mean_iteration_time == pytest.approx(
+            float(legacy.durations.mean())
+        )
+
+    def test_transient_model_matches(self):
+        seed = 3
+        cluster = build_cluster("Cluster-B", rng=seed)
+        legacy = measure_timing_trace(
+            "heter_aware",
+            cluster,
+            num_stragglers=1,
+            total_samples=1024,
+            num_iterations=4,
+            injector=TransientSlowdown(probability=0.2, mean_delay_seconds=0.5),
+            network=SimpleNetwork(),
+            seed=seed,
+        )
+        result = Engine().run(
+            RunSpec(
+                scheme="heter_aware",
+                cluster="Cluster-B",
+                num_stragglers=1,
+                total_samples=1024,
+                num_iterations=4,
+                straggler=StragglerSpec(
+                    "transient", {"probability": 0.2, "mean_delay_seconds": 0.5}
+                ),
+                seed=seed,
+            )
+        )
+        np.testing.assert_array_equal(result.trace.durations, legacy.durations)
+
+
+class TestTrainingEquivalence:
+    @pytest.mark.parametrize("scheme", ["naive", "heter_aware", "ssp"])
+    def test_matches_run_scheme(self, scheme):
+        seed = 0
+        preset = get_workload("blobs_softmax")
+        cluster = build_cluster("Cluster-A", rng=seed)
+        dataset = preset.make_dataset(256, seed=seed)
+        config = TrainingConfig(
+            num_iterations=4,
+            num_stragglers=1,
+            optimizer_factory=lambda: SGD(learning_rate=0.5),
+            straggler_injector=TransientSlowdown(
+                probability=0.05, mean_delay_seconds=0.5
+            ),
+            network=SimpleNetwork(),
+            seed=seed,
+            loss_eval_samples=128,
+        )
+        legacy = run_scheme(
+            scheme,
+            model_factory=lambda: preset.make_model(dataset, seed=seed),
+            dataset=dataset,
+            cluster=cluster,
+            config=config,
+            ssp_staleness=3,
+            ssp_batch_size=8,
+        )
+        result = Engine().run(
+            RunSpec(
+                mode="training",
+                scheme=scheme,
+                cluster="Cluster-A",
+                workload="blobs_softmax",
+                total_samples=256,
+                num_iterations=4,
+                num_stragglers=1,
+                straggler=StragglerSpec(
+                    "transient", {"probability": 0.05, "mean_delay_seconds": 0.5}
+                ),
+                learning_rate=0.5,
+                ssp_staleness=3,
+                ssp_batch_size=8,
+                loss_eval_samples=128,
+                seed=seed,
+            )
+        )
+        np.testing.assert_allclose(result.trace.durations, legacy.durations)
+        np.testing.assert_allclose(result.trace.losses, legacy.losses)
+
+
+class TestSweepAndCompare:
+    def test_compare_runs_every_scheme(self):
+        base = RunSpec(num_iterations=2, total_samples=64, num_stragglers=0, seed=0)
+        runs = Engine().compare(base, ["naive", "heter_aware"])
+        assert set(runs) == {"naive", "heter_aware"}
+        assert all(r.completed for r in runs.values())
+
+    def test_sweep_cartesian_product(self):
+        base = RunSpec(num_iterations=2, total_samples=64, num_stragglers=0, seed=0)
+        results = Engine().sweep(
+            base, scheme=["naive", "heter_aware"], seed=[0, 1, 2]
+        )
+        assert len(results) == 6
+        assert [r.spec.scheme for r in results] == ["naive"] * 3 + ["heter_aware"] * 3
+        assert [r.spec.seed for r in results] == [0, 1, 2, 0, 1, 2]
+
+    def test_sweep_without_axes_runs_once(self):
+        base = RunSpec(num_iterations=2, total_samples=64, num_stragglers=0, seed=0)
+        results = Engine().sweep(base)
+        assert len(results) == 1
+
+    def test_custom_vcpu_counts_cluster(self):
+        """A spec with explicit vcpu_counts runs without registry lookup."""
+        result = Engine().run(
+            RunSpec(
+                cluster="tiny",
+                cluster_options={"vcpu_counts": {4: 2, 8: 1}},
+                num_iterations=2,
+                total_samples=60,
+                num_stragglers=0,
+                seed=0,
+            )
+        )
+        assert result.trace.metadata["num_workers"] == 3
+
+    def test_composite_straggler_accepts_kind_strings(self):
+        from repro.api import build_injector
+
+        injector = build_injector(
+            StragglerSpec(
+                "composite",
+                {"parts": ["transient",
+                           {"kind": "artificial_delay",
+                            "params": {"delay_seconds": 1.0}}]},
+            )
+        )
+        assert "Composite" in injector.describe()
+
+    def test_paired_seeds_share_conditions(self):
+        """Two schemes with the same seed see identical timing jitter."""
+        base = RunSpec(num_iterations=3, total_samples=1024, seed=11)
+        runs = Engine().compare(base, ["heter_aware", "group_based"])
+        a = runs["heter_aware"].trace
+        b = runs["group_based"].trace
+        assert a.metadata["num_partitions"] == b.metadata["num_partitions"]

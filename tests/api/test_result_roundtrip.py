@@ -1,0 +1,127 @@
+"""RunResult: uniform metrics and lossless JSON round-trips."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.api import Engine, RunSpec, RunResult, StragglerSpec
+
+
+@pytest.fixture(scope="module")
+def timing_result() -> RunResult:
+    return Engine().run(
+        RunSpec(
+            scheme="heter_aware",
+            num_iterations=4,
+            total_samples=1024,
+            seed=0,
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def training_result() -> RunResult:
+    return Engine().run(
+        RunSpec(
+            mode="training",
+            scheme="naive",
+            workload="blobs_softmax",
+            total_samples=128,
+            num_iterations=3,
+            num_stragglers=0,
+            loss_eval_samples=64,
+            seed=0,
+        )
+    )
+
+
+class TestMetrics:
+    def test_uniform_metric_keys(self, timing_result, training_result):
+        for result in (timing_result, training_result):
+            for key in (
+                "num_iterations",
+                "mean_iteration_time",
+                "total_time",
+                "resource_usage",
+                "completed",
+                "final_loss",
+            ):
+                assert key in result.metrics
+
+    def test_timing_mode_has_nan_loss(self, timing_result):
+        assert math.isnan(timing_result.final_loss)
+
+    def test_training_mode_has_real_loss(self, training_result):
+        assert math.isfinite(training_result.final_loss)
+
+    def test_effective_total_samples_recorded(self, timing_result):
+        assert timing_result.metrics["effective_total_samples"] == 1024
+
+    def test_convenience_accessors(self, timing_result):
+        assert timing_result.scheme == "heter_aware"
+        assert timing_result.completed
+        assert timing_result.mean_iteration_time > 0
+        assert 0 < timing_result.resource_usage <= 1
+
+
+class TestRoundTrip:
+    def test_timing_round_trip(self, timing_result):
+        restored = RunResult.from_json(timing_result.to_json())
+        assert restored.spec == timing_result.spec
+        np.testing.assert_array_equal(
+            restored.trace.durations, timing_result.trace.durations
+        )
+        for key, value in timing_result.metrics.items():
+            restored_value = restored.metrics[key]
+            if isinstance(value, float) and math.isnan(value):
+                assert math.isnan(restored_value)
+            else:
+                assert restored_value == value
+
+    def test_training_round_trip(self, training_result):
+        restored = RunResult.from_json(training_result.to_json())
+        assert restored.spec == training_result.spec
+        np.testing.assert_array_equal(
+            restored.trace.losses, training_result.trace.losses
+        )
+        np.testing.assert_array_equal(
+            restored.trace.durations, training_result.trace.durations
+        )
+
+    def test_round_trip_survives_stalled_runs(self):
+        """Infinite durations (naive under a fault) serialize and come back."""
+        result = Engine().run(
+            RunSpec(
+                scheme="naive",
+                num_iterations=2,
+                total_samples=64,
+                num_stragglers=1,
+                straggler=StragglerSpec(
+                    "artificial_delay",
+                    {"num_stragglers": 1, "delay_seconds": float("inf")},
+                ),
+                seed=0,
+            )
+        )
+        assert not result.completed
+        restored = RunResult.from_json(result.to_json())
+        assert np.isinf(restored.trace.durations).all()
+        assert restored.metrics["stalled_iterations"] == 2
+
+    def test_json_is_plain_data(self, timing_result):
+        payload = json.loads(timing_result.to_json())
+        assert set(payload) == {"spec", "trace", "metrics"}
+        assert isinstance(payload["trace"]["records"], list)
+        # numpy scalars in trace metadata must have been converted
+        assert all(
+            isinstance(load, int) for load in payload["trace"]["metadata"]["loads"]
+        )
+
+    def test_summary_drops_nan(self, timing_result):
+        summary = timing_result.summary()
+        assert "final_loss" not in summary
+        assert summary["scheme"] == "heter_aware"

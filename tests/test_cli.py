@@ -24,6 +24,8 @@ class TestParser:
             ["optimality", "--trials", "2"],
             ["estimation-error", "--errors", "0", "0.3"],
             ["analyze", "--cluster", "Cluster-A"],
+            ["run", "--scheme", "heter_aware", "--iterations", "3"],
+            ["plugins"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -115,3 +117,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Static strategy analysis" in out
         assert "group_based" in out
+
+    def test_run_summary(self, capsys):
+        code = main(
+            ["run", "--scheme", "heter_aware", "--iterations", "3",
+             "--samples", "512", "--delay", "1.5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean_iteration_time" in out
+        assert "heter_aware" in out
+
+    def test_run_json_round_trips(self, capsys):
+        from repro.api import RunResult
+
+        code = main(
+            ["run", "--scheme", "naive", "--iterations", "2", "--samples", "256",
+             "--stragglers", "0", "--json"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        result = RunResult.from_json(out)
+        assert result.spec.scheme == "naive"
+        assert result.metrics["num_iterations"] == 2
+
+    def test_run_from_spec_file(self, capsys, tmp_path):
+        from repro.api import RunSpec
+
+        spec = RunSpec(scheme="cyclic", num_iterations=2, total_samples=256, seed=1)
+        path = tmp_path / "spec.json"
+        path.write_text(spec.to_json())
+        code = main(["run", "--spec", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cyclic" in out
+
+    def test_plugins(self, capsys):
+        code = main(["plugins"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for expected in ("schemes", "heter_aware", "Cluster-D", "timing, training"):
+            assert expected in out
