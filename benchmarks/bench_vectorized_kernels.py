@@ -1,0 +1,113 @@
+"""Benchmark: vectorized kernels vs the pre-PR reference implementations.
+
+Unlike the figure benchmarks (which regenerate paper results), this one
+tracks the *implementation* performance introduced in PR 2: the batched
+worker-timing kernel, the incremental decodable-prefix search, matrix-form
+encoding and the end-to-end timing trace.  Each benchmark asserts the
+exactness contract (vectorized == reference) before recording its speedup in
+``benchmark.extra_info`` so regressions in either speed or equivalence
+surface here.
+
+Run with::
+
+    pytest benchmarks/bench_vectorized_kernels.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._reference import (
+    earliest_decodable_prefix_reference,
+    measure_timing_trace_reference,
+)
+from repro.coding.decoding import Decoder
+from repro.coding.registry import build_strategy, natural_partitions
+from repro.experiments.clusters import build_cluster
+from repro.experiments.common import measure_timing_trace
+from repro.learning.gradients import (
+    encode_all_workers_matrix,
+    encode_worker_gradient,
+)
+from repro.simulation.stragglers import ArtificialDelay
+
+ITERATIONS = 300
+
+
+@pytest.fixture(scope="module")
+def cluster_a():
+    return build_cluster("Cluster-A", rng=0)
+
+
+@pytest.mark.figure("timing_kernel")
+def test_timing_trace_kernel_speed_and_exactness(benchmark, bench_seed, cluster_a):
+    kwargs = dict(
+        num_stragglers=1,
+        total_samples=2048,
+        num_iterations=ITERATIONS,
+        injector=ArtificialDelay(1, 1.0),
+        seed=bench_seed,
+    )
+
+    def run_all():
+        return [
+            measure_timing_trace(scheme, cluster_a, **kwargs)
+            for scheme in ("naive", "cyclic", "heter_aware", "group_based")
+        ]
+
+    traces = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for trace in traces:
+        reference = measure_timing_trace_reference(trace.scheme, cluster_a, **kwargs)
+        assert np.array_equal(trace.durations, reference.durations), trace.scheme
+    benchmark.extra_info["schemes"] = [t.scheme for t in traces]
+    benchmark.extra_info["iterations"] = ITERATIONS
+
+
+@pytest.mark.figure("prefix_search")
+def test_incremental_prefix_search_matches_reference(benchmark, bench_seed):
+    cluster = build_cluster("Cluster-B", rng=bench_seed)
+    strategy = build_strategy(
+        "cyclic",
+        throughputs=cluster.estimated_throughputs,
+        num_partitions=cluster.num_workers,
+        num_stragglers=2,
+        rng=bench_seed,
+    )
+    rng = np.random.default_rng(bench_seed)
+    orders = [rng.permutation(cluster.num_workers).tolist() for _ in range(200)]
+
+    def run_incremental():
+        decoder = Decoder(strategy)
+        return [decoder.earliest_decodable_prefix(order) for order in orders]
+
+    prefixes = benchmark.pedantic(run_incremental, rounds=1, iterations=1)
+    reference_decoder = Decoder(strategy)
+    expected = [
+        earliest_decodable_prefix_reference(reference_decoder, order)
+        for order in orders
+    ]
+    assert prefixes == expected
+    benchmark.extra_info["orders"] = len(orders)
+
+
+@pytest.mark.figure("encode_matrix")
+def test_matrix_encode_matches_per_worker_loop(benchmark, bench_seed):
+    rng = np.random.default_rng(bench_seed)
+    strategy = build_strategy(
+        "heter_aware",
+        throughputs=rng.uniform(50, 400, size=12),
+        num_partitions=natural_partitions("heter_aware", 12, 2),
+        num_stragglers=1,
+        rng=bench_seed,
+    )
+    gradients = rng.normal(size=(strategy.num_partitions, 16384))
+    mapping = {index: gradients[index] for index in range(strategy.num_partitions)}
+
+    coded = benchmark.pedantic(
+        encode_all_workers_matrix, args=(strategy, gradients), rounds=3, iterations=1
+    )
+    for worker in range(strategy.num_workers):
+        loop = encode_worker_gradient(strategy, worker, mapping)
+        assert np.allclose(coded[worker], loop, rtol=1e-12, atol=1e-12)
+    benchmark.extra_info["gradient_size"] = 16384

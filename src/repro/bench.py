@@ -1,0 +1,410 @@
+"""Performance benchmarks: kernels and end-to-end runs, tracked as JSON.
+
+``repro bench`` times the vectorized hot paths against the pre-PR reference
+implementations kept in :mod:`repro._reference` and writes a machine-readable
+``BENCH_<label>.json`` so the performance trajectory of the repo is tracked
+from PR 2 onward.  The headline number is the end-to-end timing-trace
+benchmark: a Fig. 2-style sweep (every scheme at every straggler delay,
+Cluster-A) measured against the per-worker/per-prefix implementation.
+
+Every comparison also *verifies* agreement between the two implementations
+(identical durations for the simulation benches), so the bench doubles as an
+end-to-end exactness smoke test.
+
+Usage::
+
+    python -m repro bench --smoke            # quick CI-sized run
+    python -m repro bench --output BENCH_PR2.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+import warnings
+from typing import Any, Callable
+
+import numpy as np
+
+from ._reference import (
+    earliest_decodable_prefix_reference,
+    measure_timing_trace_reference,
+    simulate_worker_timings_reference,
+)
+from .coding.decoding import Decoder
+from .coding.registry import build_strategy, natural_partitions
+from .experiments.clusters import build_cluster
+from .experiments.common import SampleCountDriftWarning, measure_timing_trace
+from .learning.datasets import make_blobs
+from .learning.gradients import (
+    compute_partial_gradients_matrix,
+    encode_all_workers_matrix,
+    encode_worker_gradient,
+)
+from .learning.models import SoftmaxClassifier
+from .learning.partition import partition_dataset
+from .simulation.stragglers import ArtificialDelay
+from .simulation.timing import simulate_worker_timing_arrays, worker_workloads
+
+__all__ = ["run_bench", "write_bench", "format_bench", "HEADLINE_BENCH"]
+
+#: Name of the acceptance-criterion benchmark.
+HEADLINE_BENCH = "timing_trace_e2e"
+
+#: Schemes and delays of the Fig. 2 sweep used by the end-to-end benchmark.
+_FIG2_SCHEMES = ("naive", "cyclic", "heter_aware", "group_based")
+_FIG2_DELAYS = (0.0, 0.5, 1.0, 2.0, 4.0, float("inf"))
+
+
+def _best_of(callable_: Callable[[], float], repeats: int) -> float:
+    """Best (minimum) wall-clock seconds over ``repeats`` runs."""
+    return min(callable_() for _ in range(repeats))
+
+
+def _timed(fn: Callable[[], Any]) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _bench_entry(
+    name: str,
+    description: str,
+    baseline_seconds: float,
+    current_seconds: float,
+    meta: dict | None = None,
+) -> dict:
+    return {
+        "name": name,
+        "description": description,
+        "baseline_seconds": baseline_seconds,
+        "current_seconds": current_seconds,
+        "speedup": baseline_seconds / current_seconds if current_seconds else None,
+        "meta": meta or {},
+    }
+
+
+# ---------------------------------------------------------------------------
+# individual benchmarks
+# ---------------------------------------------------------------------------
+
+def _bench_timing_trace(num_iterations: int, repeats: int, seed: int) -> dict:
+    """Headline: Fig. 2-style grid, reference loop vs vectorized kernel."""
+    cluster = build_cluster("Cluster-A", rng=seed)
+
+    def sweep(fn) -> None:
+        for scheme in _FIG2_SCHEMES:
+            for delay in _FIG2_DELAYS:
+                fn(
+                    scheme,
+                    cluster,
+                    num_stragglers=1,
+                    total_samples=2048,
+                    num_iterations=num_iterations,
+                    injector=ArtificialDelay(1, delay),
+                    seed=seed,
+                )
+
+    # Correctness gate: both implementations must agree exactly.
+    for scheme in _FIG2_SCHEMES:
+        reference = measure_timing_trace_reference(
+            scheme, cluster, num_stragglers=1, total_samples=2048,
+            num_iterations=min(num_iterations, 100),
+            injector=ArtificialDelay(1, 1.0), seed=seed,
+        )
+        current = measure_timing_trace(
+            scheme, cluster, num_stragglers=1, total_samples=2048,
+            num_iterations=min(num_iterations, 100),
+            injector=ArtificialDelay(1, 1.0), seed=seed,
+        )
+        if not np.array_equal(reference.durations, current.durations):
+            raise AssertionError(
+                f"vectorized timing trace diverged from reference on {scheme!r}"
+            )
+
+    sweep(measure_timing_trace)  # warm caches/JIT-ish costs out of the timing
+    baseline = _best_of(lambda: _timed(lambda: sweep(measure_timing_trace_reference)), repeats)
+    current = _best_of(lambda: _timed(lambda: sweep(measure_timing_trace)), repeats)
+    return _bench_entry(
+        HEADLINE_BENCH,
+        "Fig. 2-style timing sweep on Cluster-A "
+        f"({len(_FIG2_SCHEMES)} schemes x {len(_FIG2_DELAYS)} delays x "
+        f"{num_iterations} iterations)",
+        baseline,
+        current,
+        meta={
+            "cluster": "Cluster-A",
+            "num_iterations": num_iterations,
+            "schemes": list(_FIG2_SCHEMES),
+            "delays": [repr(d) for d in _FIG2_DELAYS],
+        },
+    )
+
+
+def _bench_worker_timings(calls: int, repeats: int, seed: int) -> dict:
+    """Per-iteration worker-timing kernel, loop vs batched draws."""
+    cluster = build_cluster("Cluster-D", rng=seed)
+    strategy = build_strategy(
+        "heter_aware",
+        throughputs=cluster.estimated_throughputs,
+        num_partitions=natural_partitions("heter_aware", cluster.num_workers, 2),
+        num_stragglers=1,
+        rng=seed,
+    )
+    workloads = worker_workloads(strategy, 64)
+
+    def run(fn) -> None:
+        rng = np.random.default_rng(seed)
+        for iteration in range(calls):
+            fn(cluster, workloads, iteration=iteration, rng=rng)
+
+    run(simulate_worker_timing_arrays)
+    baseline = _best_of(lambda: _timed(lambda: run(simulate_worker_timings_reference)), repeats)
+    current = _best_of(lambda: _timed(lambda: run(simulate_worker_timing_arrays)), repeats)
+    return _bench_entry(
+        "worker_timings_kernel",
+        f"per-iteration worker timings on Cluster-D ({cluster.num_workers} "
+        f"workers, {calls} iterations): per-worker loop vs array kernel",
+        baseline,
+        current,
+        meta={"cluster": "Cluster-D", "calls": calls},
+    )
+
+
+def _bench_prefix_search(orders: int, repeats: int, seed: int) -> dict:
+    """Earliest-decodable-prefix: incremental vs per-prefix reference."""
+    cluster = build_cluster("Cluster-B", rng=seed)
+    strategy = build_strategy(
+        "cyclic",
+        throughputs=cluster.estimated_throughputs,
+        num_partitions=cluster.num_workers,
+        num_stragglers=2,
+        rng=seed,
+    )
+    rng = np.random.default_rng(seed)
+    completion_orders = [
+        rng.permutation(cluster.num_workers).tolist() for _ in range(orders)
+    ]
+
+    def run_current() -> None:
+        decoder = Decoder(strategy)
+        for order in completion_orders:
+            decoder.earliest_decodable_prefix(order)
+
+    def run_reference() -> None:
+        decoder = Decoder(strategy)
+        for order in completion_orders:
+            earliest_decodable_prefix_reference(decoder, order)
+
+    decoder = Decoder(strategy)
+    for order in completion_orders[: min(64, orders)]:
+        incremental = Decoder(strategy).earliest_decodable_prefix(order)
+        reference = earliest_decodable_prefix_reference(Decoder(strategy), order)
+        if incremental != reference:
+            raise AssertionError(
+                f"incremental prefix search diverged on order {order}"
+            )
+    del decoder
+
+    run_current()
+    baseline = _best_of(lambda: _timed(run_reference), repeats)
+    current = _best_of(lambda: _timed(run_current), repeats)
+    return _bench_entry(
+        "prefix_search",
+        f"earliest_decodable_prefix on Cluster-B cyclic s=2 ({orders} random orders)",
+        baseline,
+        current,
+        meta={"cluster": "Cluster-B", "orders": orders},
+    )
+
+
+def _bench_encode(gradient_size: int, repeats: int, seed: int) -> dict:
+    """Encoding: ``B @ G`` vs the per-worker support-ordered loop."""
+    rng = np.random.default_rng(seed)
+    num_workers, num_partitions = 16, 32
+    strategy = build_strategy(
+        "heter_aware",
+        throughputs=rng.uniform(50, 400, size=num_workers),
+        num_partitions=num_partitions,
+        num_stragglers=1,
+        rng=seed,
+    )
+    gradients = rng.normal(size=(num_partitions, gradient_size))
+    mapping = {index: gradients[index] for index in range(num_partitions)}
+
+    def run_matrix() -> None:
+        encode_all_workers_matrix(strategy, gradients)
+
+    def run_loop() -> None:
+        for worker in range(strategy.num_workers):
+            encode_worker_gradient(strategy, worker, mapping)
+
+    matrix = encode_all_workers_matrix(strategy, gradients)
+    loop = np.stack(
+        [encode_worker_gradient(strategy, w, mapping) for w in range(num_workers)]
+    )
+    if not np.allclose(matrix, loop, rtol=1e-12, atol=1e-12):
+        raise AssertionError("matrix encode diverged from the per-worker loop")
+
+    run_matrix()
+    baseline = _best_of(lambda: _timed(run_loop), repeats)
+    current = _best_of(lambda: _timed(run_matrix), repeats)
+    return _bench_entry(
+        "encode_kernel",
+        f"encode all workers, {num_workers} workers / {num_partitions} partitions "
+        f"/ {gradient_size}-dim gradients",
+        baseline,
+        current,
+        meta={"gradient_size": gradient_size, "num_workers": num_workers},
+    )
+
+
+def _bench_batch_gradients(num_samples: int, repeats: int, seed: int) -> dict:
+    """Partition gradients: stacked batch kernel vs per-partition calls."""
+    dataset = make_blobs(num_samples=num_samples, num_features=32, num_classes=10, rng=seed)
+    partitioned = partition_dataset(dataset, num_partitions=16, rng=seed)
+    model = SoftmaxClassifier(dataset.num_features, dataset.num_classes, rng=seed)
+
+    def run_batched() -> None:
+        compute_partial_gradients_matrix(model, partitioned)
+
+    def run_loop() -> None:
+        # Pre-PR behaviour: re-index the partition and call the scalar kernel.
+        for partition in partitioned.partitions:
+            ids = partition.sample_indices
+            model.loss_and_gradient(dataset.features[ids], dataset.labels[ids])
+
+    losses, grads = compute_partial_gradients_matrix(model, partitioned)
+    for index in range(partitioned.num_partitions):
+        loss, grad = model.loss_and_gradient(*partitioned.partition_data(index))
+        if loss != losses[index] or not np.array_equal(grad, grads[index]):
+            raise AssertionError("batched gradient kernel diverged from per-partition")
+
+    run_batched()
+    baseline = _best_of(lambda: _timed(run_loop), repeats)
+    current = _best_of(lambda: _timed(run_batched), repeats)
+    return _bench_entry(
+        "batch_gradients",
+        f"all partition gradients, softmax on {num_samples} samples / 16 partitions",
+        baseline,
+        current,
+        meta={"num_samples": num_samples, "num_partitions": 16},
+    )
+
+
+def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
+    """Engine.sweep: serial vs process-pool execution of the same grid."""
+    import os
+
+    from .api import Engine, RunSpec
+
+    engine = Engine()
+    base = RunSpec(
+        num_iterations=num_iterations, total_samples=2048, seed=seed
+    )
+    axes = {"scheme": ["naive", "cyclic", "heter_aware", "group_based"], "seed": [seed, seed + 1]}
+    workers = min(os.cpu_count() or 1, 8)
+
+    serial = engine.sweep(base, **axes)
+    pooled = engine.sweep(base, parallel=workers, **axes)
+    serial_json = json.dumps([r.to_dict() for r in serial], default=repr)
+    pooled_json = json.dumps([r.to_dict() for r in pooled], default=repr)
+    if serial_json != pooled_json:
+        raise AssertionError("parallel sweep results diverged from serial")
+
+    baseline = _best_of(lambda: _timed(lambda: engine.sweep(base, **axes)), repeats)
+    current = _best_of(
+        lambda: _timed(lambda: engine.sweep(base, parallel=workers, **axes)), repeats
+    )
+    return _bench_entry(
+        "parallel_sweep",
+        f"Engine.sweep of 8 timing runs, serial vs {workers}-process pool "
+        f"({num_iterations} iterations each)",
+        baseline,
+        current,
+        meta={"workers": workers, "num_iterations": num_iterations},
+    )
+
+
+# ---------------------------------------------------------------------------
+# driver
+# ---------------------------------------------------------------------------
+
+def run_bench(
+    smoke: bool = False,
+    seed: int = 0,
+    label: str = "PR2",
+    include_parallel: bool = True,
+) -> dict:
+    """Run every benchmark and return the JSON-ready payload.
+
+    Parameters
+    ----------
+    smoke:
+        Shrink every benchmark to CI size (seconds, not minutes).  The
+        speedup numbers are noisier but the exactness gates still run.
+    seed:
+        Seed for all synthetic inputs.
+    label:
+        Free-form tag stored in the payload (e.g. ``"PR2"``).
+    include_parallel:
+        Skip the process-pool benchmark when ``False`` (e.g. constrained CI
+        runners).
+    """
+    iterations = 100 if smoke else 1000
+    repeats = 1 if smoke else 3
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", SampleCountDriftWarning)
+        benches = [
+            _bench_timing_trace(iterations, repeats, seed),
+            _bench_worker_timings(200 if smoke else 2000, repeats, seed),
+            _bench_prefix_search(100 if smoke else 1000, repeats, seed),
+            _bench_encode(4096 if smoke else 65536, repeats, seed),
+            _bench_batch_gradients(2048 if smoke else 16384, repeats, seed),
+        ]
+        if include_parallel:
+            benches.append(_bench_parallel_sweep(500 if smoke else 20000, 1, seed))
+    headline = next(b for b in benches if b["name"] == HEADLINE_BENCH)
+    return {
+        "label": label,
+        "created_unix": time.time(),
+        "smoke": smoke,
+        "seed": seed,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "headline": {"name": HEADLINE_BENCH, "speedup": headline["speedup"]},
+        "benches": benches,
+    }
+
+
+def write_bench(payload: dict, path: str) -> None:
+    """Write a bench payload as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+
+
+def format_bench(payload: dict) -> str:
+    """Human-readable summary of a bench payload."""
+    lines = [
+        f"repro bench [{payload['label']}] "
+        f"(python {payload['python']}, numpy {payload['numpy']}"
+        f"{', smoke' if payload['smoke'] else ''})",
+        "",
+        f"{'benchmark':24s} {'baseline':>12s} {'current':>12s} {'speedup':>9s}",
+    ]
+    for bench in payload["benches"]:
+        lines.append(
+            f"{bench['name']:24s} "
+            f"{bench['baseline_seconds'] * 1e3:10.1f}ms "
+            f"{bench['current_seconds'] * 1e3:10.1f}ms "
+            f"{bench['speedup']:8.2f}x"
+        )
+    lines.append("")
+    lines.append(
+        f"headline ({HEADLINE_BENCH}): "
+        f"{payload['headline']['speedup']:.2f}x vs pre-PR implementation"
+    )
+    return "\n".join(lines)

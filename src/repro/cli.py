@@ -170,6 +170,24 @@ def build_parser() -> argparse.ArgumentParser:
         "plugins", help="list every registered scheme, protocol, cluster, ..."
     )
 
+    bench = subparsers.add_parser(
+        "bench",
+        help="time the vectorized kernels against the reference implementations",
+        description=(
+            "Run the performance benchmarks (kernels + end-to-end timing "
+            "trace + parallel sweep) and write a machine-readable "
+            "BENCH_<label>.json tracking the perf trajectory."
+        ),
+    )
+    bench.add_argument("--smoke", action="store_true",
+                       help="CI-sized benchmarks (seconds instead of minutes)")
+    bench.add_argument("--label", default="PR2", help="tag stored in the payload")
+    bench.add_argument("--output", default=None, metavar="PATH",
+                       help="output JSON path (default BENCH_<label>.json; '-' to skip)")
+    bench.add_argument("--no-parallel", action="store_true",
+                       help="skip the process-pool sweep benchmark")
+    bench.add_argument("--seed", type=int, default=0)
+
     analyze = subparsers.add_parser(
         "analyze", help="static analysis of every scheme on one cluster"
     )
@@ -296,6 +314,23 @@ def _command_run(args: argparse.Namespace) -> str:
     )
 
 
+def _command_bench(args: argparse.Namespace) -> str:
+    from .bench import format_bench, run_bench, write_bench
+
+    payload = run_bench(
+        smoke=args.smoke,
+        seed=args.seed,
+        label=args.label,
+        include_parallel=not args.no_parallel,
+    )
+    output = args.output or f"BENCH_{args.label}.json"
+    text = format_bench(payload)
+    if output != "-":
+        write_bench(payload, output)
+        text += f"\nwrote {output}"
+    return text
+
+
 def _command_plugins(_: argparse.Namespace) -> str:
     sections = [
         ("schemes", SCHEMES),
@@ -365,6 +400,7 @@ _COMMANDS = {
     "analyze": _command_analyze,
     "run": _command_run,
     "plugins": _command_plugins,
+    "bench": _command_bench,
 }
 
 

@@ -39,6 +39,9 @@ __all__ = [
     "decode_gradient",
 ]
 
+#: Sentinel distinguishing "not cached" from a cached ``None`` (undecodable).
+_CACHE_MISS = object()
+
 
 @dataclass(frozen=True)
 class DecodeResult:
@@ -76,6 +79,28 @@ class Decoder:
         self._strategy = strategy
         self._tolerance = float(tolerance)
         self._cache: dict[frozenset[int], DecodeResult | None] = {}
+        # Verify each group's all-ones residual once, here, instead of on
+        # every cache miss: a group decodes iff the sum of its rows is the
+        # all-ones vector, which is a static property of B.
+        matrix = strategy.matrix
+        self._row_norm_floor = np.maximum(
+            1.0, np.sqrt((matrix * matrix).sum(axis=1))
+        )
+        self._verified_groups: list[tuple[int, frozenset[int], tuple[int, ...]]] = []
+        self._worker_groups: dict[int, list[int]] = {}
+        self._group_sizes: list[int] = []
+        for position, group in enumerate(strategy.groups):
+            members = frozenset(int(w) for w in group)
+            residual = np.abs(matrix[sorted(members)].sum(axis=0) - 1.0).max()
+            if residual > self._tolerance:
+                continue
+            index = len(self._verified_groups)
+            self._verified_groups.append(
+                (position, members, tuple(sorted(members)))
+            )
+            self._group_sizes.append(len(members))
+            for worker in members:
+                self._worker_groups.setdefault(worker, []).append(index)
 
     @property
     def strategy(self) -> CodingStrategy:
@@ -162,6 +187,56 @@ class Decoder:
         assert aggregated is not None  # workers_used is never empty here
         return aggregated
 
+    def decode_matrix(
+        self,
+        coded: np.ndarray,
+        workers: Sequence[int] | None = None,
+    ) -> np.ndarray:
+        """Matrix-form decode ``g = a @ G~`` from stacked coded gradients.
+
+        Parameters
+        ----------
+        coded:
+            Array of shape ``(r, ...)``: row ``j`` is the coded gradient of
+            ``workers[j]``.  With ``workers=None`` the rows must cover every
+            worker in index order (``r == m``), e.g. the output of
+            :func:`repro.learning.gradients.encode_all_workers_matrix`.
+        workers:
+            The worker indices the rows correspond to.
+
+        Returns
+        -------
+        numpy.ndarray
+            The aggregated gradient, same trailing shape as one coded row.
+            Equal to :meth:`decode` up to floating-point summation order.
+        """
+        coded = np.asarray(coded, dtype=np.float64)
+        if coded.ndim == 0:
+            raise DecodingError("coded gradients must be a stacked array")
+        worker_list = (
+            list(range(self._strategy.num_workers))
+            if workers is None
+            else [int(w) for w in workers]
+        )
+        if coded.shape[0] != len(worker_list):
+            raise DecodingError(
+                f"coded gradients have {coded.shape[0]} rows but "
+                f"{len(worker_list)} workers were named"
+            )
+        if len(set(worker_list)) != len(worker_list):
+            raise DecodingError("duplicate workers in the coded gradient stack")
+        result = self.decoding_vector(worker_list)
+        if result is None:
+            raise DecodingError(
+                f"the finished workers {sorted(set(worker_list))} cannot "
+                "recover the aggregated gradient; too many stragglers for "
+                f"scheme {self._strategy.scheme!r} "
+                f"(s={self._strategy.num_stragglers})"
+            )
+        weights = result.coefficients[worker_list]
+        flat = coded.reshape(len(worker_list), -1)
+        return (weights @ flat).reshape(coded.shape[1:])
+
     def earliest_decodable_prefix(
         self, completion_order: Sequence[int]
     ) -> int | None:
@@ -171,33 +246,119 @@ class Decoder:
         the moment the master can recover the gradient.  Returns ``None``
         when even the full ordering cannot decode (e.g. failed workers are
         excluded from the ordering and too many failed).
+
+        The search is incremental: group completion is tracked with per-group
+        counters (the Eq. 8 fast path becomes O(1) amortised per worker) and
+        the general path maintains an orthonormal basis of the finished rows
+        so the all-ones membership test costs one projection update per
+        worker instead of a fresh least-squares solve per prefix.  The
+        authoritative least-squares solve only runs at the prefix where the
+        projection residual enters the decodable band, so results are
+        identical to the per-prefix reference implementation.
         """
+        strategy = self._strategy
+        num_workers = strategy.num_workers
+        matrix = strategy.matrix
+        k = strategy.num_partitions
+        # The tracked residual norm follows the true distance from the
+        # all-ones vector to the row span up to ~1e-12 rounding, so any
+        # prefix whose residual exceeds this band is certainly undecodable
+        # at the solver's tolerance; anything inside the band is confirmed
+        # with the authoritative least-squares solve, making the search
+        # decision-for-decision identical to the per-prefix reference.
+        confirm_band = self._tolerance * 1e3
+        row_norm_floor = self._row_norm_floor
+        worker_groups = self._worker_groups
+
+        remaining = list(self._group_sizes)
+        # (strategy position, verified-group index) of the first complete group
+        complete_group: tuple[int, int] | None = None
+        seen: set[int] = set()
         finished: list[int] = []
+        basis = np.empty((min(len(completion_order), k), k), dtype=np.float64)
+        num_basis = 0
+        residual = np.ones(k, dtype=np.float64)
+        residual_sq = float(k)
+
         for index, worker in enumerate(completion_order, start=1):
-            finished.append(int(worker))
-            if self.can_decode(finished):
-                return index
+            worker = int(worker)
+            if not 0 <= worker < num_workers:
+                raise DecodingError(
+                    f"finished worker index {worker} out of range "
+                    f"[0, {num_workers})"
+                )
+            finished.append(worker)
+            if worker in seen:
+                continue
+            seen.add(worker)
+
+            # Group fast path: O(groups containing this worker) per step.
+            if worker_groups:
+                for group_index in worker_groups.get(worker, ()):
+                    remaining[group_index] -= 1
+                    if remaining[group_index] == 0:
+                        position = self._verified_groups[group_index][0]
+                        if complete_group is None or position < complete_group[0]:
+                            complete_group = (position, group_index)
+                if complete_group is not None:
+                    sorted_group = self._verified_groups[complete_group[1]][2]
+                    key = frozenset(finished)
+                    if key not in self._cache:
+                        self._cache[key] = self._group_result(sorted_group)
+                    return index
+
+            # General path: extend the orthonormal basis with this row.
+            row = matrix[worker]
+            if num_basis:
+                active = basis[:num_basis]
+                vector = row - active.T @ (active @ row)
+                # One re-orthogonalisation pass keeps the basis numerically
+                # orthonormal even for long, nearly dependent prefixes.
+                vector -= active.T @ (active @ vector)
+                norm_sq = float(vector @ vector)
+            else:
+                vector = row.astype(np.float64, copy=True)
+                norm_sq = float(vector @ vector)
+            if num_basis < basis.shape[0] and norm_sq > (
+                1e-12 * row_norm_floor[worker]
+            ) ** 2:
+                vector /= norm_sq**0.5
+                basis[num_basis] = vector
+                num_basis += 1
+                coefficient = float(vector @ residual)
+                residual -= coefficient * vector
+                residual_sq -= coefficient * coefficient
+
+            # sqrt(residual_sq) bounds the infinity-norm residual from above,
+            # so band comparisons on it are conservative (never skip a
+            # confirmation the reference would have attempted successfully).
+            if residual_sq <= confirm_band * confirm_band:
+                key = frozenset(finished)
+                result = self._cache.get(key, _CACHE_MISS)
+                if result is _CACHE_MISS:
+                    result = self._general_decode(key)
+                    self._cache[key] = result
+                if result is not None:
+                    return index
         return None
 
     # ------------------------------------------------------------------
     # internal helpers
     # ------------------------------------------------------------------
     def _group_decode(self, finished: frozenset[int]) -> DecodeResult | None:
-        for group in self._strategy.groups:
-            if set(group) <= finished:
-                coefficients = np.zeros(self._strategy.num_workers)
-                coefficients[list(group)] = 1.0
-                # Sanity check that the group's rows really sum to all-ones.
-                residual = np.abs(
-                    coefficients @ self._strategy.matrix - 1.0
-                ).max()
-                if residual <= self._tolerance:
-                    return DecodeResult(
-                        coefficients=coefficients,
-                        workers_used=tuple(sorted(group)),
-                        used_group=tuple(sorted(group)),
-                    )
+        for _, members, sorted_group in self._verified_groups:
+            if members <= finished:
+                return self._group_result(sorted_group)
         return None
+
+    def _group_result(self, sorted_group: tuple[int, ...]) -> DecodeResult:
+        coefficients = np.zeros(self._strategy.num_workers)
+        coefficients[list(sorted_group)] = 1.0
+        return DecodeResult(
+            coefficients=coefficients,
+            workers_used=sorted_group,
+            used_group=sorted_group,
+        )
 
     def _general_decode(self, finished: frozenset[int]) -> DecodeResult | None:
         if not finished:

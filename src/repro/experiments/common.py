@@ -33,8 +33,8 @@ from ..coding.registry import build_strategy, natural_partitions
 from ..simulation.cluster import ClusterSpec
 from ..simulation.network import CommunicationModel, SimpleNetwork
 from ..simulation.stragglers import NoStragglers, StragglerInjector
-from ..simulation.timing import simulate_iteration
 from ..simulation.trace import IterationRecord, RunTrace
+from ..simulation.vectorized import TimingTraceKernel
 
 __all__ = [
     "measure_timing_trace",
@@ -166,27 +166,39 @@ def measure_timing_trace(
             "network": network.describe(),
         },
     )
-    for iteration in range(num_iterations):
-        timing = simulate_iteration(
-            strategy,
-            cluster,
-            samples_per_partition=samples_per_partition,
-            decoder=decoder,
-            injector=injector,
-            iteration=iteration,
-            gradient_bytes=gradient_bytes,
-            network=network,
-            rng=timing_rng,
-        )
-        trace.append(
-            IterationRecord(
+    kernel = TimingTraceKernel(
+        strategy,
+        cluster,
+        samples_per_partition=samples_per_partition,
+        decoder=decoder,
+        injector=injector,
+        network=network,
+        gradient_bytes=gradient_bytes,
+    )
+    arrays = kernel.run(num_iterations, rng=timing_rng)
+    nan = float("nan")
+    trace.extend(
+        [
+            IterationRecord.unchecked(
                 iteration=iteration,
-                duration=timing.duration,
-                train_loss=float("nan"),
-                compute_times=tuple(timing.compute_times),
-                completion_times=tuple(timing.completion_times),
-                workers_used=timing.workers_used,
-                used_group=timing.used_group,
+                duration=duration,
+                train_loss=nan,
+                compute_times=tuple(compute_row),
+                completion_times=tuple(completion_row),
+                workers_used=workers,
+                used_group=group,
             )
-        )
+            for iteration, (duration, compute_row, completion_row, workers, group) in (
+                enumerate(
+                    zip(
+                        arrays.durations.tolist(),
+                        arrays.compute_times.tolist(),
+                        arrays.completion_times.tolist(),
+                        arrays.workers_used,
+                        arrays.used_groups,
+                    )
+                )
+            )
+        ]
+    )
     return trace

@@ -17,8 +17,10 @@ from .datasets import (
 )
 from .gradients import (
     compute_partial_gradients,
+    compute_partial_gradients_matrix,
     compute_partition_gradient,
     encode_all_workers,
+    encode_all_workers_matrix,
     encode_worker_gradient,
     full_gradient,
     partition_losses,
@@ -76,9 +78,11 @@ __all__ = [
     "Adam",
     # gradients
     "compute_partial_gradients",
+    "compute_partial_gradients_matrix",
     "compute_partition_gradient",
     "full_gradient",
     "encode_worker_gradient",
     "encode_all_workers",
+    "encode_all_workers_matrix",
     "partition_losses",
 ]

@@ -1,17 +1,24 @@
 """Partial-gradient computation and gradient encoding helpers.
 
-This module glues the learning substrate to the coding layer:
+This module glues the learning substrate to the coding layer.  The primary
+forms are matrix-shaped, mirroring the algebra of the paper:
 
-* :func:`compute_partial_gradients` evaluates ``g_i`` — the gradient of the
-  summed loss over partition ``D_i`` — for every partition, producing the
-  matrix ``[g_1; ...; g_k]`` the paper's encoding operates on.
-* :func:`encode_worker_gradient` computes ``g~_i = b_i @ [g_1, ..., g_k]^T``
-  for one worker, touching only the partitions in its support (exactly what
-  a real worker would compute locally).
-* :func:`full_gradient` is the uncoded reference ``g = sum_i g_i``.
+* :func:`compute_partial_gradients_matrix` evaluates every requested ``g_i``
+  as one stacked ``(k, p)`` array via
+  :meth:`~repro.learning.models.base.Model.batch_loss_and_gradient`;
+* :func:`encode_all_workers_matrix` is the encoding map itself,
+  ``G~ = B @ G``;
+* :meth:`repro.coding.Decoder.decode_matrix` is the decoding map
+  ``g = a @ G~``.
 
-Keeping these as free functions (rather than methods on a "worker" object)
-makes the encoding exactness properties easy to test in isolation.
+The historical dict-based functions (:func:`compute_partial_gradients`,
+:func:`encode_all_workers`) are kept as thin adapters over the matrix forms
+so existing callers and the encoding exactness tests keep working.
+:func:`encode_worker_gradient` deliberately retains the original per-worker
+support-ordered accumulation: it is what a single real worker computes, and
+the protocols use it where bit-exact reproducibility of historical runs
+matters (floating-point summation order differs between the two forms by
+design).
 """
 
 from __future__ import annotations
@@ -26,10 +33,12 @@ from .partition import PartitionedDataset
 
 __all__ = [
     "compute_partial_gradients",
+    "compute_partial_gradients_matrix",
     "compute_partition_gradient",
     "full_gradient",
     "encode_worker_gradient",
     "encode_all_workers",
+    "encode_all_workers_matrix",
     "partition_losses",
 ]
 
@@ -44,6 +53,55 @@ def compute_partition_gradient(
     return model.loss_and_gradient(features, labels)
 
 
+def compute_partial_gradients_matrix(
+    model: Model,
+    partitioned: PartitionedDataset,
+    partition_indices: Sequence[int] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """All requested ``g_i`` as one stacked matrix (the paper's ``G``).
+
+    Parameters
+    ----------
+    model:
+        The model whose batched kernel evaluates the slices.
+    partitioned:
+        The partitioned dataset; partition views are cached on first use.
+    partition_indices:
+        Partitions to evaluate (all by default).
+
+    Returns
+    -------
+    (losses, gradients):
+        ``losses`` of shape ``(j,)`` and ``gradients`` of shape ``(j, p)``
+        with one row per requested partition, in request order.
+    """
+    if partition_indices is None:
+        indices = list(range(partitioned.num_partitions))
+    else:
+        indices = [int(i) for i in partition_indices]
+    if not indices:
+        return np.zeros(0), np.zeros((0, model.num_parameters))
+    pairs = [partitioned.partition_data(i) for i in indices]
+    sizes = {features.shape[0] for features, _ in pairs}
+    if len(sizes) == 1:
+        if indices == list(range(partitioned.num_partitions)):
+            # Full request: reuse the dataset's cached stack instead of
+            # re-stacking a full copy on every call.
+            features, labels = partitioned.stacked_data()
+        else:
+            features = np.stack([f for f, _ in pairs])
+            labels = np.stack([y for _, y in pairs])
+        return model.batch_loss_and_gradient(features, labels)
+    # Ragged partitions cannot stack; fall back to the per-slice kernel.
+    losses = np.empty(len(indices))
+    gradients = np.empty((len(indices), model.num_parameters))
+    for position, (features, labels) in enumerate(pairs):
+        loss, grad = model.loss_and_gradient(features, labels)
+        losses[position] = loss
+        gradients[position] = grad
+    return losses, gradients
+
+
 def compute_partial_gradients(
     model: Model,
     partitioned: PartitionedDataset,
@@ -51,19 +109,17 @@ def compute_partial_gradients(
 ) -> dict[int, np.ndarray]:
     """Compute ``g_i`` for the requested partitions (all by default).
 
-    Returns a mapping ``partition index -> flat gradient``; every gradient
-    has length ``model.num_parameters``.
+    Thin adapter over :func:`compute_partial_gradients_matrix`: returns a
+    mapping ``partition index -> flat gradient``; every gradient has length
+    ``model.num_parameters``.
     """
     indices = (
-        range(partitioned.num_partitions)
+        list(range(partitioned.num_partitions))
         if partition_indices is None
-        else partition_indices
+        else [int(i) for i in partition_indices]
     )
-    gradients: dict[int, np.ndarray] = {}
-    for index in indices:
-        _, grad = compute_partition_gradient(model, partitioned, int(index))
-        gradients[int(index)] = grad
-    return gradients
+    _, gradients = compute_partial_gradients_matrix(model, partitioned, indices)
+    return {index: gradients[position] for position, index in enumerate(indices)}
 
 
 def partition_losses(
@@ -73,23 +129,20 @@ def partition_losses(
 ) -> dict[int, float]:
     """Summed loss of each requested partition (all by default)."""
     indices = (
-        range(partitioned.num_partitions)
+        list(range(partitioned.num_partitions))
         if partition_indices is None
-        else partition_indices
+        else [int(i) for i in partition_indices]
     )
-    losses: dict[int, float] = {}
-    for index in indices:
-        features, labels = partitioned.partition_data(int(index))
-        losses[int(index)] = model.loss(features, labels)
-    return losses
+    losses, _ = compute_partial_gradients_matrix(model, partitioned, indices)
+    return {index: float(losses[position]) for position, index in enumerate(indices)}
 
 
 def full_gradient(model: Model, partitioned: PartitionedDataset) -> np.ndarray:
     """The uncoded aggregate ``g = sum_i g_i`` over all partitions."""
+    _, gradients = compute_partial_gradients_matrix(model, partitioned)
     total = np.zeros(model.num_parameters)
-    for index in range(partitioned.num_partitions):
-        _, grad = compute_partition_gradient(model, partitioned, index)
-        total += grad
+    for row in gradients:
+        total += row
     return total
 
 
@@ -133,12 +186,74 @@ def encode_worker_gradient(
     return encoded
 
 
+def encode_all_workers_matrix(
+    strategy: CodingStrategy,
+    gradients: np.ndarray,
+) -> np.ndarray:
+    """Matrix-form encoding ``G~ = B @ G`` of every worker at once.
+
+    Parameters
+    ----------
+    strategy:
+        The strategy providing ``B`` of shape ``(m, k)``.
+    gradients:
+        Stacked partial gradients, shape ``(k, ...)`` — row ``j`` is ``g_j``
+        (any trailing shape, e.g. the output of
+        :func:`compute_partial_gradients_matrix`).
+
+    Returns
+    -------
+    numpy.ndarray
+        Coded gradients of shape ``(m, ...)``: row ``i`` is ``g~_i``.  Equal
+        to :func:`encode_worker_gradient` per worker up to floating-point
+        summation order.
+    """
+    gradients = np.asarray(gradients, dtype=np.float64)
+    k = strategy.num_partitions
+    if gradients.shape[:1] != (k,):
+        raise ValueError(
+            f"expected {k} stacked partial gradients, got shape {gradients.shape}"
+        )
+    flat = gradients.reshape(k, -1)
+    coded = strategy.matrix @ flat
+    return coded.reshape((strategy.num_workers,) + gradients.shape[1:])
+
+
 def encode_all_workers(
     strategy: CodingStrategy,
     partial_gradients: Mapping[int, np.ndarray],
 ) -> dict[int, np.ndarray]:
-    """Encode every worker's coded gradient from the full partial-gradient set."""
-    return {
-        worker: encode_worker_gradient(strategy, worker, partial_gradients)
-        for worker in range(strategy.num_workers)
-    }
+    """Encode every worker's coded gradient from the full partial-gradient set.
+
+    Thin adapter over :func:`encode_all_workers_matrix`: stacks the mapping
+    into ``G``, multiplies once, and unstacks the coded rows.  Partitions
+    outside every worker's support may be omitted from the mapping (their
+    coefficients are all zero); a missing *supported* partition raises
+    ``KeyError`` exactly like the per-worker form.
+    """
+    k = strategy.num_partitions
+    supported = np.flatnonzero(strategy.assignment.support_matrix().any(axis=0))
+    # Infer the gradient shape from a *supported* partition: only those enter
+    # the encoding, and unsupported entries may legitimately differ.
+    shape: tuple[int, ...] | None = None
+    for partition in supported:
+        value = partial_gradients.get(int(partition))
+        if value is not None:
+            shape = np.asarray(value).shape
+            break
+    if shape is None:
+        for value in partial_gradients.values():
+            shape = np.asarray(value).shape
+            break
+    if shape is None:
+        shape = (0,)
+    stacked = np.zeros((k,) + shape)
+    for partition in supported:
+        partition = int(partition)
+        if partition not in partial_gradients:
+            raise KeyError(partition)
+        stacked[partition] = np.asarray(
+            partial_gradients[partition], dtype=np.float64
+        )
+    coded = encode_all_workers_matrix(strategy, stacked)
+    return {worker: coded[worker] for worker in range(strategy.num_workers)}

@@ -120,6 +120,61 @@ class Model(ABC):
     ) -> tuple[float, np.ndarray]:
         """Summed loss and its flat gradient over the given samples."""
 
+    def batch_loss_and_gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Losses and gradients of ``j`` equal-sized sample slices at once.
+
+        Parameters
+        ----------
+        features:
+            Stacked slices of shape ``(j, n, ...)`` — e.g. the output of
+            :meth:`PartitionedDataset.stacked_data`.
+        labels:
+            Stacked labels of shape ``(j, n)``.
+
+        Returns
+        -------
+        (losses, gradients):
+            ``losses`` of shape ``(j,)`` and ``gradients`` of shape
+            ``(j, num_parameters)``; row ``i`` equals
+            ``loss_and_gradient(features[i], labels[i])``.
+
+        The base implementation loops over the slices, so every model
+        supports the batched interface; models with vectorisable math
+        (:class:`SoftmaxClassifier`, :class:`LinearRegressionModel`)
+        override it with a single stacked kernel.
+        """
+        features = np.asarray(features)
+        labels = np.asarray(labels)
+        if features.shape[:1] != labels.shape[:1]:
+            raise ModelError(
+                f"stacked features have {features.shape[0]} slices but "
+                f"labels have {labels.shape[0]}"
+            )
+        num_slices = features.shape[0]
+        losses = np.empty(num_slices)
+        gradients = np.empty((num_slices, self.num_parameters))
+        for index in range(num_slices):
+            loss, grad = self.loss_and_gradient(features[index], labels[index])
+            losses[index] = loss
+            gradients[index] = grad
+        return losses, gradients
+
+    @staticmethod
+    def _flatten_batch(features: np.ndarray) -> np.ndarray:
+        """Reshape stacked ``(j, n, ...)`` features to ``(j, n, d)``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim < 2:
+            raise ModelError(
+                "stacked features must have at least two dimensions (j, n)"
+            )
+        if features.ndim == 2:
+            return features[:, :, np.newaxis]
+        if features.ndim > 3:
+            return features.reshape(features.shape[0], features.shape[1], -1)
+        return features
+
     def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
         """Summed loss over the given samples."""
         value, _ = self.loss_and_gradient(features, labels)

@@ -79,3 +79,30 @@ class LinearRegressionModel(Model):
             {"weights": grad_weights, "bias": np.asarray(grad_bias)}
         )
         return loss, flat_grad
+
+    def batch_loss_and_gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked kernel: all ``j`` slices in one set of matrix products."""
+        features = self._flatten_batch(features)
+        labels = np.asarray(labels, dtype=np.float64)
+        num_slices, num_samples, num_features = features.shape
+        if num_features != self.num_features:
+            raise ModelError(
+                f"expected {self.num_features} features, got {num_features}"
+            )
+        if labels.shape != (num_slices, num_samples):
+            raise ModelError(
+                f"stacked labels have shape {labels.shape}, expected "
+                f"{(num_slices, num_samples)}"
+            )
+        predictions = features @ self._weights + self._bias  # (j, n)
+        diff = predictions - labels
+        losses = 0.5 * (diff * diff).sum(axis=1)
+        grad_weights = np.swapaxes(features, 1, 2) @ diff[:, :, np.newaxis]
+        grad_bias = diff.sum(axis=1)
+        gradients = np.concatenate(
+            [grad_weights.reshape(num_slices, -1), grad_bias[:, np.newaxis]],
+            axis=1,
+        )
+        return losses, gradients

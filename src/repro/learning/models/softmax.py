@@ -87,3 +87,42 @@ class SoftmaxClassifier(Model):
         grad_bias = dlogits.sum(axis=0)
         flat_grad = self.layout.pack({"weights": grad_weights, "bias": grad_bias})
         return loss, flat_grad
+
+    def batch_loss_and_gradient(
+        self, features: np.ndarray, labels: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked kernel: all ``j`` slices in one set of matrix products.
+
+        The reductions run along the same axes as the per-slice path, so the
+        results are bit-identical to looping ``loss_and_gradient`` — the
+        exactness tests assert this, not mere closeness.
+        """
+        features = self._flatten_batch(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        num_slices, num_samples, num_features = features.shape
+        if num_features != self.num_features:
+            raise ModelError(
+                f"expected {self.num_features} features, got {num_features}"
+            )
+        if labels.shape != (num_slices, num_samples):
+            raise ModelError(
+                f"stacked labels have shape {labels.shape}, expected "
+                f"{(num_slices, num_samples)}"
+            )
+        logits = features @ self._weights + self._bias  # (j, n, c)
+        shifted = logits - logits.max(axis=-1, keepdims=True)
+        exp = np.exp(shifted)
+        sums = exp.sum(axis=-1, keepdims=True)
+        log_probs = shifted - np.log(sums)
+        slice_index = np.arange(num_slices)[:, np.newaxis]
+        sample_index = np.arange(num_samples)[np.newaxis, :]
+        picked = log_probs[slice_index, sample_index, labels]  # (j, n)
+        losses = -picked.sum(axis=1)
+        dlogits = exp / sums
+        dlogits[slice_index, sample_index, labels] -= 1.0
+        grad_weights = np.swapaxes(features, 1, 2) @ dlogits  # (j, d, c)
+        grad_bias = dlogits.sum(axis=1)  # (j, c)
+        gradients = np.concatenate(
+            [grad_weights.reshape(num_slices, -1), grad_bias], axis=1
+        )
+        return losses, gradients

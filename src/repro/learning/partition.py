@@ -55,6 +55,13 @@ class PartitionedDataset:
     dataset: Dataset
     partitions: tuple[DataPartition, ...]
 
+    def __post_init__(self) -> None:
+        # Per-partition (features, labels) pairs are materialised at most
+        # once: protocols re-read the same partitions every iteration, and
+        # fancy indexing copies the data on every call.
+        object.__setattr__(self, "_partition_cache", {})
+        object.__setattr__(self, "_stacked_cache", None)
+
     @property
     def num_partitions(self) -> int:
         return len(self.partitions)
@@ -68,19 +75,54 @@ class PartitionedDataset:
         return sum(p.size for p in self.partitions)
 
     def partition_data(self, index: int) -> tuple[np.ndarray, np.ndarray]:
-        """Return ``(features, labels)`` of partition ``index``."""
+        """Return ``(features, labels)`` of partition ``index`` (cached)."""
+        index = int(index)
+        cached = self._partition_cache.get(index)
+        if cached is not None:
+            return cached
         if not 0 <= index < self.num_partitions:
             raise PartitionError(
                 f"partition index {index} out of range [0, {self.num_partitions})"
             )
         ids = self.partitions[index].sample_indices
-        return self.dataset.features[ids], self.dataset.labels[ids]
+        features = self.dataset.features[ids]
+        labels = self.dataset.labels[ids]
+        features.flags.writeable = False
+        labels.flags.writeable = False
+        cached = (features, labels)
+        self._partition_cache[index] = cached
+        return cached
+
+    def stacked_data(self) -> tuple[np.ndarray, np.ndarray]:
+        """All partitions stacked: features ``(k, n, ...)``, labels ``(k, n)``.
+
+        Requires equal-sized partitions (the constructor guarantees this for
+        :func:`partition_dataset` outputs).  The stack is built once and
+        cached; it feeds :meth:`Model.batch_loss_and_gradient`.
+        """
+        cached = self._stacked_cache
+        if cached is not None:
+            return cached
+        if not self.partitions:
+            raise PartitionError("cannot stack an empty partition set")
+        sizes = {p.size for p in self.partitions}
+        if len(sizes) != 1:
+            raise PartitionError(
+                f"stacked_data requires equal-sized partitions, got sizes {sorted(sizes)}"
+            )
+        pairs = [self.partition_data(i) for i in range(self.num_partitions)]
+        features = np.stack([f for f, _ in pairs])
+        labels = np.stack([y for _, y in pairs])
+        features.flags.writeable = False
+        labels.flags.writeable = False
+        cached = (features, labels)
+        object.__setattr__(self, "_stacked_cache", cached)
+        return cached
 
     def iter_partitions(self):
         """Yield ``(index, features, labels)`` for every partition."""
-        for partition in self.partitions:
-            ids = partition.sample_indices
-            yield partition.index, self.dataset.features[ids], self.dataset.labels[ids]
+        for position, partition in enumerate(self.partitions):
+            yield partition.index, *self.partition_data(position)
 
 
 def partition_dataset(

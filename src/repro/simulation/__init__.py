@@ -26,11 +26,14 @@ from .stragglers import (
 from .timing import (
     IterationTiming,
     WorkerTiming,
+    decodable_completion_order,
     simulate_iteration,
+    simulate_worker_timing_arrays,
     simulate_worker_timings,
     worker_workloads,
 )
 from .trace import IterationRecord, RunTrace
+from .vectorized import TimingTraceArrays, TimingTraceKernel
 from .workers import WorkerSpec, perturb_estimates
 
 __all__ = [
@@ -58,7 +61,11 @@ __all__ = [
     "IterationTiming",
     "worker_workloads",
     "simulate_worker_timings",
+    "simulate_worker_timing_arrays",
     "simulate_iteration",
+    "decodable_completion_order",
+    "TimingTraceKernel",
+    "TimingTraceArrays",
     # traces
     "IterationRecord",
     "RunTrace",

@@ -15,6 +15,7 @@ machinery.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -67,6 +68,60 @@ class ClusterSpec:
     def estimated_throughputs(self) -> np.ndarray:
         """Estimated per-worker throughputs (what the allocator sees)."""
         return np.array([float(w.estimated_throughput) for w in self.workers])
+
+    @cached_property
+    def _true_throughput_array(self) -> np.ndarray:
+        """Read-only cached throughputs for the vectorized timing kernels."""
+        speeds = np.array([w.true_throughput for w in self.workers])
+        speeds.flags.writeable = False
+        return speeds
+
+    @cached_property
+    def _compute_noise_array(self) -> np.ndarray:
+        """Read-only cached per-worker jitter widths."""
+        noise = np.array([w.compute_noise for w in self.workers])
+        noise.flags.writeable = False
+        return noise
+
+    def compute_times(
+        self,
+        workloads: Sequence[float],
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Array-valued :meth:`WorkerSpec.compute_time` over the whole cluster.
+
+        Draws the lognormal jitter of every noisy, loaded worker in one batch
+        (same RNG stream, hence bit-identical to per-worker scalar draws in
+        worker order) and returns the per-worker compute times.
+        """
+        workloads = np.asarray(workloads, dtype=np.float64)
+        if workloads.shape != (self.num_workers,):
+            raise ClusterError(
+                f"expected {self.num_workers} workloads, got shape {workloads.shape}"
+            )
+        if np.any(workloads < 0):
+            raise ClusterError("workloads must be non-negative")
+        base = workloads / self._true_throughput_array
+        if rng is None:
+            return base
+        noise = self._compute_noise_array
+        drawn = (noise > 0.0) & (workloads > 0.0)
+        count = int(drawn.sum())
+        if count:
+            sigma = noise[drawn]
+            # A scalar sigma draw consumes the identical RNG stream but runs
+            # through the fast fixed-parameter path in the generator.
+            if count == 1 or (sigma == sigma[0]).all():
+                values = rng.lognormal(mean=0.0, sigma=float(sigma[0]), size=count)
+            else:
+                values = rng.lognormal(mean=0.0, sigma=sigma)
+            if count == self.num_workers:
+                base = base * values
+            else:
+                jitter = np.ones(self.num_workers)
+                jitter[drawn] = values
+                base = base * jitter
+        return base
 
     @property
     def vcpu_counts(self) -> tuple[int, ...]:

@@ -109,6 +109,10 @@ class ArtificialDelay(StragglerInjector):
         if self.workers is not None:
             candidates = [w for w in self.workers if w < num_workers]
             chosen = np.asarray(candidates[:count], dtype=np.int64)
+        elif count == 1:
+            # Bit-stream-identical to choice(n, size=1, replace=False) but
+            # avoids the generic sampling machinery on the hot path.
+            chosen = rng.integers(0, num_workers)
         else:
             chosen = rng.choice(num_workers, size=count, replace=False)
         delays[chosen] = self.delay_seconds

@@ -37,7 +37,9 @@ __all__ = [
     "IterationTiming",
     "worker_workloads",
     "simulate_worker_timings",
+    "simulate_worker_timing_arrays",
     "simulate_iteration",
+    "decodable_completion_order",
 ]
 
 
@@ -105,13 +107,23 @@ class IterationTiming:
     used_group: tuple[int, ...] | None
     decodable: bool
 
+    def __post_init__(self) -> None:
+        # The arrays are cached (built once, frozen) instead of being rebuilt
+        # on every access; metrics code reads them repeatedly per iteration.
+        compute = np.array([t.compute_time for t in self.worker_timings])
+        completion = np.array([t.completion_time for t in self.worker_timings])
+        compute.flags.writeable = False
+        completion.flags.writeable = False
+        object.__setattr__(self, "_compute_times", compute)
+        object.__setattr__(self, "_completion_times", completion)
+
     @property
     def compute_times(self) -> np.ndarray:
-        return np.array([t.compute_time for t in self.worker_timings])
+        return self._compute_times
 
     @property
     def completion_times(self) -> np.ndarray:
-        return np.array([t.completion_time for t in self.worker_timings])
+        return self._completion_times
 
 
 def worker_workloads(
@@ -132,7 +144,49 @@ def simulate_worker_timings(
     network: CommunicationModel | None = None,
     rng: np.random.Generator | int | None = None,
 ) -> tuple[WorkerTiming, ...]:
-    """Compute each worker's timing breakdown for one iteration."""
+    """Compute each worker's timing breakdown for one iteration.
+
+    Vectorized: one batched jitter draw for all workers (bit-identical RNG
+    stream to per-worker scalar draws) and one communication-model call per
+    distinct payload instead of one per worker.
+    """
+    compute, delays, comm = simulate_worker_timing_arrays(
+        cluster,
+        workloads,
+        injector=injector,
+        iteration=iteration,
+        gradient_bytes=gradient_bytes,
+        network=network,
+        rng=rng,
+    )
+    workloads = np.asarray(workloads, dtype=np.float64)
+    return tuple(
+        WorkerTiming(
+            worker_id=worker,
+            samples=float(workloads[worker]),
+            compute_time=float(compute[worker]),
+            injected_delay=float(delays[worker]),
+            comm_time=float(comm[worker]),
+        )
+        for worker in range(cluster.num_workers)
+    )
+
+
+def simulate_worker_timing_arrays(
+    cluster: ClusterSpec,
+    workloads: Sequence[float],
+    injector: StragglerInjector | None = None,
+    iteration: int = 0,
+    gradient_bytes: float = 0.0,
+    network: CommunicationModel | None = None,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Array form of :func:`simulate_worker_timings`.
+
+    Returns ``(compute_times, injected_delays, comm_times)``, each of shape
+    ``(m,)``; completion times are their sum.  This is the kernel the
+    trace-scale simulation loops build on.
+    """
     workloads = np.asarray(workloads, dtype=np.float64)
     if workloads.shape != (cluster.num_workers,):
         raise TimingError(
@@ -148,21 +202,11 @@ def simulate_worker_timings(
     )
     if delays.shape != (cluster.num_workers,):
         raise TimingError("straggler injector returned the wrong number of delays")
-
-    timings = []
-    for worker_spec, samples, delay in zip(cluster.workers, workloads, delays):
-        compute = worker_spec.compute_time(float(samples), rng=generator)
-        comm = network.transfer_time(gradient_bytes) if samples > 0 else 0.0
-        timings.append(
-            WorkerTiming(
-                worker_id=worker_spec.worker_id,
-                samples=float(samples),
-                compute_time=float(compute),
-                injected_delay=float(delay),
-                comm_time=float(comm),
-            )
-        )
-    return tuple(timings)
+    compute = cluster.compute_times(workloads, rng=generator)
+    # Every loaded worker ships an identically sized payload, so the network
+    # model is consulted once, not once per worker.
+    comm = np.where(workloads > 0, network.transfer_time(gradient_bytes), 0.0)
+    return compute, delays, comm
 
 
 def simulate_iteration(
@@ -199,7 +243,7 @@ def simulate_iteration(
             f"{cluster.name!r} has {cluster.num_workers}"
         )
     workloads = worker_workloads(strategy, samples_per_partition)
-    timings = simulate_worker_timings(
+    compute, delays, comm = simulate_worker_timing_arrays(
         cluster,
         workloads,
         injector=injector,
@@ -208,11 +252,20 @@ def simulate_iteration(
         network=network,
         rng=rng,
     )
+    timings = tuple(
+        WorkerTiming(
+            worker_id=worker,
+            samples=float(workloads[worker]),
+            compute_time=float(compute[worker]),
+            injected_delay=float(delays[worker]),
+            comm_time=float(comm[worker]),
+        )
+        for worker in range(cluster.num_workers)
+    )
     decoder = decoder or Decoder(strategy)
 
-    completion = np.array([t.completion_time for t in timings])
-    finite = [w for w in range(cluster.num_workers) if np.isfinite(completion[w])]
-    order = sorted(finite, key=lambda w: (completion[w], w))
+    completion = compute + delays + comm
+    order = decodable_completion_order(completion)
     prefix = decoder.earliest_decodable_prefix(order)
     if prefix is None:
         return IterationTiming(
@@ -233,3 +286,14 @@ def simulate_iteration(
         used_group=result.used_group,
         decodable=True,
     )
+
+
+def decodable_completion_order(completion: np.ndarray) -> list[int]:
+    """Finite-completion workers sorted by ``(completion_time, worker_id)``.
+
+    A stable argsort ties equal completion times by worker index, matching
+    the master's deterministic arrival-order convention.
+    """
+    order = np.argsort(completion, kind="stable")
+    finite = int(np.isfinite(completion).sum())
+    return order[:finite].tolist()

@@ -56,6 +56,35 @@ class IterationRecord:
     def num_workers(self) -> int:
         return len(self.compute_times)
 
+    @classmethod
+    def unchecked(
+        cls,
+        iteration: int,
+        duration: float,
+        train_loss: float,
+        compute_times: tuple[float, ...],
+        completion_times: tuple[float, ...],
+        workers_used: tuple[int, ...],
+        used_group: tuple[int, ...] | None,
+    ) -> "IterationRecord":
+        """Fast constructor for trace-scale loops.
+
+        Bypasses the frozen-dataclass ``__init__`` (one ``object.__setattr__``
+        per field) with a single ``__dict__`` update.  Semantically identical
+        to the normal constructor — the dataclass performs no validation.
+        """
+        record = object.__new__(cls)
+        record.__dict__.update(
+            iteration=iteration,
+            duration=duration,
+            train_loss=train_loss,
+            compute_times=compute_times,
+            completion_times=completion_times,
+            workers_used=workers_used,
+            used_group=used_group,
+        )
+        return record
+
     def to_dict(self) -> dict:
         """Plain-data form (lists instead of tuples) for JSON serialization."""
         return {
@@ -113,6 +142,24 @@ class RunTrace:
                 f"{record.iteration} after {self.records[-1].iteration}"
             )
         self.records.append(record)
+
+    def extend(self, records: "list[IterationRecord]") -> None:
+        """Append many records; the ordering invariant is checked once."""
+        for previous, record in zip(
+            [self.records[-1]] if self.records else [], records
+        ):
+            if record.iteration <= previous.iteration:
+                raise TraceError(
+                    "iteration records must be appended in increasing order: "
+                    f"{record.iteration} after {previous.iteration}"
+                )
+        for first, second in zip(records, records[1:]):
+            if second.iteration <= first.iteration:
+                raise TraceError(
+                    "iteration records must be appended in increasing order: "
+                    f"{second.iteration} after {first.iteration}"
+                )
+        self.records.extend(records)
 
     # ------------------------------------------------------------------
     # convenience accessors used by metrics and experiments

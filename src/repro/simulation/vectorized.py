@@ -1,0 +1,217 @@
+"""Trace-scale vectorized timing kernel.
+
+:func:`repro.simulation.simulate_iteration` is convenient but pays avoidable
+per-iteration costs when thousands of iterations are simulated back to back:
+it revalidates its inputs, rebuilds the workload vector, re-queries the
+network model and materialises per-worker :class:`WorkerTiming` objects every
+step.  :class:`TimingTraceKernel` hoists everything that is constant across
+iterations (base compute times, jitter mask, communication times, the
+decoder) out of the loop, draws the per-iteration randomness in single
+batched calls, and memoises the decodable-prefix decision per completion
+*order* — the quantity it actually depends on.
+
+The RNG stream is consumed in exactly the same sequence as the per-iteration
+path (injector draw first, then one batched jitter draw), so a kernel run is
+bit-identical to ``num_iterations`` successive ``simulate_iteration`` calls
+with a shared generator.  The equivalence is asserted property-style in
+``tests/simulation/test_vectorized.py``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..coding.decoding import DecodeResult, Decoder
+from ..coding.types import CodingStrategy
+from .cluster import ClusterSpec
+from .network import CommunicationModel, ZeroCommunication
+from .stragglers import NoStragglers, StragglerInjector
+from .timing import TimingError, worker_workloads
+
+__all__ = ["TimingTraceArrays", "TimingTraceKernel"]
+
+
+@dataclass(frozen=True)
+class TimingTraceArrays:
+    """Column-oriented outcome of a multi-iteration timing simulation.
+
+    Attributes
+    ----------
+    durations:
+        Iteration durations, shape ``(n,)``; ``inf`` where undecodable.
+    compute_times:
+        Per-worker compute times, shape ``(n, m)``.
+    completion_times:
+        Per-worker completion times, shape ``(n, m)``.
+    workers_used:
+        Per-iteration tuple of workers whose results the master combined.
+    used_groups:
+        Per-iteration group used by the fast path (``None`` otherwise).
+    """
+
+    durations: np.ndarray
+    compute_times: np.ndarray
+    completion_times: np.ndarray
+    workers_used: tuple[tuple[int, ...], ...]
+    used_groups: tuple[tuple[int, ...] | None, ...]
+
+    @property
+    def num_iterations(self) -> int:
+        return int(self.durations.shape[0])
+
+    @property
+    def decodable(self) -> np.ndarray:
+        return np.isfinite(self.durations)
+
+
+class TimingTraceKernel:
+    """Precompiled simulation of one (strategy, cluster) pair.
+
+    Parameters
+    ----------
+    strategy, cluster, samples_per_partition:
+        As in :func:`repro.simulation.simulate_iteration`.
+    decoder:
+        Optional pre-built decoder to share straggler-pattern caches with.
+    injector, network, gradient_bytes:
+        Per-iteration simulation knobs, fixed for the kernel's lifetime.
+    """
+
+    def __init__(
+        self,
+        strategy: CodingStrategy,
+        cluster: ClusterSpec,
+        samples_per_partition: int,
+        decoder: Decoder | None = None,
+        injector: StragglerInjector | None = None,
+        network: CommunicationModel | None = None,
+        gradient_bytes: float = 0.0,
+    ) -> None:
+        if strategy.num_workers != cluster.num_workers:
+            raise TimingError(
+                f"strategy has {strategy.num_workers} workers but cluster "
+                f"{cluster.name!r} has {cluster.num_workers}"
+            )
+        self.strategy = strategy
+        self.cluster = cluster
+        self.decoder = decoder or Decoder(strategy)
+        self.injector = injector or NoStragglers()
+        self.network = network or ZeroCommunication()
+        self.num_workers = cluster.num_workers
+
+        workloads = worker_workloads(strategy, samples_per_partition)
+        self.workloads = workloads
+        # Everything below is constant across iterations and hoisted here.
+        self._base_compute = workloads / cluster._true_throughput_array
+        noise = cluster._compute_noise_array
+        self._jitter_mask = (noise > 0.0) & (workloads > 0.0)
+        self._jitter_sigma = noise[self._jitter_mask]
+        self._jitter_count = int(self._jitter_mask.sum())
+        self._any_jitter = self._jitter_count > 0
+        self._all_jitter = self._jitter_count == self.num_workers
+        # Scalar-sigma draws share the RNG stream with array-sigma draws but
+        # use the generator's fast fixed-parameter path.
+        self._uniform_sigma: float | None = None
+        if self._any_jitter and (self._jitter_sigma == self._jitter_sigma[0]).all():
+            self._uniform_sigma = float(self._jitter_sigma[0])
+        self._comm = np.where(
+            workloads > 0, self.network.transfer_time(gradient_bytes), 0.0
+        )
+        # The decodable prefix depends only on the completion *order*; cache
+        # the (prefix, decode result) pair per observed order so repeated
+        # orderings across iterations cost one dict lookup.
+        self._order_cache: dict[bytes, tuple[int | None, DecodeResult | None]] = {}
+
+    # ------------------------------------------------------------------
+    def _jittered_compute(self, rng: np.random.Generator) -> np.ndarray:
+        if not self._any_jitter:
+            return self._base_compute.copy()
+        if self._uniform_sigma is not None:
+            values = rng.lognormal(
+                mean=0.0, sigma=self._uniform_sigma, size=self._jitter_count
+            )
+        else:
+            values = rng.lognormal(mean=0.0, sigma=self._jitter_sigma)
+        if self._all_jitter:
+            return self._base_compute * values
+        jitter = np.ones(self.num_workers)
+        jitter[self._jitter_mask] = values
+        return self._base_compute * jitter
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        num_iterations: int,
+        rng: np.random.Generator | int | None = None,
+        start_iteration: int = 0,
+    ) -> TimingTraceArrays:
+        """Simulate ``num_iterations`` iterations and return stacked arrays."""
+        if num_iterations <= 0:
+            raise TimingError("num_iterations must be positive")
+        generator = np.random.default_rng(rng)
+        m = self.num_workers
+        compute_times = np.empty((num_iterations, m))
+        completion_times = np.empty((num_iterations, m))
+        durations = np.empty(num_iterations)
+        workers_used: list[tuple[int, ...]] = []
+        used_groups: list[tuple[int, ...] | None] = []
+        injector_delays = self.injector.delays
+        comm = self._comm
+        order_cache = self._order_cache
+        infinity = float("inf")
+        base = self._base_compute
+        uniform_sigma = self._uniform_sigma if self._all_jitter else None
+        lognormal = generator.lognormal
+        for step in range(num_iterations):
+            delays = np.asarray(
+                injector_delays(start_iteration + step, m, generator),
+                dtype=np.float64,
+            )
+            if delays.shape != (m,):
+                raise TimingError(
+                    "straggler injector returned the wrong number of delays"
+                )
+            compute = compute_times[step]
+            if uniform_sigma is not None:
+                np.multiply(base, lognormal(0.0, uniform_sigma, m), out=compute)
+            else:
+                compute[:] = self._jittered_compute(generator)
+            completion = completion_times[step]
+            np.add(compute, delays, out=completion)
+            completion += comm
+            order = completion.argsort(kind="stable")
+            # Non-finite times sort last under a stable argsort, so one look
+            # at the final element decides whether any trimming is needed.
+            if not math.isfinite(completion[order[-1]]):
+                order = order[: int(np.isfinite(completion).sum())]
+            key = order.tobytes()
+            hit = order_cache.get(key)
+            if hit is None:
+                order_list = order.tolist()
+                prefix = self.decoder.earliest_decodable_prefix(order_list)
+                result = (
+                    None
+                    if prefix is None
+                    else self.decoder.decoding_vector(order_list[:prefix])
+                )
+                hit = (prefix, result)
+                order_cache[key] = hit
+            prefix, result = hit
+            if prefix is None or result is None:
+                durations[step] = infinity
+                workers_used.append(())
+                used_groups.append(None)
+            else:
+                durations[step] = completion[order[prefix - 1]]
+                workers_used.append(result.workers_used)
+                used_groups.append(result.used_group)
+        return TimingTraceArrays(
+            durations=durations,
+            compute_times=compute_times,
+            completion_times=completion_times,
+            workers_used=tuple(workers_used),
+            used_groups=tuple(used_groups),
+        )

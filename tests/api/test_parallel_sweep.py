@@ -1,0 +1,84 @@
+"""Parallel ``Engine.sweep`` / ``Engine.compare``: bit-identical to serial.
+
+Every run derives all randomness from its spec's seed, so distributing the
+runs over a process pool must change wall-clock time only.  The comparison
+serialises results to JSON (NaN-safe) and demands exact textual equality —
+no tolerance.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Engine, RunSpec
+from repro.api.engine import EngineError, _run_spec_in_subprocess
+
+
+def results_json(results) -> str:
+    return json.dumps(
+        [r.to_dict() for r in results], default=repr, sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture(scope="module")
+def base_spec() -> RunSpec:
+    return RunSpec(num_iterations=6, total_samples=512, seed=3)
+
+
+class TestParallelSweep:
+    def test_parallel_sweep_bit_identical_to_serial(self, engine, base_spec):
+        axes = {"scheme": ["naive", "cyclic", "heter_aware"], "seed": [0, 1]}
+        serial = engine.sweep(base_spec, **axes)
+        parallel = engine.sweep(base_spec, parallel=2, **axes)
+        assert len(serial) == len(parallel) == 6
+        assert results_json(serial) == results_json(parallel)
+
+    def test_parallel_compare_bit_identical_to_serial(self, engine, base_spec):
+        schemes = ["naive", "heter_aware"]
+        serial = engine.compare(base_spec, schemes)
+        parallel = engine.compare(base_spec, schemes, parallel=2)
+        assert list(serial) == list(parallel) == schemes
+        assert results_json(serial.values()) == results_json(parallel.values())
+
+    def test_sweep_without_axes_runs_once(self, engine, base_spec):
+        results = engine.sweep(base_spec, parallel=2)
+        assert len(results) == 1
+        assert results_json(results) == results_json([engine.run(base_spec)])
+
+    def test_parallel_true_and_int_both_accepted(self, engine, base_spec):
+        reference = engine.run_many([base_spec])
+        assert results_json(
+            engine.run_many([base_spec], parallel=True)
+        ) == results_json(reference)
+
+    def test_parallel_zero_and_one_mean_serial(self, engine, base_spec):
+        for value in (0, 1, False, None):
+            assert engine._resolve_parallel(value, 4) == 1
+
+    def test_worker_count_capped_by_spec_count(self, engine):
+        assert engine._resolve_parallel(16, 3) == 3
+
+    def test_negative_parallel_rejected(self, engine, base_spec):
+        with pytest.raises(EngineError, match="non-negative"):
+            engine.run_many([base_spec], parallel=-2)
+
+    def test_injected_backends_cannot_parallelise(self, base_spec):
+        fake = Engine(backends={"timing": lambda spec: None})
+        with pytest.raises(EngineError, match="registry-backed"):
+            fake.run_many([base_spec, base_spec], parallel=2)
+
+    def test_subprocess_worker_round_trips_spec(self, engine, base_spec):
+        result = _run_spec_in_subprocess(base_spec.to_dict())
+        assert results_json([result]) == results_json([engine.run(base_spec)])
+
+    def test_invalid_spec_fails_fast_in_parent(self, engine, base_spec):
+        bad = base_spec.replace(scheme="no_such_scheme")
+        with pytest.raises(EngineError, match="unknown scheme"):
+            engine.run_many([base_spec, bad], parallel=2)

@@ -1,0 +1,231 @@
+"""Exactness tests for the batched gradient kernels and matrix-form encoding.
+
+The batched kernels are required to be *bit-identical* to the per-partition
+path for the vectorised models (softmax, linear) — they perform the same
+reductions along the same axes — and identical by construction for models
+that inherit the base loop.  Matrix-form encoding is checked against the
+per-worker support-ordered loop at tight tolerance (the summation order
+differs by design).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.coding import heterogeneity_aware_strategy
+from repro.learning.datasets import make_blobs, make_linear_regression
+from repro.learning.gradients import (
+    compute_partial_gradients,
+    compute_partial_gradients_matrix,
+    encode_all_workers,
+    encode_all_workers_matrix,
+    encode_worker_gradient,
+    full_gradient,
+    partition_losses,
+)
+from repro.learning.models import (
+    LinearRegressionModel,
+    MLPClassifier,
+    SoftmaxClassifier,
+)
+from repro.learning.models.base import ModelError
+from repro.learning.partition import PartitionError, partition_dataset
+
+
+@pytest.fixture
+def blob_setup():
+    dataset = make_blobs(num_samples=240, num_features=6, num_classes=4, rng=0)
+    partitioned = partition_dataset(dataset, num_partitions=8, rng=0)
+    model = SoftmaxClassifier(6, 4, rng=1)
+    return dataset, partitioned, model
+
+
+class TestBatchKernels:
+    def test_softmax_batch_bit_identical(self, blob_setup):
+        _, partitioned, model = blob_setup
+        features, labels = partitioned.stacked_data()
+        losses, gradients = model.batch_loss_and_gradient(features, labels)
+        for index in range(partitioned.num_partitions):
+            loss, grad = model.loss_and_gradient(*partitioned.partition_data(index))
+            assert loss == losses[index]
+            assert np.array_equal(grad, gradients[index])
+
+    def test_linear_batch_matches_per_slice(self):
+        dataset = make_linear_regression(num_samples=160, num_features=5, rng=0)
+        partitioned = partition_dataset(dataset, num_partitions=8, rng=0)
+        model = LinearRegressionModel(5, rng=1)
+        features, labels = partitioned.stacked_data()
+        losses, gradients = model.batch_loss_and_gradient(features, labels)
+        for index in range(partitioned.num_partitions):
+            loss, grad = model.loss_and_gradient(*partitioned.partition_data(index))
+            assert loss == pytest.approx(losses[index], rel=1e-14, abs=1e-300)
+            assert np.allclose(grad, gradients[index], rtol=1e-13, atol=1e-13)
+
+    def test_base_loop_covers_models_without_vectorised_kernel(self):
+        dataset = make_blobs(num_samples=120, num_features=8, num_classes=3, rng=2)
+        partitioned = partition_dataset(dataset, num_partitions=4, rng=2)
+        model = MLPClassifier(8, 3, hidden_sizes=(8,), rng=3)
+        features, labels = partitioned.stacked_data()
+        losses, gradients = model.batch_loss_and_gradient(features, labels)
+        for index in range(4):
+            loss, grad = model.loss_and_gradient(*partitioned.partition_data(index))
+            assert loss == losses[index]
+            assert np.array_equal(grad, gradients[index])
+
+    def test_shape_validation(self, blob_setup):
+        _, partitioned, model = blob_setup
+        features, labels = partitioned.stacked_data()
+        with pytest.raises(ModelError):
+            model.batch_loss_and_gradient(features, labels[:-1])
+        with pytest.raises(ModelError):
+            model.batch_loss_and_gradient(features[:, :, :-1], labels)
+
+
+class TestPartitionCaching:
+    def test_partition_data_cached(self, blob_setup):
+        _, partitioned, _ = blob_setup
+        first = partitioned.partition_data(2)
+        second = partitioned.partition_data(2)
+        assert first[0] is second[0] and first[1] is second[1]
+
+    def test_cached_views_are_read_only(self, blob_setup):
+        _, partitioned, _ = blob_setup
+        features, _ = partitioned.partition_data(0)
+        with pytest.raises(ValueError):
+            features[0, 0] = 1.0
+
+    def test_stacked_data_cached_and_consistent(self, blob_setup):
+        _, partitioned, _ = blob_setup
+        features, labels = partitioned.stacked_data()
+        assert features.shape[:2] == (partitioned.num_partitions, partitioned.partition_size)
+        assert partitioned.stacked_data()[0] is features
+        for index in range(partitioned.num_partitions):
+            part_features, part_labels = partitioned.partition_data(index)
+            assert np.array_equal(features[index], part_features)
+            assert np.array_equal(labels[index], part_labels)
+
+    def test_stacked_data_rejects_ragged_partitions(self, blob_setup):
+        dataset, partitioned, _ = blob_setup
+        from repro.learning.partition import DataPartition, PartitionedDataset
+
+        ragged = PartitionedDataset(
+            dataset=dataset,
+            partitions=(
+                DataPartition(index=0, sample_indices=np.arange(10)),
+                DataPartition(index=1, sample_indices=np.arange(10, 15)),
+            ),
+        )
+        with pytest.raises(PartitionError, match="equal-sized"):
+            ragged.stacked_data()
+
+
+class TestMatrixGradientHelpers:
+    def test_matrix_form_matches_dict_form(self, blob_setup):
+        _, partitioned, model = blob_setup
+        losses, gradients = compute_partial_gradients_matrix(model, partitioned)
+        mapping = compute_partial_gradients(model, partitioned)
+        scalar_losses = partition_losses(model, partitioned)
+        for index in range(partitioned.num_partitions):
+            assert np.array_equal(mapping[index], gradients[index])
+            assert scalar_losses[index] == losses[index]
+
+    def test_subset_request_preserves_order(self, blob_setup):
+        _, partitioned, model = blob_setup
+        subset = [5, 1, 3]
+        losses, gradients = compute_partial_gradients_matrix(
+            model, partitioned, subset
+        )
+        assert losses.shape == (3,) and gradients.shape[0] == 3
+        for position, index in enumerate(subset):
+            loss, grad = model.loss_and_gradient(*partitioned.partition_data(index))
+            assert loss == losses[position]
+            assert np.array_equal(grad, gradients[position])
+
+    def test_empty_request(self, blob_setup):
+        _, partitioned, model = blob_setup
+        losses, gradients = compute_partial_gradients_matrix(model, partitioned, [])
+        assert losses.shape == (0,)
+        assert gradients.shape == (0, model.num_parameters)
+
+    def test_full_gradient_equals_accumulated_rows(self, blob_setup):
+        _, partitioned, model = blob_setup
+        _, gradients = compute_partial_gradients_matrix(model, partitioned)
+        total = np.zeros(model.num_parameters)
+        for row in gradients:
+            total += row
+        assert np.array_equal(full_gradient(model, partitioned), total)
+
+
+class TestMatrixEncoding:
+    @pytest.fixture
+    def strategy(self):
+        return heterogeneity_aware_strategy(
+            [1.0, 2.0, 3.0, 4.0, 4.0], num_partitions=7, num_stragglers=1, rng=0
+        )
+
+    def test_matrix_encode_matches_per_worker(self, strategy, rng):
+        gradients = rng.normal(size=(7, 11))
+        mapping = {index: gradients[index] for index in range(7)}
+        coded = encode_all_workers_matrix(strategy, gradients)
+        assert coded.shape == (strategy.num_workers, 11)
+        for worker in range(strategy.num_workers):
+            loop = encode_worker_gradient(strategy, worker, mapping)
+            assert np.allclose(coded[worker], loop, rtol=1e-12, atol=1e-12)
+
+    def test_dict_adapter_round_trip(self, strategy, rng):
+        gradients = rng.normal(size=(7, 11))
+        mapping = {index: gradients[index] for index in range(7)}
+        adapted = encode_all_workers(strategy, mapping)
+        coded = encode_all_workers_matrix(strategy, gradients)
+        assert set(adapted) == set(range(strategy.num_workers))
+        for worker, value in adapted.items():
+            assert np.array_equal(value, coded[worker])
+
+    def test_dict_adapter_missing_supported_partition_raises(self, strategy, rng):
+        gradients = rng.normal(size=(7, 11))
+        mapping = {index: gradients[index] for index in range(6)}  # drop 6
+        with pytest.raises(KeyError):
+            encode_all_workers(strategy, mapping)
+
+    def test_dict_adapter_ignores_unsupported_entry_shapes(self, rng):
+        """Shape inference must come from supported partitions only."""
+        from repro.coding.types import CodingStrategy, PartitionAssignment
+
+        matrix = np.array([[1.0, 1.0, 0.0], [0.0, 1.0, 0.0]])
+        strategy = CodingStrategy(
+            matrix=matrix,
+            assignment=PartitionAssignment(
+                num_workers=2,
+                num_partitions=3,
+                partitions_per_worker=((0, 1), (1,)),
+            ),
+            num_stragglers=0,
+            scheme="synthetic",
+        )
+        gradients = rng.normal(size=(3, 5))
+        mapping = {2: np.zeros(9), 0: gradients[0], 1: gradients[1]}
+        adapted = encode_all_workers(strategy, mapping)
+        for worker in range(2):
+            assert np.allclose(
+                adapted[worker],
+                encode_worker_gradient(strategy, worker, mapping),
+                rtol=1e-12,
+                atol=1e-12,
+            )
+
+    def test_full_request_uses_cached_stack(self, blob_setup):
+        _, partitioned, model = blob_setup
+        compute_partial_gradients_matrix(model, partitioned)
+        assert partitioned._stacked_cache is not None
+
+    def test_matrix_encode_arbitrary_trailing_shape(self, strategy, rng):
+        gradients = rng.normal(size=(7, 3, 4))
+        coded = encode_all_workers_matrix(strategy, gradients)
+        assert coded.shape == (strategy.num_workers, 3, 4)
+        flat = encode_all_workers_matrix(strategy, gradients.reshape(7, 12))
+        assert np.array_equal(coded.reshape(strategy.num_workers, 12), flat)
+
+    def test_matrix_encode_shape_validation(self, strategy, rng):
+        with pytest.raises(ValueError, match="stacked partial gradients"):
+            encode_all_workers_matrix(strategy, rng.normal(size=(6, 4)))

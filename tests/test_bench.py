@@ -1,0 +1,101 @@
+"""Smoke tests for the ``repro.bench`` module and its CLI subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import (
+    HEADLINE_BENCH,
+    _bench_batch_gradients,
+    _bench_encode,
+    _bench_prefix_search,
+    format_bench,
+    write_bench,
+)
+
+EXPECTED_KEYS = {
+    "name",
+    "description",
+    "baseline_seconds",
+    "current_seconds",
+    "speedup",
+    "meta",
+}
+
+
+def tiny_payload() -> dict:
+    """A bench payload built from the cheapest benchmarks only."""
+    benches = [
+        _bench_encode(gradient_size=256, repeats=1, seed=0),
+        _bench_batch_gradients(num_samples=256, repeats=1, seed=0),
+        _bench_prefix_search(orders=16, repeats=1, seed=0),
+    ]
+    headline = benches[0]
+    return {
+        "label": "test",
+        "created_unix": 0.0,
+        "smoke": True,
+        "seed": 0,
+        "python": "x",
+        "numpy": "y",
+        "machine": "z",
+        "headline": {"name": HEADLINE_BENCH, "speedup": headline["speedup"]},
+        "benches": benches,
+    }
+
+
+class TestBenchEntries:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: _bench_encode(gradient_size=256, repeats=1, seed=0),
+            lambda: _bench_batch_gradients(num_samples=256, repeats=1, seed=0),
+            lambda: _bench_prefix_search(orders=16, repeats=1, seed=0),
+        ],
+    )
+    def test_entry_schema(self, factory):
+        entry = factory()
+        assert set(entry) == EXPECTED_KEYS
+        assert entry["baseline_seconds"] > 0
+        assert entry["current_seconds"] > 0
+        assert entry["speedup"] == pytest.approx(
+            entry["baseline_seconds"] / entry["current_seconds"]
+        )
+
+    def test_payload_writes_valid_json(self, tmp_path):
+        payload = tiny_payload()
+        path = tmp_path / "BENCH_test.json"
+        write_bench(payload, str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded["label"] == "test"
+        assert [b["name"] for b in loaded["benches"]] == [
+            b["name"] for b in payload["benches"]
+        ]
+
+    def test_format_bench_mentions_every_bench(self):
+        payload = tiny_payload()
+        text = format_bench(payload)
+        for bench in payload["benches"]:
+            assert bench["name"] in text
+        assert "headline" in text
+
+
+class TestBenchCLI:
+    def test_bench_smoke_writes_output(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        output = tmp_path / "BENCH_ci.json"
+        # Monkeypatch run_bench to the cheap payload: the CLI wiring is what
+        # is under test here, not minutes of timing.
+        import repro.bench as bench_module
+
+        monkeypatch.setattr(
+            bench_module, "run_bench", lambda **kwargs: tiny_payload()
+        )
+        assert main(["bench", "--smoke", "--output", str(output)]) == 0
+        captured = capsys.readouterr().out
+        assert "encode_kernel" in captured
+        assert output.exists()
+        json.loads(output.read_text())
