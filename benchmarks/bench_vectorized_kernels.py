@@ -64,6 +64,42 @@ def test_timing_trace_kernel_speed_and_exactness(benchmark, bench_seed, cluster_
     benchmark.extra_info["iterations"] = ITERATIONS
 
 
+@pytest.mark.figure("timing_kernel_rng_v2")
+def test_rng_v2_trace_speed_and_statistical_equivalence(
+    benchmark, bench_seed, cluster_a
+):
+    """The batched rng_version=2 pipeline: fast, and same-distribution as v1."""
+    kwargs = dict(
+        num_stragglers=1,
+        total_samples=2048,
+        num_iterations=ITERATIONS,
+        seed=bench_seed,
+    )
+
+    def run_all_v2():
+        return [
+            measure_timing_trace(
+                scheme, cluster_a,
+                injector=ArtificialDelay(1, 1.0), rng_version=2, **kwargs,
+            )
+            for scheme in ("naive", "cyclic", "heter_aware", "group_based")
+        ]
+
+    traces = benchmark.pedantic(run_all_v2, rounds=1, iterations=1)
+    for trace in traces:
+        v1 = measure_timing_trace(
+            trace.scheme, cluster_a,
+            injector=ArtificialDelay(1, 1.0), rng_version=1, **kwargs,
+        )
+        assert trace.metadata["rng_version"] == 2
+        assert trace.mean_iteration_time() == pytest.approx(
+            v1.mean_iteration_time(), rel=0.15
+        ), trace.scheme
+    benchmark.extra_info["schemes"] = [t.scheme for t in traces]
+    benchmark.extra_info["iterations"] = ITERATIONS
+    benchmark.extra_info["rng_version"] = 2
+
+
 @pytest.mark.figure("prefix_search")
 def test_incremental_prefix_search_matches_reference(benchmark, bench_seed):
     cluster = build_cluster("Cluster-B", rng=bench_seed)

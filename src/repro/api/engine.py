@@ -39,7 +39,9 @@ from ..learning.optimizers import SGD
 from ..protocols.base import TrainingConfig
 from ..protocols.runner import run_scheme
 from ..simulation.cluster import ClusterSpec
+from ..simulation.rng import RngStreams
 from ..simulation.trace import RunTrace
+from ..simulation.vectorized import TimingKernelCache
 from .builders import build_injector, build_network
 from .result import RunResult
 from .spec import RunSpec, SpecError
@@ -62,6 +64,14 @@ def _build_cluster_for(spec: RunSpec) -> ClusterSpec:
 # builtin backends
 # ---------------------------------------------------------------------------
 
+#: Process-wide cache of timing kernels, keyed on (strategy fingerprint,
+#: cluster fingerprint, workload, network).  Decode-order decisions are pure
+#: functions of the completion order, so sharing kernels across runs — e.g.
+#: every delay value of a fig2-style sweep — changes wall-clock time only,
+#: never results.
+_TIMING_KERNEL_CACHE = TimingKernelCache(maxsize=64)
+
+
 @register_backend("timing", description="timing-only simulation (Figs. 2/3/5)")
 def _run_timing(spec: RunSpec) -> RunTrace:
     total_samples = spec.resolved_total_samples()
@@ -77,6 +87,8 @@ def _run_timing(spec: RunSpec) -> RunTrace:
         network=build_network(spec.network),
         gradient_bytes=spec.gradient_bytes,
         seed=spec.seed,
+        rng_version=spec.rng_version,
+        kernel_cache=_TIMING_KERNEL_CACHE,
     )
 
 
@@ -95,6 +107,12 @@ def _run_training(spec: RunSpec) -> RunTrace:
     preset = get_workload(spec.workload)
     dataset = _cached_dataset(spec.workload, spec.total_samples, spec.seed or 0)
     learning_rate = spec.learning_rate
+    # v2 derives the protocol-internal seed from the dedicated "training"
+    # child stream, so training randomness shares no lineage with the
+    # timing components; v1 keeps the historical direct-seed behaviour.
+    config_seed = spec.seed
+    if spec.rng_version == 2 and spec.seed is not None:
+        config_seed = RngStreams.from_seed(spec.seed).training_seed()
     config = TrainingConfig(
         num_iterations=spec.num_iterations,
         num_stragglers=spec.num_stragglers,
@@ -103,7 +121,7 @@ def _run_training(spec: RunSpec) -> RunTrace:
         optimizer_factory=lambda: SGD(learning_rate=learning_rate),
         straggler_injector=build_injector(spec.straggler),
         network=build_network(spec.network),
-        seed=spec.seed,
+        seed=config_seed,
         record_loss_every=spec.record_loss_every,
         loss_eval_samples=spec.loss_eval_samples,
     )
@@ -150,6 +168,16 @@ class Engine:
 
     def __init__(self, backends: Mapping[str, Any] | None = None) -> None:
         self._backends = None if backends is None else dict(backends)
+
+    @staticmethod
+    def timing_kernel_cache() -> TimingKernelCache:
+        """The process-wide timing-kernel cache (hit/miss counters included)."""
+        return _TIMING_KERNEL_CACHE
+
+    @staticmethod
+    def clear_timing_kernel_cache() -> None:
+        """Drop every cached timing kernel (results never depend on this)."""
+        _TIMING_KERNEL_CACHE.clear()
 
     # -- validation ----------------------------------------------------
     def _backend(self, mode: str):
@@ -216,7 +244,11 @@ class Engine:
         parallel:
             ``None``/``False``/``0``/``1`` — run serially in-process.
             ``True`` — one worker per CPU.  An integer — that many workers.
-            Every run's randomness derives from its spec's seed, so parallel
+            The worker count is always clamped to ``len(specs)`` so
+            over-provisioned requests (``parallel=64`` for two specs) never
+            spawn idle pool processes.  ``compare`` and ``sweep`` resolve
+            their ``parallel`` argument through this exact rule.  Every
+            run's randomness derives from its spec's seed, so parallel
             results are bit-identical to serial ones; only wall-clock time
             changes.
 
@@ -265,7 +297,12 @@ class Engine:
         schemes: Sequence[str],
         parallel: int | bool | None = None,
     ) -> dict[str, RunResult]:
-        """Run the same spec under several schemes (paired by shared seed)."""
+        """Run the same spec under several schemes (paired by shared seed).
+
+        ``parallel`` follows :meth:`run_many`'s resolution rule exactly:
+        ``None``/``False``/``0``/``1`` serial, ``True`` one worker per CPU,
+        an integer that many workers — always clamped to ``len(schemes)``.
+        """
         results = self.run_many(
             [spec.replace(scheme=scheme) for scheme in schemes], parallel=parallel
         )
@@ -284,9 +321,11 @@ class Engine:
 
             engine.sweep(base, scheme=["naive", "cyclic"], seed=[0, 1, 2])
 
-        yields the six runs naive/0, naive/1, ... cyclic/2.  With
-        ``parallel`` set (see :meth:`run_many`) the runs execute across a
-        process pool; the result list is identical to a serial sweep.
+        yields the six runs naive/0, naive/1, ... cyclic/2.  ``parallel``
+        follows :meth:`run_many`'s resolution rule exactly
+        (``None``/``False``/``0``/``1`` serial, ``True`` one worker per
+        CPU, an integer that many workers, clamped to the number of swept
+        specs); the result list is identical to a serial sweep.
         """
         if not axes:
             return self.run_many([spec], parallel=parallel)

@@ -26,6 +26,8 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from ..simulation.rng import RNG_VERSIONS
+
 __all__ = ["RunSpec", "StragglerSpec", "NetworkSpec", "SpecError", "RUN_MODES"]
 
 #: Execution modes understood by the engine's builtin backends.
@@ -136,6 +138,17 @@ class RunSpec:
     seed:
         Seed for all randomness in the run; two specs sharing a seed see
         identical per-iteration conditions (paired comparisons).
+    rng_version:
+        RNG stream layout version.  ``1`` (default) is the historical
+        single-stream layout: the straggler injector and the compute jitter
+        interleave their draws on one generator, and traces are
+        bit-identical to every release since the seed.  ``2`` spawns one
+        child stream per randomness component (injector, jitter, network,
+        training sampling) from the seed via
+        :class:`numpy.random.SeedSequence`, which lets the timing kernel
+        draw whole traces in batched calls — statistically equivalent to
+        v1 at matched seeds but not bit-identical.  See
+        :mod:`repro.simulation.rng`.
     """
 
     scheme: str = "heter_aware"
@@ -157,6 +170,7 @@ class RunSpec:
     loss_eval_samples: int = 0
     record_loss_every: int = 1
     seed: int | None = 0
+    rng_version: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -206,6 +220,11 @@ class RunSpec:
             raise SpecError("loss_eval_samples must be non-negative")
         if self.record_loss_every <= 0:
             raise SpecError("record_loss_every must be positive")
+        if self.rng_version not in RNG_VERSIONS:
+            raise SpecError(
+                f"unknown rng_version {self.rng_version!r}; "
+                f"supported versions: {list(RNG_VERSIONS)}"
+            )
 
     # -- derived quantities --------------------------------------------
     def resolved_total_samples(self) -> int | None:

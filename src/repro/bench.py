@@ -14,7 +14,8 @@ end-to-end exactness smoke test.
 Usage::
 
     python -m repro bench --smoke            # quick CI-sized run
-    python -m repro bench --output BENCH_PR2.json
+    python -m repro bench --output BENCH_PR3.json
+    python -m repro bench --compare BENCH_PR3.json BENCH_new.json
 """
 
 from __future__ import annotations
@@ -44,13 +45,22 @@ from .learning.gradients import (
 )
 from .learning.models import SoftmaxClassifier
 from .learning.partition import partition_dataset
+from .simulation.rng import RngStreams
 from .simulation.stragglers import ArtificialDelay
 from .simulation.timing import simulate_worker_timing_arrays, worker_workloads
+from .simulation.vectorized import TimingTraceKernel
 
-__all__ = ["run_bench", "write_bench", "format_bench", "HEADLINE_BENCH"]
+__all__ = [
+    "run_bench",
+    "write_bench",
+    "format_bench",
+    "compare_bench",
+    "HEADLINE_BENCH",
+]
 
-#: Name of the acceptance-criterion benchmark.
-HEADLINE_BENCH = "timing_trace_e2e"
+#: Name of the acceptance-criterion benchmark (PR 3: the batched
+#: ``rng_version=2`` kernel against the PR 2 per-iteration kernel).
+HEADLINE_BENCH = "timing_trace_rng_v2"
 
 #: Schemes and delays of the Fig. 2 sweep used by the end-to-end benchmark.
 _FIG2_SCHEMES = ("naive", "cyclic", "heter_aware", "group_based")
@@ -90,7 +100,7 @@ def _bench_entry(
 # ---------------------------------------------------------------------------
 
 def _bench_timing_trace(num_iterations: int, repeats: int, seed: int) -> dict:
-    """Headline: Fig. 2-style grid, reference loop vs vectorized kernel."""
+    """Fig. 2-style grid, pre-PR2 reference loop vs vectorized v1 kernel."""
     cluster = build_cluster("Cluster-A", rng=seed)
 
     def sweep(fn) -> None:
@@ -127,10 +137,102 @@ def _bench_timing_trace(num_iterations: int, repeats: int, seed: int) -> dict:
     baseline = _best_of(lambda: _timed(lambda: sweep(measure_timing_trace_reference)), repeats)
     current = _best_of(lambda: _timed(lambda: sweep(measure_timing_trace)), repeats)
     return _bench_entry(
-        HEADLINE_BENCH,
+        "timing_trace_e2e",
         "Fig. 2-style timing sweep on Cluster-A "
         f"({len(_FIG2_SCHEMES)} schemes x {len(_FIG2_DELAYS)} delays x "
         f"{num_iterations} iterations)",
+        baseline,
+        current,
+        meta={
+            "cluster": "Cluster-A",
+            "num_iterations": num_iterations,
+            "schemes": list(_FIG2_SCHEMES),
+            "delays": [repr(d) for d in _FIG2_DELAYS],
+        },
+    )
+
+
+def _bench_rng_v2_kernel(num_iterations: int, repeats: int, seed: int) -> dict:
+    """Headline: fig2-style grid, PR 2 per-iteration kernel vs v2 batched kernel.
+
+    Both sides share the same pre-built :class:`TimingTraceKernel` per
+    (scheme, delay) cell, so the comparison isolates the RNG/stream layout:
+    ``run`` (rng_version=1, one injector+jitter draw per iteration) against
+    ``run_batched`` (rng_version=2, whole-trace draws from per-component
+    streams).
+    """
+    cluster = build_cluster("Cluster-A", rng=seed)
+    kernels: list[tuple[TimingTraceKernel, ArtificialDelay]] = []
+    for scheme in _FIG2_SCHEMES:
+        k = natural_partitions(scheme, cluster.num_workers, 2)
+        strategy = build_strategy(
+            scheme,
+            throughputs=cluster.estimated_throughputs,
+            num_partitions=k,
+            num_stragglers=1,
+            rng=np.random.default_rng(seed),
+        )
+        kernel = TimingTraceKernel(
+            strategy,
+            cluster,
+            samples_per_partition=max(1, 2048 // k),
+            gradient_bytes=8.0 * 65536,
+        )
+        for delay in _FIG2_DELAYS:
+            kernels.append((kernel, ArtificialDelay(1, delay)))
+
+    def sweep_v1() -> None:
+        for kernel, injector in kernels:
+            kernel.run(num_iterations, rng=seed, injector=injector)
+
+    def sweep_v2() -> None:
+        for kernel, injector in kernels:
+            streams = RngStreams.from_seed(seed)
+            kernel.run_batched(
+                num_iterations,
+                injector_rng=streams.injector,
+                jitter_rng=streams.jitter,
+                injector=injector,
+            )
+
+    # Statistical gate: matched seeds must yield near-identical mean
+    # durations wherever the iteration decodes (v2 is same-distribution,
+    # not bit-identical, so the bound is loose but catches layout bugs).
+    for kernel, injector in kernels:
+        v1 = kernel.run(min(num_iterations, 500), rng=seed, injector=injector)
+        streams = RngStreams.from_seed(seed)
+        v2 = kernel.run_batched(
+            min(num_iterations, 500),
+            injector_rng=streams.injector,
+            jitter_rng=streams.jitter,
+            injector=injector,
+        )
+        if not np.array_equal(v1.decodable, v2.decodable):
+            raise AssertionError(
+                "rng_version=2 decodability pattern diverged from v1 on "
+                f"{kernel.strategy.scheme!r} / {injector.describe()}"
+            )
+        finite = v1.decodable
+        if finite.any():
+            m1 = float(v1.durations[finite].mean())
+            m2 = float(v2.durations[finite].mean())
+            if abs(m1 - m2) > 0.25 * max(m1, m2):
+                raise AssertionError(
+                    "rng_version=2 mean duration diverged from v1 on "
+                    f"{kernel.strategy.scheme!r} / {injector.describe()}: "
+                    f"{m1} vs {m2}"
+                )
+
+    sweep_v1()
+    sweep_v2()
+    baseline = _best_of(lambda: _timed(sweep_v1), repeats)
+    current = _best_of(lambda: _timed(sweep_v2), repeats)
+    return _bench_entry(
+        HEADLINE_BENCH,
+        "Fig. 2-style kernel sweep on Cluster-A "
+        f"({len(_FIG2_SCHEMES)} schemes x {len(_FIG2_DELAYS)} delays x "
+        f"{num_iterations} iterations): per-iteration rng_version=1 kernel "
+        "vs whole-trace batched rng_version=2 kernel",
         baseline,
         current,
         meta={
@@ -334,7 +436,7 @@ def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
 def run_bench(
     smoke: bool = False,
     seed: int = 0,
-    label: str = "PR2",
+    label: str = "PR3",
     include_parallel: bool = True,
 ) -> dict:
     """Run every benchmark and return the JSON-ready payload.
@@ -357,6 +459,7 @@ def run_bench(
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", SampleCountDriftWarning)
         benches = [
+            _bench_rng_v2_kernel(iterations, repeats, seed),
             _bench_timing_trace(iterations, repeats, seed),
             _bench_worker_timings(200 if smoke else 2000, repeats, seed),
             _bench_prefix_search(100 if smoke else 1000, repeats, seed),
@@ -404,7 +507,70 @@ def format_bench(payload: dict) -> str:
         )
     lines.append("")
     lines.append(
-        f"headline ({HEADLINE_BENCH}): "
-        f"{payload['headline']['speedup']:.2f}x vs pre-PR implementation"
+        f"headline ({payload['headline']['name']}): "
+        f"{payload['headline']['speedup']:.2f}x vs baseline implementation"
     )
     return "\n".join(lines)
+
+
+def compare_bench(
+    baseline: dict, current: dict, threshold: float = 0.10
+) -> tuple[str, list[str]]:
+    """Diff two bench payloads; flag speedup regressions beyond ``threshold``.
+
+    Compares the *speedup* column (current implementation vs its in-process
+    reference) rather than absolute seconds, so payloads recorded on
+    machines of different speeds remain comparable.  A benchmark regresses
+    when its speedup falls more than ``threshold`` (fractional) below the
+    baseline payload's.  Returns ``(report_text, regressed_names)``;
+    callers exit non-zero when ``regressed_names`` is non-empty.
+    """
+    if not 0.0 <= threshold:
+        raise ValueError("threshold must be non-negative")
+    base_by_name = {b["name"]: b for b in baseline.get("benches", [])}
+    cur_by_name = {b["name"]: b for b in current.get("benches", [])}
+    lines = [
+        f"bench compare: {baseline.get('label', '?')} (baseline) vs "
+        f"{current.get('label', '?')} (current), "
+        f"regression threshold {threshold:.0%}",
+    ]
+    if baseline.get("smoke") != current.get("smoke"):
+        lines.append(
+            "warning: smoke flags differ between payloads — speedups at "
+            "smoke size are dominated by fixed overheads and are not "
+            "comparable to full-size runs; compare like against like"
+        )
+    lines += [
+        "",
+        f"{'benchmark':24s} {'baseline':>9s} {'current':>9s} {'delta':>8s}  status",
+    ]
+    regressions: list[str] = []
+    for name, base in base_by_name.items():
+        cur = cur_by_name.get(name)
+        if cur is None:
+            lines.append(f"{name:24s} {'-':>9s} {'-':>9s} {'-':>8s}  MISSING")
+            regressions.append(name)
+            continue
+        base_speedup = base.get("speedup")
+        cur_speedup = cur.get("speedup")
+        if not base_speedup or not cur_speedup:
+            lines.append(f"{name:24s} {'-':>9s} {'-':>9s} {'-':>8s}  skipped (no speedup)")
+            continue
+        delta = (cur_speedup - base_speedup) / base_speedup
+        regressed = delta < -threshold
+        status = "REGRESSED" if regressed else "ok"
+        lines.append(
+            f"{name:24s} {base_speedup:8.2f}x {cur_speedup:8.2f}x "
+            f"{delta:+7.1%}  {status}"
+        )
+        if regressed:
+            regressions.append(name)
+    for name in cur_by_name.keys() - base_by_name.keys():
+        lines.append(f"{name:24s} (new benchmark, no baseline)")
+    lines.append("")
+    lines.append(
+        f"{len(regressions)} regression(s)"
+        if regressions
+        else "no regressions"
+    )
+    return "\n".join(lines), regressions

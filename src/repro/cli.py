@@ -163,6 +163,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="delay_seconds shortcut for --straggler-model artificial_delay")
     run.add_argument("--learning-rate", type=float, default=0.1)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--rng-version", type=int, default=1, choices=(1, 2),
+                     help="RNG stream layout: 1 = historical bit-reproducible "
+                          "single stream, 2 = per-component batched streams "
+                          "(faster, statistically equivalent)")
     run.add_argument("--json", action="store_true",
                      help="print the full RunResult as JSON instead of a summary table")
 
@@ -176,17 +180,27 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Run the performance benchmarks (kernels + end-to-end timing "
             "trace + parallel sweep) and write a machine-readable "
-            "BENCH_<label>.json tracking the perf trajectory."
+            "BENCH_<label>.json tracking the perf trajectory.  With "
+            "--compare, diff two existing payloads instead of running "
+            "anything; exits non-zero when a benchmark's speedup regressed "
+            "beyond the threshold."
         ),
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized benchmarks (seconds instead of minutes)")
-    bench.add_argument("--label", default="PR2", help="tag stored in the payload")
+    bench.add_argument("--label", default="PR3", help="tag stored in the payload")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="output JSON path (default BENCH_<label>.json; '-' to skip)")
     bench.add_argument("--no-parallel", action="store_true",
                        help="skip the process-pool sweep benchmark")
     bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
+                       help="diff two bench JSON payloads instead of benchmarking; "
+                            "exit 1 on regression")
+    bench.add_argument("--compare-threshold", type=float, default=0.10,
+                       metavar="FRACTION",
+                       help="allowed fractional speedup drop before a benchmark "
+                            "counts as regressed (default 0.10)")
 
     analyze = subparsers.add_parser(
         "analyze", help="static analysis of every scheme on one cluster"
@@ -300,6 +314,7 @@ def _command_run(args: argparse.Namespace) -> str:
             straggler={"kind": straggler_model, "params": straggler_params},
             learning_rate=args.learning_rate,
             seed=args.seed,
+            rng_version=args.rng_version,
         )
     result = Engine().run(spec)
     if args.json:
@@ -314,8 +329,19 @@ def _command_run(args: argparse.Namespace) -> str:
     )
 
 
-def _command_bench(args: argparse.Namespace) -> str:
-    from .bench import format_bench, run_bench, write_bench
+def _command_bench(args: argparse.Namespace):
+    from .bench import compare_bench, format_bench, run_bench, write_bench
+
+    if args.compare:
+        baseline_path, current_path = args.compare
+        with open(baseline_path, encoding="utf-8") as handle:
+            baseline = json.load(handle)
+        with open(current_path, encoding="utf-8") as handle:
+            current = json.load(handle)
+        text, regressions = compare_bench(
+            baseline, current, threshold=args.compare_threshold
+        )
+        return text, (1 if regressions else 0)
 
     payload = run_bench(
         smoke=args.smoke,
@@ -405,12 +431,18 @@ _COMMANDS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """Entry point; returns a process exit code."""
+    """Entry point; returns a process exit code.
+
+    Handlers return either the text to print or a ``(text, exit_code)``
+    pair (used by ``bench --compare`` to signal regressions).
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
     handler = _COMMANDS[args.command]
-    print(handler(args))
-    return 0
+    outcome = handler(args)
+    text, code = outcome if isinstance(outcome, tuple) else (outcome, 0)
+    print(text)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

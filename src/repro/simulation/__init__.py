@@ -23,17 +23,19 @@ from .stragglers import (
     StragglerInjector,
     TransientSlowdown,
 )
+from .rng import RNG_COMPONENTS, RNG_VERSIONS, RngStreams, component_seed_sequences
 from .timing import (
     IterationTiming,
     WorkerTiming,
     decodable_completion_order,
     simulate_iteration,
     simulate_worker_timing_arrays,
+    simulate_worker_timing_arrays_batch,
     simulate_worker_timings,
     worker_workloads,
 )
-from .trace import IterationRecord, RunTrace
-from .vectorized import TimingTraceArrays, TimingTraceKernel
+from .trace import IterationRecord, RunTrace, UnknownTraceFieldWarning
+from .vectorized import TimingKernelCache, TimingTraceArrays, TimingTraceKernel
 from .workers import WorkerSpec, perturb_estimates
 
 __all__ = [
@@ -62,11 +64,19 @@ __all__ = [
     "worker_workloads",
     "simulate_worker_timings",
     "simulate_worker_timing_arrays",
+    "simulate_worker_timing_arrays_batch",
     "simulate_iteration",
     "decodable_completion_order",
     "TimingTraceKernel",
     "TimingTraceArrays",
+    "TimingKernelCache",
+    # rng streams
+    "RNG_COMPONENTS",
+    "RNG_VERSIONS",
+    "RngStreams",
+    "component_seed_sequences",
     # traces
     "IterationRecord",
     "RunTrace",
+    "UnknownTraceFieldWarning",
 ]

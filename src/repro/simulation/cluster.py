@@ -123,6 +123,52 @@ class ClusterSpec:
                 base = base * jitter
         return base
 
+    def compute_times_batch(
+        self,
+        workloads: Sequence[float],
+        num_iterations: int,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Compute times of ``num_iterations`` iterations in one batched draw.
+
+        Returns shape ``(num_iterations, num_workers)``.  All lognormal
+        jitter is drawn in a single generator call, so simulating a whole
+        trace costs one RNG entry instead of one per iteration.  The draws
+        follow the same marginal distribution as ``num_iterations``
+        successive :meth:`compute_times` calls but consume the stream in a
+        different order — this is the ``rng_version=2`` layout, not a
+        bit-identical replacement for the per-iteration path.
+        """
+        if num_iterations <= 0:
+            raise ClusterError("num_iterations must be positive")
+        workloads = np.asarray(workloads, dtype=np.float64)
+        if workloads.shape != (self.num_workers,):
+            raise ClusterError(
+                f"expected {self.num_workers} workloads, got shape {workloads.shape}"
+            )
+        if np.any(workloads < 0):
+            raise ClusterError("workloads must be non-negative")
+        base = workloads / self._true_throughput_array
+        if rng is None:
+            return np.broadcast_to(base, (num_iterations, self.num_workers)).copy()
+        noise = self._compute_noise_array
+        drawn = (noise > 0.0) & (workloads > 0.0)
+        count = int(drawn.sum())
+        if not count:
+            return np.broadcast_to(base, (num_iterations, self.num_workers)).copy()
+        sigma = noise[drawn]
+        if count == 1 or (sigma == sigma[0]).all():
+            values = rng.lognormal(
+                mean=0.0, sigma=float(sigma[0]), size=(num_iterations, count)
+            )
+        else:
+            values = rng.lognormal(mean=0.0, sigma=sigma, size=(num_iterations, count))
+        if count == self.num_workers:
+            return base * values
+        jitter = np.ones((num_iterations, self.num_workers))
+        jitter[:, drawn] = values
+        return base * jitter
+
     @property
     def vcpu_counts(self) -> tuple[int, ...]:
         return tuple(w.vcpus for w in self.workers)

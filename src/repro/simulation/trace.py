@@ -10,15 +10,39 @@ run.
 
 from __future__ import annotations
 
+import dataclasses
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["IterationRecord", "RunTrace"]
+__all__ = ["IterationRecord", "RunTrace", "UnknownTraceFieldWarning"]
 
 
 class TraceError(ValueError):
     """Raised on inconsistent trace data."""
+
+
+class UnknownTraceFieldWarning(UserWarning):
+    """A serialized trace carried keys this version does not understand.
+
+    Raised (as a warning, not an error) by :meth:`RunTrace.from_dict` and
+    :meth:`IterationRecord.from_dict` so that data written by a newer
+    version — or hand-edited payloads with typos — degrade loudly instead
+    of silently dropping information.  ``metadata`` is exempt: it is
+    free-form by design and every key round-trips verbatim.
+    """
+
+
+def _warn_unknown_keys(data: dict, known: set, what: str) -> None:
+    unknown = sorted(set(data) - known)
+    if unknown:
+        warnings.warn(
+            f"{what} carries unknown keys {unknown}; they are ignored "
+            "(was this written by a newer version?)",
+            UnknownTraceFieldWarning,
+            stacklevel=3,
+        )
 
 
 @dataclass(frozen=True)
@@ -99,7 +123,12 @@ class IterationRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "IterationRecord":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict` (unknown keys warn and are ignored)."""
+        _warn_unknown_keys(
+            data,
+            {f.name for f in dataclasses.fields(cls)},
+            "IterationRecord dict",
+        )
         used_group = data.get("used_group")
         return cls(
             iteration=int(data["iteration"]),
@@ -216,7 +245,17 @@ class RunTrace:
 
     @classmethod
     def from_dict(cls, data: dict) -> "RunTrace":
-        """Rebuild a trace from :meth:`to_dict` output (JSON round-trip)."""
+        """Rebuild a trace from :meth:`to_dict` output (JSON round-trip).
+
+        Every ``metadata`` key is preserved verbatim — the free-form run
+        parameters recorded by the backends (``effective_total_samples``,
+        ``num_workers``, drift diagnostics, ...) survive the round-trip.
+        Unknown *top-level* keys warn with
+        :class:`UnknownTraceFieldWarning` instead of disappearing silently.
+        """
+        _warn_unknown_keys(
+            data, {"scheme", "cluster_name", "metadata", "records"}, "RunTrace dict"
+        )
         trace = cls(
             scheme=str(data["scheme"]),
             cluster_name=str(data["cluster_name"]),

@@ -10,16 +10,31 @@ decoder) out of the loop, draws the per-iteration randomness in single
 batched calls, and memoises the decodable-prefix decision per completion
 *order* — the quantity it actually depends on.
 
-The RNG stream is consumed in exactly the same sequence as the per-iteration
-path (injector draw first, then one batched jitter draw), so a kernel run is
-bit-identical to ``num_iterations`` successive ``simulate_iteration`` calls
-with a shared generator.  The equivalence is asserted property-style in
-``tests/simulation/test_vectorized.py``.
+Two RNG stream layouts are supported:
+
+* :meth:`TimingTraceKernel.run` (``rng_version=1``) consumes a single
+  generator in exactly the same sequence as the per-iteration path
+  (injector draw first, then one batched jitter draw per iteration), so a
+  kernel run is bit-identical to ``num_iterations`` successive
+  ``simulate_iteration`` calls with a shared generator.  The equivalence is
+  asserted property-style in ``tests/simulation/test_vectorized.py``.
+* :meth:`TimingTraceKernel.run_batched` (``rng_version=2``) takes separate
+  per-component generators (see :mod:`repro.simulation.rng`) and draws
+  *all* iterations of injector delays and jitter in single batched calls —
+  the whole trace runs without re-entering Python per iteration.  Traces
+  are statistically equivalent to v1 at matched seeds but not bit-identical.
+
+:class:`TimingKernelCache` keys kernels on (strategy fingerprint, cluster
+fingerprint, workload, network) so sweep-style experiments that vary only
+the straggler injector (e.g. Fig. 2's delay axis) share one kernel — and
+with it the memoised decode-order decisions — across sweep points.
 """
 
 from __future__ import annotations
 
+import hashlib
 import math
+from collections import OrderedDict
 from dataclasses import dataclass
 
 import numpy as np
@@ -31,7 +46,13 @@ from .network import CommunicationModel, ZeroCommunication
 from .stragglers import NoStragglers, StragglerInjector
 from .timing import TimingError, worker_workloads
 
-__all__ = ["TimingTraceArrays", "TimingTraceKernel"]
+__all__ = [
+    "TimingTraceArrays",
+    "TimingTraceKernel",
+    "TimingKernelCache",
+    "strategy_fingerprint",
+    "cluster_fingerprint",
+]
 
 
 @dataclass(frozen=True)
@@ -122,7 +143,11 @@ class TimingTraceKernel:
         )
         # The decodable prefix depends only on the completion *order*; cache
         # the (prefix, decode result) pair per observed order so repeated
-        # orderings across iterations cost one dict lookup.
+        # orderings across iterations cost one dict lookup.  Kernels can now
+        # outlive single runs (TimingKernelCache), so insertion stops at a
+        # bound — existing entries keep serving hits, new orders just pay
+        # the decode each time once the cache is full.
+        self.order_cache_limit = 100_000
         self._order_cache: dict[bytes, tuple[int | None, DecodeResult | None]] = {}
 
     # ------------------------------------------------------------------
@@ -147,8 +172,14 @@ class TimingTraceKernel:
         num_iterations: int,
         rng: np.random.Generator | int | None = None,
         start_iteration: int = 0,
+        injector: StragglerInjector | None = None,
     ) -> TimingTraceArrays:
-        """Simulate ``num_iterations`` iterations and return stacked arrays."""
+        """Simulate ``num_iterations`` iterations and return stacked arrays.
+
+        ``injector`` overrides the constructor-time injector for this run
+        (used by the kernel cache to reuse one kernel across sweep points
+        that differ only in their straggler model).
+        """
         if num_iterations <= 0:
             raise TimingError("num_iterations must be positive")
         generator = np.random.default_rng(rng)
@@ -158,7 +189,7 @@ class TimingTraceKernel:
         durations = np.empty(num_iterations)
         workers_used: list[tuple[int, ...]] = []
         used_groups: list[tuple[int, ...] | None] = []
-        injector_delays = self.injector.delays
+        injector_delays = (injector or self.injector).delays
         comm = self._comm
         order_cache = self._order_cache
         infinity = float("inf")
@@ -198,7 +229,8 @@ class TimingTraceKernel:
                     else self.decoder.decoding_vector(order_list[:prefix])
                 )
                 hit = (prefix, result)
-                order_cache[key] = hit
+                if len(order_cache) < self.order_cache_limit:
+                    order_cache[key] = hit
             prefix, result = hit
             if prefix is None or result is None:
                 durations[step] = infinity
@@ -215,3 +247,190 @@ class TimingTraceKernel:
             workers_used=tuple(workers_used),
             used_groups=tuple(used_groups),
         )
+
+    # ------------------------------------------------------------------
+    def run_batched(
+        self,
+        num_iterations: int,
+        injector_rng: np.random.Generator | int | None = None,
+        jitter_rng: np.random.Generator | int | None = None,
+        start_iteration: int = 0,
+        injector: StragglerInjector | None = None,
+    ) -> TimingTraceArrays:
+        """Whole-trace simulation with per-component streams (``rng_version=2``).
+
+        All injector delays come from ``injector_rng`` and all compute
+        jitter from ``jitter_rng``, each drawn in one batched call via
+        :meth:`StragglerInjector.delays_batch` and a single ``(n, m)``
+        lognormal draw.  Only the decode-order bookkeeping (dict lookups on
+        the shared order cache) remains per-iteration Python.
+
+        Same-distribution, different-stream relative to :meth:`run`; the
+        decode decisions are pure functions of the completion order, so the
+        two paths share ``self._order_cache``.
+        """
+        if num_iterations <= 0:
+            raise TimingError("num_iterations must be positive")
+        m = self.num_workers
+        delays = np.asarray(
+            (injector or self.injector).delays_batch(
+                start_iteration,
+                num_iterations,
+                m,
+                np.random.default_rng(injector_rng),
+            ),
+            dtype=np.float64,
+        )
+        if delays.shape != (num_iterations, m):
+            raise TimingError(
+                "straggler injector returned the wrong batch shape: "
+                f"{delays.shape} instead of {(num_iterations, m)}"
+            )
+        compute_times = self.cluster.compute_times_batch(
+            self.workloads, num_iterations, rng=np.random.default_rng(jitter_rng)
+        )
+        completion_times = compute_times + delays
+        completion_times += self._comm
+        # Batched order computation: one argsort call and one finite count
+        # for the whole trace, leaving only cache lookups in the loop.
+        orders = completion_times.argsort(axis=1, kind="stable")
+        finite_counts = np.isfinite(completion_times).sum(axis=1)
+        durations = np.empty(num_iterations)
+        workers_used: list[tuple[int, ...]] = []
+        used_groups: list[tuple[int, ...] | None] = []
+        order_cache = self._order_cache
+        infinity = float("inf")
+        for step in range(num_iterations):
+            order = orders[step]
+            if finite_counts[step] < m:
+                order = order[: finite_counts[step]]
+            key = order.tobytes()
+            hit = order_cache.get(key)
+            if hit is None:
+                order_list = order.tolist()
+                prefix = self.decoder.earliest_decodable_prefix(order_list)
+                result = (
+                    None
+                    if prefix is None
+                    else self.decoder.decoding_vector(order_list[:prefix])
+                )
+                hit = (prefix, result)
+                if len(order_cache) < self.order_cache_limit:
+                    order_cache[key] = hit
+            prefix, result = hit
+            if prefix is None or result is None:
+                durations[step] = infinity
+                workers_used.append(())
+                used_groups.append(None)
+            else:
+                durations[step] = completion_times[step, order[prefix - 1]]
+                workers_used.append(result.workers_used)
+                used_groups.append(result.used_group)
+        return TimingTraceArrays(
+            durations=durations,
+            compute_times=compute_times,
+            completion_times=completion_times,
+            workers_used=tuple(workers_used),
+            used_groups=tuple(used_groups),
+        )
+
+
+# ---------------------------------------------------------------------------
+# kernel cache
+# ---------------------------------------------------------------------------
+
+def strategy_fingerprint(strategy: CodingStrategy) -> bytes:
+    """Digest identifying a strategy's decode-relevant content.
+
+    Two strategies with equal fingerprints have identical coding matrices,
+    partition assignments, groups and straggler tolerance, hence identical
+    decoders and identical decode-order decisions.
+    """
+    digest = hashlib.sha256()
+    digest.update(strategy.scheme.encode())
+    digest.update(str(strategy.num_stragglers).encode())
+    digest.update(str(strategy.matrix.shape).encode())
+    digest.update(np.ascontiguousarray(strategy.matrix).tobytes())
+    digest.update(repr(strategy.assignment.partitions_per_worker).encode())
+    digest.update(repr(strategy.groups).encode())
+    return digest.digest()
+
+
+def cluster_fingerprint(cluster: ClusterSpec) -> bytes:
+    """Digest identifying a cluster's timing-relevant content."""
+    digest = hashlib.sha256()
+    digest.update(cluster.name.encode())
+    digest.update(np.ascontiguousarray(cluster._true_throughput_array).tobytes())
+    digest.update(np.ascontiguousarray(cluster._compute_noise_array).tobytes())
+    return digest.digest()
+
+
+class TimingKernelCache:
+    """Bounded LRU cache of :class:`TimingTraceKernel` objects.
+
+    Keyed on everything that is baked into a kernel at construction time —
+    strategy fingerprint, cluster fingerprint, samples per partition,
+    network model and payload size — but *not* on the straggler injector,
+    which callers pass per run.  A fig2-style sweep over injector delays
+    therefore reuses one kernel (and its memoised decode-order cache and
+    :class:`~repro.coding.decoding.Decoder`) across every delay value.
+
+    Cached kernels are pure with respect to results: the decode decisions
+    they memoise are deterministic functions of the completion order, so a
+    cache hit is bit-identical to a freshly built kernel.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._kernels: OrderedDict[tuple, TimingTraceKernel] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+    def clear(self) -> None:
+        self._kernels.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(
+        self,
+        strategy: CodingStrategy,
+        cluster: ClusterSpec,
+        samples_per_partition: int,
+        network: CommunicationModel | None = None,
+        gradient_bytes: float = 0.0,
+    ) -> TimingTraceKernel:
+        """Return the cached kernel for this configuration, building on miss."""
+        network = network or ZeroCommunication()
+        # A kernel depends on its communication model only through the one
+        # scalar baked into it at construction time, so keying on that exact
+        # float is both collision-free (unlike describe(), which rounds) and
+        # maximally reusable across freshly built model instances.
+        key = (
+            strategy_fingerprint(strategy),
+            cluster_fingerprint(cluster),
+            int(samples_per_partition),
+            float(network.transfer_time(gradient_bytes)),
+            float(gradient_bytes),
+        )
+        kernel = self._kernels.get(key)
+        if kernel is not None:
+            self.hits += 1
+            self._kernels.move_to_end(key)
+            return kernel
+        self.misses += 1
+        kernel = TimingTraceKernel(
+            strategy,
+            cluster,
+            samples_per_partition=samples_per_partition,
+            network=network,
+            gradient_bytes=gradient_bytes,
+        )
+        self._kernels[key] = kernel
+        while len(self._kernels) > self.maxsize:
+            self._kernels.popitem(last=False)
+        return kernel

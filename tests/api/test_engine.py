@@ -139,6 +139,100 @@ class TestTimingEquivalence:
         np.testing.assert_array_equal(result.trace.durations, legacy.durations)
 
 
+class TestRngVersionAndKernelCache:
+    """rng_version dispatch and the process-wide timing-kernel cache."""
+
+    def test_v2_timing_run_is_deterministic(self):
+        spec = RunSpec(num_iterations=10, total_samples=1024, rng_version=2, seed=5)
+        a = Engine().run(spec)
+        b = Engine().run(spec)
+        np.testing.assert_array_equal(a.trace.durations, b.trace.durations)
+        assert a.trace.metadata["rng_version"] == 2
+
+    def test_v2_differs_from_v1_but_is_statistically_close(self):
+        base = RunSpec(num_iterations=400, total_samples=1024, seed=5)
+        v1 = Engine().run(base)
+        v2 = Engine().run(base.replace(rng_version=2))
+        assert not np.array_equal(v1.trace.durations, v2.trace.durations)
+        assert v2.mean_iteration_time == pytest.approx(
+            v1.mean_iteration_time, rel=0.1
+        )
+
+    def test_v1_results_do_not_carry_rng_version_metadata(self):
+        result = Engine().run(RunSpec(num_iterations=3, total_samples=512))
+        assert "rng_version" not in result.trace.metadata
+
+    def test_sweep_reuses_kernels_across_delay_values(self):
+        Engine.clear_timing_kernel_cache()
+        cache = Engine.timing_kernel_cache()
+        engine = Engine()
+        spec = RunSpec(
+            num_iterations=4,
+            total_samples=1024,
+            straggler=StragglerSpec(
+                "artificial_delay", {"num_stragglers": 1, "delay_seconds": 1.0}
+            ),
+            seed=0,
+        )
+        engine.sweep(
+            spec,
+            straggler=[
+                StragglerSpec(
+                    "artificial_delay",
+                    {"num_stragglers": 1, "delay_seconds": delay},
+                )
+                for delay in (0.5, 1.0, 2.0, 4.0)
+            ],
+        )
+        # One kernel build for the first delay value, cache hits after.
+        assert cache.misses == 1
+        assert cache.hits == 3
+
+    def test_cached_runs_bit_identical_to_cold_cache(self):
+        spec = RunSpec(num_iterations=6, total_samples=1024, seed=9)
+        Engine.clear_timing_kernel_cache()
+        cold = Engine().run(spec)
+        warm = Engine().run(spec)
+        assert Engine.timing_kernel_cache().hits >= 1
+        np.testing.assert_array_equal(cold.trace.durations, warm.trace.durations)
+
+    def test_nearby_network_specs_get_correct_kernels(self):
+        # Regression: the kernel cache must not serve a kernel built for a
+        # different network latency (describe()-based keys rounded it away).
+        def run(latency):
+            return Engine().run(
+                RunSpec(
+                    num_iterations=4,
+                    total_samples=1024,
+                    network={"kind": "simple", "params": {"latency_seconds": latency}},
+                    seed=0,
+                )
+            )
+
+        warm_a, warm_b = run(0.005), run(0.00504)
+        Engine.clear_timing_kernel_cache()
+        cold_b = run(0.00504)
+        np.testing.assert_array_equal(
+            warm_b.trace.durations, cold_b.trace.durations
+        )
+        assert not np.array_equal(warm_a.trace.durations, warm_b.trace.durations)
+
+    def test_v2_training_mode_runs_and_differs_from_v1(self):
+        base = RunSpec(
+            scheme="cyclic",
+            mode="training",
+            cluster="Cluster-A",
+            num_iterations=3,
+            total_samples=256,
+            seed=2,
+        )
+        v1 = Engine().run(base)
+        v2 = Engine().run(base.replace(rng_version=2))
+        assert v2.trace.num_iterations == 3
+        assert np.isfinite(v2.final_loss)
+        assert not np.array_equal(v1.trace.durations, v2.trace.durations)
+
+
 class TestTrainingEquivalence:
     @pytest.mark.parametrize("scheme", ["naive", "heter_aware", "ssp"])
     def test_matches_run_scheme(self, scheme):

@@ -63,7 +63,30 @@ class TestParallelSweep:
             assert engine._resolve_parallel(value, 4) == 1
 
     def test_worker_count_capped_by_spec_count(self, engine):
+        # parallel=N with N > len(specs) must not spawn idle pool workers.
         assert engine._resolve_parallel(16, 3) == 3
+        assert engine._resolve_parallel(64, 2) == 2
+        # parallel=True resolves to cpu_count, still capped by the spec count.
+        assert 1 <= engine._resolve_parallel(True, 2) <= 2
+
+    def test_overprovisioned_parallel_still_bit_identical(self, engine, base_spec):
+        specs = [base_spec, base_spec.replace(seed=4)]
+        reference = engine.run_many(specs)
+        assert results_json(
+            engine.run_many(specs, parallel=64)
+        ) == results_json(reference)
+
+    def test_sweep_and_compare_resolve_parallel_identically(self, engine, base_spec):
+        # The documented contract: compare and sweep route their `parallel`
+        # argument through run_many's resolution rule, nothing else.
+        for value in (None, False, 0, 1, True, 2, 5):
+            sweep = engine.sweep(
+                base_spec, parallel=value, scheme=["naive", "cyclic"]
+            )
+            compare = engine.compare(
+                base_spec, ["naive", "cyclic"], parallel=value
+            )
+            assert results_json(sweep) == results_json(list(compare.values()))
 
     def test_negative_parallel_rejected(self, engine, base_spec):
         with pytest.raises(EngineError, match="non-negative"):

@@ -32,11 +32,36 @@ class TestValidation:
             {"scheme": ""},
             {"cluster": ""},
             {"mode": ""},
+            {"rng_version": 0},
+            {"rng_version": 3},
+            {"rng_version": -1},
         ],
     )
     def test_rejects_invalid_fields(self, kwargs):
         with pytest.raises(SpecError):
             RunSpec(**kwargs)
+
+    def test_rng_version_defaults_to_v1(self):
+        assert RunSpec().rng_version == 1
+
+    def test_rng_version_accepts_both_layouts(self):
+        assert RunSpec(rng_version=1).rng_version == 1
+        assert RunSpec(rng_version=2).rng_version == 2
+
+    def test_rng_version_error_names_supported_versions(self):
+        with pytest.raises(SpecError, match=r"supported versions: \[1, 2\]"):
+            RunSpec(rng_version=7)
+
+    def test_rng_version_round_trips_through_json(self):
+        spec = RunSpec(rng_version=2)
+        assert RunSpec.from_json(spec.to_json()) == spec
+        assert spec.to_dict()["rng_version"] == 2
+
+    def test_pre_rng_version_payloads_still_load(self):
+        # Spec JSON written before the field existed defaults to v1.
+        data = RunSpec().to_dict()
+        del data["rng_version"]
+        assert RunSpec.from_dict(data).rng_version == 1
 
     def test_straggler_mapping_requires_kind(self):
         with pytest.raises(SpecError, match="kind"):

@@ -1,0 +1,88 @@
+"""Unit tests for the per-component RNG streams (``rng_version=2``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.rng import (
+    RNG_COMPONENTS,
+    RNG_VERSIONS,
+    RngStreams,
+    component_seed_sequences,
+)
+
+
+class TestComponentSeedSequences:
+    def test_one_sequence_per_component(self):
+        sequences = component_seed_sequences(0)
+        assert set(sequences) == set(RNG_COMPONENTS)
+
+    def test_deterministic_in_seed(self):
+        a = component_seed_sequences(7)
+        b = component_seed_sequences(7)
+        for name in RNG_COMPONENTS:
+            assert a[name].generate_state(4).tolist() == b[name].generate_state(4).tolist()
+
+    def test_different_seeds_differ(self):
+        a = component_seed_sequences(0)["injector"].generate_state(4)
+        b = component_seed_sequences(1)["injector"].generate_state(4)
+        assert a.tolist() != b.tolist()
+
+    def test_components_are_independent_streams(self):
+        sequences = component_seed_sequences(0)
+        states = {
+            name: tuple(seq.generate_state(4).tolist())
+            for name, seq in sequences.items()
+        }
+        assert len(set(states.values())) == len(RNG_COMPONENTS)
+
+    def test_spawn_order_is_stable(self):
+        # The component order is a reproducibility contract: child i of
+        # SeedSequence(seed) always feeds component RNG_COMPONENTS[i].
+        children = np.random.SeedSequence(3).spawn(len(RNG_COMPONENTS))
+        sequences = component_seed_sequences(3)
+        for child, name in zip(children, RNG_COMPONENTS):
+            assert (
+                child.generate_state(2).tolist()
+                == sequences[name].generate_state(2).tolist()
+            )
+
+
+class TestRngStreams:
+    def test_from_seed_deterministic(self):
+        a = RngStreams.from_seed(5)
+        b = RngStreams.from_seed(5)
+        for name in RNG_COMPONENTS:
+            assert np.array_equal(
+                getattr(a, name).random(8), getattr(b, name).random(8)
+            )
+
+    def test_streams_differ_from_each_other(self):
+        streams = RngStreams.from_seed(0)
+        draws = [tuple(getattr(streams, name).random(8)) for name in RNG_COMPONENTS]
+        assert len(set(draws)) == len(RNG_COMPONENTS)
+
+    def test_training_seed_deterministic_and_bounded(self):
+        one = RngStreams.from_seed(11).training_seed()
+        two = RngStreams.from_seed(11).training_seed()
+        assert one == two
+        assert 0 <= one < 2**63 - 1
+
+    def test_none_seed_is_fresh_entropy(self):
+        a = RngStreams.from_seed(None)
+        b = RngStreams.from_seed(None)
+        assert not np.array_equal(a.injector.random(8), b.injector.random(8))
+
+    def test_versions_tuple(self):
+        assert RNG_VERSIONS == (1, 2)
+        assert "injector" in RNG_COMPONENTS and "jitter" in RNG_COMPONENTS
+
+
+@pytest.mark.parametrize("seed", [0, 1, 123456789])
+def test_streams_match_their_seed_sequences(seed):
+    sequences = component_seed_sequences(seed)
+    streams = RngStreams.from_seed(seed)
+    for name in RNG_COMPONENTS:
+        expected = np.random.default_rng(sequences[name]).random(4)
+        assert np.array_equal(getattr(streams, name).random(4), expected)

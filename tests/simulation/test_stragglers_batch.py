@@ -1,0 +1,144 @@
+"""Tests for the whole-trace ``delays_batch`` injector API."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.stragglers import (
+    ArtificialDelay,
+    BurstyStragglers,
+    CompositeInjector,
+    FailStop,
+    NoStragglers,
+    StragglerInjector,
+    TransientSlowdown,
+)
+
+
+class LoopOnlyInjector(StragglerInjector):
+    """Third-party-style injector implementing only the per-iteration API."""
+
+    def delays(self, iteration, num_workers, rng):
+        return np.full(num_workers, float(iteration)) + rng.random(num_workers)
+
+
+class TestGenericFallback:
+    def test_fallback_matches_per_iteration_loop_bitwise(self):
+        injector = LoopOnlyInjector()
+        batch = injector.delays_batch(3, 5, 4, np.random.default_rng(0))
+        rng = np.random.default_rng(0)
+        loop = np.stack([injector.delays(3 + i, 4, rng) for i in range(5)])
+        assert np.array_equal(batch, loop)
+
+    def test_fallback_checks_row_shape(self):
+        class Broken(StragglerInjector):
+            def delays(self, iteration, num_workers, rng):
+                return np.zeros(num_workers + 1)
+
+        with pytest.raises(ValueError, match="returned shape"):
+            Broken().delays_batch(0, 2, 4, np.random.default_rng(0))
+
+    def test_stateful_bursty_uses_fallback_consistently(self):
+        batch = BurstyStragglers(0.5, 0.2, 1.0)
+        loop = BurstyStragglers(0.5, 0.2, 1.0)
+        batched = batch.delays_batch(0, 20, 6, np.random.default_rng(1))
+        rng = np.random.default_rng(1)
+        looped = np.stack([loop.delays(i, 6, rng) for i in range(20)])
+        assert np.array_equal(batched, looped)
+
+
+class TestNoStragglersBatch:
+    def test_zeros(self):
+        batch = NoStragglers().delays_batch(0, 7, 3, np.random.default_rng(0))
+        assert batch.shape == (7, 3)
+        assert np.all(batch == 0.0)
+
+
+class TestArtificialDelayBatch:
+    def test_shape_and_count_per_row(self):
+        injector = ArtificialDelay(2, 1.5)
+        batch = injector.delays_batch(0, 50, 6, np.random.default_rng(0))
+        assert batch.shape == (50, 6)
+        assert np.all((batch == 0.0) | (batch == 1.5))
+        assert np.all((batch > 0).sum(axis=1) == 2)
+
+    def test_single_straggler_rows(self):
+        injector = ArtificialDelay(1, np.inf)
+        batch = injector.delays_batch(0, 40, 5, np.random.default_rng(0))
+        assert np.all(np.isinf(batch).sum(axis=1) == 1)
+
+    def test_fixed_workers(self):
+        injector = ArtificialDelay(2, 3.0, workers=(1, 3))
+        batch = injector.delays_batch(0, 4, 5, np.random.default_rng(0))
+        expected = np.zeros((4, 5))
+        expected[:, [1, 3]] = 3.0
+        assert np.array_equal(batch, expected)
+
+    def test_all_workers_eventually_chosen(self):
+        injector = ArtificialDelay(2, 1.0)
+        batch = injector.delays_batch(0, 400, 6, np.random.default_rng(0))
+        assert np.all((batch > 0).any(axis=0))
+
+    def test_subset_choice_is_uniform_ish(self):
+        # Every worker should be hit roughly n * s / m times.
+        n, m, s = 6000, 6, 2
+        batch = ArtificialDelay(s, 1.0).delays_batch(
+            0, n, m, np.random.default_rng(0)
+        )
+        counts = (batch > 0).sum(axis=0)
+        expected = n * s / m
+        assert np.all(np.abs(counts - expected) < 0.1 * expected)
+
+    def test_zero_stragglers_and_zero_delay(self):
+        rng = np.random.default_rng(0)
+        assert np.all(ArtificialDelay(0, 5.0).delays_batch(0, 3, 4, rng) == 0)
+        assert np.all(ArtificialDelay(2, 0.0).delays_batch(0, 3, 4, rng) == 0)
+
+    def test_too_many_stragglers_raises_clear_error(self):
+        injector = ArtificialDelay(9, 1.0)
+        with pytest.raises(ValueError, match="cluster of 4"):
+            injector.delays_batch(0, 2, 4, np.random.default_rng(0))
+
+
+class TestTransientSlowdownBatch:
+    def test_shape_and_distribution(self):
+        injector = TransientSlowdown(0.3, 2.0)
+        batch = injector.delays_batch(0, 4000, 5, np.random.default_rng(0))
+        assert batch.shape == (4000, 5)
+        hit_rate = (batch > 0).mean()
+        assert abs(hit_rate - 0.3) < 0.02
+        assert abs(batch[batch > 0].mean() - 2.0) < 0.15
+
+    def test_deterministic_in_rng(self):
+        injector = TransientSlowdown(0.3, 2.0)
+        a = injector.delays_batch(0, 10, 5, np.random.default_rng(3))
+        b = injector.delays_batch(0, 10, 5, np.random.default_rng(3))
+        assert np.array_equal(a, b)
+
+
+class TestFailStopBatch:
+    def test_matches_per_iteration_exactly(self):
+        injector = FailStop({0: 2, 3: 0})
+        batch = injector.delays_batch(0, 5, 4, np.random.default_rng(0))
+        rng = np.random.default_rng(0)
+        loop = np.stack([injector.delays(i, 4, rng) for i in range(5)])
+        assert np.array_equal(batch, loop)
+
+    def test_start_iteration_offset(self):
+        injector = FailStop({1: 10})
+        batch = injector.delays_batch(8, 4, 3, np.random.default_rng(0))
+        assert not np.isinf(batch[0]).any()  # iteration 8
+        assert not np.isinf(batch[1]).any()  # iteration 9
+        assert np.isinf(batch[2, 1]) and np.isinf(batch[3, 1])  # 10, 11
+
+
+class TestCompositeBatch:
+    def test_sums_children(self):
+        injector = CompositeInjector(
+            [ArtificialDelay(1, 2.0, workers=(0,)), FailStop({2: 0})]
+        )
+        batch = injector.delays_batch(0, 3, 4, np.random.default_rng(0))
+        assert np.all(batch[:, 0] == 2.0)
+        assert np.all(np.isinf(batch[:, 2]))
+        assert np.all(batch[:, [1, 3]] == 0.0)

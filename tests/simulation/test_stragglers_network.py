@@ -58,10 +58,15 @@ class TestArtificialDelay:
         injector = ArtificialDelay(num_stragglers=0, delay_seconds=5.0)
         assert np.allclose(injector.delays(0, 4, rng), 0.0)
 
-    def test_more_stragglers_than_workers_clamped(self, rng):
+    def test_more_stragglers_than_workers_rejected(self, rng):
+        # Silently clamping used to hide misconfigured sweeps; the injector
+        # now refuses with a clear error (StragglerError is a ValueError)
+        # instead of numpy's opaque choice() failure.
         injector = ArtificialDelay(num_stragglers=10, delay_seconds=1.0)
-        delays = injector.delays(0, 3, rng)
-        assert np.sum(delays > 0) == 3
+        with pytest.raises(ValueError, match="num_stragglers must not exceed"):
+            injector.delays(0, 3, rng)
+        with pytest.raises(ValueError, match="num_stragglers must not exceed"):
+            injector.delays_batch(0, 4, 3, rng)
 
     def test_describe_mentions_fault(self):
         assert "fault" in ArtificialDelay(1, np.inf).describe()

@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
-from repro.simulation.trace import IterationRecord, RunTrace, TraceError
+from repro.simulation.trace import (
+    IterationRecord,
+    RunTrace,
+    TraceError,
+    UnknownTraceFieldWarning,
+)
 
 
 def make_record(iteration: int, duration: float = 1.0, loss: float = 0.5):
@@ -77,3 +84,54 @@ class TestRunTrace:
         trace.append(make_record(0, duration=float("inf")))
         summary = trace.summary()
         assert summary["completed"] is False
+
+
+class TestRoundTrip:
+    def make_trace(self) -> RunTrace:
+        trace = RunTrace(
+            scheme="heter_aware",
+            cluster_name="Cluster-A",
+            metadata={
+                "mode": "timing_only",
+                "num_workers": 2,
+                "effective_total_samples": 2040,
+                "total_samples": 2048,
+                "custom_downstream_key": {"nested": [1, 2, 3]},
+            },
+        )
+        trace.extend([make_record(0), make_record(1, duration=2.0)])
+        return trace
+
+    def test_every_metadata_key_survives(self):
+        trace = self.make_trace()
+        rebuilt = RunTrace.from_dict(trace.to_dict())
+        assert rebuilt.metadata == trace.metadata
+        # The SampleCountDriftWarning diagnostics specifically must survive.
+        assert rebuilt.metadata["effective_total_samples"] == 2040
+        assert rebuilt.metadata["num_workers"] == 2
+
+    def test_records_survive(self):
+        trace = self.make_trace()
+        rebuilt = RunTrace.from_dict(trace.to_dict())
+        assert rebuilt.num_iterations == trace.num_iterations
+        assert rebuilt.records[1].duration == 2.0
+        assert rebuilt.records[0].workers_used == (0, 1)
+
+    def test_unknown_top_level_key_warns(self):
+        data = self.make_trace().to_dict()
+        data["telemetry"] = {"new": True}
+        with pytest.warns(UnknownTraceFieldWarning, match="telemetry"):
+            rebuilt = RunTrace.from_dict(data)
+        assert rebuilt.metadata == self.make_trace().metadata
+
+    def test_unknown_record_key_warns(self):
+        data = self.make_trace().to_dict()
+        data["records"][0]["queue_depth"] = 4
+        with pytest.warns(UnknownTraceFieldWarning, match="queue_depth"):
+            RunTrace.from_dict(data)
+
+    def test_known_payload_round_trips_silently(self):
+        data = self.make_trace().to_dict()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", UnknownTraceFieldWarning)
+            RunTrace.from_dict(data)

@@ -99,3 +99,78 @@ class TestBenchCLI:
         assert "encode_kernel" in captured
         assert output.exists()
         json.loads(output.read_text())
+
+
+class TestCompareBench:
+    def payloads(self):
+        from copy import deepcopy
+
+        baseline = tiny_payload()
+        current = deepcopy(baseline)
+        current["label"] = "test2"
+        return baseline, current
+
+    def test_identical_payloads_have_no_regressions(self):
+        from repro.bench import compare_bench
+
+        baseline, current = self.payloads()
+        text, regressions = compare_bench(baseline, current)
+        assert regressions == []
+        assert "no regressions" in text
+
+    def test_regression_detected_beyond_threshold(self):
+        from repro.bench import compare_bench
+
+        baseline, current = self.payloads()
+        bench = current["benches"][0]
+        bench["speedup"] = bench["speedup"] * 0.5  # 50% drop
+        text, regressions = compare_bench(baseline, current, threshold=0.10)
+        assert regressions == [bench["name"]]
+        assert "REGRESSED" in text
+
+    def test_small_drop_within_threshold_ok(self):
+        from repro.bench import compare_bench
+
+        baseline, current = self.payloads()
+        bench = current["benches"][0]
+        bench["speedup"] = bench["speedup"] * 0.95  # 5% drop
+        _, regressions = compare_bench(baseline, current, threshold=0.10)
+        assert regressions == []
+
+    def test_missing_benchmark_counts_as_regression(self):
+        from repro.bench import compare_bench
+
+        baseline, current = self.payloads()
+        removed = current["benches"].pop(0)
+        text, regressions = compare_bench(baseline, current)
+        assert removed["name"] in regressions
+        assert "MISSING" in text
+
+    def test_new_benchmark_is_reported_not_flagged(self):
+        from repro.bench import compare_bench
+
+        baseline, current = self.payloads()
+        extra = dict(current["benches"][0])
+        extra["name"] = "brand_new_bench"
+        current["benches"].append(extra)
+        text, regressions = compare_bench(baseline, current)
+        assert regressions == []
+        assert "brand_new_bench" in text
+
+    def test_cli_compare_exit_codes(self, tmp_path):
+        from repro.cli import main
+
+        baseline, current = self.payloads()
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        a.write_text(json.dumps(baseline))
+        b.write_text(json.dumps(current))
+        assert main(["bench", "--compare", str(a), str(b)]) == 0
+
+        current["benches"][0]["speedup"] *= 0.4
+        b.write_text(json.dumps(current))
+        assert main(["bench", "--compare", str(a), str(b)]) == 1
+        # A lenient threshold accepts the same drop.
+        assert main([
+            "bench", "--compare", str(a), str(b), "--compare-threshold", "0.9",
+        ]) == 0
