@@ -44,6 +44,7 @@ __all__ = [
     "simulate_worker_timings_reference",
     "simulate_iteration_reference",
     "measure_timing_trace_reference",
+    "trace_from_arrays_records_reference",
 ]
 
 
@@ -243,4 +244,49 @@ def measure_timing_trace_reference(
                 used_group=timing.used_group,
             )
         )
+    return trace
+
+
+def trace_from_arrays_records_reference(
+    scheme: str,
+    cluster_name: str,
+    arrays,
+    metadata: dict | None = None,
+) -> RunTrace:
+    """The PR 3 trace assembly: one materialized record per iteration.
+
+    Before the columnar :meth:`~repro.simulation.trace.RunTrace.from_arrays`
+    path, ``measure_timing_trace`` converted the batched kernel's arrays
+    back into per-iteration :class:`IterationRecord` objects (``tolist`` +
+    tuple-of-floats per row).  Kept verbatim as the benchmark baseline for
+    ``timing_trace_columnar`` and as the serialization-equality anchor: a
+    trace built this way must produce byte-identical ``to_dict`` JSON to
+    the columnar trace over the same arrays.
+    """
+    trace = RunTrace(scheme=scheme, cluster_name=cluster_name, metadata=metadata)
+    nan = float("nan")
+    trace.extend(
+        [
+            IterationRecord.unchecked(
+                iteration=iteration,
+                duration=duration,
+                train_loss=nan,
+                compute_times=tuple(compute_row),
+                completion_times=tuple(completion_row),
+                workers_used=workers,
+                used_group=group,
+            )
+            for iteration, (duration, compute_row, completion_row, workers, group) in (
+                enumerate(
+                    zip(
+                        arrays.durations.tolist(),
+                        arrays.compute_times.tolist(),
+                        arrays.completion_times.tolist(),
+                        arrays.workers_used,
+                        arrays.used_groups,
+                    )
+                )
+            )
+        ]
+    )
     return trace

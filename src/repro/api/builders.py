@@ -28,6 +28,7 @@ from .._registry import (
 )
 from ..simulation.network import (
     CommunicationModel,
+    LogNormalNetwork,
     OverlappedNetwork,
     SimpleNetwork,
     ZeroCommunication,
@@ -108,6 +109,24 @@ NETWORK_MODELS.add(
         bandwidth_bytes_per_second=bandwidth_bytes_per_second,
     ),
 )
+
+
+@register_network_model("lognormal")
+def _build_lognormal(
+    latency_seconds: float = 0.005,
+    bandwidth_bytes_per_second: float = 1.25e8,
+    latency_sigma: float = 0.25,
+    bandwidth_sigma: float = 0.1,
+) -> CommunicationModel:
+    # Stochastic: samples per-message latency/bandwidth from the dedicated
+    # rng_version=2 "network" child stream (and therefore requires
+    # rng_version=2 on the spec).
+    return LogNormalNetwork(
+        latency_seconds=latency_seconds,
+        bandwidth_bytes_per_second=bandwidth_bytes_per_second,
+        latency_sigma=latency_sigma,
+        bandwidth_sigma=bandwidth_sigma,
+    )
 
 
 @register_network_model("overlapped")

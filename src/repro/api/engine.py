@@ -41,7 +41,7 @@ from ..protocols.runner import run_scheme
 from ..simulation.cluster import ClusterSpec
 from ..simulation.rng import RngStreams
 from ..simulation.trace import RunTrace
-from ..simulation.vectorized import TimingKernelCache
+from ..simulation.vectorized import TimingKernelCache, default_timing_kernel_cache
 from .builders import build_injector, build_network
 from .result import RunResult
 from .spec import RunSpec, SpecError
@@ -64,17 +64,14 @@ def _build_cluster_for(spec: RunSpec) -> ClusterSpec:
 # builtin backends
 # ---------------------------------------------------------------------------
 
-#: Process-wide cache of timing kernels, keyed on (strategy fingerprint,
-#: cluster fingerprint, workload, network).  Decode-order decisions are pure
-#: functions of the completion order, so sharing kernels across runs — e.g.
-#: every delay value of a fig2-style sweep — changes wall-clock time only,
-#: never results.
-_TIMING_KERNEL_CACHE = TimingKernelCache(maxsize=64)
-
-
 @register_backend("timing", description="timing-only simulation (Figs. 2/3/5)")
 def _run_timing(spec: RunSpec) -> RunTrace:
     total_samples = spec.resolved_total_samples()
+    # measure_timing_trace's default routes through the process-wide kernel
+    # cache (repro.simulation.vectorized.default_timing_kernel_cache), so
+    # engine-driven and bare calls share one kernel pool.  Decode-order
+    # decisions are pure functions of the completion order; sharing changes
+    # wall-clock time only, never results.
     return measure_timing_trace(
         spec.scheme,
         _build_cluster_for(spec),
@@ -88,7 +85,6 @@ def _run_timing(spec: RunSpec) -> RunTrace:
         gradient_bytes=spec.gradient_bytes,
         seed=spec.seed,
         rng_version=spec.rng_version,
-        kernel_cache=_TIMING_KERNEL_CACHE,
     )
 
 
@@ -107,12 +103,19 @@ def _run_training(spec: RunSpec) -> RunTrace:
     preset = get_workload(spec.workload)
     dataset = _cached_dataset(spec.workload, spec.total_samples, spec.seed or 0)
     learning_rate = spec.learning_rate
-    # v2 derives the protocol-internal seed from the dedicated "training"
-    # child stream, so training randomness shares no lineage with the
-    # timing components; v1 keeps the historical direct-seed behaviour.
+    # v2 threads the per-component RngStreams through the config: the coded
+    # BSP protocols consume the injector/jitter/network streams via the
+    # batched timing kernel and the training stream for construction and
+    # loss-evaluation sampling.  The derived integer seed covers the places
+    # that still need one (partition shuffling, the SSP event simulation),
+    # keeping their randomness on the training lineage, independent of the
+    # timing components.  v1 keeps the historical direct-seed behaviour.
     config_seed = spec.seed
-    if spec.rng_version == 2 and spec.seed is not None:
-        config_seed = RngStreams.from_seed(spec.seed).training_seed()
+    streams = None
+    if spec.rng_version == 2:
+        streams = RngStreams.from_seed(spec.seed)
+        if spec.seed is not None:
+            config_seed = streams.training_seed()
     config = TrainingConfig(
         num_iterations=spec.num_iterations,
         num_stragglers=spec.num_stragglers,
@@ -124,6 +127,7 @@ def _run_training(spec: RunSpec) -> RunTrace:
         seed=config_seed,
         record_loss_every=spec.record_loss_every,
         loss_eval_samples=spec.loss_eval_samples,
+        rng_streams=streams,
     )
     return run_scheme(
         spec.scheme,
@@ -172,12 +176,12 @@ class Engine:
     @staticmethod
     def timing_kernel_cache() -> TimingKernelCache:
         """The process-wide timing-kernel cache (hit/miss counters included)."""
-        return _TIMING_KERNEL_CACHE
+        return default_timing_kernel_cache()
 
     @staticmethod
     def clear_timing_kernel_cache() -> None:
         """Drop every cached timing kernel (results never depend on this)."""
-        _TIMING_KERNEL_CACHE.clear()
+        default_timing_kernel_cache().clear()
 
     # -- validation ----------------------------------------------------
     def _backend(self, mode: str):

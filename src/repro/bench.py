@@ -3,19 +3,22 @@
 ``repro bench`` times the vectorized hot paths against the pre-PR reference
 implementations kept in :mod:`repro._reference` and writes a machine-readable
 ``BENCH_<label>.json`` so the performance trajectory of the repo is tracked
-from PR 2 onward.  The headline number is the end-to-end timing-trace
-benchmark: a Fig. 2-style sweep (every scheme at every straggler delay,
-Cluster-A) measured against the per-worker/per-prefix implementation.
+from PR 2 onward.  The headline number is ``timing_trace_columnar``: the
+full end-to-end ``measure_timing_trace`` Fig. 2-style sweep (every scheme at
+every straggler delay, Cluster-A, ``rng_version=2``) measured against the
+PR 3 end-to-end path that built a fresh kernel per call and materialized one
+``IterationRecord`` per iteration; ``training_fig4_batched`` tracks the
+batched fig4 training path the same way.
 
 Every comparison also *verifies* agreement between the two implementations
-(identical durations for the simulation benches), so the bench doubles as an
-end-to-end exactness smoke test.
+(identical durations / byte-identical serialization / matching learning
+outcomes), so the bench doubles as an end-to-end exactness smoke test.
 
 Usage::
 
     python -m repro bench --smoke            # quick CI-sized run
-    python -m repro bench --output BENCH_PR3.json
-    python -m repro bench --compare BENCH_PR3.json BENCH_new.json
+    python -m repro bench --output BENCH_PR4.json
+    python -m repro bench --compare BENCH_PR4.json BENCH_new.json
 """
 
 from __future__ import annotations
@@ -32,6 +35,7 @@ from ._reference import (
     earliest_decodable_prefix_reference,
     measure_timing_trace_reference,
     simulate_worker_timings_reference,
+    trace_from_arrays_records_reference,
 )
 from .coding.decoding import Decoder
 from .coding.registry import build_strategy, natural_partitions
@@ -48,7 +52,7 @@ from .learning.partition import partition_dataset
 from .simulation.rng import RngStreams
 from .simulation.stragglers import ArtificialDelay
 from .simulation.timing import simulate_worker_timing_arrays, worker_workloads
-from .simulation.vectorized import TimingTraceKernel
+from .simulation.vectorized import TimingKernelCache, TimingTraceKernel
 
 __all__ = [
     "run_bench",
@@ -58,9 +62,10 @@ __all__ = [
     "HEADLINE_BENCH",
 ]
 
-#: Name of the acceptance-criterion benchmark (PR 3: the batched
-#: ``rng_version=2`` kernel against the PR 2 per-iteration kernel).
-HEADLINE_BENCH = "timing_trace_rng_v2"
+#: Name of the acceptance-criterion benchmark (PR 4: the end-to-end
+#: columnar ``measure_timing_trace`` against the PR 3 end-to-end path that
+#: materialized one ``IterationRecord`` per iteration).
+HEADLINE_BENCH = "timing_trace_columnar"
 
 #: Schemes and delays of the Fig. 2 sweep used by the end-to-end benchmark.
 _FIG2_SCHEMES = ("naive", "cyclic", "heter_aware", "group_based")
@@ -228,7 +233,7 @@ def _bench_rng_v2_kernel(num_iterations: int, repeats: int, seed: int) -> dict:
     baseline = _best_of(lambda: _timed(sweep_v1), repeats)
     current = _best_of(lambda: _timed(sweep_v2), repeats)
     return _bench_entry(
-        HEADLINE_BENCH,
+        "timing_trace_rng_v2",
         "Fig. 2-style kernel sweep on Cluster-A "
         f"({len(_FIG2_SCHEMES)} schemes x {len(_FIG2_DELAYS)} delays x "
         f"{num_iterations} iterations): per-iteration rng_version=1 kernel "
@@ -240,6 +245,172 @@ def _bench_rng_v2_kernel(num_iterations: int, repeats: int, seed: int) -> dict:
             "num_iterations": num_iterations,
             "schemes": list(_FIG2_SCHEMES),
             "delays": [repr(d) for d in _FIG2_DELAYS],
+        },
+    )
+
+
+def _bench_timing_trace_columnar(num_iterations: int, repeats: int, seed: int) -> dict:
+    """Headline: end-to-end ``measure_timing_trace`` (v2), columnar vs records.
+
+    Both sides run the identical fig2-style sweep through the batched
+    ``rng_version=2`` simulation; they differ in exactly what PR 4 changed
+    about the end-to-end path.  The baseline reproduces PR 3's
+    ``measure_timing_trace``: a **fresh kernel and decoder per call** (the
+    default never touched the kernel cache — the bug this PR fixes) and one
+    materialized ``IterationRecord`` per iteration
+    (:func:`repro._reference.trace_from_arrays_records_reference`).  The
+    current side is today's default: the process-wide kernel cache plus the
+    columnar :meth:`RunTrace.from_arrays` hand-off.
+    """
+    cluster = build_cluster("Cluster-A", rng=seed)
+
+    def sweep_current(cache: TimingKernelCache) -> None:
+        for scheme in _FIG2_SCHEMES:
+            for delay in _FIG2_DELAYS:
+                measure_timing_trace(
+                    scheme, cluster, num_stragglers=1, total_samples=2048,
+                    num_iterations=num_iterations,
+                    injector=ArtificialDelay(1, delay), seed=seed,
+                    rng_version=2, kernel_cache=cache,
+                )
+
+    def sweep_records() -> None:
+        for scheme in _FIG2_SCHEMES:
+            for delay in _FIG2_DELAYS:
+                k = natural_partitions(scheme, cluster.num_workers, 2)
+                strategy = build_strategy(
+                    scheme,
+                    throughputs=cluster.estimated_throughputs,
+                    num_partitions=k,
+                    num_stragglers=1,
+                    rng=np.random.default_rng(seed),
+                )
+                kernel = TimingTraceKernel(
+                    strategy, cluster,
+                    samples_per_partition=max(1, 2048 // k),
+                    decoder=Decoder(strategy),
+                    gradient_bytes=8.0 * 65536,
+                )
+                streams = RngStreams.from_seed(seed)
+                arrays = kernel.run_batched(
+                    num_iterations,
+                    injector_rng=streams.injector,
+                    jitter_rng=streams.jitter,
+                    injector=ArtificialDelay(1, delay),
+                    network_rng=streams.network,
+                )
+                trace_from_arrays_records_reference(
+                    scheme, cluster.name, arrays, metadata={"mode": "timing_only"}
+                )
+
+    # Correctness gate: the columnar trace must serialize byte-identically
+    # to a record-materialized trace over the same kernel arrays.
+    gate_cache = TimingKernelCache()
+    for scheme in _FIG2_SCHEMES:
+        current = measure_timing_trace(
+            scheme, cluster, num_stragglers=1, total_samples=2048,
+            num_iterations=min(num_iterations, 100),
+            injector=ArtificialDelay(1, 1.0), seed=seed,
+            rng_version=2, kernel_cache=gate_cache,
+        )
+        reference = trace_from_arrays_records_reference(
+            scheme, cluster.name,
+            current.columns(),  # identical data, record-materialized
+            metadata=dict(current.metadata),
+        )
+        if json.dumps(current.to_dict()) != json.dumps(reference.to_dict()):
+            raise AssertionError(
+                f"columnar trace serialization diverged from records on {scheme!r}"
+            )
+
+    cache_columnar = TimingKernelCache()
+    sweep_records()  # warm numpy/jit-ish costs; the baseline has no cache
+    sweep_current(cache_columnar)
+    baseline = _best_of(lambda: _timed(sweep_records), repeats)
+    current_time = _best_of(
+        lambda: _timed(lambda: sweep_current(cache_columnar)), repeats
+    )
+    return _bench_entry(
+        HEADLINE_BENCH,
+        "end-to-end measure_timing_trace, Fig. 2-style rng_version=2 sweep "
+        f"on Cluster-A ({len(_FIG2_SCHEMES)} schemes x {len(_FIG2_DELAYS)} "
+        f"delays x {num_iterations} iterations): per-iteration "
+        "IterationRecord materialization vs columnar RunTrace.from_arrays",
+        baseline,
+        current_time,
+        meta={
+            "cluster": "Cluster-A",
+            "num_iterations": num_iterations,
+            "schemes": list(_FIG2_SCHEMES),
+            "delays": [repr(d) for d in _FIG2_DELAYS],
+        },
+    )
+
+
+def _bench_training_fig4(num_iterations: int, repeats: int, seed: int) -> dict:
+    """Headline: fig4-style training, per-iteration v1 vs batched v2 path.
+
+    Runs the four coded/uncoded BSP schemes through the engine's training
+    backend on Cluster-A.  The baseline is the PR 3 fig4 path
+    (``rng_version=1``: per-iteration ``simulate_iteration``, dict-based
+    encode, subsampled loss evaluation); the current side is the
+    ``rng_version=2`` batched path (whole-trace timing kernel, stacked
+    partition gradients, fused ``(a B) @ G`` decode, in-place updates,
+    exact full-batch losses, columnar trace).  Same-distribution, different
+    stream layout — the gate checks the learning outcome agrees.
+    """
+    from .api import Engine, RunSpec, StragglerSpec
+
+    engine = Engine()
+    schemes = ("naive", "cyclic", "heter_aware", "group_based")
+    base = RunSpec(
+        mode="training",
+        cluster="Cluster-A",
+        num_iterations=num_iterations,
+        total_samples=1024,
+        seed=seed,
+        straggler=StragglerSpec(
+            "transient", {"probability": 0.05, "mean_delay_seconds": 0.5}
+        ),
+        loss_eval_samples=256,
+    )
+
+    def sweep(rng_version: int) -> list:
+        return [
+            engine.run(base.replace(scheme=scheme, rng_version=rng_version))
+            for scheme in schemes
+        ]
+
+    # Statistical gate: the decoded gradient equals the full-batch gradient
+    # on both paths, so at matched seeds the learning outcome (final loss)
+    # must agree closely; only the simulated time axis may differ.
+    v1_results, v2_results = sweep(1), sweep(2)
+    for v1_run, v2_run in zip(v1_results, v2_results):
+        loss1, loss2 = v1_run.final_loss, v2_run.final_loss
+        if not (
+            np.isfinite(loss1)
+            and np.isfinite(loss2)
+            and abs(loss1 - loss2) <= 0.05 * max(abs(loss1), abs(loss2))
+        ):
+            raise AssertionError(
+                "batched fig4 path diverged from the per-iteration path on "
+                f"{v1_run.scheme!r}: final loss {loss1} vs {loss2}"
+            )
+
+    baseline = _best_of(lambda: _timed(lambda: sweep(1)), repeats)
+    current = _best_of(lambda: _timed(lambda: sweep(2)), repeats)
+    return _bench_entry(
+        "training_fig4_batched",
+        f"fig4-style training of {len(schemes)} schemes on Cluster-A "
+        f"({num_iterations} iterations, 1024 samples): per-iteration "
+        "rng_version=1 protocol loop vs batched rng_version=2 path",
+        baseline,
+        current,
+        meta={
+            "cluster": "Cluster-A",
+            "num_iterations": num_iterations,
+            "schemes": list(schemes),
+            "total_samples": 1024,
         },
     )
 
@@ -436,7 +607,7 @@ def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
 def run_bench(
     smoke: bool = False,
     seed: int = 0,
-    label: str = "PR3",
+    label: str = "PR4",
     include_parallel: bool = True,
 ) -> dict:
     """Run every benchmark and return the JSON-ready payload.
@@ -459,6 +630,8 @@ def run_bench(
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", SampleCountDriftWarning)
         benches = [
+            _bench_timing_trace_columnar(iterations, repeats, seed),
+            _bench_training_fig4(10 if smoke else 50, repeats, seed),
             _bench_rng_v2_kernel(iterations, repeats, seed),
             _bench_timing_trace(iterations, repeats, seed),
             _bench_worker_timings(200 if smoke else 2000, repeats, seed),

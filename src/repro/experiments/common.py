@@ -34,8 +34,12 @@ from ..simulation.cluster import ClusterSpec
 from ..simulation.network import CommunicationModel, SimpleNetwork
 from ..simulation.rng import RNG_VERSIONS, RngStreams
 from ..simulation.stragglers import NoStragglers, StragglerInjector
-from ..simulation.trace import IterationRecord, RunTrace
-from ..simulation.vectorized import TimingKernelCache, TimingTraceKernel
+from ..simulation.trace import RunTrace
+from ..simulation.vectorized import (
+    TimingKernelCache,
+    TimingTraceKernel,
+    default_timing_kernel_cache,
+)
 
 __all__ = [
     "measure_timing_trace",
@@ -88,7 +92,7 @@ def measure_timing_trace(
     gradient_bytes: float = 8.0 * 65536,
     seed: int | None = 0,
     rng_version: int = 1,
-    kernel_cache: TimingKernelCache | None = None,
+    kernel_cache: TimingKernelCache | bool | None = None,
 ) -> RunTrace:
     """Simulate ``num_iterations`` of one scheme and return a timing trace.
 
@@ -125,10 +129,19 @@ def measure_timing_trace(
         the whole trace in batched draws — statistically equivalent to v1
         at matched seeds, several times faster, but not bit-identical.
     kernel_cache:
-        Optional :class:`~repro.simulation.vectorized.TimingKernelCache`;
-        when given, sweep-style callers reuse one kernel (and its memoised
-        decode-order decisions) across calls that differ only in the
-        injector or RNG inputs.
+        Where to look up the pre-built :class:`~repro.simulation.vectorized
+        .TimingTraceKernel`.  The default (``None``) routes through the
+        **process-wide** cache
+        (:func:`~repro.simulation.vectorized.default_timing_kernel_cache`),
+        so sweep-style callers — the :class:`~repro.api.engine.Engine`
+        timing backend included — reuse one kernel, its
+        :class:`~repro.coding.decoding.Decoder` and its memoised
+        decode-order decisions across calls that differ only in the
+        injector or RNG inputs.  Pass an explicit
+        :class:`~repro.simulation.vectorized.TimingKernelCache` to isolate
+        caching, or ``False`` to opt out entirely (a fresh kernel per
+        call).  Results never depend on this choice: decode decisions are
+        pure functions of the completion order.
     """
     if num_iterations <= 0:
         raise ValueError("num_iterations must be positive")
@@ -181,21 +194,22 @@ def measure_timing_trace(
         # v1 traces predate the field; leaving it implicit keeps their JSON
         # byte-identical to pre-rng_version releases.
         metadata["rng_version"] = rng_version
-    trace = RunTrace(scheme=scheme, cluster_name=cluster.name, metadata=metadata)
-    if kernel_cache is not None:
-        kernel = kernel_cache.get_or_build(
-            strategy,
-            cluster,
-            samples_per_partition=samples_per_partition,
-            network=network,
-            gradient_bytes=gradient_bytes,
-        )
-    else:
+    if kernel_cache is None or kernel_cache is True:
+        kernel_cache = default_timing_kernel_cache()
+    if kernel_cache is False:
         kernel = TimingTraceKernel(
             strategy,
             cluster,
             samples_per_partition=samples_per_partition,
             decoder=Decoder(strategy),
+            network=network,
+            gradient_bytes=gradient_bytes,
+        )
+    else:
+        kernel = kernel_cache.get_or_build(
+            strategy,
+            cluster,
+            samples_per_partition=samples_per_partition,
             network=network,
             gradient_bytes=gradient_bytes,
         )
@@ -211,30 +225,13 @@ def measure_timing_trace(
             injector_rng=streams.injector,
             jitter_rng=streams.jitter,
             injector=injector,
+            network_rng=streams.network,
         )
-    nan = float("nan")
-    trace.extend(
-        [
-            IterationRecord.unchecked(
-                iteration=iteration,
-                duration=duration,
-                train_loss=nan,
-                compute_times=tuple(compute_row),
-                completion_times=tuple(completion_row),
-                workers_used=workers,
-                used_group=group,
-            )
-            for iteration, (duration, compute_row, completion_row, workers, group) in (
-                enumerate(
-                    zip(
-                        arrays.durations.tolist(),
-                        arrays.compute_times.tolist(),
-                        arrays.completion_times.tolist(),
-                        arrays.workers_used,
-                        arrays.used_groups,
-                    )
-                )
-            )
-        ]
+    # Columnar hand-off: the kernel arrays become the trace's storage as-is;
+    # no per-iteration record object is ever constructed.
+    return RunTrace.from_arrays(
+        scheme=scheme,
+        cluster_name=cluster.name,
+        arrays=arrays,
+        metadata=metadata,
     )
-    return trace

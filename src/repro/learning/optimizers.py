@@ -57,6 +57,36 @@ class Optimizer(ABC):
         self._step_count += 1
         return self._update(parameters, gradient)
 
+    def step_inplace(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
+        """Apply one update *into* ``parameters`` and return it.
+
+        Semantically identical to :meth:`step` but writes the result into
+        the given float64 parameter buffer, so trace-scale training loops
+        avoid one fresh parameter-vector allocation per iteration.  Falls
+        back to :meth:`step` (returning a new array) when ``parameters`` is
+        not a writable float64 ndarray.
+        """
+        if (
+            not isinstance(parameters, np.ndarray)
+            or parameters.dtype != np.float64
+            or not parameters.flags.writeable
+        ):
+            return self.step(parameters, gradient)
+        gradient = np.asarray(gradient, dtype=np.float64)
+        if parameters.shape != gradient.shape:
+            raise OptimizerError(
+                f"parameter shape {parameters.shape} and gradient shape "
+                f"{gradient.shape} must match"
+            )
+        self._step_count += 1
+        self._update_inplace(parameters, gradient)
+        return parameters
+
+    def _update_inplace(self, parameters: np.ndarray, gradient: np.ndarray) -> None:
+        """In-place form of :meth:`_update`; override for allocation-free
+        updates (the generic fallback computes out-of-place and copies)."""
+        np.copyto(parameters, self._update(parameters, gradient))
+
     @abstractmethod
     def _update(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
         """Scheme-specific update; must not mutate its inputs."""
@@ -71,6 +101,10 @@ class SGD(Optimizer):
 
     def _update(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
         return parameters - self.learning_rate * gradient
+
+    def _update_inplace(self, parameters: np.ndarray, gradient: np.ndarray) -> None:
+        # One fused scaled subtraction, zero temporaries beyond numpy's own.
+        parameters -= self.learning_rate * gradient
 
 
 class MomentumSGD(Optimizer):

@@ -61,6 +61,7 @@ class PartitionedDataset:
         # fancy indexing copies the data on every call.
         object.__setattr__(self, "_partition_cache", {})
         object.__setattr__(self, "_stacked_cache", None)
+        object.__setattr__(self, "_evaluation_cache", None)
 
     @property
     def num_partitions(self) -> int:
@@ -117,6 +118,29 @@ class PartitionedDataset:
         labels.flags.writeable = False
         cached = (features, labels)
         object.__setattr__(self, "_stacked_cache", cached)
+        return cached
+
+    def evaluation_data(self) -> tuple[np.ndarray, np.ndarray]:
+        """All used samples as one flat ``(features, labels)`` pair (cached).
+
+        Samples appear in partition order — exactly the concatenation the
+        loss-evaluation path historically rebuilt on every call.  The pair
+        is materialised once and returned read-only; subsampling callers
+        index into it instead of re-gathering from the raw dataset.
+        """
+        cached = self._evaluation_cache
+        if cached is not None:
+            return cached
+        if self.partitions:
+            indices = np.concatenate([p.sample_indices for p in self.partitions])
+        else:
+            indices = np.zeros(0, dtype=np.int64)
+        features = self.dataset.features[indices]
+        labels = self.dataset.labels[indices]
+        features.flags.writeable = False
+        labels.flags.writeable = False
+        cached = (features, labels)
+        object.__setattr__(self, "_evaluation_cache", cached)
         return cached
 
     def iter_partitions(self):

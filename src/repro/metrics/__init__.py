@@ -12,6 +12,7 @@ from .convergence import (
     align_curves,
     area_under_loss_curve,
     loss_at_time,
+    losses_at_times,
     time_to_loss,
 )
 from .report import format_mapping, format_table, to_csv
@@ -26,6 +27,7 @@ __all__ = [
     "speedup",
     "speedup_table",
     "loss_at_time",
+    "losses_at_times",
     "time_to_loss",
     "area_under_loss_curve",
     "align_curves",

@@ -15,6 +15,7 @@ from ..simulation.trace import RunTrace
 
 __all__ = [
     "loss_at_time",
+    "losses_at_times",
     "time_to_loss",
     "area_under_loss_curve",
     "align_curves",
@@ -40,6 +41,21 @@ def loss_at_time(trace: RunTrace, deadline: float) -> float:
         return float(losses[0])
     index = int(np.searchsorted(times, deadline, side="right") - 1)
     return float(losses[index])
+
+
+def losses_at_times(trace: RunTrace, deadlines: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`loss_at_time` over a whole grid of deadlines.
+
+    One ``searchsorted`` for the full grid instead of one curve rebuild per
+    point; element ``i`` equals ``loss_at_time(trace, deadlines[i])``.
+    """
+    times, losses = _finite_curve(trace)
+    deadlines = np.asarray(deadlines, dtype=np.float64)
+    if times.size == 0:
+        return np.full(deadlines.shape, np.nan)
+    indices = np.searchsorted(times, deadlines, side="right") - 1
+    # Deadlines before the first completed iteration report the initial loss.
+    return losses[np.maximum(indices, 0)]
 
 
 def time_to_loss(trace: RunTrace, target_loss: float) -> float:
@@ -99,7 +115,6 @@ def align_curves(
         raise ValueError("no trace contains finite iterations")
     grid = np.linspace(0.0, min(horizons), num_points)
     curves = {
-        name: np.array([loss_at_time(trace, t) for t in grid])
-        for name, trace in traces.items()
+        name: losses_at_times(trace, grid) for name, trace in traces.items()
     }
     return grid, curves

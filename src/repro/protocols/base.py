@@ -22,6 +22,7 @@ from ..learning.optimizers import SGD, Optimizer
 from ..learning.partition import PartitionedDataset
 from ..simulation.cluster import ClusterSpec
 from ..simulation.network import CommunicationModel, SimpleNetwork
+from ..simulation.rng import RNG_COMPONENTS, RngStreams
 from ..simulation.stragglers import NoStragglers, StragglerInjector
 from ..simulation.trace import RunTrace
 
@@ -67,6 +68,15 @@ class TrainingConfig:
         (loss evaluation is the most expensive part of a simulated step).
     loss_eval_samples:
         Evaluate the loss on at most this many samples (0 = all).
+    rng_streams:
+        Optional per-component :class:`~repro.simulation.rng.RngStreams`
+        (the ``rng_version=2`` layout).  When set, protocols that support
+        it draw their timing randomness from the ``injector``/``jitter``/
+        ``network`` child streams — enabling the whole-trace batched timing
+        kernel — and their construction/loss-evaluation sampling from the
+        ``training`` stream (via :meth:`make_rng` with ``component=``).
+        ``None`` (the default) keeps the historical seed-offset streams and
+        the bit-identical per-iteration path.
     """
 
     num_iterations: int = 20
@@ -82,6 +92,7 @@ class TrainingConfig:
     seed: int | None = 0
     record_loss_every: int = 1
     loss_eval_samples: int = 0
+    rng_streams: RngStreams | None = None
 
     def __post_init__(self) -> None:
         if self.num_iterations <= 0:
@@ -109,14 +120,33 @@ class TrainingConfig:
             scheme, num_workers, heter_multiplier=self.partitions_multiplier
         )
 
-    def make_rng(self, stream_offset: int = 0) -> np.random.Generator:
-        """Fresh generator seeded from ``seed`` (optionally a separate stream).
+    def make_rng(
+        self, stream_offset: int = 0, component: str | None = None
+    ) -> np.random.Generator:
+        """Generator for one randomness component of the run.
 
-        Passing different ``stream_offset`` values yields independent
-        streams (e.g. one for coding-matrix construction, one for timing
-        jitter) so that comparisons between schemes sharing a seed are
-        paired: both see identical per-iteration conditions.
+        Without :attr:`rng_streams` (the historical layout) this returns a
+        fresh generator seeded from ``seed + stream_offset``; different
+        offsets yield independent streams (e.g. one for coding-matrix
+        construction, one for timing jitter) so that comparisons between
+        schemes sharing a seed are paired: both see identical per-iteration
+        conditions.
+
+        With :attr:`rng_streams` set and ``component`` given (one of
+        :data:`~repro.simulation.rng.RNG_COMPONENTS`), the *live* child
+        generator of that component is returned instead — repeated calls
+        continue the same stream, which is what lets the batched protocols
+        draw construction and evaluation randomness from one ``training``
+        lineage.
         """
+        if component is not None:
+            if component not in RNG_COMPONENTS:
+                raise ProtocolError(
+                    f"unknown rng component {component!r}; expected one of "
+                    f"{RNG_COMPONENTS}"
+                )
+            if self.rng_streams is not None:
+                return getattr(self.rng_streams, component)
         if self.seed is None:
             return np.random.default_rng(None)
         return np.random.default_rng(self.seed + stream_offset)
@@ -130,6 +160,14 @@ def evaluate_mean_loss(
 ) -> float:
     """Mean training loss over the (optionally subsampled) dataset.
 
+    One stacked evaluation over the dataset's cached evaluation view
+    (:meth:`~repro.learning.partition.PartitionedDataset.evaluation_data`):
+    the per-call index concatenation and double fancy-indexing the original
+    implementation paid every iteration are gone, and the RNG stream of the
+    subsample is unchanged (``Generator.choice`` consumes the stream as a
+    function of the population *size* only), so recorded loss curves are
+    bit-identical to the historical path.
+
     Parameters
     ----------
     model:
@@ -142,17 +180,14 @@ def evaluate_mean_loss(
     rng:
         Random source for the subsample.
     """
-    dataset = partitioned.dataset
-    used = partitioned.samples_used
-    indices = np.concatenate(
-        [p.sample_indices for p in partitioned.partitions]
-    )
+    features, labels = partitioned.evaluation_data()
+    used = features.shape[0]
     if max_samples and used > max_samples:
         generator = rng or np.random.default_rng(0)
-        indices = generator.choice(indices, size=max_samples, replace=False)
-    features = dataset.features[indices]
-    labels = dataset.labels[indices]
-    return model.loss(features, labels) / len(indices)
+        picked = generator.choice(used, size=max_samples, replace=False)
+        features = features[picked]
+        labels = labels[picked]
+    return model.loss(features, labels) / features.shape[0]
 
 
 class TrainingProtocol(ABC):

@@ -117,6 +117,21 @@ class SSPProtocol(TrainingProtocol):
         eval_rng = config.make_rng()
         timing_rng = config.make_rng(stream_offset=104_729)
         batch_rng = config.make_rng(stream_offset=208_003)
+        network = config.network
+        network_rng: np.random.Generator | None = None
+        if network.is_stochastic:
+            # Per-message transfer times come from the dedicated v2
+            # ``network`` child stream; without per-component streams the
+            # model cannot be honoured, so fail loudly rather than silently
+            # collapsing every message to the median.
+            if config.rng_streams is None:
+                raise ProtocolError(
+                    f"{type(network).__name__} samples per-message transfer "
+                    "times and requires rng_version=2 (per-component "
+                    "RngStreams on the TrainingConfig); the historical "
+                    "stream layout has no slot for network draws"
+                )
+            network_rng = config.make_rng(component="network")
         num_workers = cluster.num_workers
         if partitioned.num_partitions < num_workers:
             raise ProtocolError(
@@ -161,7 +176,12 @@ class SSPProtocol(TrainingProtocol):
                     worker
                 ]
             )
-            comm = config.network.transfer_time(gradient_bytes)
+            if network_rng is not None:
+                comm = float(
+                    network.sample_transfer_times(gradient_bytes, (), network_rng)
+                )
+            else:
+                comm = network.transfer_time(gradient_bytes)
             return compute + delay + comm
 
         def start_worker(worker: int, now: float) -> None:

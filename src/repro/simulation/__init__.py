@@ -10,6 +10,7 @@ with real numpy gradient computation.
 from .cluster import ClusterSpec, cluster_from_vcpu_counts, uniform_cluster
 from .network import (
     CommunicationModel,
+    LogNormalNetwork,
     OverlappedNetwork,
     SimpleNetwork,
     ZeroCommunication,
@@ -34,8 +35,13 @@ from .timing import (
     simulate_worker_timings,
     worker_workloads,
 )
-from .trace import IterationRecord, RunTrace, UnknownTraceFieldWarning
-from .vectorized import TimingKernelCache, TimingTraceArrays, TimingTraceKernel
+from .trace import IterationRecord, RunTrace, TraceColumns, UnknownTraceFieldWarning
+from .vectorized import (
+    TimingKernelCache,
+    TimingTraceArrays,
+    TimingTraceKernel,
+    default_timing_kernel_cache,
+)
 from .workers import WorkerSpec, perturb_estimates
 
 __all__ = [
@@ -58,6 +64,7 @@ __all__ = [
     "ZeroCommunication",
     "SimpleNetwork",
     "OverlappedNetwork",
+    "LogNormalNetwork",
     # timing
     "WorkerTiming",
     "IterationTiming",
@@ -70,6 +77,7 @@ __all__ = [
     "TimingTraceKernel",
     "TimingTraceArrays",
     "TimingKernelCache",
+    "default_timing_kernel_cache",
     # rng streams
     "RNG_COMPONENTS",
     "RNG_VERSIONS",
@@ -78,5 +86,6 @@ __all__ = [
     # traces
     "IterationRecord",
     "RunTrace",
+    "TraceColumns",
     "UnknownTraceFieldWarning",
 ]

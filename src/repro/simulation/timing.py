@@ -197,6 +197,13 @@ def simulate_worker_timing_arrays(
         raise TimingError("workloads must be non-negative")
     injector = injector or NoStragglers()
     network = network or ZeroCommunication()
+    if network.is_stochastic:
+        raise TimingError(
+            f"{type(network).__name__} samples per-message transfer times "
+            "and requires the rng_version=2 batched path "
+            "(simulate_worker_timing_arrays_batch with a network_rng); the "
+            "v1 stream layout has no slot for network draws"
+        )
     generator = np.random.default_rng(rng)
     delays = np.asarray(
         injector.delays(iteration, cluster.num_workers, generator), dtype=np.float64
@@ -220,15 +227,17 @@ def simulate_worker_timing_arrays_batch(
     network: CommunicationModel | None = None,
     injector_rng: np.random.Generator | int | None = None,
     jitter_rng: np.random.Generator | int | None = None,
+    network_rng: np.random.Generator | int | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Whole-trace form of :func:`simulate_worker_timing_arrays`.
 
     Returns ``(compute_times, injected_delays, comm_times)`` with shapes
-    ``(n, m)``, ``(n, m)`` and ``(m,)``; row ``i`` describes iteration
-    ``start_iteration + i``.  Injector and jitter randomness come from
-    *separate* generators (the ``rng_version=2`` per-component layout), so
-    each component draws all of its iterations in one batched call instead
-    of interleaving per iteration on a shared stream.
+    ``(n, m)``, ``(n, m)`` and ``(m,)`` — or ``(n, m)`` for the comm times
+    too when the network model is stochastic; row ``i`` describes iteration
+    ``start_iteration + i``.  Injector, jitter and network randomness come
+    from *separate* generators (the ``rng_version=2`` per-component
+    layout), so each component draws all of its iterations in one batched
+    call instead of interleaving per iteration on a shared stream.
     """
     if num_iterations <= 0:
         raise TimingError("num_iterations must be positive")
@@ -258,7 +267,15 @@ def simulate_worker_timing_arrays_batch(
     compute = cluster.compute_times_batch(
         workloads, num_iterations, rng=np.random.default_rng(jitter_rng)
     )
-    comm = np.where(workloads > 0, network.transfer_time(gradient_bytes), 0.0)
+    if network.is_stochastic:
+        sampled = network.sample_transfer_times(
+            gradient_bytes,
+            (num_iterations, cluster.num_workers),
+            np.random.default_rng(network_rng),
+        )
+        comm = np.where(workloads > 0, sampled, 0.0)
+    else:
+        comm = np.where(workloads > 0, network.transfer_time(gradient_bytes), 0.0)
     return compute, delays, comm
 
 

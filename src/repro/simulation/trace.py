@@ -1,4 +1,4 @@
-"""Trace containers: per-iteration records and whole-run traces.
+"""Trace containers: column-oriented run traces with a record-view facade.
 
 Protocols append an :class:`IterationRecord` per step; experiments and
 metrics consume the resulting :class:`RunTrace`.  Keeping raw per-iteration
@@ -6,17 +6,32 @@ data (rather than pre-aggregated statistics) lets the metrics layer compute
 everything the paper reports — average time per iteration (Figs. 2-3), loss
 versus wall-clock time (Fig. 4) and resource usage (Fig. 5) — from the same
 run.
+
+Since PR 4 the storage is **column-oriented**: a :class:`RunTrace` holds one
+:class:`TraceColumns` block (numpy arrays, one column per recorded quantity)
+plus a small tail of freshly appended records.  The batched simulation
+kernels feed whole traces in via :meth:`RunTrace.from_arrays` without ever
+constructing a per-iteration Python object, and the metrics layer reads the
+columns directly.  :attr:`RunTrace.records` survives as a *lazily
+materialized* compatibility view — nothing is paid for it unless somebody
+actually iterates records.  Serialization (`to_dict`/`from_dict`) is
+unchanged and byte-identical to the record-based layout.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["IterationRecord", "RunTrace", "UnknownTraceFieldWarning"]
+__all__ = [
+    "IterationRecord",
+    "RunTrace",
+    "TraceColumns",
+    "UnknownTraceFieldWarning",
+]
 
 
 class TraceError(ValueError):
@@ -141,9 +156,226 @@ class IterationRecord:
         )
 
 
-@dataclass
+def _readonly(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+#: Shared NaN instance used when converting loss columns back to Python
+#: floats.  Dict/list equality short-circuits on identity before ``==``, so
+#: round-tripped payloads with NaN losses (timing-only runs) compare equal —
+#: exactly as they did when every record carried the same ``float("nan")``.
+_NAN = float("nan")
+
+
+def _canonical_nans(values: list) -> list:
+    return [value if value == value else _NAN for value in values]
+
+
+@dataclass(frozen=True)
+class TraceColumns:
+    """Column-oriented storage of a whole run: one array per quantity.
+
+    Attributes
+    ----------
+    iterations:
+        Iteration indices, shape ``(n,)`` (``int64``).
+    durations:
+        Per-iteration wall-clock durations, shape ``(n,)``; ``inf`` where
+        the master could not decode.
+    train_losses:
+        Mean training loss before each iteration's update, shape ``(n,)``;
+        ``nan`` for timing-only runs.
+    compute_times:
+        Per-worker pure compute times, shape ``(n, m)``.
+    completion_times:
+        Per-worker completion times, shape ``(n, m)``.
+    workers_used:
+        Per-iteration tuple of the workers the master combined.  Decode
+        decisions repeat heavily across iterations, so the tuples are
+        typically *shared* objects (one per distinct completion order).
+    used_groups:
+        Per-iteration group used by the decode fast path (``None`` when the
+        general decode ran), shared the same way.
+    """
+
+    iterations: np.ndarray
+    durations: np.ndarray
+    train_losses: np.ndarray
+    compute_times: np.ndarray
+    completion_times: np.ndarray
+    workers_used: tuple[tuple[int, ...], ...]
+    used_groups: tuple[tuple[int, ...] | None, ...]
+
+    def __post_init__(self) -> None:
+        n = self.durations.shape[0]
+        for name in ("iterations", "train_losses"):
+            if getattr(self, name).shape != (n,):
+                raise TraceError(
+                    f"TraceColumns.{name} has shape {getattr(self, name).shape}, "
+                    f"expected ({n},)"
+                )
+        for name in ("compute_times", "completion_times"):
+            array = getattr(self, name)
+            if array.ndim != 2 or array.shape[0] != n:
+                raise TraceError(
+                    f"TraceColumns.{name} has shape {array.shape}, "
+                    f"expected ({n}, num_workers)"
+                )
+        for name in ("workers_used", "used_groups"):
+            if len(getattr(self, name)) != n:
+                raise TraceError(
+                    f"TraceColumns.{name} has {len(getattr(self, name))} entries, "
+                    f"expected {n}"
+                )
+
+    @property
+    def num_iterations(self) -> int:
+        return int(self.durations.shape[0])
+
+    @property
+    def num_workers(self) -> int:
+        return int(self.compute_times.shape[1])
+
+    @classmethod
+    def empty(cls) -> "TraceColumns":
+        return cls(
+            iterations=_readonly(np.zeros(0, dtype=np.int64)),
+            durations=_readonly(np.zeros(0)),
+            train_losses=_readonly(np.zeros(0)),
+            compute_times=_readonly(np.zeros((0, 0))),
+            completion_times=_readonly(np.zeros((0, 0))),
+            workers_used=(),
+            used_groups=(),
+        )
+
+    @classmethod
+    def from_records(cls, records: "list[IterationRecord]") -> "TraceColumns":
+        """Consolidate a record list into one columnar block."""
+        if not records:
+            return cls.empty()
+        return cls(
+            iterations=_readonly(
+                np.fromiter(
+                    (r.iteration for r in records), dtype=np.int64, count=len(records)
+                )
+            ),
+            durations=_readonly(
+                np.fromiter(
+                    (r.duration for r in records), dtype=np.float64, count=len(records)
+                )
+            ),
+            train_losses=_readonly(
+                np.fromiter(
+                    (r.train_loss for r in records),
+                    dtype=np.float64,
+                    count=len(records),
+                )
+            ),
+            compute_times=_readonly(
+                np.array([r.compute_times for r in records], dtype=np.float64)
+            ),
+            completion_times=_readonly(
+                np.array([r.completion_times for r in records], dtype=np.float64)
+            ),
+            workers_used=tuple(r.workers_used for r in records),
+            used_groups=tuple(r.used_group for r in records),
+        )
+
+    @classmethod
+    def concatenate(cls, blocks: "list[TraceColumns]") -> "TraceColumns":
+        blocks = [b for b in blocks if b.num_iterations]
+        if not blocks:
+            return cls.empty()
+        if len(blocks) == 1:
+            return blocks[0]
+        return cls(
+            iterations=_readonly(np.concatenate([b.iterations for b in blocks])),
+            durations=_readonly(np.concatenate([b.durations for b in blocks])),
+            train_losses=_readonly(np.concatenate([b.train_losses for b in blocks])),
+            compute_times=_readonly(
+                np.concatenate([b.compute_times for b in blocks])
+            ),
+            completion_times=_readonly(
+                np.concatenate([b.completion_times for b in blocks])
+            ),
+            workers_used=tuple(
+                used for b in blocks for used in b.workers_used
+            ),
+            used_groups=tuple(group for b in blocks for group in b.used_groups),
+        )
+
+    def materialize_records(self) -> "list[IterationRecord]":
+        """Build the per-iteration record objects (the compatibility view)."""
+        unchecked = IterationRecord.unchecked
+        return [
+            unchecked(
+                iteration=iteration,
+                duration=duration,
+                train_loss=train_loss,
+                compute_times=tuple(compute_row),
+                completion_times=tuple(completion_row),
+                workers_used=workers,
+                used_group=group,
+            )
+            for (
+                iteration,
+                duration,
+                train_loss,
+                compute_row,
+                completion_row,
+                workers,
+                group,
+            ) in zip(
+                self.iterations.tolist(),
+                self.durations.tolist(),
+                _canonical_nans(self.train_losses.tolist()),
+                self.compute_times.tolist(),
+                self.completion_times.tolist(),
+                self.workers_used,
+                self.used_groups,
+            )
+        ]
+
+    def record_dicts(self) -> list[dict]:
+        """The ``to_dict`` record payloads, straight from the columns.
+
+        Byte-identical (under ``json.dumps``) to calling
+        :meth:`IterationRecord.to_dict` on every materialized record, but
+        without building any record object.
+        """
+        return [
+            {
+                "iteration": iteration,
+                "duration": duration,
+                "train_loss": train_loss,
+                "compute_times": compute_row,
+                "completion_times": completion_row,
+                "workers_used": list(workers),
+                "used_group": None if group is None else list(group),
+            }
+            for (
+                iteration,
+                duration,
+                train_loss,
+                compute_row,
+                completion_row,
+                workers,
+                group,
+            ) in zip(
+                self.iterations.tolist(),
+                self.durations.tolist(),
+                _canonical_nans(self.train_losses.tolist()),
+                self.compute_times.tolist(),
+                self.completion_times.tolist(),
+                self.workers_used,
+                self.used_groups,
+            )
+        ]
+
+
 class RunTrace:
-    """The full record of one training run.
+    """The full record of one training run, stored column-first.
 
     Attributes
     ----------
@@ -153,64 +385,218 @@ class RunTrace:
     cluster_name:
         Name of the cluster the run simulated.
     records:
-        Per-iteration records, in order.
+        Per-iteration records, in order — a **lazily materialized** view
+        over the columnar storage.  Iterating it is the slow path; metrics
+        code should prefer :meth:`columns` / the array properties.
     metadata:
         Free-form run parameters (model, dataset, s, k, seed, ...).
     """
 
-    scheme: str
-    cluster_name: str
-    records: list[IterationRecord] = field(default_factory=list)
-    metadata: dict = field(default_factory=dict)
+    __slots__ = (
+        "scheme",
+        "cluster_name",
+        "metadata",
+        "_base",
+        "_tail",
+        "_last_iteration",
+        "_columns_cache",
+        "_records_cache",
+        "_elapsed_cache",
+    )
+
+    def __init__(
+        self,
+        scheme: str,
+        cluster_name: str,
+        records: "list[IterationRecord] | None" = None,
+        metadata: dict | None = None,
+    ) -> None:
+        self.scheme = scheme
+        self.cluster_name = cluster_name
+        self.metadata = {} if metadata is None else metadata
+        self._base: TraceColumns | None = None
+        self._tail: list[IterationRecord] = []
+        self._last_iteration: int | None = None
+        self._columns_cache: TraceColumns | None = None
+        self._records_cache: list[IterationRecord] | None = None
+        self._elapsed_cache: np.ndarray | None = None
+        if records:
+            self.extend(list(records))
+
+    def __repr__(self) -> str:
+        return (
+            f"RunTrace(scheme={self.scheme!r}, cluster_name={self.cluster_name!r}, "
+            f"num_iterations={self.num_iterations})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        # Structural equality over the same fields the former dataclass
+        # compared (scheme, cluster_name, records, metadata) — round-trip
+        # assertions like `RunTrace.from_dict(t.to_dict()) == t` keep
+        # working regardless of columnar-vs-record storage.
+        if not isinstance(other, RunTrace):
+            return NotImplemented
+        return (
+            self.scheme == other.scheme
+            and self.cluster_name == other.cluster_name
+            and self.metadata == other.metadata
+            and self.records == other.records
+        )
+
+    @classmethod
+    def from_arrays(
+        cls,
+        scheme: str,
+        cluster_name: str,
+        arrays,
+        train_losses: np.ndarray | None = None,
+        metadata: dict | None = None,
+        start_iteration: int = 0,
+    ) -> "RunTrace":
+        """Build a trace directly from batched-kernel output — zero
+        per-iteration Python objects.
+
+        Parameters
+        ----------
+        arrays:
+            A :class:`~repro.simulation.vectorized.TimingTraceArrays` (or
+            any object exposing ``durations``, ``compute_times``,
+            ``completion_times``, ``workers_used`` and ``used_groups`` with
+            the same shapes).  The trace takes ownership of the arrays and
+            marks them read-only.
+        train_losses:
+            Optional per-iteration training-loss column, shape ``(n,)``;
+            defaults to all-``nan`` (timing-only runs).
+        start_iteration:
+            Iteration index of the first row.
+        """
+        durations = np.asarray(arrays.durations, dtype=np.float64)
+        n = durations.shape[0]
+        if train_losses is None:
+            losses = np.full(n, np.nan)
+        else:
+            losses = np.asarray(train_losses, dtype=np.float64)
+            if losses.shape != (n,):
+                raise TraceError(
+                    f"train_losses has shape {losses.shape}, expected ({n},)"
+                )
+        columns = TraceColumns(
+            iterations=_readonly(
+                np.arange(start_iteration, start_iteration + n, dtype=np.int64)
+            ),
+            durations=_readonly(durations),
+            train_losses=_readonly(losses),
+            compute_times=_readonly(
+                np.asarray(arrays.compute_times, dtype=np.float64)
+            ),
+            completion_times=_readonly(
+                np.asarray(arrays.completion_times, dtype=np.float64)
+            ),
+            workers_used=tuple(arrays.workers_used),
+            used_groups=tuple(arrays.used_groups),
+        )
+        trace = cls(scheme=scheme, cluster_name=cluster_name, metadata=metadata)
+        trace._base = columns
+        trace._columns_cache = columns
+        trace._last_iteration = start_iteration + n - 1 if n else None
+        return trace
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def _invalidate(self) -> None:
+        self._columns_cache = None
+        self._records_cache = None
+        self._elapsed_cache = None
 
     def append(self, record: IterationRecord) -> None:
         """Append an iteration record (iterations must arrive in order)."""
-        if self.records and record.iteration <= self.records[-1].iteration:
+        if self._last_iteration is not None and (
+            record.iteration <= self._last_iteration
+        ):
             raise TraceError(
                 "iteration records must be appended in increasing order: "
-                f"{record.iteration} after {self.records[-1].iteration}"
+                f"{record.iteration} after {self._last_iteration}"
             )
-        self.records.append(record)
+        self._tail.append(record)
+        self._last_iteration = record.iteration
+        self._invalidate()
 
     def extend(self, records: "list[IterationRecord]") -> None:
         """Append many records; the ordering invariant is checked once."""
-        for previous, record in zip(
-            [self.records[-1]] if self.records else [], records
-        ):
-            if record.iteration <= previous.iteration:
+        if not records:
+            return
+        previous = self._last_iteration
+        for record in records:
+            if previous is not None and record.iteration <= previous:
                 raise TraceError(
                     "iteration records must be appended in increasing order: "
-                    f"{record.iteration} after {previous.iteration}"
+                    f"{record.iteration} after {previous}"
                 )
-        for first, second in zip(records, records[1:]):
-            if second.iteration <= first.iteration:
-                raise TraceError(
-                    "iteration records must be appended in increasing order: "
-                    f"{second.iteration} after {first.iteration}"
-                )
-        self.records.extend(records)
+            previous = record.iteration
+        self._tail.extend(records)
+        self._last_iteration = previous
+        self._invalidate()
+
+    # ------------------------------------------------------------------
+    # columnar accessors (the fast path)
+    # ------------------------------------------------------------------
+    def columns(self) -> TraceColumns:
+        """The whole run as one columnar block (cached until mutation)."""
+        cached = self._columns_cache
+        if cached is not None:
+            return cached
+        blocks: list[TraceColumns] = []
+        if self._base is not None:
+            blocks.append(self._base)
+        if self._tail:
+            blocks.append(TraceColumns.from_records(self._tail))
+        columns = TraceColumns.concatenate(blocks)
+        self._columns_cache = columns
+        return columns
+
+    @property
+    def records(self) -> "list[IterationRecord]":
+        """Materialized per-iteration records (lazy compatibility view).
+
+        The record objects are materialized once and cached; every access
+        returns a fresh list shell over them, so mutating the returned list
+        neither modifies the trace nor poisons later reads — use
+        :meth:`append`/:meth:`extend` to grow a trace.
+        """
+        cached = self._records_cache
+        if cached is None:
+            base = [] if self._base is None else self._base.materialize_records()
+            cached = base + list(self._tail)
+            self._records_cache = cached
+        return list(cached)
 
     # ------------------------------------------------------------------
     # convenience accessors used by metrics and experiments
     # ------------------------------------------------------------------
     @property
     def num_iterations(self) -> int:
-        return len(self.records)
+        base = 0 if self._base is None else self._base.num_iterations
+        return base + len(self._tail)
 
     @property
     def durations(self) -> np.ndarray:
-        """Per-iteration wall-clock durations (seconds)."""
-        return np.array([r.duration for r in self.records])
+        """Per-iteration wall-clock durations (seconds; cached, read-only)."""
+        return self.columns().durations
 
     @property
     def losses(self) -> np.ndarray:
-        """Per-iteration mean training losses."""
-        return np.array([r.train_loss for r in self.records])
+        """Per-iteration mean training losses (cached, read-only)."""
+        return self.columns().train_losses
 
     @property
     def elapsed_times(self) -> np.ndarray:
-        """Cumulative wall-clock time at the end of each iteration."""
-        return np.cumsum(self.durations)
+        """Cumulative wall-clock time at the end of each iteration (cached)."""
+        cached = self._elapsed_cache
+        if cached is None:
+            cached = _readonly(np.cumsum(self.durations))
+            self._elapsed_cache = cached
+        return cached
 
     @property
     def total_time(self) -> float:
@@ -235,12 +621,16 @@ class RunTrace:
         return self.elapsed_times, self.losses
 
     def to_dict(self) -> dict:
-        """Plain-data form for JSON serialization (see :meth:`from_dict`)."""
+        """Plain-data form for JSON serialization (see :meth:`from_dict`).
+
+        Written straight from the columns — byte-identical to the historical
+        record-based serialization without materializing any record.
+        """
         return {
             "scheme": self.scheme,
             "cluster_name": self.cluster_name,
             "metadata": dict(self.metadata),
-            "records": [record.to_dict() for record in self.records],
+            "records": self.columns().record_dicts(),
         }
 
     @classmethod
@@ -261,8 +651,9 @@ class RunTrace:
             cluster_name=str(data["cluster_name"]),
             metadata=dict(data.get("metadata", {})),
         )
-        for record in data.get("records", ()):
-            trace.append(IterationRecord.from_dict(record))
+        trace.extend(
+            [IterationRecord.from_dict(record) for record in data.get("records", ())]
+        )
         return trace
 
     def summary(self) -> dict:
@@ -275,6 +666,6 @@ class RunTrace:
             "iterations": self.num_iterations,
             "mean_iteration_time": float(finite.mean()) if finite.size else float("inf"),
             "total_time": float(finite.sum()) if finite.size else float("inf"),
-            "final_loss": float(self.losses[-1]) if self.records else float("nan"),
+            "final_loss": float(self.losses[-1]) if self.num_iterations else float("nan"),
             "completed": self.completed,
         }

@@ -50,6 +50,7 @@ __all__ = [
     "TimingTraceArrays",
     "TimingTraceKernel",
     "TimingKernelCache",
+    "default_timing_kernel_cache",
     "strategy_fingerprint",
     "cluster_fingerprint",
 ]
@@ -138,8 +139,13 @@ class TimingTraceKernel:
         self._uniform_sigma: float | None = None
         if self._any_jitter and (self._jitter_sigma == self._jitter_sigma[0]).all():
             self._uniform_sigma = float(self._jitter_sigma[0])
+        self.gradient_bytes = float(gradient_bytes)
+        self._loaded_mask = workloads > 0
+        # Deterministic models bake one scalar per worker; stochastic models
+        # (is_stochastic) keep the typical value here for v1-style callers
+        # and sample per-message times in run_batched instead.
         self._comm = np.where(
-            workloads > 0, self.network.transfer_time(gradient_bytes), 0.0
+            self._loaded_mask, self.network.transfer_time(gradient_bytes), 0.0
         )
         # The decodable prefix depends only on the completion *order*; cache
         # the (prefix, decode result) pair per observed order so repeated
@@ -182,6 +188,13 @@ class TimingTraceKernel:
         """
         if num_iterations <= 0:
             raise TimingError("num_iterations must be positive")
+        if self.network.is_stochastic:
+            raise TimingError(
+                f"{type(self.network).__name__} samples per-message transfer "
+                "times and requires the rng_version=2 batched path "
+                "(run_batched with a network_rng); the v1 stream layout has "
+                "no slot for network draws"
+            )
         generator = np.random.default_rng(rng)
         m = self.num_workers
         compute_times = np.empty((num_iterations, m))
@@ -256,14 +269,19 @@ class TimingTraceKernel:
         jitter_rng: np.random.Generator | int | None = None,
         start_iteration: int = 0,
         injector: StragglerInjector | None = None,
+        network_rng: np.random.Generator | int | None = None,
     ) -> TimingTraceArrays:
         """Whole-trace simulation with per-component streams (``rng_version=2``).
 
         All injector delays come from ``injector_rng`` and all compute
         jitter from ``jitter_rng``, each drawn in one batched call via
         :meth:`StragglerInjector.delays_batch` and a single ``(n, m)``
-        lognormal draw.  Only the decode-order bookkeeping (dict lookups on
-        the shared order cache) remains per-iteration Python.
+        lognormal draw.  Stochastic communication models additionally draw
+        every per-message transfer time from ``network_rng`` in one batched
+        :meth:`~repro.simulation.network.CommunicationModel
+        .sample_transfer_times` call (deterministic models consume nothing
+        from it).  Only the decode-order bookkeeping (dict lookups on the
+        shared order cache) remains per-iteration Python.
 
         Same-distribution, different-stream relative to :meth:`run`; the
         decode decisions are pure functions of the completion order, so the
@@ -290,7 +308,15 @@ class TimingTraceKernel:
             self.workloads, num_iterations, rng=np.random.default_rng(jitter_rng)
         )
         completion_times = compute_times + delays
-        completion_times += self._comm
+        if self.network.is_stochastic:
+            comm = self.network.sample_transfer_times(
+                self.gradient_bytes,
+                (num_iterations, m),
+                np.random.default_rng(network_rng),
+            )
+            completion_times += np.where(self._loaded_mask, comm, 0.0)
+        else:
+            completion_times += self._comm
         # Batched order computation: one argsort call and one finite count
         # for the whole trace, leaving only cache lookups in the loop.
         orders = completion_times.argsort(axis=1, kind="stable")
@@ -406,15 +432,16 @@ class TimingKernelCache:
     ) -> TimingTraceKernel:
         """Return the cached kernel for this configuration, building on miss."""
         network = network or ZeroCommunication()
-        # A kernel depends on its communication model only through the one
-        # scalar baked into it at construction time, so keying on that exact
-        # float is both collision-free (unlike describe(), which rounds) and
-        # maximally reusable across freshly built model instances.
+        # A deterministic kernel depends on its communication model only
+        # through one scalar, so its fingerprint is that exact float —
+        # collision-free (unlike describe(), which rounds) and maximally
+        # reusable across freshly built model instances.  Stochastic models
+        # fingerprint their full distribution parameters instead.
         key = (
             strategy_fingerprint(strategy),
             cluster_fingerprint(cluster),
             int(samples_per_partition),
-            float(network.transfer_time(gradient_bytes)),
+            network.fingerprint(gradient_bytes),
             float(gradient_bytes),
         )
         kernel = self._kernels.get(key)
@@ -434,3 +461,18 @@ class TimingKernelCache:
         while len(self._kernels) > self.maxsize:
             self._kernels.popitem(last=False)
         return kernel
+
+
+#: Process-wide kernel cache shared by every default code path — the engine
+#: timing backend and bare :func:`repro.experiments.common
+#: .measure_timing_trace` calls alike — so fig2-style sweeps reuse kernels,
+#: decoders and memoised decode-order decisions across sweep points no
+#: matter which entry point drove them.  Decode decisions are pure functions
+#: of the completion order, so sharing changes wall-clock time only, never
+#: results.
+_DEFAULT_KERNEL_CACHE = TimingKernelCache(maxsize=64)
+
+
+def default_timing_kernel_cache() -> TimingKernelCache:
+    """The process-wide :class:`TimingKernelCache` used by default paths."""
+    return _DEFAULT_KERNEL_CACHE

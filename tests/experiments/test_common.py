@@ -71,3 +71,60 @@ class TestSampleCountDrift:
             num_iterations=1, seed=0,
         )
         assert trace.metadata["num_workers"] == cluster.num_workers
+
+
+class TestKernelCacheRouting:
+    """PR 4 bugfix: bare measure_timing_trace calls share the process cache."""
+
+    def kwargs(self) -> dict:
+        return dict(
+            num_stragglers=1, total_samples=2048, num_iterations=8, seed=0
+        )
+
+    def test_default_routes_through_process_wide_cache(self):
+        import numpy as np
+
+        from repro.simulation.vectorized import default_timing_kernel_cache
+
+        cache = default_timing_kernel_cache()
+        cache.clear()
+        cluster = build_cluster("Cluster-A", rng=0)
+        first = measure_timing_trace("heter_aware", cluster, **self.kwargs())
+        assert cache.misses == 1
+        second = measure_timing_trace("heter_aware", cluster, **self.kwargs())
+        assert cache.hits == 1  # the decoder and order cache were reused
+        np.testing.assert_array_equal(first.durations, second.durations)
+        cache.clear()
+
+    def test_engine_and_bare_calls_share_one_cache(self):
+        from repro.api import Engine
+        from repro.simulation.vectorized import default_timing_kernel_cache
+
+        assert Engine.timing_kernel_cache() is default_timing_kernel_cache()
+
+    def test_opt_out_builds_fresh_kernels(self):
+        import numpy as np
+
+        from repro.simulation.vectorized import default_timing_kernel_cache
+
+        cache = default_timing_kernel_cache()
+        cache.clear()
+        cluster = build_cluster("Cluster-A", rng=0)
+        cached = measure_timing_trace(
+            "heter_aware", cluster, kernel_cache=False, **self.kwargs()
+        )
+        assert len(cache) == 0 and cache.misses == 0  # untouched
+        default = measure_timing_trace("heter_aware", cluster, **self.kwargs())
+        # Results never depend on the caching choice.
+        np.testing.assert_array_equal(cached.durations, default.durations)
+        cache.clear()
+
+    def test_explicit_cache_instance_still_respected(self):
+        from repro.simulation.vectorized import TimingKernelCache
+
+        mine = TimingKernelCache()
+        cluster = build_cluster("Cluster-A", rng=0)
+        measure_timing_trace(
+            "heter_aware", cluster, kernel_cache=mine, **self.kwargs()
+        )
+        assert len(mine) == 1 and mine.misses == 1

@@ -1,0 +1,69 @@
+"""Memory smoke check: columnar traces must not regress to record objects.
+
+A 10k-iteration timing trace stored column-first costs a handful of numpy
+arrays (~2 MB for an 8-worker cluster); materializing one
+``IterationRecord`` per iteration costs several times that in Python-object
+overhead.  This test pins the peak allocation of the end-to-end
+``measure_timing_trace`` path so a regression that sneaks per-iteration
+record construction back into the hot path fails loudly in CI.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+import warnings
+
+from repro.experiments.clusters import build_cluster
+from repro.experiments.common import SampleCountDriftWarning, measure_timing_trace
+
+NUM_ITERATIONS = 10_000
+
+#: Peak-allocation budget for the 10k-iteration run below.  The columnar
+#: trace plus the kernel's transient batch arrays measure ~4.5 MB on an
+#: 8-worker cluster; the budget leaves headroom for allocator noise while
+#: staying far below what 10k materialized records would add (~10+ MB).
+PEAK_BUDGET_BYTES = 12 * 1024 * 1024
+
+
+class TestTraceMemorySmoke:
+    def test_10k_iteration_trace_stays_columnar(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", SampleCountDriftWarning)
+            # Warm imports/caches outside the measurement window.
+            measure_timing_trace(
+                "heter_aware", cluster, num_stragglers=1, total_samples=2048,
+                num_iterations=10, seed=0, rng_version=2, kernel_cache=False,
+            )
+            tracemalloc.start()
+            try:
+                trace = measure_timing_trace(
+                    "heter_aware", cluster, num_stragglers=1, total_samples=2048,
+                    num_iterations=NUM_ITERATIONS, seed=0, rng_version=2,
+                    kernel_cache=False,
+                )
+                _, peak = tracemalloc.get_traced_memory()
+            finally:
+                tracemalloc.stop()
+        assert trace.num_iterations == NUM_ITERATIONS
+        # The records view must stay unmaterialized: nothing in the
+        # measurement path may have touched trace.records.
+        assert trace._records_cache is None
+        assert peak < PEAK_BUDGET_BYTES, (
+            f"peak allocation {peak / 1e6:.1f} MB exceeds the "
+            f"{PEAK_BUDGET_BYTES / 1e6:.1f} MB budget — did per-iteration "
+            "record objects sneak back into the timing path?"
+        )
+
+    def test_records_view_still_materializes_on_demand(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", SampleCountDriftWarning)
+            trace = measure_timing_trace(
+                "heter_aware", cluster, num_stragglers=1, total_samples=2048,
+                num_iterations=50, seed=0, rng_version=2, kernel_cache=False,
+            )
+        records = trace.records
+        assert len(records) == 50
+        assert trace._records_cache is not None
+        assert trace.records[0] is records[0]  # materialized once
