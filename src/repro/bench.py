@@ -3,12 +3,12 @@
 ``repro bench`` times the vectorized hot paths against the pre-PR reference
 implementations kept in :mod:`repro._reference` and writes a machine-readable
 ``BENCH_<label>.json`` so the performance trajectory of the repo is tracked
-from PR 2 onward.  The headline number is ``timing_trace_columnar``: the
-full end-to-end ``measure_timing_trace`` Fig. 2-style sweep (every scheme at
-every straggler delay, Cluster-A, ``rng_version=2``) measured against the
-PR 3 end-to-end path that built a fresh kernel per call and materialized one
-``IterationRecord`` per iteration; ``training_fig4_batched`` tracks the
-batched fig4 training path the same way.
+from PR 2 onward.  The headline number is ``training_fig4_ssp_batched``:
+the SSP/DynSSP/Async baselines of Fig. 4 run through the ``rng_version=2``
+batched event engine (whole-matrix duration draws, heap-free schedule scan,
+block-batched multi-parameter gradients) measured against the per-event
+heap simulation; ``timing_trace_columnar`` and ``training_fig4_batched``
+keep tracking the PR 4 columnar/batched-coded paths the same way.
 
 Every comparison also *verifies* agreement between the two implementations
 (identical durations / byte-identical serialization / matching learning
@@ -62,10 +62,9 @@ __all__ = [
     "HEADLINE_BENCH",
 ]
 
-#: Name of the acceptance-criterion benchmark (PR 4: the end-to-end
-#: columnar ``measure_timing_trace`` against the PR 3 end-to-end path that
-#: materialized one ``IterationRecord`` per iteration).
-HEADLINE_BENCH = "timing_trace_columnar"
+#: Name of the acceptance-criterion benchmark (PR 5: the batched SSP/Async
+#: event engine against the per-event heap loop at fig4 scale).
+HEADLINE_BENCH = "training_fig4_ssp_batched"
 
 #: Schemes and delays of the Fig. 2 sweep used by the end-to-end benchmark.
 _FIG2_SCHEMES = ("naive", "cyclic", "heter_aware", "group_based")
@@ -331,7 +330,7 @@ def _bench_timing_trace_columnar(num_iterations: int, repeats: int, seed: int) -
         lambda: _timed(lambda: sweep_current(cache_columnar)), repeats
     )
     return _bench_entry(
-        HEADLINE_BENCH,
+        "timing_trace_columnar",
         "end-to-end measure_timing_trace, Fig. 2-style rng_version=2 sweep "
         f"on Cluster-A ({len(_FIG2_SCHEMES)} schemes x {len(_FIG2_DELAYS)} "
         f"delays x {num_iterations} iterations): per-iteration "
@@ -408,6 +407,91 @@ def _bench_training_fig4(num_iterations: int, repeats: int, seed: int) -> dict:
         current,
         meta={
             "cluster": "Cluster-A",
+            "num_iterations": num_iterations,
+            "schemes": list(schemes),
+            "total_samples": 1024,
+        },
+    )
+
+
+def _bench_training_fig4_ssp(
+    num_iterations: int, repeats: int, seed: int, cluster_name: str = "Cluster-C"
+) -> dict:
+    """Headline: the SSP/Async baselines, per-event heap loop vs batched engine.
+
+    Runs the three parameter-server baselines of the paper's Fig. 4
+    comparison (``ssp``, ``dyn_ssp``, ``async``) through the engine's
+    training backend at fig4 scale (Cluster-C, 32 workers, mini-batch SSP).
+    The baseline is the ``rng_version=1`` per-event simulation — one RNG
+    draw, one parameter snapshot and one heap operation per pushed update —
+    and the current side is the ``rng_version=2`` batched engine:
+    whole-matrix duration draws, a heap-free numpy scan over per-worker
+    clocks, block-batched multi-parameter gradient evaluation and a columnar
+    trace.  Same-distribution, different stream layout — the gate checks the
+    populations agree.
+    """
+    from .api import Engine, RunSpec, StragglerSpec
+
+    engine = Engine()
+    schemes = ("ssp", "dyn_ssp", "async")
+    base = RunSpec(
+        mode="training",
+        cluster=cluster_name,
+        cluster_options={"samples_per_second_per_vcpu": 50.0},
+        workload="nonseparable_blobs",
+        num_iterations=num_iterations,
+        total_samples=1024,
+        seed=seed,
+        learning_rate=0.5,
+        ssp_staleness=3,
+        ssp_batch_size=8,
+        loss_eval_samples=512,
+        straggler=StragglerSpec(
+            "transient", {"probability": 0.05, "mean_delay_seconds": 0.5}
+        ),
+    )
+
+    def sweep(rng_version: int) -> list:
+        return [
+            engine.run(base.replace(scheme=scheme, rng_version=rng_version))
+            for scheme in schemes
+        ]
+
+    # Statistical gate: the batched engine resolves the identical event
+    # dynamics (exact at deterministic timing, property-tested), so matched
+    # seeds must give close mean round durations and a sane learning outcome.
+    v1_results, v2_results = sweep(1), sweep(2)
+    for v1_run, v2_run in zip(v1_results, v2_results):
+        m1 = v1_run.trace.mean_iteration_time()
+        m2 = v2_run.trace.mean_iteration_time()
+        if not (np.isfinite(m1) and np.isfinite(m2)) or abs(m1 - m2) > 0.35 * max(
+            m1, m2
+        ):
+            raise AssertionError(
+                "batched SSP engine diverged from the per-event path on "
+                f"{v1_run.scheme!r}: mean iteration time {m1} vs {m2}"
+            )
+        loss1, loss2 = v1_run.final_loss, v2_run.final_loss
+        if not (np.isfinite(loss1) and np.isfinite(loss2)) or abs(
+            loss1 - loss2
+        ) > 0.35 * max(abs(loss1), abs(loss2)):
+            raise AssertionError(
+                "batched SSP engine learning outcome diverged on "
+                f"{v1_run.scheme!r}: final loss {loss1} vs {loss2}"
+            )
+
+    baseline = _best_of(lambda: _timed(lambda: sweep(1)), repeats)
+    current = _best_of(lambda: _timed(lambda: sweep(2)), repeats)
+    return _bench_entry(
+        HEADLINE_BENCH,
+        f"fig4-style SSP/DynSSP/Async training on {cluster_name} "
+        f"({num_iterations} iterations, 1024 samples, staleness 3, "
+        "mini-batch 8): per-event rng_version=1 heap simulation vs batched "
+        "rng_version=2 event engine",
+        baseline,
+        current,
+        meta={
+            "cluster": cluster_name,
             "num_iterations": num_iterations,
             "schemes": list(schemes),
             "total_samples": 1024,
@@ -607,7 +691,7 @@ def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
 def run_bench(
     smoke: bool = False,
     seed: int = 0,
-    label: str = "PR4",
+    label: str = "PR5",
     include_parallel: bool = True,
 ) -> dict:
     """Run every benchmark and return the JSON-ready payload.
@@ -630,6 +714,12 @@ def run_bench(
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", SampleCountDriftWarning)
         benches = [
+            _bench_training_fig4_ssp(
+                8 if smoke else 15,
+                repeats,
+                seed,
+                cluster_name="Cluster-A" if smoke else "Cluster-C",
+            ),
             _bench_timing_trace_columnar(iterations, repeats, seed),
             _bench_training_fig4(10 if smoke else 50, repeats, seed),
             _bench_rng_v2_kernel(iterations, repeats, seed),

@@ -188,7 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized benchmarks (seconds instead of minutes)")
-    bench.add_argument("--label", default="PR4", help="tag stored in the payload")
+    bench.add_argument("--label", default="PR5", help="tag stored in the payload")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="output JSON path (default BENCH_<label>.json; '-' to skip)")
     bench.add_argument("--no-parallel", action="store_true",
@@ -201,6 +201,30 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="allowed fractional speedup drop before a benchmark "
                             "counts as regressed (default 0.10)")
+
+    golden = subparsers.add_parser(
+        "golden",
+        help="regenerate the fixed-seed golden experiment report (or check it)",
+        description=(
+            "Run the pinned fig2-fig5/table2 experiment grid at fixed seeds "
+            "and either write the JSON report (--output) or diff it against "
+            "a checked-in golden file (--check), exiting non-zero on any "
+            "difference.  This gates the byte-stability of every execution "
+            "path (v1 bit-identity, v2 determinism) in CI."
+        ),
+    )
+    golden.add_argument("--output", default=None, metavar="PATH",
+                        help="write the regenerated report to this path")
+    golden.add_argument("--check", default=None, metavar="GOLDEN_JSON",
+                        help="diff the regenerated report against this file; "
+                             "exit 1 on differences")
+    golden.add_argument("--diff-output", default=None, metavar="PATH",
+                        help="with --check: also write the diff report here "
+                             "(uploaded as a CI artifact on failure)")
+    golden.add_argument("--rtol", type=float, default=1e-9,
+                        help="relative tolerance for numeric leaves "
+                             "(default 1e-9; structure and non-numeric "
+                             "leaves must match exactly)")
 
     analyze = subparsers.add_parser(
         "analyze", help="static analysis of every scheme on one cluster"
@@ -357,6 +381,31 @@ def _command_bench(args: argparse.Namespace):
     return text
 
 
+def _command_golden(args: argparse.Namespace):
+    from .experiments.golden import (
+        check_golden_report,
+        generate_golden_report,
+        write_golden_report,
+    )
+
+    if args.check:
+        text, diffs = check_golden_report(args.check, rtol=args.rtol)
+        if args.diff_output:
+            with open(args.diff_output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+            text += f"\nwrote diff report to {args.diff_output}"
+        return text, (1 if diffs else 0)
+    payload = generate_golden_report()
+    text = (
+        f"golden report: {len(payload['runs'])} runs + table2 "
+        f"(format v{payload['format_version']})"
+    )
+    if args.output:
+        write_golden_report(payload, args.output)
+        text += f"\nwrote {args.output}"
+    return text
+
+
 def _command_plugins(_: argparse.Namespace) -> str:
     sections = [
         ("schemes", SCHEMES),
@@ -427,6 +476,7 @@ _COMMANDS = {
     "run": _command_run,
     "plugins": _command_plugins,
     "bench": _command_bench,
+    "golden": _command_golden,
 }
 
 

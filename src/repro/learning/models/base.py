@@ -120,6 +120,68 @@ class Model(ABC):
     ) -> tuple[float, np.ndarray]:
         """Summed loss and its flat gradient over the given samples."""
 
+    def multi_loss_and_gradient(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        parameter_stack: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Losses and gradients of ``e`` independent (parameters, batch) pairs.
+
+        Unlike :meth:`batch_loss_and_gradient` (many sample slices, *one*
+        parameter vector) every pair here carries its **own** parameter
+        vector — the kernel the asynchronous protocols need, where each
+        queued update was computed against a different (stale) snapshot.
+
+        Parameters
+        ----------
+        features:
+            Stacked sample batches of shape ``(e, n, ...)``.
+        labels:
+            Stacked labels of shape ``(e, n)``.
+        parameter_stack:
+            Parameter vectors of shape ``(e, num_parameters)``; row ``i``
+            is evaluated against batch ``i``.
+
+        Returns
+        -------
+        (losses, gradients):
+            ``losses`` of shape ``(e,)`` and ``gradients`` of shape
+            ``(e, num_parameters)``; row ``i`` equals
+            ``loss_and_gradient(features[i], labels[i])`` at parameters
+            ``parameter_stack[i]``.
+
+        The generic fallback loops :meth:`loss_and_gradient`, restoring the
+        model's live parameters afterwards; models with matrix-form kernels
+        override it with stacked products (bit-identical results).
+        """
+        parameter_stack = np.asarray(parameter_stack, dtype=np.float64)
+        if (
+            parameter_stack.ndim != 2
+            or parameter_stack.shape[1] != self.num_parameters
+        ):
+            raise ModelError(
+                f"parameter_stack has shape {parameter_stack.shape}, expected "
+                f"(e, {self.num_parameters})"
+            )
+        num_pairs = parameter_stack.shape[0]
+        if len(features) != num_pairs or len(labels) != num_pairs:
+            raise ModelError(
+                "features/labels must stack one batch per parameter vector"
+            )
+        losses = np.empty(num_pairs)
+        gradients = np.empty((num_pairs, self.num_parameters))
+        saved = self.parameters()
+        try:
+            for index in range(num_pairs):
+                self.set_parameters(parameter_stack[index])
+                losses[index], gradients[index] = self.loss_and_gradient(
+                    features[index], labels[index]
+                )
+        finally:
+            self.set_parameters(saved)
+        return losses, gradients
+
     def batch_loss_and_gradient(
         self, features: np.ndarray, labels: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:

@@ -14,6 +14,42 @@ from .base import Model, ModelError, ParameterLayout
 __all__ = ["SoftmaxClassifier"]
 
 
+def _stacked_softmax_kernel(
+    features: np.ndarray,
+    labels: np.ndarray,
+    weights: np.ndarray,
+    bias: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared stacked softmax cross-entropy kernel.
+
+    ``features`` is ``(j, n, d)`` and ``labels`` ``(j, n)``; ``weights`` is
+    either one shared ``(d, c)`` matrix (the many-slices/one-parameter-vector
+    case) or a ``(j, d, c)`` stack (one parameter vector per slice), with
+    ``bias`` broadcast to match.  The reductions run along the same axes as
+    the per-slice ``loss_and_gradient`` path, so the results are
+    **bit-identical** to looping it — both stacked entry points share this
+    one kernel precisely so a numerical fix here cannot desynchronise them.
+    """
+    num_slices, num_samples, _ = features.shape
+    logits = features @ weights + bias  # (j, n, c)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exp = np.exp(shifted)
+    sums = exp.sum(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(sums)
+    slice_index = np.arange(num_slices)[:, np.newaxis]
+    sample_index = np.arange(num_samples)[np.newaxis, :]
+    picked = log_probs[slice_index, sample_index, labels]  # (j, n)
+    losses = -picked.sum(axis=1)
+    dlogits = exp / sums
+    dlogits[slice_index, sample_index, labels] -= 1.0
+    grad_weights = np.swapaxes(features, 1, 2) @ dlogits  # (j, d, c)
+    grad_bias = dlogits.sum(axis=1)  # (j, c)
+    gradients = np.concatenate(
+        [grad_weights.reshape(num_slices, -1), grad_bias], axis=1
+    )
+    return losses, gradients
+
+
 class SoftmaxClassifier(Model):
     """Softmax classifier ``logits = X W + b``.
 
@@ -109,20 +145,43 @@ class SoftmaxClassifier(Model):
                 f"stacked labels have shape {labels.shape}, expected "
                 f"{(num_slices, num_samples)}"
             )
-        logits = features @ self._weights + self._bias  # (j, n, c)
-        shifted = logits - logits.max(axis=-1, keepdims=True)
-        exp = np.exp(shifted)
-        sums = exp.sum(axis=-1, keepdims=True)
-        log_probs = shifted - np.log(sums)
-        slice_index = np.arange(num_slices)[:, np.newaxis]
-        sample_index = np.arange(num_samples)[np.newaxis, :]
-        picked = log_probs[slice_index, sample_index, labels]  # (j, n)
-        losses = -picked.sum(axis=1)
-        dlogits = exp / sums
-        dlogits[slice_index, sample_index, labels] -= 1.0
-        grad_weights = np.swapaxes(features, 1, 2) @ dlogits  # (j, d, c)
-        grad_bias = dlogits.sum(axis=1)  # (j, c)
-        gradients = np.concatenate(
-            [grad_weights.reshape(num_slices, -1), grad_bias], axis=1
+        return _stacked_softmax_kernel(features, labels, self._weights, self._bias)
+
+    def multi_loss_and_gradient(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        parameter_stack: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked multi-parameter kernel: ``e`` (parameters, batch) pairs in
+        one set of broadcast matrix products.
+
+        Identical arithmetic to :meth:`batch_loss_and_gradient` with the
+        weight matrix given a leading pair axis, so the results are
+        bit-identical to looping :meth:`loss_and_gradient` over pairs after
+        :meth:`set_parameters` — asserted in the exactness tests.
+        """
+        features = self._flatten_batch(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        parameter_stack = np.asarray(parameter_stack, dtype=np.float64)
+        num_pairs, num_samples, num_features = features.shape
+        if num_features != self.num_features:
+            raise ModelError(
+                f"expected {self.num_features} features, got {num_features}"
+            )
+        if labels.shape != (num_pairs, num_samples):
+            raise ModelError(
+                f"stacked labels have shape {labels.shape}, expected "
+                f"{(num_pairs, num_samples)}"
+            )
+        if parameter_stack.shape != (num_pairs, self.num_parameters):
+            raise ModelError(
+                f"parameter_stack has shape {parameter_stack.shape}, expected "
+                f"{(num_pairs, self.num_parameters)}"
+            )
+        split = self.num_features * self.num_classes
+        weights = parameter_stack[:, :split].reshape(
+            num_pairs, self.num_features, self.num_classes
         )
-        return losses, gradients
+        bias = parameter_stack[:, np.newaxis, split:]  # (e, 1, c)
+        return _stacked_softmax_kernel(features, labels, weights, bias)

@@ -132,6 +132,8 @@ class MomentumSGD(Optimizer):
         self.momentum = float(momentum)
         self.nesterov = bool(nesterov)
         self._velocity: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+        self._scratch2: np.ndarray | None = None
 
     def _update(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
         if self._velocity is None or self._velocity.shape != parameters.shape:
@@ -141,9 +143,35 @@ class MomentumSGD(Optimizer):
             return parameters + self.momentum * self._velocity - self.learning_rate * gradient
         return parameters + self._velocity
 
+    def _update_inplace(self, parameters: np.ndarray, gradient: np.ndarray) -> None:
+        # Fused in-place moment update: the velocity and scratch buffers are
+        # reused across steps, so a steady-state step allocates nothing.
+        # Bit-identical to _update (same operations in the same order).
+        if self._velocity is None or self._velocity.shape != parameters.shape:
+            self._velocity = np.zeros_like(parameters)
+        if self._scratch is None or self._scratch.shape != parameters.shape:
+            # Allocated separately from the velocity: a step() call may have
+            # built real momentum state without scratch buffers, and that
+            # state must survive the switch to step_inplace().
+            self._scratch = np.empty_like(parameters)
+            self._scratch2 = np.empty_like(parameters)
+        velocity = self._velocity
+        scratch = self._scratch
+        velocity *= self.momentum
+        np.multiply(gradient, self.learning_rate, out=scratch)
+        velocity -= scratch
+        if self.nesterov:
+            np.multiply(velocity, self.momentum, out=self._scratch2)
+            parameters += self._scratch2  # theta + momentum * v
+            parameters -= scratch  # - lr * g
+        else:
+            parameters += velocity
+
     def reset(self) -> None:
         super().reset()
         self._velocity = None
+        self._scratch = None
+        self._scratch2 = None
 
 
 class Adam(Optimizer):
@@ -176,6 +204,8 @@ class Adam(Optimizer):
         self.epsilon = float(epsilon)
         self._first_moment: np.ndarray | None = None
         self._second_moment: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
+        self._scratch2: np.ndarray | None = None
 
     def _update(self, parameters: np.ndarray, gradient: np.ndarray) -> np.ndarray:
         if self._first_moment is None or self._first_moment.shape != parameters.shape:
@@ -195,7 +225,41 @@ class Adam(Optimizer):
             np.sqrt(second_hat) + self.epsilon
         )
 
+    def _update_inplace(self, parameters: np.ndarray, gradient: np.ndarray) -> None:
+        # Fused in-place moment updates: both moment buffers and two scratch
+        # buffers are reused across steps, so a steady-state step allocates
+        # nothing.  Bit-identical to _update (same operations, same order;
+        # the constant reorderings below are exact — multiplication is
+        # commutative and squaring rounds identically to ``g**2``).
+        if self._first_moment is None or self._first_moment.shape != parameters.shape:
+            self._first_moment = np.zeros_like(parameters)
+            self._second_moment = np.zeros_like(parameters)
+        if self._scratch is None or self._scratch.shape != parameters.shape:
+            # Separate from the moment rebuild: moment state built by step()
+            # must survive the switch to step_inplace().
+            self._scratch = np.empty_like(parameters)
+            self._scratch2 = np.empty_like(parameters)
+        first, second = self._first_moment, self._second_moment
+        scratch, scratch2 = self._scratch, self._scratch2
+        t = self._step_count
+        first *= self.beta1
+        np.multiply(gradient, 1.0 - self.beta1, out=scratch)
+        first += scratch
+        second *= self.beta2
+        np.multiply(gradient, gradient, out=scratch)
+        scratch *= 1.0 - self.beta2
+        second += scratch
+        np.divide(second, 1.0 - self.beta2**t, out=scratch)  # second_hat
+        np.sqrt(scratch, out=scratch)
+        scratch += self.epsilon
+        np.divide(first, 1.0 - self.beta1**t, out=scratch2)  # first_hat
+        scratch2 *= self.learning_rate
+        scratch2 /= scratch
+        parameters -= scratch2
+
     def reset(self) -> None:
         super().reset()
         self._first_moment = None
         self._second_moment = None
+        self._scratch = None
+        self._scratch2 = None

@@ -16,12 +16,19 @@ from .convergence import (
     time_to_loss,
 )
 from .report import format_mapping, format_table, to_csv
-from .resource_usage import iteration_resource_usage, run_resource_usage
+from .resource_usage import (
+    iteration_resource_usage,
+    per_worker_resource_usage,
+    run_resource_usage,
+    worker_participation,
+)
 from .timing_stats import TimingStats, speedup, speedup_table, timing_stats
 
 __all__ = [
     "iteration_resource_usage",
+    "per_worker_resource_usage",
     "run_resource_usage",
+    "worker_participation",
     "TimingStats",
     "timing_stats",
     "speedup",

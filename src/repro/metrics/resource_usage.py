@@ -30,6 +30,8 @@ from ..simulation.trace import IterationRecord, RunTrace
 __all__ = [
     "iteration_resource_usage",
     "run_resource_usage",
+    "per_worker_resource_usage",
+    "worker_participation",
 ]
 
 
@@ -67,3 +69,46 @@ def run_resource_usage(trace: RunTrace) -> float:
     usages = capped.sum(axis=1) / (num_workers * finite_durations)
     # Stalled iterations contribute a usage of zero to the average.
     return float(usages.sum() / durations.size)
+
+
+def per_worker_resource_usage(trace: RunTrace) -> np.ndarray:
+    """Per-worker average busy fraction over the run, shape ``(m,)``.
+
+    ``usage_w = mean_i min(compute_{i,w}, T_i) / T_i`` with stalled
+    iterations contributing zero — the per-worker decomposition of
+    :func:`run_resource_usage` (its value is exactly the mean of this
+    array).  One ``(n, m)`` clip for the whole run, no per-record Python.
+    """
+    columns = trace.columns()
+    durations = columns.durations
+    num_workers = columns.num_workers
+    if durations.size == 0:
+        return np.full(num_workers, np.nan)
+    usable = np.isfinite(durations) & (durations > 0)
+    if not usable.any():
+        return np.zeros(num_workers)
+    finite_durations = durations[usable]
+    capped = np.minimum(columns.compute_times[usable], finite_durations[:, None])
+    return (capped / finite_durations[:, None]).sum(axis=0) / durations.size
+
+
+def worker_participation(trace: RunTrace) -> np.ndarray:
+    """Fraction of iterations each worker's result was combined, shape ``(m,)``.
+
+    Vectorized straight over the ragged ``workers_used`` column: one
+    ``bincount`` of its flat ``values`` array — the statistic the
+    per-iteration tuple layout could only produce by looping records.
+    """
+    columns = trace.columns()
+    num_workers = columns.num_workers
+    n = columns.num_iterations
+    if n == 0:
+        return np.full(num_workers, np.nan)
+    used = columns.workers_used
+    counts = np.bincount(used.values, minlength=num_workers)
+    if counts.shape[0] > num_workers:
+        raise ValueError(
+            "workers_used contains worker ids outside the cluster "
+            f"(max id {counts.shape[0] - 1}, num_workers {num_workers})"
+        )
+    return counts / n

@@ -28,6 +28,7 @@ import numpy as np
 
 __all__ = [
     "IterationRecord",
+    "RaggedColumn",
     "RunTrace",
     "TraceColumns",
     "UnknownTraceFieldWarning",
@@ -172,6 +173,174 @@ def _canonical_nans(values: list) -> list:
     return [value if value == value else _NAN for value in values]
 
 
+class RaggedColumn:
+    """Variable-length integer rows stored as flat ``offsets``/``values`` arrays.
+
+    Row ``i`` is ``values[offsets[i]:offsets[i + 1]]``.  This is the
+    numpy-native encoding of per-iteration worker lists (``workers_used``,
+    ``used_groups``): metrics can run vectorized statistics (``bincount``
+    over :attr:`values`, length histograms from ``diff(offsets)``) without
+    touching a Python tuple, while :meth:`tuples` keeps the historical
+    tuple-of-tuples view available **lazily** for the record-based
+    compatibility layer.
+
+    ``present`` distinguishes absent rows (``None`` — e.g. ``used_group``
+    when the general decode ran) from genuinely empty rows; ``None`` means
+    every row is present.  Rows repeat heavily across iterations (one
+    distinct row per decode decision), so the lazy tuple view interns equal
+    rows into shared tuple objects, matching the sharing the column-of-
+    tuples layout had.
+    """
+
+    __slots__ = ("offsets", "values", "present", "_tuples")
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        values: np.ndarray,
+        present: np.ndarray | None = None,
+    ) -> None:
+        self.offsets = _readonly(np.asarray(offsets, dtype=np.int64))
+        self.values = _readonly(np.asarray(values, dtype=np.int64))
+        self.present = (
+            None if present is None else _readonly(np.asarray(present, dtype=bool))
+        )
+        if self.offsets.ndim != 1 or self.offsets.shape[0] == 0:
+            raise TraceError("RaggedColumn.offsets must be 1-d and non-empty")
+        if self.present is not None and self.present.shape != (len(self),):
+            raise TraceError(
+                f"RaggedColumn.present has shape {self.present.shape}, "
+                f"expected ({len(self)},)"
+            )
+        self._tuples: tuple | None = None
+
+    @classmethod
+    def from_rows(cls, rows, nullable: bool = False) -> "RaggedColumn":
+        """Build a ragged column from per-iteration tuples (``None`` allowed
+        when ``nullable``).
+
+        Rows repeat heavily (the kernels emit one shared tuple per distinct
+        decode decision), so construction interns each distinct row once and
+        assembles the flat arrays with one vectorized table gather — the
+        per-row Python cost is a single dict lookup.
+        """
+        rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        n = len(rows)
+        codes = np.empty(n, dtype=np.intp)
+        code_of: dict[tuple[int, ...] | None, int] = {}
+        distinct: list[tuple[int, ...] | None] = []
+        for index, row in enumerate(rows):
+            code = code_of.get(row, -1)
+            if code < 0:
+                code = len(distinct)
+                code_of[row] = code
+                distinct.append(row)
+            codes[index] = code
+        table_lengths = np.fromiter(
+            (0 if row is None else len(row) for row in distinct),
+            dtype=np.int64,
+            count=len(distinct),
+        )
+        width = int(table_lengths.max()) if distinct else 0
+        table = np.zeros((len(distinct), width), dtype=np.int64)
+        for code, row in enumerate(distinct):
+            if row:
+                table[code, : len(row)] = row
+        lengths = table_lengths[codes] if n else table_lengths[:0]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        values = table[codes][np.arange(width) < lengths[:, np.newaxis]]
+        present = None
+        if nullable:
+            none_code = code_of.get(None, -1)
+            present = (
+                codes != none_code if none_code >= 0 else np.ones(n, dtype=bool)
+            )
+        return cls(offsets, values, present)
+
+    @classmethod
+    def concatenate(cls, columns: "list[RaggedColumn]") -> "RaggedColumn":
+        if len(columns) == 1:
+            return columns[0]
+        offsets = [columns[0].offsets]
+        shift = int(columns[0].offsets[-1])
+        for column in columns[1:]:
+            offsets.append(column.offsets[1:] + shift)
+            shift += int(column.offsets[-1])
+        present = None
+        if any(column.present is not None for column in columns):
+            present = np.concatenate(
+                [
+                    np.ones(len(column), dtype=bool)
+                    if column.present is None
+                    else column.present
+                    for column in columns
+                ]
+            )
+        return cls(
+            np.concatenate(offsets),
+            np.concatenate([column.values for column in columns]),
+            present,
+        )
+
+    def __len__(self) -> int:
+        return self.offsets.shape[0] - 1
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RaggedColumn):
+            return NotImplemented
+        return self.tuples() == other.tuples()
+
+    def __hash__(self) -> int:  # content-hashable like the former tuples
+        return hash(self.tuples())
+
+    def row(self, index: int) -> np.ndarray | None:
+        """Row ``index`` as an array view (``None`` for absent rows)."""
+        if self.present is not None and not self.present[index]:
+            return None
+        return self.values[self.offsets[index] : self.offsets[index + 1]]
+
+    def row_lengths(self) -> np.ndarray:
+        """Per-row lengths (absent rows count as 0)."""
+        return np.diff(self.offsets)
+
+    def tuples(self) -> tuple:
+        """The historical tuple-of-tuples view (lazy, cached, row-interned)."""
+        cached = self._tuples
+        if cached is None:
+            interned: dict[bytes, tuple[int, ...]] = {}
+            values = self.values
+            offsets = self.offsets.tolist()
+            present = self.present
+            rows = []
+            for index in range(len(self)):
+                if present is not None and not present[index]:
+                    rows.append(None)
+                    continue
+                segment = values[offsets[index] : offsets[index + 1]]
+                key = segment.tobytes()
+                row = interned.get(key)
+                if row is None:
+                    row = tuple(segment.tolist())
+                    interned[key] = row
+                rows.append(row)
+            cached = tuple(rows)
+            self._tuples = cached
+        return cached
+
+    def __iter__(self):
+        return iter(self.tuples())
+
+    def __getitem__(self, index):
+        return self.tuples()[index]
+
+
+def _as_ragged(rows, nullable: bool) -> RaggedColumn:
+    if isinstance(rows, RaggedColumn):
+        return rows
+    return RaggedColumn.from_rows(rows, nullable=nullable)
+
+
 @dataclass(frozen=True)
 class TraceColumns:
     """Column-oriented storage of a whole run: one array per quantity.
@@ -191,12 +360,12 @@ class TraceColumns:
     completion_times:
         Per-worker completion times, shape ``(n, m)``.
     workers_used:
-        Per-iteration tuple of the workers the master combined.  Decode
-        decisions repeat heavily across iterations, so the tuples are
-        typically *shared* objects (one per distinct completion order).
+        Per-iteration workers the master combined, as a
+        :class:`RaggedColumn` (constructing with a sequence of tuples
+        converts automatically; iterating yields the historical tuples).
     used_groups:
-        Per-iteration group used by the decode fast path (``None`` when the
-        general decode ran), shared the same way.
+        Per-iteration group used by the decode fast path, as a *nullable*
+        :class:`RaggedColumn` (``None`` rows where the general decode ran).
     """
 
     iterations: np.ndarray
@@ -204,10 +373,16 @@ class TraceColumns:
     train_losses: np.ndarray
     compute_times: np.ndarray
     completion_times: np.ndarray
-    workers_used: tuple[tuple[int, ...], ...]
-    used_groups: tuple[tuple[int, ...] | None, ...]
+    workers_used: RaggedColumn
+    used_groups: RaggedColumn
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "workers_used", _as_ragged(self.workers_used, nullable=False)
+        )
+        object.__setattr__(
+            self, "used_groups", _as_ragged(self.used_groups, nullable=True)
+        )
         n = self.durations.shape[0]
         for name in ("iterations", "train_losses"):
             if getattr(self, name).shape != (n,):
@@ -299,10 +474,8 @@ class TraceColumns:
             completion_times=_readonly(
                 np.concatenate([b.completion_times for b in blocks])
             ),
-            workers_used=tuple(
-                used for b in blocks for used in b.workers_used
-            ),
-            used_groups=tuple(group for b in blocks for group in b.used_groups),
+            workers_used=RaggedColumn.concatenate([b.workers_used for b in blocks]),
+            used_groups=RaggedColumn.concatenate([b.used_groups for b in blocks]),
         )
 
     def materialize_records(self) -> "list[IterationRecord]":
@@ -492,8 +665,8 @@ class RunTrace:
             completion_times=_readonly(
                 np.asarray(arrays.completion_times, dtype=np.float64)
             ),
-            workers_used=tuple(arrays.workers_used),
-            used_groups=tuple(arrays.used_groups),
+            workers_used=arrays.workers_used,
+            used_groups=arrays.used_groups,
         )
         trace = cls(scheme=scheme, cluster_name=cluster_name, metadata=metadata)
         trace._base = columns

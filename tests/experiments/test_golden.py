@@ -1,0 +1,113 @@
+"""Tests for the golden fixed-seed report (repro golden / CI golden job)."""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.golden import (
+    compare_golden_reports,
+    generate_golden_report,
+    write_golden_report,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        return json.loads(json.dumps(generate_golden_report()))
+
+
+class TestGoldenReport:
+    def test_covers_every_figure_and_both_rng_versions(self, report):
+        prefixes = {name.split("/")[0] for name in report["runs"]}
+        assert prefixes == {"fig2", "fig3", "fig4", "fig5"}
+        assert any(name.endswith("/v1") for name in report["runs"])
+        assert any(name.endswith("/v2") for name in report["runs"])
+        # The SSP family's batched engine is pinned too.
+        assert "fig4/ssp/v2" in report["runs"]
+        assert "fig4/async/v2" in report["runs"]
+        assert "fig4/dyn_ssp/v2" in report["runs"]
+        assert set(report["table2"]["num_workers"]) == {
+            "Cluster-A", "Cluster-B", "Cluster-C", "Cluster-D",
+        }
+
+    def test_regeneration_is_deterministic(self, report):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            again = json.loads(json.dumps(generate_golden_report()))
+        text, diffs = compare_golden_reports(report, again)
+        assert diffs == [], text
+
+    def test_numeric_drift_is_detected(self, report):
+        mutated = json.loads(json.dumps(report))
+        name = next(iter(mutated["runs"]))
+        mutated["runs"][name]["trace"]["records"][0]["duration"] *= 1.5
+        _, diffs = compare_golden_reports(report, mutated)
+        assert len(diffs) == 1
+        assert "duration" in diffs[0]
+
+    def test_tiny_float_noise_is_tolerated(self, report):
+        mutated = json.loads(json.dumps(report))
+        name = next(iter(mutated["runs"]))
+        record = mutated["runs"][name]["trace"]["records"][0]
+        record["duration"] *= 1.0 + 1e-13  # sub-tolerance BLAS-style noise
+        _, diffs = compare_golden_reports(report, mutated)
+        assert diffs == []
+
+    def test_nan_versus_number_is_a_difference(self, report):
+        """A regression driving a recorded value to NaN must not slip
+        through the numeric comparison (NaN comparisons are all falsy)."""
+        mutated = json.loads(json.dumps(report))
+        name = next(iter(mutated["runs"]))
+        record = mutated["runs"][name]["trace"]["records"][0]
+        record["duration"] = float("nan")
+        _, diffs = compare_golden_reports(report, mutated)
+        assert len(diffs) == 1 and "duration" in diffs[0]
+        # ...in both directions.
+        _, diffs = compare_golden_reports(mutated, report)
+        assert len(diffs) == 1
+
+    def test_structural_changes_are_detected(self, report):
+        mutated = json.loads(json.dumps(report))
+        name = next(iter(mutated["runs"]))
+        del mutated["runs"][name]
+        mutated["runs"]["fig9/new"] = {"trace": {}}
+        _, diffs = compare_golden_reports(report, mutated)
+        assert any("missing key" in diff for diff in diffs)
+        assert any("unexpected key" in diff for diff in diffs)
+
+
+class TestGoldenCli:
+    def test_write_then_check_round_trip(self, tmp_path, capsys):
+        golden_path = tmp_path / "golden.json"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            assert main(["golden", "--output", str(golden_path)]) == 0
+            assert main(["golden", "--check", str(golden_path)]) == 0
+        out = capsys.readouterr().out
+        assert "no differences" in out
+
+    def test_check_failure_exits_nonzero_and_writes_diff(
+        self, tmp_path, capsys, report
+    ):
+        mutated = json.loads(json.dumps(report))
+        name = next(iter(mutated["runs"]))
+        mutated["runs"][name]["trace"]["records"][0]["duration"] += 1.0
+        golden_path = tmp_path / "golden.json"
+        write_golden_report(mutated, str(golden_path))
+        diff_path = tmp_path / "diff.txt"
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            code = main([
+                "golden", "--check", str(golden_path),
+                "--diff-output", str(diff_path),
+            ])
+        assert code == 1
+        assert diff_path.exists()
+        assert "difference" in diff_path.read_text()
+        assert "difference" in capsys.readouterr().out

@@ -119,3 +119,76 @@ class TestAdam:
             Adam(beta2=-0.1)
         with pytest.raises(OptimizerError):
             Adam(epsilon=0.0)
+
+
+class TestStepInplaceEquivalence:
+    """step_inplace matches step bit for bit for every stateful optimiser."""
+
+    FACTORIES = {
+        "sgd": lambda: SGD(learning_rate=0.1),
+        "momentum": lambda: MomentumSGD(learning_rate=0.05, momentum=0.9),
+        "nesterov": lambda: MomentumSGD(
+            learning_rate=0.05, momentum=0.9, nesterov=True
+        ),
+        "adam": lambda: Adam(learning_rate=0.01),
+    }
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_inplace_trajectory_bit_identical(self, name):
+        rng = np.random.default_rng(0)
+        gradients = rng.normal(size=(20, 64))
+        reference, inplace = self.FACTORIES[name](), self.FACTORIES[name]()
+        theta_ref = np.zeros(64)
+        theta_in = np.zeros(64)
+        for gradient in gradients:
+            theta_ref = reference.step(theta_ref, gradient)
+            returned = inplace.step_inplace(theta_in, gradient)
+            assert returned is theta_in  # updated the caller's buffer
+            assert np.array_equal(theta_ref, theta_in)
+        assert reference.steps_taken == inplace.steps_taken == 20
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_inplace_falls_back_on_readonly_buffers(self, name):
+        optimizer = self.FACTORIES[name]()
+        theta = np.zeros(8)
+        theta.flags.writeable = False
+        gradient = np.ones(8)
+        updated = optimizer.step_inplace(theta, gradient)
+        assert updated is not theta
+        fresh = self.FACTORIES[name]()
+        assert np.array_equal(updated, fresh.step(np.zeros(8), gradient))
+
+    @pytest.mark.parametrize("name", sorted(FACTORIES))
+    def test_mixing_step_then_step_inplace_keeps_state(self, name):
+        """step() may build moment state before the first step_inplace();
+        the in-place kernels must pick that state up, not crash or reset."""
+        rng = np.random.default_rng(1)
+        gradients = rng.normal(size=(6, 16))
+        reference, mixed = self.FACTORIES[name](), self.FACTORIES[name]()
+        theta_ref = np.zeros(16)
+        theta_mixed = np.zeros(16)
+        for gradient in gradients[:3]:
+            theta_ref = reference.step(theta_ref, gradient)
+            theta_mixed = mixed.step(theta_mixed, gradient)
+        for gradient in gradients[3:]:
+            theta_ref = reference.step(theta_ref, gradient)
+            theta_mixed = mixed.step_inplace(theta_mixed.copy(), gradient)
+        assert np.array_equal(theta_ref, theta_mixed)
+
+    @pytest.mark.parametrize("name", ["momentum", "nesterov", "adam"])
+    def test_inplace_state_resets_with_reset(self, name):
+        optimizer = self.FACTORIES[name]()
+        theta = np.zeros(4)
+        first = optimizer.step_inplace(theta.copy(), np.ones(4)).copy()
+        optimizer.reset()
+        again = optimizer.step_inplace(theta.copy(), np.ones(4))
+        assert np.array_equal(first, again)
+
+    @pytest.mark.parametrize("name", ["momentum", "nesterov", "adam"])
+    def test_inplace_buffers_track_shape_changes(self, name):
+        optimizer = self.FACTORIES[name]()
+        optimizer.step_inplace(np.zeros(4), np.ones(4))
+        # A different parameter shape must rebuild the moment buffers, not
+        # crash or silently reuse stale ones.
+        updated = optimizer.step_inplace(np.zeros(6), np.ones(6))
+        assert updated.shape == (6,)

@@ -13,8 +13,12 @@ from __future__ import annotations
 import tracemalloc
 import warnings
 
+import numpy as np
+import pytest
+
 from repro.experiments.clusters import build_cluster
 from repro.experiments.common import SampleCountDriftWarning, measure_timing_trace
+from repro.learning.optimizers import SGD, Adam, MomentumSGD
 
 NUM_ITERATIONS = 10_000
 
@@ -67,3 +71,57 @@ class TestTraceMemorySmoke:
         assert len(records) == 50
         assert trace._records_cache is not None
         assert trace.records[0] is records[0]  # materialized once
+
+
+class TestOptimizerStepInplaceAllocations:
+    """The fused in-place kernels must not allocate in steady state.
+
+    Each optimiser is warmed for two steps (the first step builds the moment
+    and scratch buffers), then 50 further ``step_inplace`` calls run under
+    ``tracemalloc``.  A copy-on-write fallback — or any per-step temporary of
+    parameter size — would allocate ``O(steps * nbytes)``; the budget below
+    is a small fraction of ONE parameter buffer, so even a single full-size
+    temporary per step fails loudly.
+    """
+
+    NUM_PARAMETERS = 1 << 18  # 2 MB of float64 parameters
+    STEPS = 50
+
+    @pytest.mark.parametrize(
+        "factory, budget_fraction",
+        [
+            # SGD documents exactly one transient temporary (lr * g) per
+            # step; the stateful optimisers reuse scratch buffers and must
+            # stay strictly allocation-free.
+            (lambda: SGD(learning_rate=0.1), 1.5),
+            (lambda: MomentumSGD(learning_rate=0.05, momentum=0.9), 0.25),
+            (
+                lambda: MomentumSGD(
+                    learning_rate=0.05, momentum=0.9, nesterov=True
+                ),
+                0.25,
+            ),
+            (lambda: Adam(learning_rate=0.01), 0.25),
+        ],
+        ids=["sgd", "momentum", "nesterov", "adam"],
+    )
+    def test_steady_state_step_is_allocation_free(self, factory, budget_fraction):
+        optimizer = factory()
+        parameters = np.zeros(self.NUM_PARAMETERS)
+        gradient = np.random.default_rng(0).normal(size=self.NUM_PARAMETERS)
+        buffer_bytes = parameters.nbytes
+        for _ in range(2):  # build moment/scratch buffers outside the window
+            optimizer.step_inplace(parameters, gradient)
+        tracemalloc.start()
+        try:
+            for _ in range(self.STEPS):
+                returned = optimizer.step_inplace(parameters, gradient)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert returned is parameters
+        assert peak < buffer_bytes * budget_fraction, (
+            f"step_inplace allocated {peak / 1e6:.2f} MB peak over "
+            f"{self.STEPS} steps on a {buffer_bytes / 1e6:.2f} MB parameter "
+            "vector — did the copy-on-write fallback sneak back in?"
+        )
