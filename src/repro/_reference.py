@@ -21,7 +21,7 @@ always at least as fast and exactly equivalent.
 from __future__ import annotations
 
 import warnings
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -28,8 +28,9 @@ builtin schemes do (Engine, sweeps, figures, CLI).
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator, Mapping
 from types import MappingProxyType
-from typing import Any, Callable, Generic, Iterator, Mapping, TypeVar
+from typing import Any, Generic, TypeVar
 
 __all__ = [
     "Registry",

@@ -1,0 +1,78 @@
+"""Static analysis: executable versions of the repo's determinism contracts.
+
+PRs 1–5 established a set of invariants that keep runs bit-reproducible and
+the batched kernels honest — randomness flows only through seeded component
+streams, plugins go through the registries, ``RunSpec`` is frozen, every
+vectorized kernel is pinned against a scalar reference.  This package turns
+those reviewer-memory rules into an AST-based checker that runs in CI
+(``repro lint``), so a violation is a red build instead of a corrupted
+stream three PRs later.
+
+Builtin rules (see README "Static analysis" for the full table):
+
+========  ============================================================
+RNG001    randomness only through seeded streams (no legacy
+          ``numpy.random`` global-state calls, no ``RandomState``, no
+          entropy-seeded ``default_rng()``)
+RNG002    no wall-clock / ambient nondeterminism in fingerprinted
+          modules (``simulation/``, ``protocols/``, ``coding/``,
+          ``api/``)
+REG001    plugin subclasses must be reachable from a registry
+SPEC001   no mutation of frozen ``RunSpec`` instances
+KER001    every public batched kernel is paired with a scalar-reference
+          test under ``tests/**``
+IMP001    ``repro._reference`` is imported by tests only
+========  ============================================================
+
+Suppress a deliberate violation inline, with a reason::
+
+    return np.random.default_rng(None)  # repro-lint: disable=RNG001 -- why
+
+New rules plug in through the same registry idiom as every other extension
+point (:func:`register_rule`); see :mod:`repro.analysis.base`.
+"""
+
+from .base import RULES, LintRule, active_rules, register_rule
+from .context import ClassInfo, FileContext, ProjectContext
+from .findings import Finding
+from .rules import (
+    AmbientNondeterminismRule,
+    FrozenSpecMutationRule,
+    ReferenceImportRule,
+    RngSourceRule,
+    UnpairedBatchKernelRule,
+    UnregisteredPluginRule,
+)
+from .runner import (
+    LintError,
+    LintReport,
+    format_json,
+    format_text,
+    lint_paths,
+    list_rules,
+    write_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "LintError",
+    "LintReport",
+    "RULES",
+    "register_rule",
+    "active_rules",
+    "lint_paths",
+    "format_text",
+    "format_json",
+    "write_baseline",
+    "list_rules",
+    "ClassInfo",
+    "FileContext",
+    "ProjectContext",
+    "RngSourceRule",
+    "AmbientNondeterminismRule",
+    "UnregisteredPluginRule",
+    "FrozenSpecMutationRule",
+    "UnpairedBatchKernelRule",
+    "ReferenceImportRule",
+]

@@ -1,0 +1,94 @@
+"""Rule framework: the ``RULES`` registry and the :class:`LintRule` base.
+
+Rules follow the same decorator-registration idiom as every other plugin in
+the package (schemes, protocols, clusters, ...): a rule is a class decorated
+with :func:`register_rule`, keyed by its id::
+
+    from repro.analysis import LintRule, register_rule
+
+    @register_rule("MY001", summary="what the rule enforces")
+    class MyRule(LintRule):
+        id = "MY001"
+
+        def check(self, ctx, project):
+            for node in ast.walk(ctx.tree):
+                ...
+                yield self.finding(ctx, node, "explain the violation")
+
+Each rule sees one :class:`~repro.analysis.context.FileContext` at a time
+plus the shared :class:`~repro.analysis.context.ProjectContext` for
+cross-file facts.  Suppression comments and ``--select``/``--ignore``
+filtering are applied by the runner, not by rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Iterator
+
+from .._registry import Registry
+from .context import FileContext, ProjectContext
+from .findings import Finding
+
+__all__ = ["LintRule", "RULES", "register_rule", "active_rules"]
+
+#: Registry of rule classes, keyed by rule id.  Registration order is the
+#: presentation order of reports and ``lint --list-rules``.
+RULES: Registry[type["LintRule"]] = Registry("lint rule")
+
+register_rule = RULES.register
+
+
+class LintRule(ABC):
+    """Base class for one static-analysis rule."""
+
+    #: Rule identifier; must match the key used with :func:`register_rule`.
+    id: str = ""
+    #: Default severity of this rule's findings.
+    severity: str = "error"
+
+    @abstractmethod
+    def check(self, ctx: FileContext, project: ProjectContext) -> Iterable[Finding]:
+        """Yield findings for one file."""
+
+    def finding(
+        self,
+        ctx: FileContext,
+        node: ast.AST | None,
+        message: str,
+        *,
+        severity: str | None = None,
+    ) -> Finding:
+        """Build a :class:`Finding` anchored at ``node`` (or the file top)."""
+        line = getattr(node, "lineno", 1) if node is not None else 1
+        col = getattr(node, "col_offset", 0) if node is not None else 0
+        return Finding(
+            path=ctx.rel,
+            line=int(line),
+            col=int(col),
+            rule=self.id,
+            severity=severity or self.severity,
+            message=message,
+        )
+
+
+def active_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> Iterator[LintRule]:
+    """Instantiate the registered rules that survive select/ignore filters.
+
+    ``select`` limits the run to the given rule ids; ``ignore`` drops ids
+    from whatever ``select`` (or the full registry) produced.  Unknown ids
+    in either list raise :class:`~repro._registry.RegistryError` so typos
+    fail loudly instead of silently linting nothing.
+    """
+    selected = list(select) if select else list(RULES.names())
+    ignored = set(ignore) if ignore else set()
+    for rule_id in list(selected) + sorted(ignored):
+        RULES.get(rule_id)  # raises RegistryError on unknown ids
+    for rule_id in selected:
+        if rule_id in ignored:
+            continue
+        yield RULES.get(rule_id)()

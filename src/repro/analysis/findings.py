@@ -1,0 +1,70 @@
+"""Finding objects produced by the static-analysis rules.
+
+A :class:`Finding` pins one rule violation to a file location.  Findings are
+plain frozen dataclasses so reports sort, dedupe and serialise trivially;
+:meth:`Finding.fingerprint` is the location-independent identity used by
+baseline files (a baseline survives unrelated edits that shift line
+numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Recognised severities, mildest last.  Every builtin rule reports
+#: ``"error"``; ``"warning"`` exists for third-party rules that want to
+#: surface advice without failing CI.
+SEVERITIES: tuple[str, ...] = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes
+    ----------
+    path:
+        Display path of the offending file (relative to the lint root when
+        possible).
+    line, col:
+        1-based line and 0-based column of the offending node.
+    rule:
+        Rule identifier (``"RNG001"``, ...).
+    severity:
+        ``"error"`` or ``"warning"`` (see :data:`SEVERITIES`).
+    message:
+        Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: str
+    message: str
+
+    def location(self) -> str:
+        """``path:line:col`` prefix used by the text report."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form (used by ``--format json``)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def fingerprint(self) -> dict[str, str]:
+        """Location-independent identity used by baseline files.
+
+        Line/column are deliberately excluded so a baseline keeps matching
+        when unrelated edits shift the finding around inside its file.
+        """
+        return {"rule": self.rule, "path": self.path, "message": self.message}

@@ -18,7 +18,8 @@ New models plug in through the registries::
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from .._registry import (
     NETWORK_MODELS,

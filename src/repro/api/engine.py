@@ -21,8 +21,9 @@ from __future__ import annotations
 import functools
 import itertools
 import os
+from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any
 
 from .._registry import (
     CLUSTERS,

@@ -29,8 +29,9 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
+from ._registry import RegistryError
 from .api import Engine, RunSpec
 from .api.registry import (
     CLUSTERS,
@@ -226,6 +227,38 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default 1e-9; structure and non-numeric "
                              "leaves must match exactly)")
 
+    lint = subparsers.add_parser(
+        "lint",
+        help="repro lint: AST checks enforcing the repo's determinism contracts",
+        description=(
+            "Run the static-analysis rules (RNG/registry/frozen-spec/"
+            "batched-kernel contracts — see README 'Static analysis') over "
+            "the given files or directories.  Exits 1 when findings remain "
+            "after suppressions and the baseline, 0 on a clean tree."
+        ),
+    )
+    lint.add_argument("paths", nargs="*", default=["src"],
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--select", default=None, metavar="RULES",
+                      help="comma-separated rule ids to run (default: all)")
+    lint.add_argument("--ignore", default=None, metavar="RULES",
+                      help="comma-separated rule ids to skip")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
+    lint.add_argument("--output", default=None, metavar="PATH",
+                      help="also write the report to this file "
+                           "(uploaded as a CI artifact on failure)")
+    lint.add_argument("--baseline", default=None, metavar="PATH",
+                      help="ignore findings recorded in this baseline JSON")
+    lint.add_argument("--update-baseline", default=None, metavar="PATH",
+                      help="write the current findings to PATH as the new "
+                           "baseline and exit 0")
+    lint.add_argument("--tests-root", default=None, metavar="DIR",
+                      help="test tree for KER001's kernel/reference pairing "
+                           "(default: auto-discovered tests/)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list the registered rules and exit")
+
     analyze = subparsers.add_parser(
         "analyze", help="static analysis of every scheme on one cluster"
     )
@@ -406,6 +439,44 @@ def _command_golden(args: argparse.Namespace):
     return text
 
 
+def _command_lint(args: argparse.Namespace):
+    from .analysis import LintError, format_json, format_text, lint_paths, list_rules
+    from .analysis import write_baseline as write_lint_baseline
+
+    if args.list_rules:
+        return list_rules()
+    def split(value: str | None) -> list[str] | None:
+        if not value:
+            return None
+        return [part.strip() for part in value.split(",") if part.strip()]
+
+    try:
+        report = lint_paths(
+            args.paths,
+            select=split(args.select),
+            ignore=split(args.ignore),
+            tests_root=args.tests_root,
+            baseline=args.baseline,
+        )
+    except (LintError, RegistryError) as exc:
+        return f"repro lint: error: {exc}", 2
+    if args.update_baseline:
+        write_lint_baseline(report, args.update_baseline)
+        return (
+            f"wrote baseline with {len(report.findings)} finding(s) to "
+            f"{args.update_baseline}"
+        ), 0
+    text = format_json(report) if args.format == "json" else format_text(report)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        if args.format == "json":
+            text = format_text(report) + f"\nwrote {args.output}"
+        else:
+            text += f"\nwrote {args.output}"
+    return text, report.exit_code
+
+
 def _command_plugins(_: argparse.Namespace) -> str:
     sections = [
         ("schemes", SCHEMES),
@@ -474,6 +545,7 @@ _COMMANDS = {
     "estimation-error": _command_estimation_error,
     "analyze": _command_analyze,
     "run": _command_run,
+    "lint": _command_lint,
     "plugins": _command_plugins,
     "bench": _command_bench,
     "golden": _command_golden,

@@ -21,7 +21,7 @@ rounding that preserves the total ``k (s + 1)`` and caps every ``n_i`` at
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

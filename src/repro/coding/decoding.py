@@ -24,8 +24,8 @@ repeated iterations with the same straggler pattern pay the solve cost once.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
-from typing import Mapping, Sequence
 
 import numpy as np
 

@@ -30,7 +30,7 @@ non-group sub-system, which Algorithm 1 made robust to exactly that many.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

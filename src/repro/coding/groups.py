@@ -20,7 +20,7 @@ calls.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 from .types import PartitionAssignment
 

@@ -19,7 +19,7 @@ lower bound for any ``s``-robust strategy.  See
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -18,8 +18,8 @@ and an optimality-gap report used by the ablation benchmark.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

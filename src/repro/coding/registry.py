@@ -18,7 +18,7 @@ of editing a hard-coded dict here::
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

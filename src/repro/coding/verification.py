@@ -15,8 +15,8 @@ span of the corresponding rows of ``B`` (Condition 1).  This module provides:
 from __future__ import annotations
 
 import itertools
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Iterable, Sequence
 
 import numpy as np
 

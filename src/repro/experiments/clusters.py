@@ -37,7 +37,7 @@ The four clusters are registered in the shared plugin registry
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from .._registry import CLUSTERS, register_cluster
 from ..simulation.cluster import ClusterSpec, cluster_from_vcpu_counts

@@ -18,8 +18,8 @@ Expected shape (the paper's observations):
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

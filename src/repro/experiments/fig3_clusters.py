@@ -13,8 +13,8 @@ naive scheme does.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..api import Engine, RunSpec, StragglerSpec
 from .clusters import build_cluster

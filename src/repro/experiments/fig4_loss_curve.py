@@ -17,8 +17,8 @@ numpy gradients, real parameter updates — on the simulated clock.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

@@ -9,8 +9,8 @@ remaining idle time attributed to communication overhead).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from ..api import Engine, RunSpec, StragglerSpec
 

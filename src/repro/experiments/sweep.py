@@ -23,8 +23,8 @@ Two sweeps back the design decisions DESIGN.md calls out:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass, field
-from typing import Sequence
 
 import numpy as np
 

@@ -23,13 +23,25 @@ objects.  Workloads live in the shared plugin registry
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping
 from dataclasses import dataclass
-from typing import Callable, Mapping
 
 from .._registry import WORKLOADS as _WORKLOAD_REGISTRY
 from .._registry import register_workload
-from ..learning.datasets import Dataset, make_blobs, make_cifar10_like, make_imagenet_like
-from ..learning.models import MLPClassifier, Model, SimpleCNN, SoftmaxClassifier
+from ..learning.datasets import (
+    Dataset,
+    make_blobs,
+    make_cifar10_like,
+    make_imagenet_like,
+    make_linear_regression,
+)
+from ..learning.models import (
+    LinearRegressionModel,
+    MLPClassifier,
+    Model,
+    SimpleCNN,
+    SoftmaxClassifier,
+)
 
 __all__ = [
     "Workload",
@@ -84,6 +96,10 @@ def _cifar_mlp_model(dataset: Dataset, seed: int) -> Model:
         hidden_sizes=(64,),
         rng=seed,
     )
+
+
+def _linear_regression_model(dataset: Dataset, seed: int) -> Model:
+    return LinearRegressionModel(dataset.num_features, rng=seed)
 
 
 def _imagenet_cnn_model(dataset: Dataset, seed: int) -> Model:
@@ -154,6 +170,20 @@ for _workload in (
         model_factory=_cifar_mlp_model,
         default_samples=2048,
         description="CIFAR-10-like images + MLP (AlexNet stand-in)",
+    ),
+    Workload(
+        name="linear_regression",
+        dataset_factory=lambda n, seed: make_linear_regression(
+            num_samples=n, num_features=16, noise=0.1, rng=seed
+        ),
+        model_factory=_linear_regression_model,
+        default_samples=1024,
+        description=(
+            "Synthetic y = Xw* + noise regression + least-squares linear "
+            "model; the non-classification workload (convex, closed-form "
+            "optimum) used to sanity-check protocols independently of "
+            "softmax dynamics"
+        ),
     ),
     Workload(
         name="imagenet_cnn",

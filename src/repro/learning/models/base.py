@@ -18,7 +18,7 @@ disjoint partitions are additive: ``g = sum_i g_i`` exactly as in the paper.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

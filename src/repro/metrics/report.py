@@ -8,7 +8,7 @@ used — the benchmark harness compares *numbers and orderings*, not pixels.
 from __future__ import annotations
 
 import io
-from typing import Mapping, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["format_table", "to_csv", "format_mapping"]
 

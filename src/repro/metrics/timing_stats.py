@@ -8,8 +8,8 @@ cyclic baseline ("up to 3x").  These helpers compute them from
 
 from __future__ import annotations
 
+from collections.abc import Mapping
 from dataclasses import dataclass
-from typing import Mapping
 
 import numpy as np
 

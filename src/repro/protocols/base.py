@@ -12,8 +12,8 @@ experiments can sweep a single object.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Callable
 
 import numpy as np
 
@@ -148,7 +148,9 @@ class TrainingConfig:
             if self.rng_streams is not None:
                 return getattr(self.rng_streams, component)
         if self.seed is None:
-            return np.random.default_rng(None)
+            # seed=None is the documented "explicitly non-reproducible run"
+            # escape hatch (mirrors default_rng(None) semantics under v1).
+            return np.random.default_rng(None)  # repro-lint: disable=RNG001
         return np.random.default_rng(self.seed + stream_offset)
 
 

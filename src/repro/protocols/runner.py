@@ -27,7 +27,7 @@ explicitly.
 
 from __future__ import annotations
 
-from typing import Callable, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from .._registry import PROTOCOLS, register_protocol
 from ..learning.datasets import Dataset

@@ -14,9 +14,9 @@ machinery.
 
 from __future__ import annotations
 
+from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Mapping, Sequence
 
 import numpy as np
 

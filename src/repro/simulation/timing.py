@@ -21,8 +21,8 @@ iteration can never complete (e.g. the naive scheme with a failed worker).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

@@ -1,0 +1,59 @@
+"""Shared fixtures for the ``repro.analysis`` lint tests.
+
+Rules are path-sensitive (RNG002 only fires under ``simulation/`` etc., and
+KER001 cross-references a ``tests/`` tree), so the fixtures build small
+throwaway project trees under ``tmp_path`` and run :func:`lint_paths` over
+them.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relpath: source}`` files and lint them.
+
+    Returns ``run(files, **kwargs) -> LintReport``; sources are dedented so
+    tests can use indented triple-quoted literals.  ``kwargs`` pass through
+    to :func:`lint_paths` (``select``, ``ignore``, ``tests_root``,
+    ``baseline``).
+    """
+
+    def run(files: dict[str, str], **kwargs):
+        root = tmp_path / "proj"
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        # Most rule tests don't care about KER001; give them an empty test
+        # tree so the rule runs deterministically instead of discovering
+        # whatever `tests/` directory pytest happens to be running from.
+        if "tests_root" not in kwargs:
+            empty = tmp_path / "no_tests"
+            empty.mkdir(exist_ok=True)
+            kwargs["tests_root"] = empty
+        return lint_paths([root], **kwargs)
+
+    return run
+
+
+@pytest.fixture
+def write_tree(tmp_path):
+    """Just write the files and return the root (for CLI-level tests)."""
+
+    def write(files: dict[str, str], root_name: str = "proj") -> Path:
+        root = tmp_path / root_name
+        for rel, source in files.items():
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source), encoding="utf-8")
+        return root
+
+    return write

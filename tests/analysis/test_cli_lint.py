@@ -1,0 +1,103 @@
+"""CLI-level tests for ``repro lint`` (argument wiring and exit codes)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import build_parser, main
+
+DIRTY = {
+    "pkg/mod.py": (
+        "import numpy as np\n"
+        "from repro._reference import anything\n\n"
+        "g = np.random.default_rng()\n"
+    )
+}
+
+CLEAN = {"pkg/ok.py": "x = 1\n"}
+
+
+class TestParser:
+    def test_lint_parses_with_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.command == "lint"
+        assert args.paths == ["src"]
+        assert args.format == "text"
+
+    def test_lint_parses_all_flags(self):
+        args = build_parser().parse_args(
+            [
+                "lint", "src", "tools",
+                "--select", "RNG001,KER001",
+                "--format", "json",
+                "--baseline", "b.json",
+                "--tests-root", "tests",
+            ]
+        )
+        assert args.paths == ["src", "tools"]
+        assert args.select == "RNG001,KER001"
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, write_tree, capsys):
+        root = write_tree(CLEAN)
+        assert main(["lint", str(root)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, write_tree, capsys):
+        root = write_tree(DIRTY)
+        assert main(["lint", str(root)]) == 1
+        out = capsys.readouterr().out
+        assert "RNG001" in out and "IMP001" in out
+
+    def test_usage_errors_exit_two(self, write_tree, capsys):
+        root = write_tree(CLEAN)
+        assert main(["lint", str(root), "--select", "NOPE01"]) == 2
+        assert "repro lint: error:" in capsys.readouterr().out
+        assert main(["lint", "no/such/dir"]) == 2
+
+
+class TestFlags:
+    def test_select_limits_findings(self, write_tree, capsys):
+        root = write_tree(DIRTY)
+        assert main(["lint", str(root), "--select", "IMP001"]) == 1
+        out = capsys.readouterr().out
+        assert "IMP001" in out and "RNG001" not in out
+
+    def test_ignore_can_make_tree_clean(self, write_tree, capsys):
+        root = write_tree(DIRTY)
+        code = main(["lint", str(root), "--ignore", "RNG001,IMP001"])
+        assert code == 0
+
+    def test_json_format(self, write_tree, capsys):
+        root = write_tree(DIRTY)
+        assert main(["lint", str(root), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"] == {"IMP001": 1, "RNG001": 1}
+
+    def test_output_writes_report_file(self, write_tree, tmp_path, capsys):
+        root = write_tree(DIRTY)
+        out_file = tmp_path / "report.json"
+        code = main(
+            ["lint", str(root), "--format", "json", "--output", str(out_file)]
+        )
+        assert code == 1
+        payload = json.loads(out_file.read_text(encoding="utf-8"))
+        assert payload["summary"]["RNG001"] == 1
+        # stdout falls back to the text rendering plus a pointer
+        out = capsys.readouterr().out
+        assert f"wrote {out_file}" in out
+
+    def test_baseline_round_trip(self, write_tree, tmp_path, capsys):
+        root = write_tree(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        assert main(["lint", str(root), "--update-baseline", str(baseline)]) == 0
+        assert "wrote baseline with 2 finding(s)" in capsys.readouterr().out
+        assert main(["lint", str(root), "--baseline", str(baseline)]) == 0
+        assert "2 baselined" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RNG001", "RNG002", "REG001", "SPEC001", "KER001", "IMP001"):
+            assert rule_id in out

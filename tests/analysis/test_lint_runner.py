@@ -1,0 +1,132 @@
+"""Runner-level behaviour: selection, baselines, parse errors, formats."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    LintError,
+    format_json,
+    format_text,
+    lint_paths,
+    write_baseline,
+)
+from repro.analysis.runner import REPORT_FORMAT_VERSION
+from repro._registry import RegistryError
+
+DIRTY = {
+    "pkg/mod.py": """
+    import numpy as np
+    from repro._reference import anything
+
+    g = np.random.default_rng()
+    """
+}
+
+
+def rules_of(report):
+    return [finding.rule for finding in report.findings]
+
+
+class TestSelection:
+    def test_select_restricts_rules(self, lint_tree):
+        report = lint_tree(DIRTY, select=["RNG001"])
+        assert report.rules_run == ("RNG001",)
+        assert rules_of(report) == ["RNG001"]
+
+    def test_ignore_drops_rules(self, lint_tree):
+        report = lint_tree(DIRTY, ignore=["IMP001"])
+        assert "IMP001" not in report.rules_run
+        assert rules_of(report) == ["RNG001"]
+
+    def test_unknown_rule_id_raises(self, lint_tree):
+        with pytest.raises(RegistryError):
+            lint_tree(DIRTY, select=["RNG999"])
+
+    def test_missing_path_raises(self):
+        with pytest.raises(LintError):
+            lint_paths(["definitely/not/a/path"])
+
+
+class TestParseErrors:
+    def test_syntax_error_becomes_parse_finding(self, lint_tree):
+        report = lint_tree({"pkg/broken.py": "def f(:\n    pass\n"})
+        assert rules_of(report) == ["PARSE"]
+        assert report.exit_code == 1
+        assert "does not parse" in report.findings[0].message
+
+
+class TestBaseline:
+    def test_baselined_findings_are_subtracted(self, lint_tree, tmp_path):
+        first = lint_tree(DIRTY)
+        assert len(first.findings) == 2
+        baseline = tmp_path / "baseline.json"
+        write_baseline(first, baseline)
+
+        second = lint_tree(DIRTY, baseline=baseline)
+        assert second.findings == []
+        assert second.baselined == 2
+        assert second.exit_code == 0
+
+    def test_baseline_is_location_independent(self, lint_tree, tmp_path):
+        """Shifting a finding to a new line keeps it baselined."""
+        first = lint_tree(DIRTY)
+        baseline = tmp_path / "baseline.json"
+        write_baseline(first, baseline)
+
+        shifted = {
+            "pkg/mod.py": "\n\n" + "import numpy as np\n"
+            "from repro._reference import anything\n\n"
+            "g = np.random.default_rng()\n"
+        }
+        second = lint_tree(shifted, baseline=baseline)
+        assert second.findings == []
+        assert second.baselined == 2
+
+    def test_new_findings_survive_the_baseline(self, lint_tree, tmp_path):
+        first = lint_tree({"pkg/mod.py": DIRTY["pkg/mod.py"]})
+        baseline = tmp_path / "baseline.json"
+        write_baseline(first, baseline)
+
+        grown = dict(DIRTY)
+        grown["pkg/other.py"] = "import numpy as np\n\nh = np.random.rand(3)\n"
+        second = lint_tree(grown, baseline=baseline)
+        assert rules_of(second) == ["RNG001"]
+        assert "pkg/other.py" in second.findings[0].path
+
+    def test_bad_baseline_file_raises(self, lint_tree, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{\"nope\": 1}", encoding="utf-8")
+        with pytest.raises(LintError):
+            lint_tree(DIRTY, baseline=bogus)
+        with pytest.raises(LintError):
+            lint_tree(DIRTY, baseline=tmp_path / "missing.json")
+
+
+class TestFormats:
+    def test_text_format_lists_findings_and_summary(self, lint_tree):
+        report = lint_tree(DIRTY)
+        text = format_text(report)
+        lines = text.splitlines()
+        assert any("RNG001 [error]" in line for line in lines)
+        assert any("IMP001 [error]" in line for line in lines)
+        assert lines[-1].startswith("2 finding(s) in 1 file(s)")
+
+    def test_json_format_shape(self, lint_tree):
+        report = lint_tree(DIRTY)
+        payload = json.loads(format_json(report))
+        assert payload["format_version"] == REPORT_FORMAT_VERSION
+        assert payload["files_scanned"] == 1
+        assert set(payload["summary"]) == {"RNG001", "IMP001"}
+        assert payload["summary"]["RNG001"] == 1
+        finding = payload["findings"][0]
+        assert set(finding) == {
+            "path", "line", "col", "rule", "severity", "message"
+        }
+
+    def test_clean_report_exit_code_zero(self, lint_tree):
+        report = lint_tree({"pkg/ok.py": "x = 1\n"})
+        assert report.exit_code == 0
+        assert format_text(report).startswith("0 finding(s)")

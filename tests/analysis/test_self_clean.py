@@ -1,0 +1,37 @@
+"""The repo's own source must be lint-clean at HEAD.
+
+This is the acceptance gate the CI lint job enforces; keeping it in the
+tier-1 suite means a PR cannot land a new violation (or a rule that flags
+existing code) without either fixing it or adding an explicit, commented
+suppression.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_is_lint_clean():
+    report = lint_paths(
+        [REPO_ROOT / "src"], tests_root=REPO_ROOT / "tests"
+    )
+    rendered = "\n".join(
+        f"{f.location()}: {f.rule} {f.message}" for f in report.findings
+    )
+    assert report.findings == [], f"repro lint src is not clean:\n{rendered}"
+    assert report.exit_code == 0
+
+
+def test_all_six_rules_are_active():
+    report = lint_paths(
+        [REPO_ROOT / "src"], tests_root=REPO_ROOT / "tests"
+    )
+    assert set(report.rules_run) >= {
+        "RNG001", "RNG002", "REG001", "SPEC001", "KER001", "IMP001"
+    }
+    # KER001 must have actually run (found the tests tree), not skipped
+    assert not any("KER001 skipped" in note for note in report.notes)

@@ -1,0 +1,129 @@
+"""``multi_loss_and_gradient`` paired against looped ``loss_and_gradient``.
+
+KER001 pairing tests for the stacked-evaluation kernel: both the generic
+fallback (set-parameters-and-loop) and the vectorized
+``SoftmaxClassifier`` override must be bit-identical to evaluating
+``loss_and_gradient`` once per (chunk, parameter vector) pair.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.learning.datasets import make_blobs, make_linear_regression
+from repro.learning.models import (
+    LinearRegressionModel,
+    MLPClassifier,
+    SoftmaxClassifier,
+)
+
+
+def _chunked_inputs(dataset, evaluations, chunk):
+    features = np.stack(
+        [dataset.features[i * chunk : (i + 1) * chunk] for i in range(evaluations)]
+    )
+    labels = np.stack(
+        [dataset.labels[i * chunk : (i + 1) * chunk] for i in range(evaluations)]
+    )
+    return features, labels
+
+
+def _looped_reference(model, features, labels, parameter_stack):
+    """The scalar semantics: set_parameters + loss_and_gradient per row."""
+    saved = model.parameters().copy()
+    losses, gradients = [], []
+    for i in range(parameter_stack.shape[0]):
+        model.set_parameters(parameter_stack[i])
+        loss, gradient = model.loss_and_gradient(features[i], labels[i])
+        losses.append(loss)
+        gradients.append(gradient)
+    model.set_parameters(saved)
+    return np.asarray(losses), np.stack(gradients)
+
+
+def _parameter_stack(model, evaluations, seed):
+    base = model.parameters()
+    rng = np.random.default_rng(seed)
+    return base[None, :] + 0.05 * rng.standard_normal((evaluations, base.size))
+
+
+@pytest.mark.parametrize(
+    "make_model",
+    [
+        pytest.param(
+            lambda d: SoftmaxClassifier(d.num_features, d.num_classes, rng=1),
+            id="softmax-vectorized-override",
+        ),
+        pytest.param(
+            lambda d: MLPClassifier(
+                d.num_features, d.num_classes, hidden_sizes=(8,), rng=1
+            ),
+            id="mlp-generic-fallback",
+        ),
+    ],
+)
+def test_classifier_multi_matches_looped_scalar(make_model):
+    evaluations, chunk = 4, 32
+    dataset = make_blobs(
+        num_samples=evaluations * chunk, num_features=12, num_classes=5, rng=0
+    )
+    model = make_model(dataset)
+    features, labels = _chunked_inputs(dataset, evaluations, chunk)
+    stack = _parameter_stack(model, evaluations, seed=7)
+
+    expected_losses, expected_gradients = _looped_reference(
+        model, features, labels, stack
+    )
+    losses, gradients = model.multi_loss_and_gradient(features, labels, stack)
+
+    assert losses.shape == (evaluations,)
+    assert gradients.shape == stack.shape
+    assert np.array_equal(losses, expected_losses)
+    assert np.array_equal(gradients, expected_gradients)
+
+
+def test_regression_multi_matches_looped_scalar():
+    evaluations, chunk = 3, 40
+    dataset = make_linear_regression(
+        num_samples=evaluations * chunk, num_features=9, noise=0.2, rng=2
+    )
+    model = LinearRegressionModel(dataset.num_features, rng=3)
+    features, labels = _chunked_inputs(dataset, evaluations, chunk)
+    stack = _parameter_stack(model, evaluations, seed=11)
+
+    expected_losses, expected_gradients = _looped_reference(
+        model, features, labels, stack
+    )
+    losses, gradients = model.multi_loss_and_gradient(features, labels, stack)
+
+    assert np.array_equal(losses, expected_losses)
+    assert np.array_equal(gradients, expected_gradients)
+
+
+def test_multi_restores_live_parameters():
+    """The kernel must leave the model's own parameters untouched."""
+    dataset = make_blobs(num_samples=64, num_features=6, num_classes=3, rng=4)
+    model = MLPClassifier(
+        dataset.num_features, dataset.num_classes, hidden_sizes=(4,), rng=5
+    )
+    before = model.parameters().copy()
+    features, labels = _chunked_inputs(dataset, 2, 32)
+    stack = _parameter_stack(model, 2, seed=13)
+    model.multi_loss_and_gradient(features, labels, stack)
+    assert np.array_equal(model.parameters(), before)
+
+
+def test_single_row_matches_plain_loss_and_gradient():
+    """A one-row stack is exactly one scalar ``loss_and_gradient`` call."""
+    dataset = make_blobs(num_samples=32, num_features=8, num_classes=4, rng=6)
+    model = SoftmaxClassifier(dataset.num_features, dataset.num_classes, rng=7)
+    params = model.parameters().copy()
+    expected_loss, expected_gradient = model.loss_and_gradient(
+        dataset.features, dataset.labels
+    )
+    losses, gradients = model.multi_loss_and_gradient(
+        dataset.features[None], dataset.labels[None], params[None]
+    )
+    assert losses[0] == expected_loss
+    assert np.array_equal(gradients[0], expected_gradient)

@@ -1,0 +1,163 @@
+"""Batched timing kernels paired against their scalar counterparts.
+
+These are the KER001 pairing tests for ``ClusterSpec.compute_times_batch``
+and ``simulate_worker_timing_arrays_batch``: the batched forms draw each
+randomness component in one generator call, which (for a fixed component
+stream) consumes the stream in exactly the order the per-iteration scalar
+path does — so at matched seeds the batch is *bit-identical* to stacking
+scalar calls, not merely statistically close.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.simulation.cluster import ClusterError, cluster_from_vcpu_counts
+from repro.simulation.network import SimpleNetwork
+from repro.simulation.stragglers import ArtificialDelay, NoStragglers
+from repro.simulation.timing import (
+    simulate_worker_timing_arrays,
+    simulate_worker_timing_arrays_batch,
+)
+
+
+@pytest.fixture
+def noisy_cluster():
+    return cluster_from_vcpu_counts(
+        "pairing", {2: 3, 4: 2}, compute_noise=0.15, rng=0
+    )
+
+
+@pytest.fixture
+def workloads():
+    return np.array([10.0, 5.0, 0.0, 8.0, 2.0])
+
+
+class TestComputeTimesBatchPairsScalar:
+    def test_bit_identical_to_stacked_scalar_calls(self, noisy_cluster, workloads):
+        iterations = 6
+        batch = noisy_cluster.compute_times_batch(
+            workloads, iterations, rng=np.random.default_rng(7)
+        )
+        scalar_rng = np.random.default_rng(7)
+        stacked = np.stack(
+            [
+                noisy_cluster.compute_times(workloads, rng=scalar_rng)
+                for _ in range(iterations)
+            ]
+        )
+        assert batch.shape == (iterations, noisy_cluster.num_workers)
+        assert np.array_equal(batch, stacked)
+
+    def test_no_rng_is_deterministic_broadcast(self, noisy_cluster, workloads):
+        batch = noisy_cluster.compute_times_batch(workloads, 3)
+        scalar = noisy_cluster.compute_times(workloads)
+        assert np.array_equal(batch, np.stack([scalar] * 3))
+
+    def test_heterogeneous_noise_still_pairs(self, workloads):
+        cluster = cluster_from_vcpu_counts(
+            "pairing-hetero", {1: 2, 2: 2, 8: 1}, compute_noise=0.3, rng=1
+        )
+        batch = cluster.compute_times_batch(
+            workloads, 5, rng=np.random.default_rng(11)
+        )
+        scalar_rng = np.random.default_rng(11)
+        stacked = np.stack(
+            [cluster.compute_times(workloads, rng=scalar_rng) for _ in range(5)]
+        )
+        assert np.array_equal(batch, stacked)
+
+    def test_rejects_nonpositive_iterations(self, noisy_cluster, workloads):
+        with pytest.raises(ClusterError):
+            noisy_cluster.compute_times_batch(workloads, 0)
+
+
+class TestSimulateWorkerTimingArraysBatchPairsScalar:
+    def test_deterministic_configuration_matches_scalar_exactly(
+        self, noisy_cluster, workloads
+    ):
+        """With no jitter/stragglers both paths are rng-free and must agree."""
+        quiet = cluster_from_vcpu_counts(
+            "pairing-quiet", {2: 3, 4: 2}, compute_noise=0.0, rng=0
+        )
+        network = SimpleNetwork()
+        compute_b, delays_b, comm_b = simulate_worker_timing_arrays_batch(
+            quiet,
+            workloads,
+            num_iterations=4,
+            injector=NoStragglers(),
+            gradient_bytes=4096.0,
+            network=network,
+        )
+        for iteration in range(4):
+            compute, delays, comm = simulate_worker_timing_arrays(
+                quiet,
+                workloads,
+                injector=NoStragglers(),
+                iteration=iteration,
+                gradient_bytes=4096.0,
+                network=network,
+            )
+            assert np.array_equal(compute_b[iteration], compute)
+            assert np.array_equal(delays_b[iteration], delays)
+            assert np.array_equal(comm_b, comm)
+
+    def test_jittered_batch_pairs_scalar_bitwise(self, noisy_cluster, workloads):
+        """With randomness only in the jitter, batch == scalar bit-for-bit.
+
+        ``NoStragglers`` consumes no random numbers, so the scalar path's
+        single shared generator sees exactly the jitter draws — at matched
+        seeds the batch's ``jitter_rng`` stream and the scalar loop consume
+        the stream identically and every row must match exactly.
+        """
+        iterations = 8
+        compute_b, delays_b, comm_b = simulate_worker_timing_arrays_batch(
+            noisy_cluster,
+            workloads,
+            num_iterations=iterations,
+            injector=NoStragglers(),
+            gradient_bytes=1024.0,
+            network=SimpleNetwork(),
+            jitter_rng=6,
+        )
+        scalar_rng = np.random.default_rng(6)
+        for iteration in range(iterations):
+            compute, delays, comm = simulate_worker_timing_arrays(
+                noisy_cluster,
+                workloads,
+                injector=NoStragglers(),
+                iteration=iteration,
+                gradient_bytes=1024.0,
+                network=SimpleNetwork(),
+                rng=scalar_rng,
+            )
+            assert np.array_equal(compute_b[iteration], compute)
+            assert np.array_equal(delays_b[iteration], delays)
+            assert np.array_equal(comm_b, comm)
+
+    def test_fixed_worker_delays_pair_scalar(self, noisy_cluster, workloads):
+        """A fixed-worker injector yields identical delay rows on both paths.
+
+        (The free-choice ``ArtificialDelay`` batch draw intentionally uses a
+        different stream layout — same distribution, not bit-paired — so the
+        deterministic fixed-worker form is the exact-equality case.)
+        """
+        injector = ArtificialDelay(
+            num_stragglers=2, delay_seconds=1.5, workers=(0, 3)
+        )
+        _, delays_b, _ = simulate_worker_timing_arrays_batch(
+            noisy_cluster,
+            workloads,
+            num_iterations=5,
+            injector=injector,
+            jitter_rng=3,
+        )
+        for iteration in range(5):
+            scalar = injector.delays(
+                iteration, noisy_cluster.num_workers, np.random.default_rng(0)
+            )
+            assert np.array_equal(delays_b[iteration], np.asarray(scalar))
+        assert np.array_equal(
+            delays_b[:, [0, 3]], np.full((5, 2), 1.5)
+        )
