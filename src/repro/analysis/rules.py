@@ -538,14 +538,15 @@ def _mentions_runspec(annotation: ast.expr) -> bool:
 # KER001 — every public batched kernel is paired with a reference test
 # ---------------------------------------------------------------------------
 
-_KERNEL_NAME = re.compile(r"^(batch_|multi_).+|.+_(batch|batched)$")
+_KERNEL_NAME = re.compile(r"^(batch_|multi_|stacked_).+|.+_(batch|batched|stacked)$")
 
 
 @register_rule(
     "KER001",
     summary=(
-        "every public *_batch/batch_*/multi_* kernel needs a tests/** file "
-        "pairing it against its scalar path or repro._reference"
+        "every public *_batch/*_stacked/batch_*/stacked_*/multi_* kernel "
+        "needs a tests/** file pairing it against its scalar path or "
+        "repro._reference"
     ),
 )
 class UnpairedBatchKernelRule(LintRule):
@@ -553,9 +554,12 @@ class UnpairedBatchKernelRule(LintRule):
 
     The repo's whole performance story is "batched kernel, bit-identical
     (v1) or statistically equivalent (v2) to the scalar path".  That only
-    stays true while every public ``*_batch`` / ``*_batched`` / ``batch_*``
-    / ``multi_*`` definition has at least one test file that references
-    both the kernel *and* its scalar counterpart (or ``repro._reference``).
+    stays true while every public ``*_batch`` / ``*_batched`` /
+    ``*_stacked`` / ``batch_*`` / ``stacked_*`` / ``multi_*`` definition
+    has at least one test file that references both the kernel *and* its
+    scalar counterpart (or ``repro._reference``).  The run-stacked kernels
+    (one numpy sweep over many runs) follow the same contract: each is
+    pinned bit-identical to its per-run counterpart at matched seeds.
     Coverage is resolved by name against the sibling ``tests/`` tree
     (``--tests-root`` overrides); underscore-private kernels are exempt —
     they are exercised through their public wrappers.  When no test tree
@@ -593,7 +597,9 @@ def _scalar_counterpart(name: str) -> str:
         return name[: -len("_batched")]
     if name.endswith("_batch"):
         return name[: -len("_batch")]
-    if name.startswith(("batch_", "multi_")):
+    if name.endswith("_stacked"):
+        return name[: -len("_stacked")]
+    if name.startswith(("batch_", "multi_", "stacked_")):
         return name.split("_", 1)[1]
     return name
 

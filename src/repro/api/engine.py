@@ -21,9 +21,13 @@ from __future__ import annotations
 import functools
 import itertools
 import os
+import warnings
 from collections.abc import Iterable, Mapping, Sequence
 from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
 from typing import Any
+
+import numpy as np
 
 from .._registry import (
     CLUSTERS,
@@ -33,25 +37,76 @@ from .._registry import (
     WORKLOADS,
     register_backend,
 )
+from ..coding.registry import build_strategy, natural_partitions
+from ..coding.types import CodingStrategy
 from ..experiments.clusters import build_cluster
-from ..experiments.common import measure_timing_trace
+from ..experiments.common import SampleCountDriftWarning, measure_timing_trace
 from ..experiments.workloads import get_workload
+from ..learning.models.base import Model
 from ..learning.optimizers import SGD
+from ..learning.partition import PartitionedDataset
 from ..protocols.base import TrainingConfig
-from ..protocols.runner import run_scheme
+from ..protocols.runner import _partition_for_scheme, make_protocol, run_scheme
+from ..protocols.ssp import SSPProtocol
 from ..simulation.cluster import ClusterSpec
+from ..simulation.network import CommunicationModel
 from ..simulation.rng import RngStreams
+from ..simulation.stragglers import StragglerInjector
 from ..simulation.trace import RunTrace
-from ..simulation.vectorized import TimingKernelCache, default_timing_kernel_cache
+from ..simulation.vectorized import (
+    StackedRun,
+    TimingKernelCache,
+    default_timing_kernel_cache,
+    strategy_fingerprint,
+)
 from .builders import build_injector, build_network
 from .result import RunResult
 from .spec import RunSpec, SpecError
 
 __all__ = ["Engine", "EngineError"]
 
+#: Soft cap on ``runs * iterations * workers`` elements held by one stacked
+#: kernel call; larger groups are executed in consecutive chunks of runs.
+_STACK_ELEMENT_CAP = 4_000_000
+
 
 class EngineError(ValueError):
     """Raised when a spec cannot be executed (unknown names, bad mode)."""
+
+
+@dataclass(frozen=True)
+class _TimingStackMember:
+    """One sweep spec prepared for run-stacked timing execution.
+
+    Everything :func:`~repro.experiments.common.measure_timing_trace` would
+    derive from the spec is pre-computed here, so stacked execution observes
+    exactly the per-run state the fallback path would have built.
+    """
+
+    index: int
+    spec: RunSpec
+    cluster: ClusterSpec
+    strategy: CodingStrategy
+    network: CommunicationModel
+    samples_per_partition: int
+    total_samples: int
+    effective_total_samples: int
+    metadata: dict[str, Any]
+    group_key: tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class _TrainingStackMember:
+    """One sweep spec prepared for run-stacked SSP/Async training."""
+
+    index: int
+    spec: RunSpec
+    protocol: SSPProtocol
+    model: Model
+    partitioned: PartitionedDataset
+    cluster: ClusterSpec
+    config: TrainingConfig
+    group_key: tuple[Any, ...]
 
 
 def _build_cluster_for(spec: RunSpec) -> ClusterSpec:
@@ -296,6 +351,331 @@ class Engine:
                 raise EngineError("parallel must be non-negative")
         return max(1, min(workers, num_specs))
 
+    # -- sweep planner --------------------------------------------------
+    #
+    # ``sweep`` partitions its specs into *stackable groups* — runs whose
+    # timing (or SSP schedule scan) can be evaluated as one run-stacked
+    # kernel call — and a remainder executed through :meth:`run_many`.
+    # Stacking requires the builtin registry backends, ``rng_version=2``
+    # and an explicit seed: each run then owns per-component RNG streams,
+    # so its slice of the stacked output is bit-identical to a standalone
+    # :meth:`run` of the same spec.
+
+    def _timing_stackable(self, spec: RunSpec) -> bool:
+        return (
+            spec.mode == "timing"
+            and spec.rng_version == 2
+            and spec.seed is not None
+            and spec.num_iterations > 0
+            and self._backends is None
+            and "timing" in EXECUTION_BACKENDS
+            and EXECUTION_BACKENDS.get("timing") is _run_timing
+        )
+
+    def _training_stackable(self, spec: RunSpec) -> bool:
+        return (
+            spec.mode == "training"
+            and spec.rng_version == 2
+            and spec.seed is not None
+            and self._backends is None
+            and "training" in EXECUTION_BACKENDS
+            and EXECUTION_BACKENDS.get("training") is _run_training
+        )
+
+    @staticmethod
+    def _sweep_cluster(
+        spec: RunSpec, cache: dict[tuple[Any, ...], ClusterSpec]
+    ) -> ClusterSpec:
+        """Per-sweep cluster cache; same spec inputs return the same object.
+
+        Cluster construction is deterministic in (name, options, rng), so
+        sharing instances changes nothing — but identical *objects* let the
+        stacked kernels take their one-broadcast fast paths.
+        """
+        options = dict(spec.cluster_options)
+        options.setdefault("rng", spec.seed)
+        key = (spec.cluster, tuple(sorted((k, repr(v)) for k, v in options.items())))
+        cluster = cache.get(key)
+        if cluster is None:
+            cluster = build_cluster(spec.cluster, **options)
+            cache[key] = cluster
+        return cluster
+
+    def _prepare_timing_member(
+        self,
+        index: int,
+        spec: RunSpec,
+        cluster_cache: dict[tuple[Any, ...], ClusterSpec],
+    ) -> _TimingStackMember | None:
+        """Mirror ``measure_timing_trace``'s per-run derivations, or ``None``
+        when the spec must take the fallback path (bad sample counts raise
+        there with the historical message)."""
+        total_samples = spec.resolved_total_samples()
+        if total_samples is None or total_samples <= 0:
+            return None
+        cluster = self._sweep_cluster(spec, cluster_cache)
+        k = spec.num_partitions or natural_partitions(
+            spec.scheme, cluster.num_workers, spec.partitions_multiplier
+        )
+        samples_per_partition = max(1, total_samples // k)
+        effective_total_samples = samples_per_partition * k
+        construction_rng = np.random.default_rng(spec.seed)
+        injector = build_injector(spec.straggler)
+        network = build_network(spec.network)
+        strategy = build_strategy(
+            spec.scheme,
+            throughputs=cluster.estimated_throughputs,
+            num_partitions=k,
+            num_stragglers=spec.num_stragglers,
+            rng=construction_rng,
+        )
+        metadata: dict[str, Any] = {
+            "mode": "timing_only",
+            "num_workers": cluster.num_workers,
+            "num_partitions": k,
+            "num_stragglers": spec.num_stragglers,
+            "total_samples": total_samples,
+            "effective_total_samples": effective_total_samples,
+            "samples_per_partition": samples_per_partition,
+            "loads": list(strategy.loads),
+            "num_groups": len(strategy.groups),
+            "injector": injector.describe(),
+            "network": network.describe(),
+            "rng_version": spec.rng_version,
+        }
+        # Two runs stack iff their decode structure and kernel inputs agree;
+        # the cluster may differ per run (decode decisions depend only on
+        # the strategy), so it is deliberately absent from the key.
+        group_key = (
+            "timing",
+            strategy_fingerprint(strategy),
+            samples_per_partition,
+            network.fingerprint(spec.gradient_bytes),
+            float(spec.gradient_bytes),
+            spec.num_iterations,
+            cluster.num_workers,
+        )
+        return _TimingStackMember(
+            index=index,
+            spec=spec,
+            cluster=cluster,
+            strategy=strategy,
+            network=network,
+            samples_per_partition=samples_per_partition,
+            total_samples=total_samples,
+            effective_total_samples=effective_total_samples,
+            metadata=metadata,
+            group_key=group_key,
+        )
+
+    def _prepare_training_member(
+        self,
+        index: int,
+        spec: RunSpec,
+        cluster_cache: dict[tuple[Any, ...], ClusterSpec],
+    ) -> _TrainingStackMember | None:
+        """Mirror ``_run_training``'s per-run derivations for SSP-family
+        protocols; ``None`` routes other protocols to the fallback path."""
+        protocol = make_protocol(
+            spec.scheme,
+            ssp_staleness=spec.ssp_staleness,
+            ssp_batch_size=spec.ssp_batch_size,
+        )
+        if not isinstance(protocol, SSPProtocol):
+            return None
+        cluster = self._sweep_cluster(spec, cluster_cache)
+        preset = get_workload(spec.workload)
+        dataset = _cached_dataset(spec.workload, spec.total_samples, spec.seed or 0)
+        learning_rate = spec.learning_rate
+        streams = RngStreams.from_seed(spec.seed)
+        config = TrainingConfig(
+            num_iterations=spec.num_iterations,
+            num_stragglers=spec.num_stragglers,
+            num_partitions=spec.num_partitions,
+            partitions_multiplier=spec.partitions_multiplier,
+            optimizer_factory=lambda: SGD(learning_rate=learning_rate),
+            straggler_injector=build_injector(spec.straggler),
+            network=build_network(spec.network),
+            seed=streams.training_seed(),
+            record_loss_every=spec.record_loss_every,
+            loss_eval_samples=spec.loss_eval_samples,
+            rng_streams=streams,
+        )
+        partitioned = _partition_for_scheme(spec.scheme, dataset, cluster, config)
+        model = preset.make_model(dataset, seed=spec.seed or 0)
+        # The stacked scan shares one protocol instance and one clock-matrix
+        # shape; everything else (dataset, network, injector, optimiser)
+        # stays per-run, so it may vary freely inside a group.
+        group_key = (
+            "training",
+            spec.scheme,
+            float(spec.ssp_staleness),
+            spec.ssp_batch_size,
+            spec.num_iterations,
+            cluster.num_workers,
+        )
+        return _TrainingStackMember(
+            index=index,
+            spec=spec,
+            protocol=protocol,
+            model=model,
+            partitioned=partitioned,
+            cluster=cluster,
+            config=config,
+            group_key=group_key,
+        )
+
+    def _run_timing_stack(
+        self, members: Sequence[_TimingStackMember]
+    ) -> list[RunResult]:
+        """Execute one stackable timing group through the stacked kernel."""
+        first = members[0]
+        kernel = default_timing_kernel_cache().get_or_build(
+            first.strategy,
+            first.cluster,
+            samples_per_partition=first.samples_per_partition,
+            network=first.network,
+            gradient_bytes=first.spec.gradient_bytes,
+        )
+        injector_cache: dict[str, StragglerInjector] = {}
+        runs: list[StackedRun] = []
+        for member in members:
+            if member.effective_total_samples != member.total_samples:
+                warnings.warn(
+                    f"scheme {member.spec.scheme!r} with "
+                    f"k={member.metadata['num_partitions']} partitions "
+                    f"processes {member.effective_total_samples} samples per "
+                    f"iteration instead of the requested "
+                    f"{member.total_samples} (total_samples is rounded to a "
+                    "multiple of the partition count); pass a total "
+                    "divisible by k to compare schemes on identical sample "
+                    "counts",
+                    SampleCountDriftWarning,
+                    stacklevel=4,
+                )
+            # Stateless injectors are shared across runs with the same
+            # declarative spec (enabling the one-call stacked delay fill);
+            # stateful ones get a fresh instance per run, exactly like
+            # standalone execution.
+            injector_key = repr(member.spec.straggler.to_dict())
+            injector = injector_cache.get(injector_key)
+            if injector is None or not injector.stateless:
+                injector = build_injector(member.spec.straggler)
+                injector_cache[injector_key] = injector
+            streams = RngStreams.from_seed(member.spec.seed)
+            runs.append(
+                StackedRun(
+                    injector_rng=streams.injector,
+                    jitter_rng=streams.jitter,
+                    network_rng=streams.network,
+                    injector=injector,
+                    cluster=member.cluster,
+                )
+            )
+        arrays_list = kernel.run_stacked(first.spec.num_iterations, runs)
+        results: list[RunResult] = []
+        for member, arrays in zip(members, arrays_list, strict=True):
+            trace = RunTrace.from_arrays(
+                scheme=member.spec.scheme,
+                cluster_name=member.cluster.name,
+                arrays=arrays,
+                metadata=member.metadata,
+            )
+            results.append(RunResult.from_trace(member.spec, trace))
+        return results
+
+    @staticmethod
+    def _run_training_stack(
+        members: Sequence[_TrainingStackMember],
+    ) -> list[RunResult]:
+        """Execute one stackable training group through the stacked scan."""
+        traces = members[0].protocol.run_stacked(
+            [member.model for member in members],
+            [member.partitioned for member in members],
+            [member.cluster for member in members],
+            [member.config for member in members],
+        )
+        return [
+            RunResult.from_trace(member.spec, trace)
+            for member, trace in zip(members, traces, strict=True)
+        ]
+
+    def _run_sweep_specs(
+        self,
+        specs: Sequence[RunSpec],
+        parallel: int | bool | None,
+    ) -> list[RunResult]:
+        """Dispatch sweep specs through stacked groups plus a fallback pool."""
+        specs = list(specs)
+        results: list[RunResult | None] = [None] * len(specs)
+        timing_groups: dict[tuple[Any, ...], list[_TimingStackMember]] = {}
+        training_groups: dict[tuple[Any, ...], list[_TrainingStackMember]] = {}
+        remainder: list[int] = []
+        cluster_cache: dict[tuple[Any, ...], ClusterSpec] = {}
+        for index, spec in enumerate(specs):
+            if not isinstance(spec, RunSpec):
+                raise SpecError(
+                    f"Engine.sweep expects RunSpecs, got {type(spec).__name__}"
+                )
+            if self._timing_stackable(spec):
+                self.validate(spec)
+                timing_member = self._prepare_timing_member(
+                    index, spec, cluster_cache
+                )
+                if timing_member is not None:
+                    timing_groups.setdefault(
+                        timing_member.group_key, []
+                    ).append(timing_member)
+                    continue
+            elif self._training_stackable(spec):
+                self.validate(spec)
+                training_member = self._prepare_training_member(
+                    index, spec, cluster_cache
+                )
+                if training_member is not None:
+                    training_groups.setdefault(
+                        training_member.group_key, []
+                    ).append(training_member)
+                    continue
+            remainder.append(index)
+        # Singleton groups gain nothing from stacking; route them through
+        # the fallback pool so `parallel` still helps ragged sweeps.
+        for key in [key for key, group in timing_groups.items() if len(group) < 2]:
+            remainder.extend(member.index for member in timing_groups.pop(key))
+        for key in [key for key, group in training_groups.items() if len(group) < 2]:
+            remainder.extend(member.index for member in training_groups.pop(key))
+        remainder.sort()
+        for timing_group in timing_groups.values():
+            spec0 = timing_group[0].spec
+            per_run = max(
+                1, spec0.num_iterations * timing_group[0].cluster.num_workers
+            )
+            step = max(1, _STACK_ELEMENT_CAP // per_run)
+            for start in range(0, len(timing_group), step):
+                chunk = timing_group[start : start + step]
+                for member, result in zip(
+                    chunk, self._run_timing_stack(chunk), strict=True
+                ):
+                    results[member.index] = result
+        for training_group in training_groups.values():
+            for member, result in zip(
+                training_group,
+                self._run_training_stack(training_group),
+                strict=True,
+            ):
+                results[member.index] = result
+        if remainder:
+            fallback = self.run_many(
+                [specs[index] for index in remainder], parallel=parallel
+            )
+            for index, result in zip(remainder, fallback, strict=True):
+                results[index] = result
+        final: list[RunResult] = []
+        for result in results:
+            assert result is not None  # every index is filled above
+            final.append(result)
+        return final
+
     def compare(
         self,
         spec: RunSpec,
@@ -326,17 +706,46 @@ class Engine:
 
             engine.sweep(base, scheme=["naive", "cyclic"], seed=[0, 1, 2])
 
-        yields the six runs naive/0, naive/1, ... cyclic/2.  ``parallel``
-        follows :meth:`run_many`'s resolution rule exactly
-        (``None``/``False``/``0``/``1`` serial, ``True`` one worker per
-        CPU, an integer that many workers, clamped to the number of swept
-        specs); the result list is identical to a serial sweep.
+        yields the six runs naive/0, naive/1, ... cyclic/2.
+
+        Sweeps are *planned*: specs that share their decode structure and
+        kernel inputs (registry backends, ``rng_version=2``, explicit
+        seeds) are executed as run-stacked groups — one 3-D kernel call (or
+        one stacked SSP schedule scan) per group instead of one call per
+        run — and everything else falls back to :meth:`run_many`.  Stacking
+        never changes results: each run draws from its own seed's
+        per-component streams, so every result is bit-identical to a
+        standalone :meth:`run` of the same spec, stacked or not.
+
+        ``parallel`` composes with stacking: stacked groups always execute
+        in-process (the batched numpy work gains nothing from a process
+        pool), while the ragged remainder follows :meth:`run_many`'s
+        resolution rule exactly (``None``/``False``/``0``/``1`` serial,
+        ``True`` one worker per CPU, an integer that many workers, clamped
+        to the number of fallback specs); the result list is identical to a
+        serial sweep either way.
+
+        Raises
+        ------
+        EngineError
+            When an axis is given an empty value list — the cartesian
+            product would silently be empty.
         """
         if not axes:
             return self.run_many([spec], parallel=parallel)
         names = list(axes)
+        value_lists: list[list[Any]] = []
+        for name in names:
+            values = list(axes[name])
+            if not values:
+                raise EngineError(
+                    f"sweep axis {name!r} has no values; every swept axis "
+                    "needs at least one value (omit the axis to keep the "
+                    "base spec's setting)"
+                )
+            value_lists.append(values)
         specs = [
             spec.replace(**dict(zip(names, values)))
-            for values in itertools.product(*(list(axes[name]) for name in names))
+            for values in itertools.product(*value_lists)
         ]
-        return self.run_many(specs, parallel=parallel)
+        return self._run_sweep_specs(specs, parallel=parallel)

@@ -3,12 +3,12 @@
 ``repro bench`` times the vectorized hot paths against the pre-PR reference
 implementations kept in :mod:`repro._reference` and writes a machine-readable
 ``BENCH_<label>.json`` so the performance trajectory of the repo is tracked
-from PR 2 onward.  The headline number is ``training_fig4_ssp_batched``:
-the SSP/DynSSP/Async baselines of Fig. 4 run through the ``rng_version=2``
-batched event engine (whole-matrix duration draws, heap-free schedule scan,
-block-batched multi-parameter gradients) measured against the per-event
-heap simulation; ``timing_trace_columnar`` and ``training_fig4_batched``
-keep tracking the PR 4 columnar/batched-coded paths the same way.
+from PR 2 onward.  The headline number is ``sweep_stacked_rng_v2``: a
+fig2-scale 50-run seed sweep dispatched through ``Engine.sweep``'s
+run-stacked planner (one kernel call for the whole sweep, shared decode
+cache) measured against the per-run batched loop the sweep used before;
+``training_fig4_ssp_batched``, ``timing_trace_columnar`` and
+``training_fig4_batched`` keep tracking the PR 4/5 paths the same way.
 
 Every comparison also *verifies* agreement between the two implementations
 (identical durations / byte-identical serialization / matching learning
@@ -67,9 +67,9 @@ __all__ = [
     "HEADLINE_BENCH",
 ]
 
-#: Name of the acceptance-criterion benchmark (PR 5: the batched SSP/Async
-#: event engine against the per-event heap loop at fig4 scale).
-HEADLINE_BENCH = "training_fig4_ssp_batched"
+#: Name of the acceptance-criterion benchmark (PR 7: the run-stacked sweep
+#: planner against the per-run batched loop at fig2 scale).
+HEADLINE_BENCH = "sweep_stacked_rng_v2"
 
 #: Schemes and delays of the Fig. 2 sweep used by the end-to-end benchmark.
 _FIG2_SCHEMES = ("naive", "cyclic", "heter_aware", "group_based")
@@ -422,7 +422,7 @@ def _bench_training_fig4(num_iterations: int, repeats: int, seed: int) -> dict:
 def _bench_training_fig4_ssp(
     num_iterations: int, repeats: int, seed: int, cluster_name: str = "Cluster-C"
 ) -> dict:
-    """Headline: the SSP/Async baselines, per-event heap loop vs batched engine.
+    """PR 5 headline: SSP/Async baselines, per-event heap loop vs batched engine.
 
     Runs the three parameter-server baselines of the paper's Fig. 4
     comparison (``ssp``, ``dyn_ssp``, ``async``) through the engine's
@@ -488,7 +488,7 @@ def _bench_training_fig4_ssp(
     baseline = _best_of(lambda: _timed(lambda: sweep(1)), repeats)
     current = _best_of(lambda: _timed(lambda: sweep(2)), repeats)
     return _bench_entry(
-        HEADLINE_BENCH,
+        "training_fig4_ssp_batched",
         f"fig4-style SSP/DynSSP/Async training on {cluster_name} "
         f"({num_iterations} iterations, 1024 samples, staleness 3, "
         "mini-batch 8): per-event rng_version=1 heap simulation vs batched "
@@ -655,6 +655,78 @@ def _bench_batch_gradients(num_samples: int, repeats: int, seed: int) -> dict:
     )
 
 
+def _bench_sweep_stacked(num_iterations: int, repeats: int, seed: int) -> dict:
+    """Headline: ``Engine.sweep``'s run-stacked planner vs the per-run loop.
+
+    A fig2-scale 50-run seed sweep on Cluster-A (one seed-dependent cluster
+    build per run, as ``Engine`` defaults to) of the throughput-independent
+    ``naive`` scheme under ``rng_version=2``.  The baseline is what
+    ``Engine.sweep`` did before PR 7 — ``run_many``: one
+    ``measure_timing_trace`` call per spec, each building its own kernel
+    (per-seed clusters never share a kernel-cache entry) and paying its own
+    cold decode cache.  The current side is the sweep planner: the specs
+    group on (strategy, workload, network) fingerprints and run through one
+    ``TimingTraceKernel.run_stacked`` call — one stacked draw per rng-free
+    component, one argsort over all ``runs * n`` iterations, one shared
+    decode cache.  The gate demands JSON-exact equality of every per-run
+    result, so the stack is pure wall-clock.
+    """
+    from .api import Engine, RunSpec, StragglerSpec
+
+    engine = Engine()
+    num_runs = 50
+    base = RunSpec(
+        scheme="naive",
+        num_iterations=num_iterations,
+        total_samples=2048,
+        straggler=StragglerSpec(
+            "artificial_delay", {"num_stragglers": 1, "delay_seconds": 1.0}
+        ),
+        rng_version=2,
+        seed=seed,
+    )
+    seeds = [seed + offset for offset in range(num_runs)]
+
+    def sweep_via_planner() -> list:
+        Engine.clear_timing_kernel_cache()
+        return engine.sweep(base, seed=seeds)
+
+    def sweep_per_run() -> list:
+        Engine.clear_timing_kernel_cache()
+        return engine.run_many([base.replace(seed=s) for s in seeds])
+
+    # Exactness gate: the planner must be invisible in the results.
+    stacked_results = sweep_via_planner()
+    per_run_results = sweep_per_run()
+    stacked_json = json.dumps(
+        [r.to_dict() for r in stacked_results], default=repr, sort_keys=True
+    )
+    per_run_json = json.dumps(
+        [r.to_dict() for r in per_run_results], default=repr, sort_keys=True
+    )
+    if stacked_json != per_run_json:
+        raise AssertionError(
+            "stacked sweep results diverged from the per-run batched loop"
+        )
+
+    baseline = _best_of(lambda: _timed(sweep_per_run), repeats)
+    current = _best_of(lambda: _timed(sweep_via_planner), repeats)
+    return _bench_entry(
+        "sweep_stacked_rng_v2",
+        f"Engine.sweep of {num_runs} seeds x {num_iterations} iterations "
+        "(naive scheme, per-seed Cluster-A builds, rng_version=2): per-run "
+        "batched loop vs one run-stacked kernel call",
+        baseline,
+        current,
+        meta={
+            "cluster": "Cluster-A",
+            "num_runs": num_runs,
+            "num_iterations": num_iterations,
+            "scheme": "naive",
+        },
+    )
+
+
 def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
     """Engine.sweep: serial vs process-pool execution of the same grid."""
     import os
@@ -696,7 +768,7 @@ def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
 def run_bench(
     smoke: bool = False,
     seed: int = 0,
-    label: str = "PR5",
+    label: str = "PR7",
     include_parallel: bool = True,
 ) -> dict:
     """Run every benchmark and return the JSON-ready payload.
@@ -719,6 +791,7 @@ def run_bench(
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", SampleCountDriftWarning)
         benches = [
+            _bench_sweep_stacked(iterations, repeats, seed),
             _bench_training_fig4_ssp(
                 8 if smoke else 15,
                 repeats,

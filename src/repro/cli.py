@@ -189,7 +189,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized benchmarks (seconds instead of minutes)")
-    bench.add_argument("--label", default="PR5", help="tag stored in the payload")
+    bench.add_argument("--label", default="PR7", help="tag stored in the payload")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="output JSON path (default BENCH_<label>.json; '-' to skip)")
     bench.add_argument("--no-parallel", action="store_true",
@@ -226,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="relative tolerance for numeric leaves "
                              "(default 1e-9; structure and non-numeric "
                              "leaves must match exactly)")
+    golden.add_argument("--include-plugins", action="store_true",
+                        help="also snapshot every registry-registered "
+                             "third-party scheme/protocol (and record their "
+                             "names), so plugin outputs are golden-gated too")
 
     lint = subparsers.add_parser(
         "lint",
@@ -422,13 +426,15 @@ def _command_golden(args: argparse.Namespace):
     )
 
     if args.check:
-        text, diffs = check_golden_report(args.check, rtol=args.rtol)
+        text, diffs = check_golden_report(
+            args.check, rtol=args.rtol, include_plugins=args.include_plugins
+        )
         if args.diff_output:
             with open(args.diff_output, "w", encoding="utf-8") as handle:
                 handle.write(text + "\n")
             text += f"\nwrote diff report to {args.diff_output}"
         return text, (1 if diffs else 0)
-    payload = generate_golden_report()
+    payload = generate_golden_report(include_plugins=args.include_plugins)
     text = (
         f"golden report: {len(payload['runs'])} runs + table2 "
         f"(format v{payload['format_version']})"

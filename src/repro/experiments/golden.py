@@ -9,6 +9,8 @@ descriptions used to assert by hand ("fig2-fig5/table2 outputs verified
 byte-identical at fixed seeds") is thereby *gated*: any change to a
 v1 code path that perturbs historical outputs, or any nondeterminism in the
 v2 batched paths, fails the CI ``golden`` job with a structured diff.
+``--include-plugins`` extends the grid to every registry-registered
+third-party scheme/protocol, pinning plugin outputs the same way.
 
 Numeric leaves are compared with a tight relative tolerance (default
 ``1e-9``) rather than textually: RNG streams are bit-stable across
@@ -127,16 +129,85 @@ def _golden_specs() -> list[tuple[str, RunSpec]]:
     return specs
 
 
-def generate_golden_report() -> dict:
-    """Run the pinned grid and return the JSON-ready report."""
+def _plugin_names() -> tuple[list[str], list[str]]:
+    """Registry-registered scheme/protocol names that are not builtins."""
+    from ..coding.registry import SCHEME_NAMES, registered_schemes
+    from ..protocols.runner import PROTOCOL_NAMES, registered_protocols
+
+    schemes = [s for s in registered_schemes() if s not in SCHEME_NAMES]
+    protocols = [p for p in registered_protocols() if p not in PROTOCOL_NAMES]
+    return schemes, protocols
+
+
+def _plugin_specs() -> list[tuple[str, RunSpec]]:
+    """Pinned (name, spec) cells for third-party registry plugins.
+
+    ``repro golden --include-plugins`` snapshots every scheme and protocol
+    registered beyond the builtins: schemes through a Fig. 2-shaped timing
+    run, protocols through a Fig. 4-shaped training run, each at both RNG
+    stream layouts.  The v2 cells pin exactly the code paths the sweep
+    planner's stacked kernels share with the per-run engine (the generic
+    ``delays_stacked``/``compute_times_stacked`` fallbacks), so a stacked-path
+    refactor cannot silently change plugin outputs.
+    """
+    schemes, protocols = _plugin_names()
+    specs: list[tuple[str, RunSpec]] = []
+    for scheme in schemes:
+        for rng_version in (1, 2):
+            specs.append(
+                (
+                    f"plugins/scheme/{scheme}/v{rng_version}",
+                    RunSpec(
+                        scheme=scheme, cluster="Cluster-A", num_iterations=5,
+                        total_samples=2048, seed=0, rng_version=rng_version,
+                        straggler=StragglerSpec(
+                            "artificial_delay",
+                            {"num_stragglers": 1, "delay_seconds": 1.0},
+                        ),
+                    ),
+                )
+            )
+    for protocol in protocols:
+        for rng_version in (1, 2):
+            specs.append(
+                (
+                    f"plugins/protocol/{protocol}/v{rng_version}",
+                    RunSpec(
+                        mode="training", scheme=protocol, cluster="Cluster-A",
+                        workload="nonseparable_blobs", total_samples=256,
+                        num_iterations=4, seed=0, rng_version=rng_version,
+                        learning_rate=0.5, ssp_staleness=3, ssp_batch_size=8,
+                        loss_eval_samples=64,
+                        straggler=StragglerSpec(
+                            "transient",
+                            {"probability": 0.05, "mean_delay_seconds": 0.5},
+                        ),
+                    ),
+                )
+            )
+    return specs
+
+
+def generate_golden_report(include_plugins: bool = False) -> dict:
+    """Run the pinned grid and return the JSON-ready report.
+
+    With ``include_plugins=True`` the report also covers every
+    registry-registered third-party scheme/protocol (see
+    :func:`_plugin_specs`) and records which plugins were snapshotted under
+    a ``"plugins"`` key, so a report generated with plugins loaded fails
+    the check against one generated without them (and vice versa).
+    """
     from .table2_clusters import run_table2
 
     engine = Engine()
+    specs = _golden_specs()
+    if include_plugins:
+        specs = specs + _plugin_specs()
     runs: dict[str, dict] = {}
-    for name, spec in _golden_specs():
+    for name, spec in specs:
         runs[name] = engine.run(spec).to_dict()
     table2 = run_table2(seed=0)
-    return {
+    payload: dict[str, Any] = {
         "format_version": GOLDEN_FORMAT_VERSION,
         "runs": runs,
         "table2": {
@@ -149,6 +220,10 @@ def generate_golden_report() -> dict:
             "heterogeneity_ratio": dict(table2.heterogeneity_ratio),
         },
     }
+    if include_plugins:
+        schemes, protocols = _plugin_names()
+        payload["plugins"] = {"schemes": schemes, "protocols": protocols}
+    return payload
 
 
 def write_golden_report(payload: dict, path: str) -> None:
@@ -237,10 +312,12 @@ def _roundtrip_through_json(payload: dict) -> dict:
 
 
 def check_golden_report(
-    golden_path: str, rtol: float = 1e-9
+    golden_path: str, rtol: float = 1e-9, include_plugins: bool = False
 ) -> tuple[str, list[str]]:
     """Regenerate the report and diff it against ``golden_path``."""
     with open(golden_path, encoding="utf-8") as handle:
         golden = json.load(handle)
-    current = _roundtrip_through_json(generate_golden_report())
+    current = _roundtrip_through_json(
+        generate_golden_report(include_plugins=include_plugins)
+    )
     return compare_golden_reports(golden, current, rtol=rtol)

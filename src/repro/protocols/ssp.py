@@ -59,6 +59,7 @@ from __future__ import annotations
 
 import heapq
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -197,6 +198,80 @@ class SSPProtocol(TrainingProtocol):
         if config.rng_streams is not None:
             return self._run_batched(model, partitioned, cluster, config)
         return self.run_per_event(model, partitioned, cluster, config)
+
+    # ------------------------------------------------------------------
+    def run_stacked(
+        self,
+        models: Sequence[Model],
+        partitioneds: Sequence[PartitionedDataset],
+        clusters: Sequence[ClusterSpec],
+        configs: Sequence[TrainingConfig],
+    ) -> list[RunTrace]:
+        """Run many independent ``rng_version=2`` trainings with one stacked scan.
+
+        The expensive part of the batched path — the heap-free schedule
+        scan — is evaluated once over a ``(runs, workers)`` clock matrix
+        instead of once per run, so a sweep of ``R`` seeds costs one numpy
+        scan per chunk rather than ``R``.  Each run draws from its own
+        config's per-component streams in exactly the standalone order, so
+        every returned trace is bit-identical to ``run(models[r], ...)``.
+        All runs must share the worker count and iteration count (the stack
+        shape); the sequential gradient replay still happens per run.
+        """
+        num_runs = len(models)
+        if not (len(partitioneds) == len(clusters) == len(configs) == num_runs):
+            raise ProtocolError(
+                "run_stacked inputs must all have the same length; got "
+                f"{num_runs} models, {len(partitioneds)} datasets, "
+                f"{len(clusters)} clusters, {len(configs)} configs"
+            )
+        if num_runs == 0:
+            raise ProtocolError("run_stacked needs at least one run")
+        for index, config in enumerate(configs):
+            if config.rng_streams is None:
+                raise ProtocolError(
+                    f"stacked run {index} has rng_version=1; run_stacked "
+                    "requires per-component RngStreams (rng_version=2)"
+                )
+        shard_sizes_list: list[np.ndarray] = []
+        gradient_bytes_list: list[float] = []
+        injector_rngs: list[np.random.Generator] = []
+        jitter_rngs: list[np.random.Generator] = []
+        network_rngs: list[np.random.Generator | None] = []
+        for model, partitioned, cluster, config in zip(
+            models, partitioneds, clusters, configs, strict=True
+        ):
+            _, shard_sizes = self._validate_and_shard(partitioned, cluster)
+            shard_sizes_list.append(shard_sizes)
+            gradient_bytes_list.append(
+                model.num_parameters * config.bytes_per_parameter
+            )
+            injector_rngs.append(config.make_rng(component="injector"))
+            jitter_rngs.append(config.make_rng(component="jitter"))
+            network_rngs.append(
+                config.make_rng(component="network")
+                if config.network.is_stochastic
+                else None
+            )
+        schedules = self._simulate_schedules_stacked(
+            clusters,
+            shard_sizes_list,
+            gradient_bytes_list,
+            configs,
+            injector_rngs,
+            jitter_rngs,
+            network_rngs,
+        )
+        return [
+            self._run_batched(
+                models[run],
+                partitioneds[run],
+                clusters[run],
+                configs[run],
+                schedule=schedules[run],
+            )
+            for run in range(num_runs)
+        ]
 
     # ------------------------------------------------------------------
     def run_per_event(
@@ -416,51 +491,108 @@ class SSPProtocol(TrainingProtocol):
         jitter_rng: np.random.Generator,
         network_rng: np.random.Generator | None,
     ) -> _EventSchedule:
-        """Resolve the event dynamics of the whole run without a heap.
+        """Resolve the event dynamics of one run without a heap.
+
+        The single-run special case of :meth:`_simulate_schedules_stacked`
+        — one code path serves standalone runs and run-stacked sweeps, so
+        the existing goldens and property tests gate both.
+        """
+        return self._simulate_schedules_stacked(
+            [cluster],
+            [shard_sizes],
+            [gradient_bytes],
+            [config],
+            [injector_rng],
+            [jitter_rng],
+            [network_rng],
+        )[0]
+
+    def _simulate_schedules_stacked(
+        self,
+        clusters: Sequence[ClusterSpec],
+        shard_sizes: Sequence[np.ndarray],
+        gradient_bytes: Sequence[float],
+        configs: Sequence[TrainingConfig],
+        injector_rngs: Sequence[np.random.Generator],
+        jitter_rngs: Sequence[np.random.Generator],
+        network_rngs: Sequence[np.random.Generator | None],
+    ) -> list[_EventSchedule]:
+        """Resolve many independent runs' event dynamics in one stacked scan.
 
         Evaluates the finish-time recurrence (module docstring) with a
-        numpy scan over per-worker clocks, chunk by chunk: the chunk grows
-        until the first ``target`` events are provably complete — a worker
-        still running past the current horizon might owe earlier events, so
-        the scan extends while any live worker's last computed finish
-        precedes the tentative ``target``-th event time.  ``staleness=inf``
-        (Async) needs no gate, so each chunk is one column-wise ``cumsum``.
+        numpy scan over a ``(runs, workers)`` clock matrix, chunk by chunk:
+        the chunk grows until every run's first ``target`` events are
+        provably complete — a worker still running past a run's current
+        horizon might owe earlier events, so that run keeps scanning while
+        any of its live workers' last computed finish precedes the
+        tentative ``target``-th event time.  ``staleness=inf`` (Async)
+        needs no gate, so each chunk is one ``cumsum`` along the clock
+        axis.
+
+        The chunk sequence depends only on the shared shape constants, so a
+        run active at scan round ``t`` draws exactly the blocks a
+        standalone :meth:`_simulate_schedule` call would have drawn from
+        the same streams — every returned schedule is bit-identical to its
+        unstacked counterpart.  Runs that settle early are finalized (one
+        runs-leading lexsort resolves every active run's event order at
+        once) and stop consuming their streams, again exactly like the
+        standalone scan.
         """
-        num_workers = cluster.num_workers
-        target = config.num_iterations * num_workers
+        num_runs = len(clusters)
+        num_workers = clusters[0].num_workers
+        num_iterations = configs[0].num_iterations
+        for index in range(num_runs):
+            if clusters[index].num_workers != num_workers:
+                raise ProtocolError(
+                    f"stacked run {index} has {clusters[index].num_workers} "
+                    f"workers; the stack is shaped for {num_workers}"
+                )
+            if configs[index].num_iterations != num_iterations:
+                raise ProtocolError(
+                    f"stacked run {index} wants {configs[index].num_iterations} "
+                    f"iterations; the stack is shaped for {num_iterations}"
+                )
+        target = num_iterations * num_workers
         bound = None
         if math.isfinite(self.staleness):
             # Integer clocks make the effective staleness bound floor(s).
             bound = int(math.floor(self.staleness))
-        chunk = min(
-            max(config.num_iterations + (bound or 0) + 2, 8), target
-        )
+        chunk = min(max(num_iterations + (bound or 0) + 2, 8), target)
         finish_blocks: list[np.ndarray] = []
-        barrier: list[float] = []  # M[c] = max_w F[w, c]
-        previous = np.zeros(num_workers)
+        barrier: list[np.ndarray] = []  # M[c] = max_w F[r, w, c], shape (runs,)
+        previous = np.zeros((num_runs, num_workers))
+        schedules: list[_EventSchedule | None] = [None] * num_runs
+        done = np.zeros(num_runs, dtype=bool)
         total_steps = 0
         while True:
-            durations = self._draw_step_durations(
-                cluster, shard_sizes, gradient_bytes, config,
-                total_steps, chunk, injector_rng, jitter_rng, network_rng,
-            )
-            finish = np.empty((chunk, num_workers))
+            # Settled runs stop drawing (their streams must end exactly
+            # where the standalone scan left them); their rows scan zeros.
+            durations = np.zeros((num_runs, chunk, num_workers))
+            for run in range(num_runs):
+                if done[run]:
+                    continue
+                durations[run] = self._draw_step_durations(
+                    clusters[run], shard_sizes[run], gradient_bytes[run],
+                    configs[run], total_steps, chunk,
+                    injector_rngs[run], jitter_rngs[run], network_rngs[run],
+                )
+            finish = np.empty((num_runs, chunk, num_workers))
             if bound is None:
                 # Async: no blocking — finishes are per-worker prefix sums.
-                np.cumsum(durations, axis=0, out=finish)
-                finish += previous
-                previous = finish[-1].copy()
+                np.cumsum(durations, axis=1, out=finish)
+                finish += previous[:, None, :]
+                previous = finish[:, -1, :].copy()
             else:
                 for local in range(chunk):
                     step = total_steps + local
                     gate_index = step - bound - 1
                     if gate_index >= 0:
-                        row = np.maximum(previous, barrier[gate_index])
+                        row = np.maximum(previous, barrier[gate_index][:, None])
                     else:
                         row = previous
-                    row = row + durations[local]
-                    finish[local] = row
-                    barrier.append(row.max())
+                    row = row + durations[:, local, :]
+                    finish[:, local, :] = row
+                    barrier.append(row.max(axis=1))
                     previous = row
             finish_blocks.append(finish)
             total_steps += chunk
@@ -469,45 +601,78 @@ class SSPProtocol(TrainingProtocol):
             all_finish = (
                 finish_blocks[0]
                 if len(finish_blocks) == 1
-                else np.concatenate(finish_blocks, axis=0)
+                else np.concatenate(finish_blocks, axis=1)
             )
-            flat = all_finish.ravel()
-            finite_index = np.flatnonzero(np.isfinite(flat))
-            order = None
-            if finite_index.size >= target:
-                clocks, workers = np.divmod(finite_index, num_workers)
-                times = flat[finite_index]
-                order = np.lexsort((workers, times))
-                horizon = times[order[target - 1]]
-                # Live workers whose last computed finish is already past
-                # the tentative target time cannot owe earlier events
-                # (durations are strictly positive).
-                if not np.any(live & (previous < horizon)):
-                    break
-                order = None  # horizon not settled: extend the scan
-            elif not live.any():
-                break  # every runnable worker blocked or failed: stall
+            active = np.flatnonzero(~done)
+            flat_active = all_finish[active].reshape(active.size, -1)
+            finite_mask = np.isfinite(flat_active)
+            counts = finite_mask.sum(axis=1)
+            run_rows, flat_index = np.nonzero(finite_mask)
+            times_all = flat_active[run_rows, flat_index]
+            clocks_all, workers_all = np.divmod(flat_index, num_workers)
+            # The runs-leading lexsort: one stable sort resolves every
+            # active run's processing order at once; within a run the keys
+            # are (time, then worker index — the heap's tie-break), exactly
+            # the standalone ``lexsort((workers, times))``.
+            order_all = np.lexsort((workers_all, times_all, run_rows))
+            offsets = np.concatenate(([0], np.cumsum(counts)))
+            for position, run in enumerate(active):
+                lo, hi = int(offsets[position]), int(offsets[position + 1])
+                order = order_all[lo:hi] - lo
+                if counts[position] >= target:
+                    times = times_all[lo:hi]
+                    horizon = times[order[target - 1]]
+                    # Live workers whose last computed finish is already
+                    # past the tentative target time cannot owe earlier
+                    # events (durations are strictly positive).
+                    if np.any(live[run] & (previous[run] < horizon)):
+                        continue  # horizon not settled: extend the scan
+                elif live[run].any():
+                    continue  # still producing events: extend the scan
+                # Complete (or stalled with no runnable worker): finalize.
+                schedules[run] = self._finalize_schedule(
+                    all_finish[run],
+                    flat_index[lo:hi],
+                    times_all[lo:hi],
+                    clocks_all[lo:hi],
+                    workers_all[lo:hi],
+                    order,
+                    target,
+                    bound,
+                )
+                done[run] = True
+            if done.all():
+                break
             # A single live worker produces one event per scan column, so
             # `target` columns always satisfy the break condition; the
             # doubling never needs to scan past that.
             chunk = max(1, min(chunk * 2, target - total_steps))
+        return [schedule for schedule in schedules if schedule is not None]
 
-        if order is None:
-            # Stall path only — the common (complete) break above carries
-            # its lexsorted order out instead of recomputing it.
-            times = flat[finite_index]
-            clocks, workers = np.divmod(finite_index, num_workers)
-            order = np.lexsort((workers, times))
+    @staticmethod
+    def _finalize_schedule(
+        all_finish: np.ndarray,
+        finite_index: np.ndarray,
+        times: np.ndarray,
+        clocks: np.ndarray,
+        workers: np.ndarray,
+        order: np.ndarray,
+        target: int,
+        bound: int | None,
+    ) -> _EventSchedule:
+        """Turn one run's settled scan state into its event schedule.
+
+        ``order`` is the run-local lexsorted processing order over its
+        finite events; the snapshot an update was computed against is 1 +
+        the rank of the event that (re)started its step — the later of the
+        worker's own previous completion and the staleness barrier it
+        waited on — which falls out of pure rank arithmetic.
+        """
         selected = order[: min(target, order.size)]
         event_times = times[selected]
         event_workers = workers[selected]
         event_clocks = clocks[selected]
-
-        # Processing-order ranks of every finite event; the snapshot an
-        # update was computed against is 1 + the rank of the event that
-        # (re)started its step — the later of the worker's own previous
-        # completion and the staleness barrier it waited on.
-        ranks_flat = np.full(flat.shape[0], -1, dtype=np.int64)
+        ranks_flat = np.full(all_finish.size, -1, dtype=np.int64)
         ranks_flat[finite_index[order]] = np.arange(order.size)
         ranks = ranks_flat.reshape(all_finish.shape)
         previous_rank = np.where(
@@ -525,7 +690,6 @@ class SSPProtocol(TrainingProtocol):
         else:
             trigger_rank = previous_rank
         versions = np.where(trigger_rank >= 0, trigger_rank + 1, 0)
-
         return _EventSchedule(
             times=event_times,
             workers=event_workers,
@@ -628,6 +792,7 @@ class SSPProtocol(TrainingProtocol):
         partitioned: PartitionedDataset,
         cluster: ClusterSpec,
         config: TrainingConfig,
+        schedule: _EventSchedule | None = None,
     ) -> RunTrace:
         """The ``rng_version=2`` fast path: whole-matrix timing draws, a
         heap-free schedule scan, pre-drawn mini-batches, in-place optimiser
@@ -636,6 +801,10 @@ class SSPProtocol(TrainingProtocol):
         staleness distributions, different stream layout), several times
         faster — only the inherently sequential gradient replay remains
         per-update Python.
+
+        ``schedule`` lets :meth:`run_stacked` hand in an event schedule it
+        already resolved in the stacked scan; the timing streams must then
+        have been consumed by that scan and are not touched here.
         """
         eval_rng = config.make_rng()
         batch_rng = config.make_rng(stream_offset=208_003)
@@ -651,15 +820,16 @@ class SSPProtocol(TrainingProtocol):
         metadata = self._trace_metadata(partitioned, shard_sizes, config)
         metadata["rng_version"] = 2
 
-        schedule = self._simulate_schedule(
-            cluster,
-            shard_sizes,
-            gradient_bytes,
-            config,
-            injector_rng=config.make_rng(component="injector"),
-            jitter_rng=config.make_rng(component="jitter"),
-            network_rng=network_rng,
-        )
+        if schedule is None:
+            schedule = self._simulate_schedule(
+                cluster,
+                shard_sizes,
+                gradient_bytes,
+                config,
+                injector_rng=config.make_rng(component="injector"),
+                jitter_rng=config.make_rng(component="jitter"),
+                network_rng=network_rng,
+            )
         event_features, event_labels = self._resolve_event_batches(
             schedule, shard_data, shard_sizes, batch_rng
         )

@@ -37,10 +37,12 @@ from .timing import (
 )
 from .trace import IterationRecord, RunTrace, TraceColumns, UnknownTraceFieldWarning
 from .vectorized import (
+    StackedRun,
     TimingKernelCache,
     TimingTraceArrays,
     TimingTraceKernel,
     default_timing_kernel_cache,
+    simulate_worker_timing_arrays_stacked,
 )
 from .workers import WorkerSpec, perturb_estimates
 
@@ -72,8 +74,10 @@ __all__ = [
     "simulate_worker_timings",
     "simulate_worker_timing_arrays",
     "simulate_worker_timing_arrays_batch",
+    "simulate_worker_timing_arrays_stacked",
     "simulate_iteration",
     "decodable_completion_order",
+    "StackedRun",
     "TimingTraceKernel",
     "TimingTraceArrays",
     "TimingKernelCache",

@@ -35,6 +35,7 @@ from __future__ import annotations
 import hashlib
 import math
 from collections import OrderedDict
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,10 +48,12 @@ from .stragglers import NoStragglers, StragglerInjector
 from .timing import TimingError, worker_workloads
 
 __all__ = [
+    "StackedRun",
     "TimingTraceArrays",
     "TimingTraceKernel",
     "TimingKernelCache",
     "default_timing_kernel_cache",
+    "simulate_worker_timing_arrays_stacked",
     "strategy_fingerprint",
     "cluster_fingerprint",
 ]
@@ -87,6 +90,133 @@ class TimingTraceArrays:
     @property
     def decodable(self) -> np.ndarray:
         return np.isfinite(self.durations)
+
+
+@dataclass(frozen=True)
+class StackedRun:
+    """Per-run inputs of one slice of a run-stacked simulation.
+
+    A stack simulates many *independent* runs in one kernel call; what can
+    vary between them is captured here.  Every run owns its generators
+    (spawned from its own seed via the ``rng_version=2`` component streams),
+    so each slice of the stacked output is bit-identical to the standalone
+    :meth:`TimingTraceKernel.run_batched` result at the same seed.
+
+    ``injector``/``cluster`` default to the kernel- or call-level one; a
+    per-run cluster must have the same worker count (sweeps over seeds build
+    seed-dependent clusters, which share the kernel's decoder because decode
+    decisions depend only on the strategy, never on the cluster).
+    """
+
+    injector_rng: np.random.Generator
+    jitter_rng: np.random.Generator
+    network_rng: np.random.Generator | None = None
+    injector: StragglerInjector | None = None
+    cluster: ClusterSpec | None = None
+
+
+def simulate_worker_timing_arrays_stacked(
+    cluster: ClusterSpec,
+    workloads: Sequence[float],
+    num_iterations: int,
+    runs: Sequence[StackedRun],
+    injector: StragglerInjector | None = None,
+    start_iteration: int = 0,
+    gradient_bytes: float = 0.0,
+    network: CommunicationModel | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Run-stacked form of :func:`~repro.simulation.timing
+    .simulate_worker_timing_arrays_batch`.
+
+    Returns ``(compute_times, injected_delays, comm_times)`` with shapes
+    ``(runs, n, m)``, ``(runs, n, m)`` and ``(m,)`` — or ``(runs, n, m)``
+    for the comm times too when the network model is stochastic.  Slice
+    ``r`` of each output is bit-identical to a standalone batch call fed
+    ``runs[r]``'s generators: rng-free components fill the whole stack in
+    one vectorized call, rng-consuming components draw per run from that
+    run's own stream (runs are independent, so their draws cannot merge).
+    """
+    if num_iterations <= 0:
+        raise TimingError("num_iterations must be positive")
+    if not runs:
+        raise TimingError("runs must not be empty")
+    workloads = np.asarray(workloads, dtype=np.float64)
+    num_workers = cluster.num_workers
+    if workloads.shape != (num_workers,):
+        raise TimingError(
+            f"expected {num_workers} workloads, got shape {workloads.shape}"
+        )
+    if np.any(workloads < 0):
+        raise TimingError("workloads must be non-negative")
+    network = network or ZeroCommunication()
+    num_runs = len(runs)
+    shape = (num_runs, num_iterations, num_workers)
+
+    # Injected delays: one vectorized call when every run shares one
+    # (stateless) injector instance, else the bit-identical per-run loop.
+    default_injector = injector or NoStragglers()
+    injectors = [run.injector or default_injector for run in runs]
+    injector_rngs = [run.injector_rng for run in runs]
+    first_injector = injectors[0]
+    if all(inj is first_injector for inj in injectors):
+        delays = np.asarray(
+            first_injector.delays_stacked(
+                start_iteration, num_iterations, num_workers, injector_rngs
+            ),
+            dtype=np.float64,
+        )
+        if delays.shape != shape:
+            raise TimingError(
+                "straggler injector returned the wrong stacked shape: "
+                f"{delays.shape} instead of {shape}"
+            )
+    else:
+        delays = np.empty(shape)
+        for index, (inj, rng) in enumerate(zip(injectors, injector_rngs)):
+            block = np.asarray(
+                inj.delays_batch(start_iteration, num_iterations, num_workers, rng),
+                dtype=np.float64,
+            )
+            if block.shape != (num_iterations, num_workers):
+                raise TimingError(
+                    "straggler injector returned the wrong batch shape: "
+                    f"{block.shape} instead of {(num_iterations, num_workers)}"
+                )
+            delays[index] = block
+
+    # Compute times: one stacked draw when every run simulates the same
+    # cluster, else per-run batched draws against each run's own cluster.
+    clusters = [run.cluster or cluster for run in runs]
+    jitter_rngs = [run.jitter_rng for run in runs]
+    first_cluster = clusters[0]
+    if all(cl is first_cluster for cl in clusters):
+        compute = first_cluster.compute_times_stacked(
+            workloads, num_iterations, jitter_rngs
+        )
+    else:
+        compute = np.empty(shape)
+        for index, (cl, rng) in enumerate(zip(clusters, jitter_rngs)):
+            if cl.num_workers != num_workers:
+                raise TimingError(
+                    f"stacked run {index} uses cluster {cl.name!r} with "
+                    f"{cl.num_workers} workers; the stack is shaped for "
+                    f"{num_workers}"
+                )
+            compute[index] = cl.compute_times_batch(workloads, num_iterations, rng)
+
+    loaded = workloads > 0
+    if network.is_stochastic:
+        comm = np.empty(shape)
+        for index, run in enumerate(runs):
+            sampled = network.sample_transfer_times(
+                gradient_bytes,
+                (num_iterations, num_workers),
+                np.random.default_rng(run.network_rng),
+            )
+            comm[index] = np.where(loaded, sampled, 0.0)
+    else:
+        comm = np.where(loaded, network.transfer_time(gradient_bytes), 0.0)
+    return compute, delays, comm
 
 
 class TimingTraceKernel:
@@ -359,6 +489,139 @@ class TimingTraceKernel:
             workers_used=tuple(workers_used),
             used_groups=tuple(used_groups),
         )
+
+    # ------------------------------------------------------------------
+    def run_stacked(
+        self,
+        num_iterations: int,
+        runs: Sequence[StackedRun],
+        start_iteration: int = 0,
+    ) -> list[TimingTraceArrays]:
+        """Simulate ``len(runs)`` independent runs in one stacked kernel call.
+
+        Entry ``r`` of the result is bit-identical to
+        ``run_batched(num_iterations, ...)`` fed ``runs[r]``'s generators,
+        injector and cluster (durations, completion times, worker sets —
+        everything).  What makes the stack faster than the loop:
+
+        * rng-free draw components (deterministic comm, fixed-worker or
+          zero-delay injectors) fill the whole ``(runs, n, m)`` stack in one
+          numpy call; rng-consuming components draw once per *run* (already
+          batched over iterations since PR 3);
+        * one ``argsort``/``isfinite`` call over all ``runs * n`` iterations;
+        * decode decisions are deduplicated across the *whole stack*
+          through ``self._order_cache`` — every distinct completion order
+          is decoded once and shared by all runs, instead of each run
+          paying its own cold-cache decodes.
+        """
+        if num_iterations <= 0:
+            raise TimingError("num_iterations must be positive")
+        if not runs:
+            raise TimingError("runs must not be empty")
+        for index, run in enumerate(runs):
+            if run.cluster is not None and run.cluster.num_workers != self.num_workers:
+                raise TimingError(
+                    f"stacked run {index} uses cluster {run.cluster.name!r} "
+                    f"with {run.cluster.num_workers} workers; this kernel is "
+                    f"shaped for {self.num_workers}"
+                )
+        num_runs = len(runs)
+        m = self.num_workers
+        compute, delays, comm = simulate_worker_timing_arrays_stacked(
+            self.cluster,
+            self.workloads,
+            num_iterations,
+            runs,
+            injector=self.injector,
+            start_iteration=start_iteration,
+            gradient_bytes=self.gradient_bytes,
+            network=self.network,
+        )
+        # Same op order as run_batched: (compute + delays) += comm, so every
+        # float is produced by the identical sequence of additions.
+        completion = compute + delays
+        completion += comm
+        flat = completion.reshape(num_runs * num_iterations, m)
+        orders = flat.argsort(axis=1, kind="stable")
+        finite_counts = np.isfinite(flat).sum(axis=1)
+        total_steps = num_runs * num_iterations
+        # Decode each distinct order once for the whole stack via the same
+        # ``self._order_cache`` run_batched uses: full-order bytes when all
+        # workers are finite, truncated otherwise (the stable argsort parks
+        # the non-finite workers at the tail, so the truncated order is a
+        # pure function of the full order plus the count).  Small clusters
+        # pack every (order, count) row into one integer so the distinct
+        # orders fall out of a single 1-D ``np.unique`` — jittered sweeps
+        # revisit a handful of orders tens of thousands of times, and this
+        # replaces the per-step dict probes with one vectorized pass.
+        order_cache = self._order_cache
+        field_bits = max(m.bit_length(), 1)
+        if (m + 1) * field_bits <= 64:
+            shifts = np.arange(m, dtype=np.uint64) * np.uint64(field_bits)
+            packed = (orders.astype(np.uint64) << shifts).sum(
+                axis=1, dtype=np.uint64
+            )
+            packed |= finite_counts.astype(np.uint64) << np.uint64(m * field_bits)
+            _, rep_steps, inverse = np.unique(
+                packed, return_index=True, return_inverse=True
+            )
+            inverse = np.asarray(inverse).ravel()
+            unique_steps = rep_steps.tolist()
+        else:
+            inverse = np.arange(total_steps)
+            unique_steps = list(range(total_steps))
+        counts_list = finite_counts.tolist()
+        prefix_by_unique = np.empty(len(unique_steps), dtype=np.int64)
+        workers_by_unique: list[tuple[int, ...]] = []
+        groups_by_unique: list[tuple[int, ...] | None] = []
+        for position, step in enumerate(unique_steps):
+            count = counts_list[step]
+            key = orders[step, :count].tobytes()
+            hit = order_cache.get(key)
+            if hit is None:
+                order_list = orders[step, :count].tolist()
+                prefix = self.decoder.earliest_decodable_prefix(order_list)
+                result = (
+                    None
+                    if prefix is None
+                    else self.decoder.decoding_vector(order_list[:prefix])
+                )
+                hit = (prefix, result)
+                if len(order_cache) < self.order_cache_limit:
+                    order_cache[key] = hit
+            prefix, result = hit
+            if prefix is None or result is None:
+                prefix_by_unique[position] = 0
+                workers_by_unique.append(())
+                groups_by_unique.append(None)
+            else:
+                prefix_by_unique[position] = prefix
+                workers_by_unique.append(result.workers_used)
+                groups_by_unique.append(result.used_group)
+        inverse_list = inverse.tolist()
+        step_prefix = prefix_by_unique[inverse]
+        workers_used = [workers_by_unique[u] for u in inverse_list]
+        used_groups = [groups_by_unique[u] for u in inverse_list]
+        durations = np.full(total_steps, np.inf)
+        decodable = np.flatnonzero(step_prefix > 0)
+        if decodable.size:
+            winners = orders[decodable, step_prefix[decodable] - 1]
+            durations[decodable] = flat[decodable, winners]
+        durations = durations.reshape(num_runs, num_iterations)
+        out: list[TimingTraceArrays] = []
+        for index in range(num_runs):
+            lo = index * num_iterations
+            hi = lo + num_iterations
+            out.append(
+                TimingTraceArrays(
+                    durations=durations[index],
+                    compute_times=compute[index],
+                    completion_times=completion[index],
+                    workers_used=tuple(workers_used[lo:hi]),
+                    used_groups=tuple(used_groups[lo:hi]),
+                )
+            )
+        return out
 
 
 # ---------------------------------------------------------------------------

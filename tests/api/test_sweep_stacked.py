@@ -1,0 +1,195 @@
+"""The sweep planner: stacked dispatch is invisible except in wall-clock.
+
+``Engine.sweep`` partitions its cartesian product into stackable groups and
+routes each group through one run-stacked kernel call.  The contract pinned
+here: every result is bit-identical (JSON-exact) to the per-run ``run_many``
+path, regardless of how the planner grouped the specs — and everything the
+planner cannot stack (rng_version=1, coded-protocol training, injected
+backends) silently falls back to the per-run path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api import Engine, RunSpec
+from repro.api.engine import EngineError
+from repro.api.spec import NetworkSpec, StragglerSpec
+
+
+def results_json(results) -> str:
+    return json.dumps(
+        [r.to_dict() for r in results], default=repr, sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def engine() -> Engine:
+    return Engine()
+
+
+def assert_sweep_matches_run_many(engine, base, **axes):
+    swept = engine.sweep(base, **axes)
+    specs = [r.spec for r in swept]
+    reference = engine.run_many(specs)
+    assert results_json(swept) == results_json(reference)
+    return swept
+
+
+class TestStackedTimingSweeps:
+    def test_seed_sweep_pinned_cluster(self, engine):
+        # One strategy (pinned cluster options), many seeds: the canonical
+        # stackable group.
+        base = RunSpec(
+            num_iterations=12,
+            total_samples=1024,
+            cluster_options={"rng": 123},
+            rng_version=2,
+            seed=0,
+        )
+        assert_sweep_matches_run_many(engine, base, seed=list(range(6)))
+
+    def test_seed_sweep_per_seed_clusters(self, engine):
+        # Default cluster options derive the cluster from each seed; the
+        # naive scheme is throughput-independent, so the specs still group
+        # into one stack with per-run clusters.
+        base = RunSpec(
+            scheme="naive",
+            num_iterations=12,
+            total_samples=1024,
+            rng_version=2,
+            seed=0,
+        )
+        assert_sweep_matches_run_many(engine, base, seed=list(range(6)))
+
+    def test_delay_axis_with_stochastic_network(self, engine):
+        base = RunSpec(
+            num_iterations=10,
+            total_samples=1024,
+            network=NetworkSpec("lognormal", {}),
+            rng_version=2,
+            seed=7,
+        )
+        assert_sweep_matches_run_many(
+            engine,
+            base,
+            straggler=[
+                StragglerSpec(
+                    "artificial_delay",
+                    {"num_stragglers": 1, "delay_seconds": delay},
+                )
+                for delay in (0.5, 1.0, 2.0)
+            ],
+            seed=[7, 8],
+        )
+
+    def test_fail_stop_rows_survive_stacking(self, engine):
+        base = RunSpec(
+            num_iterations=10,
+            total_samples=1024,
+            straggler=StragglerSpec("fail_stop", {"failures": {1: 4}}),
+            rng_version=2,
+            seed=0,
+        )
+        swept = assert_sweep_matches_run_many(engine, base, seed=[0, 1, 2])
+        assert all(r.trace.metadata["rng_version"] == 2 for r in swept)
+
+
+class TestStackedTrainingSweeps:
+    @pytest.mark.parametrize("scheme", ["ssp", "dyn_ssp", "async"])
+    def test_event_driven_protocols_stack(self, engine, scheme):
+        base = RunSpec(
+            mode="training",
+            scheme=scheme,
+            num_iterations=6,
+            total_samples=256,
+            rng_version=2,
+            seed=0,
+        )
+        assert_sweep_matches_run_many(engine, base, seed=[0, 1, 2])
+
+    def test_coded_protocol_training_falls_back(self, engine):
+        # Gradient-coded training has no stacked path; the planner must
+        # route it through run_many unchanged.
+        base = RunSpec(
+            mode="training",
+            scheme="heter_aware",
+            num_iterations=4,
+            total_samples=256,
+            rng_version=2,
+            seed=0,
+        )
+        assert_sweep_matches_run_many(engine, base, seed=[0, 1])
+
+
+class TestPlannerFallbacks:
+    def test_v1_specs_use_the_per_run_path(self, engine):
+        base = RunSpec(num_iterations=6, total_samples=512, seed=0)
+        assert_sweep_matches_run_many(
+            engine, base, seed=[0, 1, 2], scheme=["naive", "cyclic"]
+        )
+
+    def test_mixed_v1_v2_sweep(self, engine):
+        base = RunSpec(num_iterations=6, total_samples=512, seed=0)
+        assert_sweep_matches_run_many(
+            engine, base, rng_version=[1, 2], seed=[0, 1, 2]
+        )
+
+    def test_injected_backends_never_stack(self):
+        calls = []
+
+        def backend(spec):
+            calls.append(spec)
+            return Engine().run(spec).trace
+
+        fake = Engine(backends={"timing": backend})
+        results = fake.sweep(
+            RunSpec(num_iterations=4, total_samples=512, rng_version=2, seed=0),
+            seed=[0, 1, 2],
+        )
+        assert len(calls) == 3 and len(results) == 3
+
+    def test_parallel_composes_with_stacking(self, engine):
+        # Stacked groups run in-process; the remainder follows run_many's
+        # parallel rule.  Either way the results are bit-identical.
+        base = RunSpec(
+            num_iterations=8,
+            total_samples=512,
+            cluster_options={"rng": 5},
+            rng_version=2,
+            seed=0,
+        )
+        axes = {"seed": [0, 1, 2, 3], "rng_version": [1, 2]}
+        serial = engine.sweep(base, **axes)
+        parallel = engine.sweep(base, parallel=2, **axes)
+        assert results_json(serial) == results_json(parallel)
+
+    def test_results_keep_sweep_order(self, engine):
+        base = RunSpec(
+            num_iterations=4,
+            total_samples=512,
+            cluster_options={"rng": 5},
+            rng_version=2,
+            seed=0,
+        )
+        results = engine.sweep(base, scheme=["naive", "cyclic"], seed=[3, 4])
+        assert [(r.spec.scheme, r.spec.seed) for r in results] == [
+            ("naive", 3),
+            ("naive", 4),
+            ("cyclic", 3),
+            ("cyclic", 4),
+        ]
+
+
+class TestSweepValidation:
+    def test_empty_axis_raises(self, engine):
+        base = RunSpec(num_iterations=4, total_samples=512, seed=0)
+        with pytest.raises(EngineError, match="has no values"):
+            engine.sweep(base, seed=[])
+
+    def test_empty_axis_names_the_axis(self, engine):
+        base = RunSpec(num_iterations=4, total_samples=512, seed=0)
+        with pytest.raises(EngineError, match="'scheme'"):
+            engine.sweep(base, scheme=[], seed=[0, 1])

@@ -85,9 +85,9 @@ class TestBatchKernels:
 class TestPartitionCaching:
     def test_partition_data_cached(self, blob_setup):
         _, partitioned, _ = blob_setup
-        first = partitioned.partition_data(2)
-        second = partitioned.partition_data(2)
-        assert first[0] is second[0] and first[1] is second[1]
+        data = partitioned.partition_data(2)
+        again = partitioned.partition_data(2)
+        assert data[0] is again[0] and data[1] is again[1]
 
     def test_cached_views_are_read_only(self, blob_setup):
         _, partitioned, _ = blob_setup

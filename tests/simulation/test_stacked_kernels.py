@@ -1,0 +1,384 @@
+"""Bit-identity of the run-stacked kernels against their per-run paths.
+
+The PR 7 contract: stacking many runs into one numpy call must change
+*nothing* about any individual run.  Every ``*_stacked`` kernel is pinned
+here against the standalone path it replaces — per-run generators spawned
+from the same seeds, outputs compared exactly (``inf`` rows included) —
+for every registered straggler model and every Table II cluster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.builders import build_injector
+from repro.api.spec import StragglerSpec
+from repro.coding.registry import build_strategy, natural_partitions
+from repro.experiments.clusters import build_cluster
+from repro.simulation.cluster import uniform_cluster
+from repro.simulation.network import LogNormalNetwork, SimpleNetwork
+from repro.simulation.rng import RngStreams
+from repro.simulation.timing import (
+    simulate_worker_timing_arrays,
+    simulate_worker_timing_arrays_batch,
+)
+from repro.simulation.vectorized import (
+    StackedRun,
+    TimingTraceKernel,
+    simulate_worker_timing_arrays_stacked,
+)
+
+#: Every registered straggler model, as declarative specs (worker 1 fails at
+#: iteration 5 in the fail_stop case so the stack carries ``inf`` rows).
+STRAGGLER_SPECS = {
+    "none": StragglerSpec("none", {}),
+    "artificial_delay": StragglerSpec(
+        "artificial_delay", {"num_stragglers": 2, "delay_seconds": 1.0}
+    ),
+    "transient": StragglerSpec(
+        "transient", {"probability": 0.2, "mean_delay_seconds": 1.5}
+    ),
+    "bursty": StragglerSpec(
+        "bursty",
+        {"enter_probability": 0.1, "exit_probability": 0.3, "mean_delay_seconds": 2.0},
+    ),
+    "fail_stop": StragglerSpec("fail_stop", {"failures": {1: 5}}),
+    "composite": StragglerSpec(
+        "composite",
+        {
+            "parts": [
+                {
+                    "kind": "artificial_delay",
+                    "params": {"num_stragglers": 1, "delay_seconds": 0.5},
+                },
+                {
+                    "kind": "transient",
+                    "params": {"probability": 0.1, "mean_delay_seconds": 0.8},
+                },
+            ]
+        },
+    ),
+}
+
+TABLE_II_CLUSTERS = ["Cluster-A", "Cluster-B", "Cluster-C", "Cluster-D"]
+
+SEEDS = [11, 12, 13, 14, 15]
+
+
+def make_kernel(cluster, scheme="heter_aware", network=None, seed=0):
+    k = natural_partitions(scheme, cluster.num_workers, 2)
+    strategy = build_strategy(
+        scheme,
+        throughputs=cluster.estimated_throughputs,
+        num_partitions=k,
+        num_stragglers=1,
+        rng=np.random.default_rng(seed),
+    )
+    return TimingTraceKernel(
+        strategy,
+        cluster,
+        samples_per_partition=max(1, 2048 // k),
+        gradient_bytes=8.0 * 65536,
+        network=network or SimpleNetwork(),
+    )
+
+
+def stacked_runs(seeds, straggler_spec, stochastic_network):
+    """One StackedRun per seed with fresh v2 component streams."""
+    runs = []
+    for seed in seeds:
+        streams = RngStreams.from_seed(seed)
+        runs.append(
+            StackedRun(
+                injector_rng=streams.injector,
+                jitter_rng=streams.jitter,
+                network_rng=streams.network if stochastic_network else None,
+                injector=build_injector(straggler_spec),
+            )
+        )
+    return runs
+
+
+def solo_arrays(kernel, num_iterations, seed, straggler_spec, stochastic_network):
+    streams = RngStreams.from_seed(seed)
+    return kernel.run_batched(
+        num_iterations,
+        injector_rng=streams.injector,
+        jitter_rng=streams.jitter,
+        injector=build_injector(straggler_spec),
+        network_rng=streams.network if stochastic_network else None,
+    )
+
+
+def assert_arrays_identical(stacked, solo):
+    np.testing.assert_array_equal(stacked.durations, solo.durations)
+    np.testing.assert_array_equal(stacked.compute_times, solo.compute_times)
+    np.testing.assert_array_equal(stacked.completion_times, solo.completion_times)
+    assert stacked.workers_used == solo.workers_used
+    assert stacked.used_groups == solo.used_groups
+
+
+class TestRunStackedBitIdentity:
+    """``run_stacked`` slice r == standalone ``run_batched`` at seed r."""
+
+    @pytest.mark.parametrize("straggler", sorted(STRAGGLER_SPECS))
+    @pytest.mark.parametrize("cluster_name", TABLE_II_CLUSTERS)
+    def test_every_model_on_every_table_ii_cluster(self, straggler, cluster_name):
+        cluster = build_cluster(cluster_name, rng=0)
+        kernel = make_kernel(cluster)
+        spec = STRAGGLER_SPECS[straggler]
+        n = 25
+        stacked = kernel.run_stacked(n, stacked_runs(SEEDS, spec, False))
+        for index, seed in enumerate(SEEDS):
+            assert_arrays_identical(
+                stacked[index], solo_arrays(kernel, n, seed, spec, False)
+            )
+
+    @pytest.mark.parametrize("straggler", ["none", "transient", "fail_stop"])
+    def test_stochastic_network_draws_stay_per_run(self, straggler):
+        cluster = build_cluster("Cluster-A", rng=0)
+        kernel = make_kernel(cluster, network=LogNormalNetwork())
+        spec = STRAGGLER_SPECS[straggler]
+        n = 25
+        stacked = kernel.run_stacked(n, stacked_runs(SEEDS, spec, True))
+        for index, seed in enumerate(SEEDS):
+            assert_arrays_identical(
+                stacked[index], solo_arrays(kernel, n, seed, spec, True)
+            )
+
+    def test_fail_stop_rows_are_infinite(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        kernel = make_kernel(cluster)
+        spec = STRAGGLER_SPECS["fail_stop"]
+        stacked = kernel.run_stacked(12, stacked_runs(SEEDS[:2], spec, False))
+        for arrays in stacked:
+            assert np.isinf(arrays.completion_times[6:, 1]).all()
+            for used in arrays.workers_used[6:]:
+                assert 1 not in used
+
+    def test_deterministic_stack_matches_v1_run(self):
+        # Noise-free cluster + rng-free injector: the v1 scalar path, the
+        # batched path and the stacked path must all coincide exactly.
+        cluster = uniform_cluster("flat", 6, compute_noise=0.0)
+        kernel = make_kernel(cluster, scheme="cyclic")
+        spec = STRAGGLER_SPECS["artificial_delay"]
+        v1 = kernel.run(10, rng=0, injector=build_injector(spec))
+        stacked = kernel.run_stacked(10, stacked_runs([0, 1], spec, False))
+        for arrays in stacked:
+            np.testing.assert_array_equal(arrays.durations, v1.durations)
+
+    def test_per_run_clusters_share_the_decoder(self):
+        # Seed sweeps build seed-dependent clusters; decode decisions depend
+        # only on the strategy, so per-run clusters ride the same kernel.
+        base = build_cluster("Cluster-A", rng=0)
+        kernel = make_kernel(base, scheme="naive")
+        spec = STRAGGLER_SPECS["artificial_delay"]
+        n = 20
+        runs = []
+        for seed in SEEDS:
+            streams = RngStreams.from_seed(seed)
+            runs.append(
+                StackedRun(
+                    injector_rng=streams.injector,
+                    jitter_rng=streams.jitter,
+                    injector=build_injector(spec),
+                    cluster=build_cluster("Cluster-A", rng=seed),
+                )
+            )
+        stacked = kernel.run_stacked(n, runs)
+        for index, seed in enumerate(SEEDS):
+            solo_kernel = make_kernel(
+                build_cluster("Cluster-A", rng=seed), scheme="naive"
+            )
+            assert_arrays_identical(
+                stacked[index], solo_arrays(solo_kernel, n, seed, spec, False)
+            )
+
+    def test_rejects_empty_runs(self):
+        kernel = make_kernel(build_cluster("Cluster-A", rng=0))
+        with pytest.raises(ValueError, match="runs"):
+            kernel.run_stacked(5, [])
+
+
+class TestStackedTimingArrays:
+    """``simulate_worker_timing_arrays_stacked`` vs the batch/scalar paths."""
+
+    @pytest.mark.parametrize("straggler", sorted(STRAGGLER_SPECS))
+    def test_slices_match_standalone_batch(self, straggler):
+        cluster = build_cluster("Cluster-B", rng=0)
+        workloads = np.full(cluster.num_workers, 48.0)
+        spec = STRAGGLER_SPECS[straggler]
+        n = 25
+        compute, delays, comm = simulate_worker_timing_arrays_stacked(
+            cluster,
+            workloads,
+            n,
+            stacked_runs(SEEDS, spec, False),
+            gradient_bytes=8.0 * 65536,
+            network=SimpleNetwork(),
+        )
+        assert comm.shape == (cluster.num_workers,)
+        for index, seed in enumerate(SEEDS):
+            streams = RngStreams.from_seed(seed)
+            solo_compute, solo_delays, solo_comm = simulate_worker_timing_arrays_batch(
+                cluster,
+                workloads,
+                n,
+                injector=build_injector(spec),
+                gradient_bytes=8.0 * 65536,
+                network=SimpleNetwork(),
+                injector_rng=streams.injector,
+                jitter_rng=streams.jitter,
+            )
+            np.testing.assert_array_equal(compute[index], solo_compute)
+            np.testing.assert_array_equal(delays[index], solo_delays)
+            np.testing.assert_array_equal(comm, solo_comm)
+
+    def test_stochastic_network_comm_is_per_run(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        workloads = np.full(cluster.num_workers, 32.0)
+        spec = STRAGGLER_SPECS["none"]
+        compute, delays, comm = simulate_worker_timing_arrays_stacked(
+            cluster,
+            workloads,
+            15,
+            stacked_runs(SEEDS, spec, True),
+            gradient_bytes=1e6,
+            network=LogNormalNetwork(),
+        )
+        assert comm.shape == (len(SEEDS), 15, cluster.num_workers)
+        for index, seed in enumerate(SEEDS):
+            streams = RngStreams.from_seed(seed)
+            _, _, solo_comm = simulate_worker_timing_arrays_batch(
+                cluster,
+                workloads,
+                15,
+                gradient_bytes=1e6,
+                network=LogNormalNetwork(),
+                injector_rng=streams.injector,
+                jitter_rng=streams.jitter,
+                network_rng=streams.network,
+            )
+            np.testing.assert_array_equal(comm[index], solo_comm)
+
+    def test_deterministic_rows_match_the_scalar_path(self):
+        # Noise-free cluster, rng-free injector, deterministic network: every
+        # stacked row equals a per-iteration simulate_worker_timing_arrays
+        # call (the original scalar kernel all the batch forms grew from).
+        cluster = uniform_cluster("flat", 5, compute_noise=0.0)
+        workloads = np.array([16.0, 0.0, 16.0, 16.0, 16.0])
+        pinned = StragglerSpec(
+            "artificial_delay",
+            {"num_stragglers": 2, "delay_seconds": 1.0, "workers": [2, 3]},
+        )
+        injector = build_injector(pinned)
+        compute, delays, comm = simulate_worker_timing_arrays_stacked(
+            cluster,
+            workloads,
+            4,
+            stacked_runs([0], pinned, False),
+            injector=injector,
+            gradient_bytes=1e6,
+            network=SimpleNetwork(),
+        )
+        for iteration in range(4):
+            ref_compute, ref_delays, ref_comm = simulate_worker_timing_arrays(
+                cluster,
+                workloads,
+                injector=injector,
+                iteration=iteration,
+                gradient_bytes=1e6,
+                network=SimpleNetwork(),
+            )
+            np.testing.assert_array_equal(compute[0, iteration], ref_compute)
+            np.testing.assert_array_equal(delays[0, iteration], ref_delays)
+            np.testing.assert_array_equal(comm, ref_comm)
+
+
+class TestComputeTimesStacked:
+    """``ClusterSpec.compute_times_stacked`` vs batch and scalar draws."""
+
+    @pytest.mark.parametrize("cluster_name", TABLE_II_CLUSTERS)
+    def test_slices_match_standalone_batch(self, cluster_name):
+        cluster = build_cluster(cluster_name, rng=0)
+        workloads = np.full(cluster.num_workers, 64.0)
+        rngs = [RngStreams.from_seed(seed).jitter for seed in SEEDS]
+        stacked = cluster.compute_times_stacked(workloads, 30, rngs)
+        for index, seed in enumerate(SEEDS):
+            solo = cluster.compute_times_batch(
+                workloads, 30, RngStreams.from_seed(seed).jitter
+            )
+            np.testing.assert_array_equal(stacked[index], solo)
+
+    def test_jitter_free_rows_equal_the_scalar_path(self):
+        cluster = build_cluster("Cluster-A", rng=0)
+        workloads = np.full(cluster.num_workers, 64.0)
+        stacked = cluster.compute_times_stacked(workloads, 5, [None, None])
+        base = cluster.compute_times(workloads, rng=None)
+        assert stacked.shape == (2, 5, cluster.num_workers)
+        np.testing.assert_array_equal(
+            stacked, np.broadcast_to(base, stacked.shape)
+        )
+
+
+class TestDelaysStacked:
+    """``StragglerInjector.delays_stacked`` vs batch and scalar draws."""
+
+    @pytest.mark.parametrize(
+        "straggler",
+        sorted(k for k in STRAGGLER_SPECS if build_injector(STRAGGLER_SPECS[k]).stateless),
+    )
+    def test_stateless_slices_match_standalone_batch(self, straggler):
+        # Sharing one instance across stacked runs is only sound for
+        # stateless injectors (the planner builds fresh instances otherwise).
+        spec = STRAGGLER_SPECS[straggler]
+        injector = build_injector(spec)
+        rngs = [RngStreams.from_seed(seed).injector for seed in SEEDS]
+        stacked = injector.delays_stacked(0, 20, 9, rngs)
+        assert stacked.shape == (len(SEEDS), 20, 9)
+        for index, seed in enumerate(SEEDS):
+            solo = build_injector(spec).delays_batch(
+                0, 20, 9, RngStreams.from_seed(seed).injector
+            )
+            np.testing.assert_array_equal(stacked[index], solo)
+
+    def test_stateful_single_run_stack_matches_batch(self):
+        # A stateful injector can still be stacked one run at a time on a
+        # fresh instance: the generic fallback is plain delays_batch then.
+        stacked = build_injector(STRAGGLER_SPECS["bursty"]).delays_stacked(
+            0, 20, 9, [RngStreams.from_seed(3).injector]
+        )
+        solo = build_injector(STRAGGLER_SPECS["bursty"]).delays_batch(
+            0, 20, 9, RngStreams.from_seed(3).injector
+        )
+        np.testing.assert_array_equal(stacked[0], solo)
+
+    def test_rng_free_rows_equal_scalar_delays(self):
+        # ArtificialDelay with a fixed worker set ignores its rng: each
+        # stacked row must equal the per-iteration scalar delays() result.
+        injector = build_injector(
+            StragglerSpec(
+                "artificial_delay",
+                {"num_stragglers": 2, "delay_seconds": 1.0, "workers": [2, 5]},
+            )
+        )
+        rng = RngStreams.from_seed(0).injector
+        stacked = injector.delays_stacked(0, 6, 9, [rng])
+        for iteration in range(6):
+            np.testing.assert_array_equal(
+                stacked[0, iteration], injector.delays(iteration, 9, rng)
+            )
+
+    def test_stateless_flags(self):
+        assert build_injector(STRAGGLER_SPECS["none"]).stateless
+        assert build_injector(STRAGGLER_SPECS["artificial_delay"]).stateless
+        assert build_injector(STRAGGLER_SPECS["fail_stop"]).stateless
+        assert build_injector(STRAGGLER_SPECS["transient"]).stateless
+        assert not build_injector(STRAGGLER_SPECS["bursty"]).stateless
+        # A composite is stateless exactly when every child is.
+        assert build_injector(STRAGGLER_SPECS["composite"]).stateless
+        bursty_composite = StragglerSpec(
+            "composite", {"parts": ["none", {"kind": "bursty", "params": {}}]}
+        )
+        assert not build_injector(bursty_composite).stateless
