@@ -42,6 +42,7 @@ __all__ = [
     "STRAGGLER_MODELS",
     "NETWORK_MODELS",
     "EXECUTION_BACKENDS",
+    "EXECUTORS",
     "register_scheme",
     "register_protocol",
     "register_cluster",
@@ -49,6 +50,7 @@ __all__ = [
     "register_straggler_model",
     "register_network_model",
     "register_backend",
+    "register_executor",
 ]
 
 T = TypeVar("T")
@@ -167,12 +169,18 @@ NETWORK_MODELS: Registry[Callable[..., Any]] = Registry("network model")
 #: Execution backends: mode -> ``(RunSpec) -> RunTrace``.
 EXECUTION_BACKENDS: Registry[Callable[..., Any]] = Registry("execution backend")
 
+#: Sweep executors: name -> :class:`repro.api.executors.Executor` subclass
+#: (or ready instance) deciding how a batch of runs executes and how
+#: results travel back (in-process, pickle pool, shared-memory pool, ...).
+EXECUTORS: Registry[Any] = Registry("executor")
+
 register_scheme = SCHEMES.register
 register_protocol = PROTOCOLS.register
 register_cluster = CLUSTERS.register
 register_straggler_model = STRAGGLER_MODELS.register
 register_network_model = NETWORK_MODELS.register
 register_backend = EXECUTION_BACKENDS.register
+register_executor = EXECUTORS.register
 
 
 def register_workload(workload: Any = None, *, replace: bool = False):

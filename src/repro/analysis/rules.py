@@ -297,9 +297,9 @@ def _is_set_expr(node: ast.expr) -> bool:
 @register_rule(
     "REG001",
     summary=(
-        "StragglerInjector/CommunicationModel/TrainingProtocol/Model "
-        "subclasses must be registered (decorator, REGISTRY.add builder, or "
-        "registrar-module reference)"
+        "StragglerInjector/CommunicationModel/TrainingProtocol/Model/"
+        "Executor subclasses must be registered (decorator, REGISTRY.add "
+        "builder, or registrar-module reference)"
     ),
 )
 class UnregisteredPluginRule(LintRule):
@@ -321,7 +321,13 @@ class UnregisteredPluginRule(LintRule):
 
     id = "REG001"
 
-    _ROOTS = ("StragglerInjector", "CommunicationModel", "TrainingProtocol", "Model")
+    _ROOTS = (
+        "StragglerInjector",
+        "CommunicationModel",
+        "TrainingProtocol",
+        "Model",
+        "Executor",
+    )
 
     def check(self, ctx: FileContext, project: ProjectContext) -> Iterator[Finding]:
         if ctx.matches("_reference.py") or ctx.in_directory("tests"):

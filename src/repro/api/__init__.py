@@ -14,8 +14,13 @@ One code path serves every scheme, protocol, cluster and workload:
 * the plugin registries (:mod:`repro.api.registry`) and their decorators —
   ``@register_scheme``, ``@register_protocol``, ``@register_cluster``,
   ``register_workload``, ``@register_straggler_model``,
-  ``@register_network_model``, ``@register_backend`` — through which new
-  building blocks plug in without editing any dispatch table.
+  ``@register_network_model``, ``@register_backend``,
+  ``@register_executor`` — through which new building blocks plug in
+  without editing any dispatch table;
+* the sweep executors (:mod:`repro.api.executors`) — ``serial``,
+  ``process``, ``process_shm``, ``thread`` — selecting how
+  :meth:`Engine.run_many` / :meth:`Engine.sweep` execute and how results
+  move between workers, always bit-identical to a serial loop.
 
 Quickstart::
 
@@ -39,9 +44,18 @@ Quickstart::
 
 from .builders import build_injector, build_network
 from .engine import Engine, EngineError
+from .executors import (
+    Executor,
+    ExecutorError,
+    ProcessExecutor,
+    ProcessShmExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
 from .registry import (
     CLUSTERS,
     EXECUTION_BACKENDS,
+    EXECUTORS,
     NETWORK_MODELS,
     PROTOCOLS,
     SCHEMES,
@@ -51,6 +65,7 @@ from .registry import (
     RegistryError,
     register_backend,
     register_cluster,
+    register_executor,
     register_network_model,
     register_protocol,
     register_scheme,
@@ -78,6 +93,13 @@ __all__ = [
     "STRAGGLER_MODELS",
     "NETWORK_MODELS",
     "EXECUTION_BACKENDS",
+    "EXECUTORS",
+    "Executor",
+    "ExecutorError",
+    "SerialExecutor",
+    "ProcessExecutor",
+    "ProcessShmExecutor",
+    "ThreadExecutor",
     "register_scheme",
     "register_protocol",
     "register_cluster",
@@ -85,6 +107,7 @@ __all__ = [
     "register_straggler_model",
     "register_network_model",
     "register_backend",
+    "register_executor",
     "build_injector",
     "build_network",
 ]

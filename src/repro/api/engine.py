@@ -23,7 +23,6 @@ import itertools
 import os
 import warnings
 from collections.abc import Iterable, Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any
 
@@ -60,10 +59,25 @@ from ..simulation.vectorized import (
     strategy_fingerprint,
 )
 from .builders import build_injector, build_network
+from .executors import Executor, ProcessExecutor, resolve_executor
 from .result import RunResult
 from .spec import RunSpec, SpecError
 
 __all__ = ["Engine", "EngineError"]
+
+
+def _available_cpu_count() -> int:
+    """CPUs available to *this* process.
+
+    ``os.process_cpu_count`` (3.13+) respects the scheduling affinity mask,
+    so containers pinned to a CPU subset get the right pool size;
+    ``os.cpu_count`` — which reports the whole machine — is the fallback on
+    older interpreters.
+    """
+    process_cpu_count = getattr(os, "process_cpu_count", None)
+    if process_cpu_count is not None:
+        return process_cpu_count() or 1
+    return os.cpu_count() or 1
 
 #: Soft cap on ``runs * iterations * workers`` elements held by one stacked
 #: kernel call; larger groups are executed in consecutive chunks of runs.
@@ -294,8 +308,9 @@ class Engine:
         self,
         specs: Sequence[RunSpec],
         parallel: int | bool | None = None,
+        executor: "Executor | str | None" = None,
     ) -> list[RunResult]:
-        """Run several specs, optionally across a process pool.
+        """Run several specs, optionally across an executor.
 
         Parameters
         ----------
@@ -311,40 +326,54 @@ class Engine:
             run's randomness derives from its spec's seed, so parallel
             results are bit-identical to serial ones; only wall-clock time
             changes.
+        executor:
+            ``None`` (default) keeps the historical behaviour: serial when
+            ``parallel`` resolves to one worker, the ``process`` pickle
+            pool otherwise.  A registered name (``"serial"``, ``"process"``,
+            ``"process_shm"``, ``"thread"``) or an
+            :class:`~repro.api.executors.Executor` instance forces that
+            executor even for a single spec; ``parallel`` then only sets
+            its worker count (``None`` meaning one worker per CPU).
 
         Raises
         ------
         EngineError
-            When parallel execution is requested on an engine carrying
+            When subprocess execution is requested on an engine carrying
             injected (non-registry) backends — those cannot be rebuilt in a
             worker process.
         """
         specs = list(specs)
-        workers = self._resolve_parallel(parallel, len(specs))
-        if workers <= 1:
-            return [self.run(spec) for spec in specs]
-        if self._backends is not None:
-            raise EngineError(
-                "parallel execution requires registry-backed engines; this "
-                "engine carries injected backends that worker processes "
-                "cannot reconstruct"
+        chosen = resolve_executor(executor)
+        if chosen is None:
+            workers = self._resolve_parallel(parallel, len(specs))
+            if workers <= 1:
+                return [self.run(spec) for spec in specs]
+            chosen = ProcessExecutor()
+        else:
+            workers = self._resolve_parallel(
+                True if parallel is None else parallel, len(specs)
             )
-        for spec in specs:
-            if not isinstance(spec, RunSpec):
-                raise SpecError(
-                    f"Engine.run_many expects RunSpecs, got {type(spec).__name__}"
+        if chosen.requires_subprocess:
+            if self._backends is not None:
+                raise EngineError(
+                    "parallel execution requires registry-backed engines; this "
+                    "engine carries injected backends that worker processes "
+                    "cannot reconstruct"
                 )
-            self.validate(spec)  # fail fast in the parent process
-        payloads = [spec.to_dict() for spec in specs]
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            return list(executor.map(_run_spec_in_subprocess, payloads))
+            for spec in specs:
+                if not isinstance(spec, RunSpec):
+                    raise SpecError(
+                        f"Engine.run_many expects RunSpecs, got {type(spec).__name__}"
+                    )
+                self.validate(spec)  # fail fast in the parent process
+        return chosen.run_specs(self, specs, workers)
 
     @staticmethod
     def _resolve_parallel(parallel: int | bool | None, num_specs: int) -> int:
         if parallel is None or parallel is False:
             return 1
         if parallel is True:
-            workers = os.cpu_count() or 1
+            workers = _available_cpu_count()
         else:
             workers = int(parallel)
             if workers < 0:
@@ -604,6 +633,7 @@ class Engine:
         self,
         specs: Sequence[RunSpec],
         parallel: int | bool | None,
+        executor: "Executor | str | None" = None,
     ) -> list[RunResult]:
         """Dispatch sweep specs through stacked groups plus a fallback pool."""
         specs = list(specs)
@@ -645,6 +675,7 @@ class Engine:
         for key in [key for key, group in training_groups.items() if len(group) < 2]:
             remainder.extend(member.index for member in training_groups.pop(key))
         remainder.sort()
+        timing_chunks: list[list[_TimingStackMember]] = []
         for timing_group in timing_groups.values():
             spec0 = timing_group[0].spec
             per_run = max(
@@ -652,21 +683,45 @@ class Engine:
             )
             step = max(1, _STACK_ELEMENT_CAP // per_run)
             for start in range(0, len(timing_group), step):
-                chunk = timing_group[start : start + step]
+                timing_chunks.append(timing_group[start : start + step])
+        training_chunks = list(training_groups.values())
+        # An explicit executor may take whole stacked groups as units — the
+        # transport then moves per-group stacks, not per-run pickles.  A
+        # declined dispatch (run_groups -> None) and the default
+        # executor=None both fall through to the in-process stacked path.
+        chosen = resolve_executor(executor)
+        member_chunks: list[list[Any]] = [*timing_chunks, *training_chunks]
+        dispatched: list[list[RunResult]] | None = None
+        if chosen is not None and member_chunks:
+            group_specs = [
+                [member.spec for member in chunk] for chunk in member_chunks
+            ]
+            workers = self._resolve_parallel(
+                True if parallel is None else parallel, len(group_specs)
+            )
+            dispatched = chosen.run_groups(self, group_specs, workers)
+        if dispatched is not None:
+            for chunk, chunk_results in zip(member_chunks, dispatched, strict=True):
+                for member, result in zip(chunk, chunk_results, strict=True):
+                    results[member.index] = result
+        else:
+            for timing_chunk in timing_chunks:
                 for member, result in zip(
-                    chunk, self._run_timing_stack(chunk), strict=True
+                    timing_chunk, self._run_timing_stack(timing_chunk), strict=True
                 ):
                     results[member.index] = result
-        for training_group in training_groups.values():
-            for member, result in zip(
-                training_group,
-                self._run_training_stack(training_group),
-                strict=True,
-            ):
-                results[member.index] = result
+            for training_chunk in training_chunks:
+                for member, result in zip(
+                    training_chunk,
+                    self._run_training_stack(training_chunk),
+                    strict=True,
+                ):
+                    results[member.index] = result
         if remainder:
             fallback = self.run_many(
-                [specs[index] for index in remainder], parallel=parallel
+                [specs[index] for index in remainder],
+                parallel=parallel,
+                executor=chosen,
             )
             for index, result in zip(remainder, fallback, strict=True):
                 results[index] = result
@@ -681,15 +736,21 @@ class Engine:
         spec: RunSpec,
         schemes: Sequence[str],
         parallel: int | bool | None = None,
+        executor: "Executor | str | None" = None,
     ) -> dict[str, RunResult]:
         """Run the same spec under several schemes (paired by shared seed).
 
         ``parallel`` follows :meth:`run_many`'s resolution rule exactly:
         ``None``/``False``/``0``/``1`` serial, ``True`` one worker per CPU,
         an integer that many workers — always clamped to ``len(schemes)``.
+        ``executor`` also follows :meth:`run_many`: ``None`` keeps the
+        historical serial/pickle-pool split, a name or instance forces that
+        executor.
         """
         results = self.run_many(
-            [spec.replace(scheme=scheme) for scheme in schemes], parallel=parallel
+            [spec.replace(scheme=scheme) for scheme in schemes],
+            parallel=parallel,
+            executor=executor,
         )
         return dict(zip(schemes, results))
 
@@ -697,6 +758,7 @@ class Engine:
         self,
         spec: RunSpec,
         parallel: int | bool | None = None,
+        executor: "Executor | str | None" = None,
         **axes: Iterable[Any],
     ) -> list[RunResult]:
         """Run the cartesian product of field overrides.
@@ -717,13 +779,25 @@ class Engine:
         per-component streams, so every result is bit-identical to a
         standalone :meth:`run` of the same spec, stacked or not.
 
-        ``parallel`` composes with stacking: stacked groups always execute
-        in-process (the batched numpy work gains nothing from a process
-        pool), while the ragged remainder follows :meth:`run_many`'s
-        resolution rule exactly (``None``/``False``/``0``/``1`` serial,
-        ``True`` one worker per CPU, an integer that many workers, clamped
-        to the number of fallback specs); the result list is identical to a
-        serial sweep either way.
+        ``parallel`` composes with stacking: under the default
+        ``executor=None``, stacked groups always execute in-process (the
+        batched numpy work gains nothing from a process pool), while the
+        ragged remainder follows :meth:`run_many`'s resolution rule exactly
+        (``None``/``False``/``0``/``1`` serial, ``True`` one worker per
+        CPU, an integer that many workers, clamped to the number of
+        fallback specs); the result list is identical to a serial sweep
+        either way.
+
+        ``executor`` changes *where* the planned units execute and how
+        results travel, never what they are: an explicit executor (name or
+        :class:`~repro.api.executors.Executor` instance) is offered whole
+        stacked groups as dispatch units — the pool executors move
+        per-group columnar stacks (``process_shm`` via shared memory,
+        ``process`` via pickle) instead of per-run pickles — and the ragged
+        remainder runs through :meth:`run_many` on the same executor.
+        Injected-backend engines and ragged leftovers still fall through to
+        serial under ``executor=None``.  Every executor is bit-identical to
+        ``executor="serial"`` by contract.
 
         Raises
         ------
@@ -732,7 +806,7 @@ class Engine:
             product would silently be empty.
         """
         if not axes:
-            return self.run_many([spec], parallel=parallel)
+            return self.run_many([spec], parallel=parallel, executor=executor)
         names = list(axes)
         value_lists: list[list[Any]] = []
         for name in names:
@@ -748,4 +822,4 @@ class Engine:
             spec.replace(**dict(zip(names, values)))
             for values in itertools.product(*value_lists)
         ]
-        return self._run_sweep_specs(specs, parallel=parallel)
+        return self._run_sweep_specs(specs, parallel=parallel, executor=executor)

@@ -1,0 +1,370 @@
+"""Pluggable sweep executors: *what* runs is the engine's job, *how* runs
+execute and how results move back is an :class:`Executor`'s.
+
+The engine plans a sweep into stacked groups plus a ragged remainder
+(:meth:`repro.api.engine.Engine._run_sweep_specs`); an executor decides
+where those units execute (in-process, thread pool, process pool) and what
+the transport is (nothing, pickled ``RunResult`` objects, or shared-memory
+columnar blocks).  Executors register under short names::
+
+    from repro.api import register_executor
+
+    @register_executor("my_executor")
+    class MyExecutor(Executor):
+        ...
+
+    engine.sweep(spec, executor="my_executor", seed=seeds)
+
+The whole contract is **bit-identity**: every executor must return exactly
+the results a serial ``Engine.run`` loop would, in the same order.  Each
+run draws all randomness from its spec's seed, so an executor only moves
+results around — it can never change them.
+
+Builtin executors
+-----------------
+``serial``
+    An in-process loop; the reference everything else is gated against.
+``process``
+    A :class:`~concurrent.futures.ProcessPoolExecutor` returning pickled
+    ``RunResult`` objects (the historical ``parallel=`` transport, which
+    ``parallel=N`` still maps onto).
+``process_shm``
+    The same pool, but workers return traces as one
+    ``multiprocessing.shared_memory`` segment per unit plus a small
+    descriptor; the parent reattaches the columns zero-copy
+    (:meth:`~repro.simulation.trace.TraceColumns.shm_attach`) and unlinks
+    the segment on consume.  Bulk arrays never pass through pickle.
+``thread``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  Results already
+    live in shared memory by construction; parallelism requires the
+    free-threaded 3.13t build (or GIL-releasing kernels) to materialise.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any
+
+from .._registry import EXECUTORS, register_executor
+from ..simulation.trace import RunTrace, ShmReader, ShmWriter, TraceColumns, unlink_shm
+from .result import RunResult
+from .spec import RunSpec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import Engine
+
+__all__ = [
+    "Executor",
+    "ExecutorError",
+    "ProcessExecutor",
+    "ProcessShmExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "resolve_executor",
+]
+
+
+class ExecutorError(ValueError):
+    """Raised on invalid executor arguments or registrations."""
+
+
+class Executor(ABC):
+    """How a batch of independent runs executes and how results move back.
+
+    Subclasses implement :meth:`run_specs` (independent runs, e.g. the
+    ragged sweep remainder or a plain :meth:`~repro.api.engine.Engine
+    .run_many`) and may implement :meth:`run_groups` to take whole stacked
+    sweep groups; returning ``None`` from the latter defers to the engine's
+    in-process stacked path.  Implementations must preserve input order and
+    return results bit-identical to a serial loop.
+    """
+
+    #: Registry name (informational; set on the builtin subclasses).
+    name: str = ""
+    #: True when workers rebuild the engine from the global registries in a
+    #: subprocess — such executors reject engines with injected backends.
+    requires_subprocess: bool = False
+
+    @abstractmethod
+    def run_specs(
+        self, engine: Engine, specs: Sequence[RunSpec], workers: int
+    ) -> list[RunResult]:
+        """Execute independent specs, one result per spec, in order."""
+
+    def run_groups(
+        self, engine: Engine, groups: Sequence[list[RunSpec]], workers: int
+    ) -> list[list[RunResult]] | None:
+        """Execute whole stacked sweep groups (one unit per group).
+
+        Return ``None`` to decline: the engine then runs its stacked
+        kernels in-process exactly as ``executor=None`` would.
+        """
+        return None
+
+
+def resolve_executor(executor: Executor | str | None) -> Executor | None:
+    """Resolve ``executor=`` arguments: ``None``, a name, or an instance."""
+    if executor is None:
+        return None
+    if isinstance(executor, Executor):
+        return executor
+    if isinstance(executor, str):
+        entry = EXECUTORS.get(executor)  # unknown names raise, listing options
+        instance = entry() if isinstance(entry, type) else entry
+        if not isinstance(instance, Executor):
+            raise ExecutorError(
+                f"registered executor {executor!r} resolved to {instance!r}, "
+                "which is not an Executor"
+            )
+        return instance
+    raise ExecutorError(
+        "executor must be None, a registered name or an Executor instance; "
+        f"got {type(executor).__name__}"
+    )
+
+
+def _pool_size(workers: int, num_units: int) -> int:
+    return max(1, min(workers, num_units))
+
+
+# ---------------------------------------------------------------------------
+# subprocess entry points (module-level so they pickle under every start
+# method; each worker rebuilds a fresh registry-backed Engine, and every
+# run draws all randomness from its spec's seed — bit-identical by design)
+# ---------------------------------------------------------------------------
+
+def _run_group_in_subprocess(spec_dicts: list[dict[str, Any]]) -> list[RunResult]:
+    """Execute one stacked sweep group in a worker; results return pickled."""
+    from .engine import Engine
+
+    specs = [RunSpec.from_dict(spec_dict) for spec_dict in spec_dicts]
+    return Engine()._run_sweep_specs(specs, parallel=None)
+
+
+def _export_results_to_shm(results: Sequence[RunResult]) -> dict[str, Any]:
+    """Pack a unit's traces into ONE shared-memory segment + descriptor.
+
+    The descriptor carries only small picklable pieces (placement specs,
+    scheme/cluster names, metadata, the metrics dict); the bulk columns
+    live in the segment.  Metrics are shipped rather than recomputed:
+    :meth:`RunResult.from_trace` derives them purely from the trace, so the
+    worker's values are exactly what the parent would compute.
+    """
+    writer = ShmWriter()
+    runs: list[dict[str, Any]] = []
+    for result in results:
+        trace = result.trace
+        runs.append(
+            {
+                "scheme": trace.scheme,
+                "cluster_name": trace.cluster_name,
+                "metadata": trace.metadata,
+                "metrics": result.metrics,
+                "columns": trace.columns().shm_export(writer),
+            }
+        )
+    segment, nbytes = writer.create()
+    return {"segment": segment, "nbytes": nbytes, "runs": runs}
+
+
+def _attach_results_from_shm(
+    payload: dict[str, Any], specs: Sequence[RunSpec]
+) -> list[RunResult]:
+    """Rebuild a unit's results zero-copy, consuming (unlinking) its segment."""
+    reader = ShmReader(payload["segment"])
+    results: list[RunResult] = []
+    try:
+        for spec, run in zip(specs, payload["runs"], strict=True):
+            columns = TraceColumns.shm_attach(reader, run["columns"])
+            trace = RunTrace.from_columns(
+                run["scheme"],
+                run["cluster_name"],
+                columns,
+                metadata=run["metadata"],
+            )
+            results.append(
+                RunResult(spec=spec, trace=trace, metrics=dict(run["metrics"]))
+            )
+    finally:
+        reader.consume()
+    return results
+
+
+def _run_group_to_shm(spec_dicts: list[dict[str, Any]]) -> dict[str, Any]:
+    """Execute one stacked sweep group; results return via shared memory."""
+    from .engine import Engine
+
+    specs = [RunSpec.from_dict(spec_dict) for spec_dict in spec_dicts]
+    return _export_results_to_shm(Engine()._run_sweep_specs(specs, parallel=None))
+
+
+def _gather(
+    futures: Sequence[Future[Any]],
+) -> tuple[list[Any], BaseException | None]:
+    """Resolve every future (no early abandon), returning outputs + first error.
+
+    Draining all futures even after a failure is what lets the shm executor
+    unlink segments that *healthy* workers already published when a sibling
+    worker dies — nothing is left for the resource tracker to mop up.
+    """
+    outputs: list[Any] = []
+    error: BaseException | None = None
+    for future in futures:
+        try:
+            outputs.append(future.result())
+        except BaseException as exc:  # noqa: B036 - pool errors, re-raised below
+            if error is None:
+                error = exc
+            outputs.append(None)
+    return outputs, error
+
+
+# ---------------------------------------------------------------------------
+# builtin executors
+# ---------------------------------------------------------------------------
+
+@register_executor("serial", description="in-process loop; the reference executor")
+class SerialExecutor(Executor):
+    """Run everything in-process; the reference all others are gated on."""
+
+    name = "serial"
+
+    def run_specs(
+        self, engine: Engine, specs: Sequence[RunSpec], workers: int
+    ) -> list[RunResult]:
+        return [engine.run(spec) for spec in specs]
+
+
+@register_executor(
+    "thread", description="thread pool; zero transport, needs no-GIL to scale"
+)
+class ThreadExecutor(Executor):
+    """Run units on a thread pool.
+
+    Transport is free (results are shared memory by construction) and
+    injected backends work, but parallel *speedup* needs the free-threaded
+    3.13t build or kernels that release the GIL.
+    """
+
+    name = "thread"
+
+    def run_specs(
+        self, engine: Engine, specs: Sequence[RunSpec], workers: int
+    ) -> list[RunResult]:
+        if workers <= 1 or len(specs) <= 1:
+            return [engine.run(spec) for spec in specs]
+        with ThreadPoolExecutor(max_workers=_pool_size(workers, len(specs))) as pool:
+            return list(pool.map(engine.run, specs))
+
+    def run_groups(
+        self, engine: Engine, groups: Sequence[list[RunSpec]], workers: int
+    ) -> list[list[RunResult]] | None:
+        if workers <= 1 or len(groups) <= 1:
+            return None  # a single group gains nothing over in-process
+        def run_group(specs: list[RunSpec]) -> list[RunResult]:
+            return engine._run_sweep_specs(specs, parallel=None)
+
+        with ThreadPoolExecutor(max_workers=_pool_size(workers, len(groups))) as pool:
+            return list(pool.map(run_group, groups))
+
+
+@register_executor(
+    "process", description="process pool, pickled results (the PR 2 transport)"
+)
+class ProcessExecutor(Executor):
+    """Process pool with pickle transport — today's ``parallel=`` behaviour.
+
+    Workers pickle whole ``RunResult`` objects (bulk numpy columns
+    included) back through the pool's result pipe.
+    """
+
+    name = "process"
+    requires_subprocess = True
+
+    def run_specs(
+        self, engine: Engine, specs: Sequence[RunSpec], workers: int
+    ) -> list[RunResult]:
+        from .engine import _run_spec_in_subprocess
+
+        payloads = [spec.to_dict() for spec in specs]
+        with ProcessPoolExecutor(
+            max_workers=_pool_size(workers, len(payloads))
+        ) as pool:
+            return list(pool.map(_run_spec_in_subprocess, payloads))
+
+    def run_groups(
+        self, engine: Engine, groups: Sequence[list[RunSpec]], workers: int
+    ) -> list[list[RunResult]] | None:
+        payloads = [[spec.to_dict() for spec in group] for group in groups]
+        with ProcessPoolExecutor(
+            max_workers=_pool_size(workers, len(payloads))
+        ) as pool:
+            return list(pool.map(_run_group_in_subprocess, payloads))
+
+
+@register_executor(
+    "process_shm",
+    description="process pool, shared-memory columnar transport (zero-copy attach)",
+)
+class ProcessShmExecutor(Executor):
+    """Process pool whose results come back as shared-memory columns.
+
+    Workers execute a whole unit (a stacked group, or a single run), pack
+    every trace's columns into one ``multiprocessing.shared_memory``
+    segment, and return only a small descriptor; the parent reattaches the
+    arrays zero-copy and unlinks the segment immediately.  Segment
+    ownership is explicit: consume-side unlink on success, an unconditional
+    descriptor sweep on failure, and the stdlib resource tracker as the
+    backstop for workers that die mid-publish.
+    """
+
+    name = "process_shm"
+    requires_subprocess = True
+
+    def run_specs(
+        self, engine: Engine, specs: Sequence[RunSpec], workers: int
+    ) -> list[RunResult]:
+        grouped = self._dispatch([[spec] for spec in specs], workers)
+        return [results[0] for results in grouped]
+
+    def run_groups(
+        self, engine: Engine, groups: Sequence[list[RunSpec]], workers: int
+    ) -> list[list[RunResult]] | None:
+        return self._dispatch(groups, workers)
+
+    def _dispatch(
+        self, groups: Sequence[list[RunSpec]], workers: int
+    ) -> list[list[RunResult]]:
+        from multiprocessing import resource_tracker
+
+        # Start the stdlib resource tracker in the parent BEFORE the pool
+        # forks: children then inherit it, so worker-side segment
+        # registrations and the parent's unlink-unregistrations balance in
+        # one ledger.  Otherwise each worker lazily starts a private
+        # tracker that warns about already-consumed segments at exit.
+        resource_tracker.ensure_running()
+        payloads = [[spec.to_dict() for spec in group] for group in groups]
+        with ProcessPoolExecutor(
+            max_workers=_pool_size(workers, len(payloads))
+        ) as pool:
+            futures = [pool.submit(_run_group_to_shm, payload) for payload in payloads]
+            outputs, error = _gather(futures)
+        if error is not None:
+            for output in outputs:
+                if output is not None:
+                    unlink_shm(output)
+            raise error
+        grouped: list[list[RunResult]] = []
+        try:
+            for output, group in zip(outputs, groups, strict=True):
+                grouped.append(_attach_results_from_shm(output, group))
+        except BaseException:
+            # _attach_results_from_shm consumes its own segment even on
+            # failure; sweep the not-yet-attached rest (unlink_shm tolerates
+            # the already-consumed one at index len(grouped)).
+            for output in outputs[len(grouped) :]:
+                unlink_shm(output)
+            raise
+        return grouped

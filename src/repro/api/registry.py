@@ -16,6 +16,7 @@ from __future__ import annotations
 from .._registry import (
     CLUSTERS,
     EXECUTION_BACKENDS,
+    EXECUTORS,
     NETWORK_MODELS,
     PROTOCOLS,
     SCHEMES,
@@ -25,6 +26,7 @@ from .._registry import (
     RegistryError,
     register_backend,
     register_cluster,
+    register_executor,
     register_network_model,
     register_protocol,
     register_scheme,
@@ -42,6 +44,7 @@ __all__ = [
     "STRAGGLER_MODELS",
     "NETWORK_MODELS",
     "EXECUTION_BACKENDS",
+    "EXECUTORS",
     "register_scheme",
     "register_protocol",
     "register_cluster",
@@ -49,4 +52,5 @@ __all__ = [
     "register_straggler_model",
     "register_network_model",
     "register_backend",
+    "register_executor",
 ]

@@ -67,9 +67,9 @@ __all__ = [
     "HEADLINE_BENCH",
 ]
 
-#: Name of the acceptance-criterion benchmark (PR 7: the run-stacked sweep
-#: planner against the per-run batched loop at fig2 scale).
-HEADLINE_BENCH = "sweep_stacked_rng_v2"
+#: Name of the acceptance-criterion benchmark (PR 8: the shared-memory
+#: stacked-group pool against the per-run pickle pool at fig2 scale).
+HEADLINE_BENCH = "parallel_sweep_shm"
 
 #: Schemes and delays of the Fig. 2 sweep used by the end-to-end benchmark.
 _FIG2_SCHEMES = ("naive", "cyclic", "heter_aware", "group_based")
@@ -761,6 +761,101 @@ def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
     )
 
 
+def _bench_parallel_sweep_shm(
+    num_iterations: int, repeats: int, seed: int, executor: str = "process_shm"
+) -> dict:
+    """Headline: pool transports on the 50-seed stacked sweep.
+
+    The same fig2-scale 50-seed ``naive`` sweep as ``sweep_stacked_rng_v2``,
+    executed through the pluggable executors.  The baseline is the
+    historical parallel story (``run_many(parallel=N)``): one pickled spec
+    per run out, one pickled ``RunResult`` — bulk numpy columns included —
+    back through the pool pipe, and no stacking in the workers.  The
+    current side is ``Engine.sweep(executor="process_shm")``: the planner
+    hands the whole stacked group to a pool worker, which runs the one
+    3-D kernel call and publishes every trace's columns in a single
+    ``multiprocessing.shared_memory`` segment; the parent reattaches them
+    zero-copy and unlinks.  ``meta.timings_seconds`` also records the
+    ``serial``, ``process`` (stacked groups, pickled back) and ``thread``
+    executors for the transport-only comparison.
+
+    The gate demands JSON-exact equality of every executor's results
+    against ``serial`` — the executor layer is pure transport, never
+    allowed to change a number.
+    """
+    import os
+
+    from .api import Engine, RunSpec, StragglerSpec
+
+    engine = Engine()
+    num_runs = 50
+    base = RunSpec(
+        scheme="naive",
+        num_iterations=num_iterations,
+        total_samples=2048,
+        straggler=StragglerSpec(
+            "artificial_delay", {"num_stragglers": 1, "delay_seconds": 1.0}
+        ),
+        rng_version=2,
+        seed=seed,
+    )
+    seeds = [seed + offset for offset in range(num_runs)]
+    workers = min(os.cpu_count() or 1, 8)
+
+    def sweep_with(name: str | None) -> list:
+        Engine.clear_timing_kernel_cache()
+        if name is None:  # the pre-executor pickle pool: per-run dispatch
+            return engine.run_many(
+                [base.replace(seed=s) for s in seeds], parallel=workers
+            )
+        return engine.sweep(base, executor=name, seed=seeds)
+
+    def results_json(results: list) -> str:
+        return json.dumps(
+            [r.to_dict() for r in results], default=repr, sort_keys=True
+        )
+
+    # Bit-identity gate: every executor must be invisible in the results.
+    reference = results_json(sweep_with("serial"))
+    candidates = ["process", "process_shm", "thread"]
+    if executor not in candidates:
+        candidates.append(executor)
+    for name in [None, *candidates]:
+        if results_json(sweep_with(name)) != reference:
+            what = "per-run pickle pool" if name is None else f"executor {name!r}"
+            raise AssertionError(f"{what} results diverged from serial")
+
+    timings: dict[str, float] = {}
+    for name in [None, "serial", *candidates]:
+        key = "pickle_pool_per_run" if name is None else name
+
+        def timed_sweep(name: str | None = name) -> float:
+            return _timed(lambda: sweep_with(name))
+
+        timings[key] = _best_of(timed_sweep, repeats)
+    baseline = timings["pickle_pool_per_run"]
+    current = timings[executor]
+    return _bench_entry(
+        "parallel_sweep_shm",
+        f"Engine.sweep of {num_runs} seeds x {num_iterations} iterations "
+        "(naive scheme, rng_version=2): per-run pickle pool "
+        f"(run_many, parallel={workers}) vs stacked-group shared-memory "
+        f"pool (executor={executor!r}); all executors gated bit-identical "
+        "to serial",
+        baseline,
+        current,
+        meta={
+            "cluster": "Cluster-A",
+            "num_runs": num_runs,
+            "num_iterations": num_iterations,
+            "scheme": "naive",
+            "workers": workers,
+            "executor": executor,
+            "timings_seconds": timings,
+        },
+    )
+
+
 # ---------------------------------------------------------------------------
 # driver
 # ---------------------------------------------------------------------------
@@ -768,8 +863,9 @@ def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
 def run_bench(
     smoke: bool = False,
     seed: int = 0,
-    label: str = "PR7",
+    label: str = "PR8",
     include_parallel: bool = True,
+    executor: str = "process_shm",
 ) -> dict:
     """Run every benchmark and return the JSON-ready payload.
 
@@ -783,14 +879,19 @@ def run_bench(
     label:
         Free-form tag stored in the payload (e.g. ``"PR2"``).
     include_parallel:
-        Skip the process-pool benchmark when ``False`` (e.g. constrained CI
-        runners).
+        Skip the legacy process-pool benchmark when ``False`` (e.g.
+        constrained CI runners).  The ``parallel_sweep_shm`` headline
+        always runs — it is the acceptance gate.
+    executor:
+        Executor timed as the headline's ``current`` side (default
+        ``"process_shm"``); every executor is still gated bit-identical.
     """
     iterations = 100 if smoke else 1000
     repeats = 1 if smoke else 3
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", SampleCountDriftWarning)
         benches = [
+            _bench_parallel_sweep_shm(iterations, repeats, seed, executor=executor),
             _bench_sweep_stacked(iterations, repeats, seed),
             _bench_training_fig4_ssp(
                 8 if smoke else 15,

@@ -168,6 +168,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="RNG stream layout: 1 = historical bit-reproducible "
                           "single stream, 2 = per-component batched streams "
                           "(faster, statistically equivalent)")
+    run.add_argument("--executor", default=None, metavar="NAME",
+                     help="registered sweep executor to route the run through "
+                          "(serial, process, process_shm, thread); default "
+                          "runs in-process")
     run.add_argument("--json", action="store_true",
                      help="print the full RunResult as JSON instead of a summary table")
 
@@ -189,11 +193,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized benchmarks (seconds instead of minutes)")
-    bench.add_argument("--label", default="PR7", help="tag stored in the payload")
+    bench.add_argument("--label", default="PR8", help="tag stored in the payload")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="output JSON path (default BENCH_<label>.json; '-' to skip)")
     bench.add_argument("--no-parallel", action="store_true",
                        help="skip the process-pool sweep benchmark")
+    bench.add_argument("--executor", default="process_shm", metavar="NAME",
+                       help="executor timed as 'current' in the "
+                            "parallel_sweep_shm headline (default process_shm)")
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--compare", nargs=2, metavar=("BASELINE", "CURRENT"),
                        help="diff two bench JSON payloads instead of benchmarking; "
@@ -377,7 +384,10 @@ def _command_run(args: argparse.Namespace) -> str:
             seed=args.seed,
             rng_version=args.rng_version,
         )
-    result = Engine().run(spec)
+    if args.executor:
+        result = Engine().run_many([spec], executor=args.executor)[0]
+    else:
+        result = Engine().run(spec)
     if args.json:
         return result.to_json(indent=2)
     summary = result.summary()
@@ -409,6 +419,7 @@ def _command_bench(args: argparse.Namespace):
         seed=args.seed,
         label=args.label,
         include_parallel=not args.no_parallel,
+        executor=args.executor,
     )
     output = args.output or f"BENCH_{args.label}.json"
     text = format_bench(payload)

@@ -20,6 +20,7 @@ unchanged and byte-identical to the record-based layout.
 
 from __future__ import annotations
 
+import contextlib
 import dataclasses
 import warnings
 from dataclasses import dataclass
@@ -30,8 +31,11 @@ __all__ = [
     "IterationRecord",
     "RaggedColumn",
     "RunTrace",
+    "ShmReader",
+    "ShmWriter",
     "TraceColumns",
     "UnknownTraceFieldWarning",
+    "unlink_shm",
 ]
 
 
@@ -304,6 +308,55 @@ class RaggedColumn:
         """Per-row lengths (absent rows count as 0)."""
         return np.diff(self.offsets)
 
+    def shm_export(self, writer: "ShmWriter") -> dict:
+        """Pack this column's arrays into ``writer``; returns its descriptor."""
+        descriptor = {
+            "offsets": writer.add(self.offsets),
+            "values": writer.add(self.values),
+            "present": None if self.present is None else writer.add(self.present),
+        }
+        return descriptor
+
+    @classmethod
+    def shm_attach(cls, reader: "ShmReader", descriptor: dict) -> "RaggedColumn":
+        """Rebuild a column zero-copy from a :meth:`shm_export` descriptor."""
+        present = descriptor["present"]
+        return cls(
+            reader.array(descriptor["offsets"]),
+            reader.array(descriptor["values"]),
+            None if present is None else reader.array(present),
+        )
+
+    def to_shm(self) -> dict:
+        """Export into a fresh single-column segment.
+
+        Returns a self-contained transport descriptor; the caller owns the
+        segment until :meth:`from_shm` consumes it (or :func:`unlink_shm`
+        discards it).
+        """
+        writer = ShmWriter()
+        column = self.shm_export(writer)
+        segment, nbytes = writer.create()
+        return {"segment": segment, "nbytes": nbytes, "column": column}
+
+    @classmethod
+    def from_shm(cls, descriptor: dict, consume: bool = True) -> "RaggedColumn":
+        """Attach to a :meth:`to_shm` descriptor (unlinking it by default).
+
+        With ``consume=False`` the segment survives for further consumers;
+        whoever attaches last must pass ``consume=True`` (or call
+        :func:`unlink_shm`) or the segment leaks until interpreter exit.
+        """
+        reader = ShmReader(descriptor["segment"])
+        try:
+            column = cls.shm_attach(reader, descriptor["column"])
+        finally:
+            if consume:
+                reader.consume()
+            else:
+                reader.close()
+        return column
+
     def tuples(self) -> tuple:
         """The historical tuple-of-tuples view (lazy, cached, row-interned)."""
         cached = self._tuples
@@ -339,6 +392,176 @@ def _as_ragged(rows, nullable: bool) -> RaggedColumn:
     if isinstance(rows, RaggedColumn):
         return rows
     return RaggedColumn.from_rows(rows, nullable=nullable)
+
+
+# ----------------------------------------------------------------------
+# shared-memory transport
+# ----------------------------------------------------------------------
+#
+# Columns are flat numpy arrays, so a whole run — or a whole stacked sweep
+# group — packs into ONE ``multiprocessing.shared_memory`` segment plus a
+# small picklable descriptor (offsets/shapes/dtypes).  The pool executors in
+# :mod:`repro.api.executors` use this to move results between processes
+# without pickling bulk arrays: the worker copies columns into a segment,
+# the parent attaches zero-copy views.
+#
+# Lifetime ownership is explicit and single-consumer:
+#
+# - The *producer* (pool worker) creates the segment via :class:`ShmWriter`
+#   and closes its own mapping immediately; the segment stays registered
+#   with the resource tracker, so a worker that dies before the parent
+#   attaches leaves nothing behind past interpreter shutdown.
+# - The *consumer* (parent) attaches via :class:`ShmReader`, builds
+#   read-only views, then calls :meth:`ShmReader.consume` — which unlinks
+#   the segment.  POSIX keeps the pages alive until the last mapping goes
+#   away, and the views hold a buffer export on the reader's mapping, so
+#   consumed arrays stay valid for their whole life while ``/dev/shm`` is
+#   clean the moment ``consume`` returns.
+
+#: Segment offsets are aligned so every packed array starts on a cache-line
+#: boundary regardless of the dtypes packed before it.
+_SHM_ALIGN = 64
+
+
+def _release_shm_handle(shm) -> None:
+    """Drop a ``SharedMemory`` handle without tearing down its mapping.
+
+    Attached arrays keep the mapping's memoryview alive through their
+    buffer exports; ``SharedMemory.close`` would try to release that
+    memoryview and raise ``BufferError`` (and ``__del__`` would warn) while
+    any array exists.  Detaching the private buffer references leaves the
+    mapping's teardown to the arrays' own garbage collection and closes
+    only the now-unneeded file descriptor.
+    """
+    shm._buf = None
+    shm._mmap = None
+    with contextlib.suppress(BufferError, OSError):  # platform-defensive
+        shm.close()
+
+
+class ShmWriter:
+    """Pack read-only arrays into one shared-memory segment.
+
+    Call :meth:`add` once per array — it returns the array's placement
+    *spec* (offset/shape/dtype, a plain picklable dict) and defers the
+    copy — then :meth:`create` once to allocate the segment and copy
+    everything in.  The writer closes its own mapping before returning, so
+    producer-side there is nothing further to clean up.
+    """
+
+    def __init__(self) -> None:
+        self._pending: list[tuple[dict, np.ndarray]] = []
+        self._cursor = 0
+
+    def add(self, array: np.ndarray) -> dict:
+        """Reserve space for ``array``; returns its placement spec."""
+        array = np.ascontiguousarray(array)
+        spec = {
+            "offset": self._cursor,
+            "shape": list(array.shape),
+            "dtype": array.dtype.str,
+        }
+        self._pending.append((spec, array))
+        self._cursor += -(-array.nbytes // _SHM_ALIGN) * _SHM_ALIGN
+        return spec
+
+    def create(self) -> tuple[str, int]:
+        """Allocate the segment, copy every added array, close the mapping.
+
+        Returns ``(segment_name, nbytes)`` for the transport descriptor.
+        On a copy failure the segment is unlinked before re-raising, so no
+        orphan survives a crashing producer.
+        """
+        from multiprocessing import shared_memory
+
+        nbytes = max(1, self._cursor)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        try:
+            for spec, array in self._pending:
+                if array.size:
+                    view = np.frombuffer(
+                        shm.buf,
+                        dtype=array.dtype,
+                        count=array.size,
+                        offset=spec["offset"],
+                    )
+                    view[:] = array.reshape(-1)
+                    del view
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        name = shm.name
+        shm.close()
+        return name, nbytes
+
+
+class ShmReader:
+    """Attach to a packed segment and expose its arrays zero-copy.
+
+    The returned arrays are read-only views over the shared mapping; they
+    remain valid after :meth:`consume` (the pages live until the views are
+    garbage-collected), but the segment itself is unlinked — exactly-once
+    consumption is the caller's contract.
+    """
+
+    def __init__(self, segment: str) -> None:
+        from multiprocessing import shared_memory
+
+        self._shm = shared_memory.SharedMemory(name=segment)
+
+    def array(self, spec: dict) -> np.ndarray:
+        """The array packed at ``spec``, as a read-only zero-copy view."""
+        if self._shm is None:
+            raise TraceError("ShmReader used after consume()/close()")
+        shape = tuple(spec["shape"])
+        count = 1
+        for dim in shape:
+            count *= dim
+        view = np.frombuffer(
+            self._shm.buf,
+            dtype=np.dtype(spec["dtype"]),
+            count=count,
+            offset=spec["offset"],
+        )
+        return _readonly(view.reshape(shape))
+
+    def consume(self) -> None:
+        """Unlink the segment and release this reader (views stay valid)."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        with contextlib.suppress(FileNotFoundError):  # double-consume race
+            shm.unlink()
+        _release_shm_handle(shm)
+
+    def close(self) -> None:
+        """Release without unlinking (the segment survives for another
+        consumer; pair with :func:`unlink_shm` eventually)."""
+        shm = self._shm
+        if shm is None:
+            return
+        self._shm = None
+        _release_shm_handle(shm)
+
+
+def unlink_shm(descriptor: dict) -> None:
+    """Unlink a descriptor's segment without attaching to its contents.
+
+    Error-path cleanup: tolerant of segments already consumed or never
+    created (``FileNotFoundError``), so callers can sweep every outstanding
+    descriptor unconditionally.
+    """
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor["segment"])
+    except FileNotFoundError:
+        return
+    with contextlib.suppress(FileNotFoundError):  # concurrent unlink
+        shm.unlink()
+    shm.close()
 
 
 @dataclass(frozen=True)
@@ -477,6 +700,56 @@ class TraceColumns:
             workers_used=RaggedColumn.concatenate([b.workers_used for b in blocks]),
             used_groups=RaggedColumn.concatenate([b.used_groups for b in blocks]),
         )
+
+    def shm_export(self, writer: "ShmWriter") -> dict:
+        """Pack every column into ``writer``; returns the block descriptor.
+
+        Multiple blocks (a whole sweep group) can share one writer — and
+        hence one segment — each yielding its own descriptor.
+        """
+        return {
+            "iterations": writer.add(self.iterations),
+            "durations": writer.add(self.durations),
+            "train_losses": writer.add(self.train_losses),
+            "compute_times": writer.add(self.compute_times),
+            "completion_times": writer.add(self.completion_times),
+            "workers_used": self.workers_used.shm_export(writer),
+            "used_groups": self.used_groups.shm_export(writer),
+        }
+
+    @classmethod
+    def shm_attach(cls, reader: "ShmReader", descriptor: dict) -> "TraceColumns":
+        """Rebuild a block zero-copy from a :meth:`shm_export` descriptor."""
+        return cls(
+            iterations=reader.array(descriptor["iterations"]),
+            durations=reader.array(descriptor["durations"]),
+            train_losses=reader.array(descriptor["train_losses"]),
+            compute_times=reader.array(descriptor["compute_times"]),
+            completion_times=reader.array(descriptor["completion_times"]),
+            workers_used=RaggedColumn.shm_attach(reader, descriptor["workers_used"]),
+            used_groups=RaggedColumn.shm_attach(reader, descriptor["used_groups"]),
+        )
+
+    def to_shm(self) -> dict:
+        """Export into a fresh single-block segment (see
+        :meth:`RaggedColumn.to_shm` for the ownership contract)."""
+        writer = ShmWriter()
+        columns = self.shm_export(writer)
+        segment, nbytes = writer.create()
+        return {"segment": segment, "nbytes": nbytes, "columns": columns}
+
+    @classmethod
+    def from_shm(cls, descriptor: dict, consume: bool = True) -> "TraceColumns":
+        """Attach to a :meth:`to_shm` descriptor (unlinking it by default)."""
+        reader = ShmReader(descriptor["segment"])
+        try:
+            columns = cls.shm_attach(reader, descriptor["columns"])
+        finally:
+            if consume:
+                reader.consume()
+            else:
+                reader.close()
+        return columns
 
     def materialize_records(self) -> "list[IterationRecord]":
         """Build the per-iteration record objects (the compatibility view)."""
@@ -672,6 +945,29 @@ class RunTrace:
         trace._base = columns
         trace._columns_cache = columns
         trace._last_iteration = start_iteration + n - 1 if n else None
+        return trace
+
+    @classmethod
+    def from_columns(
+        cls,
+        scheme: str,
+        cluster_name: str,
+        columns: TraceColumns,
+        metadata: dict | None = None,
+    ) -> "RunTrace":
+        """Adopt an existing :class:`TraceColumns` block verbatim.
+
+        Unlike :meth:`from_arrays` — which synthesizes the iteration index
+        column — this preserves ``columns.iterations`` exactly, so a trace
+        reconstructed from a shared-memory descriptor
+        (:meth:`TraceColumns.from_shm`) is bit-identical to its source
+        whatever iteration numbering the source carried.
+        """
+        trace = cls(scheme=scheme, cluster_name=cluster_name, metadata=metadata)
+        trace._base = columns
+        trace._columns_cache = columns
+        n = columns.num_iterations
+        trace._last_iteration = int(columns.iterations[-1]) if n else None
         return trace
 
     # ------------------------------------------------------------------

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+import threading
 from collections import OrderedDict
 from collections.abc import Sequence
 from dataclasses import dataclass
@@ -676,14 +677,20 @@ class TimingKernelCache:
         self.hits = 0
         self.misses = 0
         self._kernels: OrderedDict[tuple, TimingTraceKernel] = OrderedDict()
+        # The process-wide default cache is shared by the thread executor's
+        # workers; one lock keeps the LRU bookkeeping coherent there.  Cached
+        # kernels themselves are safe to *use* concurrently only insofar as
+        # their memoised decode decisions are append-only dict writes.
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._kernels)
 
     def clear(self) -> None:
-        self._kernels.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._kernels.clear()
+            self.hits = 0
+            self.misses = 0
 
     def get_or_build(
         self,
@@ -707,12 +714,13 @@ class TimingKernelCache:
             network.fingerprint(gradient_bytes),
             float(gradient_bytes),
         )
-        kernel = self._kernels.get(key)
-        if kernel is not None:
-            self.hits += 1
-            self._kernels.move_to_end(key)
-            return kernel
-        self.misses += 1
+        with self._lock:
+            kernel = self._kernels.get(key)
+            if kernel is not None:
+                self.hits += 1
+                self._kernels.move_to_end(key)
+                return kernel
+            self.misses += 1
         kernel = TimingTraceKernel(
             strategy,
             cluster,
@@ -720,9 +728,13 @@ class TimingKernelCache:
             network=network,
             gradient_bytes=gradient_bytes,
         )
-        self._kernels[key] = kernel
-        while len(self._kernels) > self.maxsize:
-            self._kernels.popitem(last=False)
+        with self._lock:
+            # Two threads may race to build the same kernel; last write wins
+            # and both kernels are bit-identical, so results never depend on
+            # which one a later lookup returns.
+            self._kernels[key] = kernel
+            while len(self._kernels) > self.maxsize:
+                self._kernels.popitem(last=False)
         return kernel
 
 

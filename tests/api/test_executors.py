@@ -1,0 +1,280 @@
+"""Pluggable executors: every transport is bit-identical to serial.
+
+The executor layer decides where runs execute and how results move back
+(in-process, pickled ``RunResult`` objects, shared-memory columns); the
+whole contract is that none of that is visible in the results.  These tests
+serialise results to JSON (NaN-safe) and demand exact textual equality
+across every builtin executor, for stacked timing sweeps, stacked training
+sweeps and ragged mixed sweeps alike — plus the lifetime contract: no
+``/dev/shm`` segment survives a completed sweep.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+
+import pytest
+
+from repro.api import (
+    EXECUTORS,
+    Engine,
+    Executor,
+    ExecutorError,
+    ProcessShmExecutor,
+    RunSpec,
+    SerialExecutor,
+    StragglerSpec,
+    register_executor,
+)
+from repro.api.engine import EngineError, _available_cpu_count
+from repro.api.executors import resolve_executor
+from repro.api.registry import RegistryError
+
+ALL_EXECUTORS = ("serial", "process", "process_shm", "thread")
+
+_SHM_DIR = "/dev/shm"
+
+
+def shm_segments() -> set:
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux fallback
+        return set()
+    return {name for name in os.listdir(_SHM_DIR) if name.startswith("psm_")}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = shm_segments()
+    yield
+    gc.collect()
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def results_json(results) -> str:
+    return json.dumps(
+        [r.to_dict() for r in results], default=repr, sort_keys=True
+    )
+
+
+@pytest.fixture(scope="module")
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture(scope="module")
+def timing_spec() -> RunSpec:
+    # rng_version=2 + explicit seed: the sweep planner stacks these, so the
+    # executors are offered whole groups, exercising the group transport.
+    return RunSpec(
+        scheme="naive",
+        num_iterations=6,
+        total_samples=512,
+        straggler=StragglerSpec(
+            "artificial_delay", {"num_stragglers": 1, "delay_seconds": 1.0}
+        ),
+        rng_version=2,
+        seed=3,
+    )
+
+
+@pytest.fixture(scope="module")
+def training_spec() -> RunSpec:
+    return RunSpec(
+        scheme="ssp",
+        mode="training",
+        workload="nonseparable_blobs",
+        num_iterations=4,
+        total_samples=256,
+        rng_version=2,
+        seed=11,
+    )
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ALL_EXECUTORS:
+            assert name in EXECUTORS
+
+    def test_resolve_instance_passthrough(self):
+        instance = SerialExecutor()
+        assert resolve_executor(instance) is instance
+        assert resolve_executor(None) is None
+
+    def test_resolve_unknown_name_lists_options(self):
+        with pytest.raises(RegistryError, match="serial"):
+            resolve_executor("warp_drive")
+
+    def test_resolve_rejects_non_executor_argument(self):
+        with pytest.raises(ExecutorError, match="Executor"):
+            resolve_executor(42)  # type: ignore[arg-type]
+
+    def test_custom_executor_usable_by_name(self, engine, timing_spec):
+        calls = []
+
+        @register_executor("counting_serial")
+        class CountingSerial(Executor):
+            name = "counting_serial"
+
+            def run_specs(self, engine, specs, workers):
+                calls.append(len(specs))
+                return [engine.run(spec) for spec in specs]
+
+        try:
+            results = engine.run_many([timing_spec], executor="counting_serial")
+            assert calls == [1]
+            assert results_json(results) == results_json([engine.run(timing_spec)])
+        finally:
+            EXECUTORS.unregister("counting_serial")
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("name", ALL_EXECUTORS)
+    def test_stacked_timing_sweep(self, engine, timing_spec, name):
+        seeds = list(range(3, 9))
+        reference = engine.sweep(timing_spec, executor="serial", seed=seeds)
+        candidate = engine.sweep(timing_spec, executor=name, seed=seeds)
+        assert results_json(candidate) == results_json(reference)
+
+    @pytest.mark.parametrize("name", ALL_EXECUTORS)
+    def test_stacked_training_sweep(self, engine, training_spec, name):
+        seeds = [11, 12, 13]
+        reference = engine.sweep(training_spec, executor="serial", seed=seeds)
+        candidate = engine.sweep(training_spec, executor=name, seed=seeds)
+        assert results_json(candidate) == results_json(reference)
+
+    @pytest.mark.parametrize("name", ("process_shm", "thread"))
+    def test_ragged_mixed_sweep(self, engine, timing_spec, name):
+        # Two schemes -> two stacked groups; rng_version=1 members join the
+        # un-stackable remainder, so group dispatch and the run_many
+        # fallback both execute under the same executor.
+        axes = {"scheme": ["naive", "cyclic"], "rng_version": [2, 1]}
+        reference = engine.sweep(timing_spec, executor="serial", **axes)
+        candidate = engine.sweep(timing_spec, executor=name, **axes)
+        assert results_json(candidate) == results_json(reference)
+
+    @pytest.mark.parametrize("name", ALL_EXECUTORS)
+    def test_run_many_single_spec(self, engine, timing_spec, name):
+        reference = results_json([engine.run(timing_spec)])
+        assert results_json(
+            engine.run_many([timing_spec], executor=name)
+        ) == reference
+
+    def test_compare_accepts_executor(self, engine, timing_spec):
+        schemes = ["naive", "heter_aware"]
+        reference = engine.compare(timing_spec, schemes)
+        candidate = engine.compare(timing_spec, schemes, executor="process_shm")
+        assert list(candidate) == schemes
+        assert results_json(candidate.values()) == results_json(reference.values())
+
+    def test_default_executor_keeps_legacy_behaviour(self, engine, timing_spec):
+        seeds = list(range(3, 7))
+        specs = [timing_spec.replace(seed=s) for s in seeds]
+        assert results_json(
+            engine.run_many(specs, parallel=2)
+        ) == results_json(engine.run_many(specs))
+
+
+class TestInjectedBackends:
+    @pytest.fixture()
+    def injected_engine(self, engine, timing_spec):
+        real = Engine()
+        return Engine(
+            backends={"timing": lambda spec: real.run(spec).trace}
+        )
+
+    @pytest.mark.parametrize("name", ("process", "process_shm"))
+    def test_subprocess_executors_reject_injected_backends(
+        self, injected_engine, timing_spec, name
+    ):
+        with pytest.raises(EngineError, match="registry-backed"):
+            injected_engine.run_many([timing_spec], executor=name)
+
+    @pytest.mark.parametrize("name", ("serial", "thread"))
+    def test_in_process_executors_accept_injected_backends(
+        self, engine, injected_engine, timing_spec, name
+    ):
+        results = injected_engine.run_many(
+            [timing_spec, timing_spec.replace(seed=4)], executor=name
+        )
+        reference = engine.run_many([timing_spec, timing_spec.replace(seed=4)])
+        assert results_json(results) == results_json(reference)
+
+    def test_injected_backend_sweep_still_serial_by_default(
+        self, injected_engine, timing_spec
+    ):
+        # executor=None: injected-backend specs are never stackable and the
+        # serial fallback handles them — the historical contract.
+        results = injected_engine.sweep(timing_spec, seed=[3, 4])
+        assert len(results) == 2
+
+
+class TestResolveParallel:
+    def test_parallel_true_uses_process_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(os, "process_cpu_count", lambda: 3, raising=False)
+        assert _available_cpu_count() == 3
+        assert Engine._resolve_parallel(True, 100) == 3
+
+    def test_falls_back_to_cpu_count(self, monkeypatch):
+        monkeypatch.delattr(os, "process_cpu_count", raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: 5)
+        assert _available_cpu_count() == 5
+        assert Engine._resolve_parallel(True, 100) == 5
+
+    def test_survives_none_returns(self, monkeypatch):
+        monkeypatch.setattr(os, "process_cpu_count", lambda: None, raising=False)
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert _available_cpu_count() == 1
+
+
+class TestShmLifetime:
+    def test_completed_sweep_leaves_no_segments(self, engine, timing_spec):
+        before = shm_segments()
+        engine.sweep(timing_spec, executor="process_shm", seed=[3, 4, 5, 6])
+        assert shm_segments() == before
+
+    def test_failed_run_leaves_no_segments(self, engine, timing_spec):
+        bad = timing_spec.replace(scheme="no_such_scheme")
+        before = shm_segments()
+        with pytest.raises(EngineError, match="unknown scheme"):
+            engine.run_many([timing_spec, bad], executor="process_shm")
+        assert shm_segments() == before
+
+    def test_worker_exception_cleans_published_segments(self, engine, timing_spec):
+        # One group dies inside the worker (after validation) while its
+        # sibling publishes a segment; the dispatch must unlink the healthy
+        # worker's segment before re-raising.
+        executor = ProcessShmExecutor()
+        before = shm_segments()
+        with pytest.raises(Exception):
+            executor._dispatch(
+                [[timing_spec], [timing_spec.replace(num_iterations=-1)]],
+                workers=2,
+            )
+        assert shm_segments() == before
+
+
+class TestCli:
+    @pytest.mark.parametrize("name", ("serial", "process_shm"))
+    def test_run_with_executor_matches_default(self, capsys, name):
+        from repro.cli import main
+
+        argv = [
+            "run",
+            "--scheme",
+            "naive",
+            "--iterations",
+            "3",
+            "--samples",
+            "512",
+            "--delay",
+            "1.0",
+            "--rng-version",
+            "2",
+            "--json",
+        ]
+        assert main(argv) == 0
+        reference = capsys.readouterr().out
+        assert main([*argv, "--executor", name]) == 0
+        assert capsys.readouterr().out == reference

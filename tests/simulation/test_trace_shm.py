@@ -1,0 +1,206 @@
+"""Shared-memory transport for trace columns: bit-exact, leak-free.
+
+``TraceColumns``/``RaggedColumn`` round-trip through
+``multiprocessing.shared_memory`` segments across every shape the figure
+experiments produce — NaN canonical losses (timing-only runs), ``inf``
+fail-stop durations, nullable ``used_groups`` masks, empty traces — and the
+ownership contract holds: consuming a descriptor unlinks its segment, error
+paths unlink too, and nothing survives in ``/dev/shm`` after a completed
+round-trip.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+from repro.simulation.trace import (
+    RaggedColumn,
+    RunTrace,
+    ShmReader,
+    ShmWriter,
+    TraceColumns,
+    TraceError,
+    unlink_shm,
+)
+
+_SHM_DIR = "/dev/shm"
+
+
+def shm_segments() -> set:
+    if not os.path.isdir(_SHM_DIR):  # pragma: no cover - non-Linux fallback
+        return set()
+    return {name for name in os.listdir(_SHM_DIR) if name.startswith("psm_")}
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    before = shm_segments()
+    yield
+    gc.collect()
+    leaked = shm_segments() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def assert_columns_equal(a: TraceColumns, b: TraceColumns) -> None:
+    assert np.array_equal(a.iterations, b.iterations)
+    assert np.array_equal(a.durations, b.durations)  # inf == inf exactly
+    assert np.array_equal(a.train_losses, b.train_losses, equal_nan=True)
+    assert np.array_equal(a.compute_times, b.compute_times)
+    assert np.array_equal(a.completion_times, b.completion_times)
+    assert a.workers_used.tuples() == b.workers_used.tuples()
+    assert a.used_groups.tuples() == b.used_groups.tuples()
+
+
+def figure_shape_columns() -> dict[str, TraceColumns]:
+    """One ``TraceColumns`` per figure-experiment shape family."""
+    rng = np.random.default_rng(7)
+    n, m = 9, 4
+    timing = TraceColumns(
+        iterations=np.arange(n, dtype=np.int64),
+        durations=rng.random(n),
+        train_losses=np.full(n, np.nan),  # timing-only runs carry NaN losses
+        compute_times=rng.random((n, m)),
+        completion_times=rng.random((n, m)) + 1.0,
+        workers_used=tuple(tuple(range(i % m + 1)) for i in range(n)),
+        used_groups=tuple((i % 2,) for i in range(n)),
+    )
+    fail_stop = TraceColumns(
+        iterations=np.arange(n, dtype=np.int64),
+        durations=np.where(np.arange(n) % 3 == 0, np.inf, 2.0),
+        train_losses=np.full(n, np.nan),
+        compute_times=rng.random((n, m)),
+        completion_times=np.where(rng.random((n, m)) < 0.3, np.inf, 1.0),
+        workers_used=tuple(
+            () if i % 3 == 0 else tuple(range(m)) for i in range(n)
+        ),
+        used_groups=tuple(None for _ in range(n)),
+    )
+    training = TraceColumns(
+        iterations=np.arange(5, 5 + n, dtype=np.int64),  # offset start
+        durations=rng.random(n),
+        train_losses=rng.random(n),
+        compute_times=rng.random((n, m)),
+        completion_times=rng.random((n, m)),
+        workers_used=tuple(tuple(range(m)) for _ in range(n)),
+        used_groups=tuple((0,) if i % 2 else None for i in range(n)),  # nullable
+    )
+    return {
+        "timing_nan_losses": timing,
+        "fail_stop_inf": fail_stop,
+        "training_nullable_groups": training,
+        "empty": TraceColumns.empty(),
+    }
+
+
+class TestRaggedColumnShm:
+    @pytest.mark.parametrize(
+        "rows, nullable",
+        [
+            ([(0, 1, 2), (1,), (), (0, 1, 2)], False),
+            ([(3,), None, (), None, (1, 2)], True),
+            ([None, None], True),
+            ([], False),
+            ([()], False),
+        ],
+    )
+    def test_round_trip_bit_identical(self, rows, nullable):
+        column = RaggedColumn.from_rows(rows, nullable=nullable)
+        restored = RaggedColumn.from_shm(column.to_shm())
+        assert restored.tuples() == column.tuples()
+        assert np.array_equal(restored.offsets, column.offsets)
+        assert np.array_equal(restored.values, column.values)
+        if column.present is None:
+            assert restored.present is None
+        else:
+            assert np.array_equal(restored.present, column.present)
+
+    def test_attached_arrays_read_only(self):
+        column = RaggedColumn.from_rows([(1, 2), (3,)])
+        restored = RaggedColumn.from_shm(column.to_shm())
+        assert not restored.offsets.flags.writeable
+        assert not restored.values.flags.writeable
+
+    def test_consume_false_allows_second_consumer(self):
+        column = RaggedColumn.from_rows([(1, 2, 3)])
+        descriptor = column.to_shm()
+        first = RaggedColumn.from_shm(descriptor, consume=False)
+        second = RaggedColumn.from_shm(descriptor)  # consumes
+        assert first.tuples() == second.tuples() == column.tuples()
+
+    def test_unlink_shm_discards_unconsumed_descriptor(self):
+        descriptor = RaggedColumn.from_rows([(1,)]).to_shm()
+        unlink_shm(descriptor)
+        unlink_shm(descriptor)  # idempotent on already-gone segments
+
+
+class TestTraceColumnsShm:
+    @pytest.mark.parametrize("shape", sorted(figure_shape_columns()))
+    def test_round_trip_bit_identical(self, shape):
+        columns = figure_shape_columns()[shape]
+        restored = TraceColumns.from_shm(columns.to_shm())
+        assert_columns_equal(columns, restored)
+
+    def test_arrays_survive_consume_and_gc(self):
+        columns = figure_shape_columns()["training_nullable_groups"]
+        restored = TraceColumns.from_shm(columns.to_shm())
+        gc.collect()  # segment unlinked; pages must outlive it via the views
+        assert_columns_equal(columns, restored)
+
+    def test_shared_writer_packs_many_blocks_in_one_segment(self):
+        blocks = [
+            figure_shape_columns()["timing_nan_losses"],
+            figure_shape_columns()["fail_stop_inf"],
+            figure_shape_columns()["empty"],
+        ]
+        writer = ShmWriter()
+        descriptors = [block.shm_export(writer) for block in blocks]
+        segment, nbytes = writer.create()
+        reader = ShmReader(segment)
+        try:
+            restored = [
+                TraceColumns.shm_attach(reader, descriptor)
+                for descriptor in descriptors
+            ]
+        finally:
+            reader.consume()
+        for block, copy in zip(blocks, restored, strict=True):
+            assert_columns_equal(block, copy)
+
+    def test_reader_rejects_use_after_consume(self):
+        descriptor = figure_shape_columns()["empty"].to_shm()
+        reader = ShmReader(descriptor["segment"])
+        reader.consume()
+        with pytest.raises(TraceError, match="after consume"):
+            reader.array({"offset": 0, "shape": [0], "dtype": "<f8"})
+        reader.consume()  # idempotent
+
+    def test_round_trip_preserves_json_serialisation(self):
+        columns = figure_shape_columns()["training_nullable_groups"]
+        trace = RunTrace.from_columns("ssp", "Cluster-A", columns, {"seed": 5})
+        restored = RunTrace.from_columns(
+            "ssp",
+            "Cluster-A",
+            TraceColumns.from_shm(columns.to_shm()),
+            {"seed": 5},
+        )
+        assert restored == trace
+        assert restored.to_dict() == trace.to_dict()
+
+
+class TestRunTraceFromColumns:
+    def test_preserves_exact_iteration_numbering(self):
+        columns = figure_shape_columns()["training_nullable_groups"]
+        trace = RunTrace.from_columns("ssp", "Cluster-A", columns)
+        assert trace.num_iterations == columns.num_iterations
+        assert np.array_equal(trace.columns().iterations, columns.iterations)
+        # appending must continue from the preserved numbering
+        assert trace._last_iteration == int(columns.iterations[-1])
+
+    def test_empty_columns(self):
+        trace = RunTrace.from_columns("naive", "Cluster-A", TraceColumns.empty())
+        assert trace.num_iterations == 0
+        assert trace._last_iteration is None
