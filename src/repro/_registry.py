@@ -43,6 +43,7 @@ __all__ = [
     "NETWORK_MODELS",
     "EXECUTION_BACKENDS",
     "EXECUTORS",
+    "ARRAY_BACKENDS",
     "register_scheme",
     "register_protocol",
     "register_cluster",
@@ -51,6 +52,7 @@ __all__ = [
     "register_network_model",
     "register_backend",
     "register_executor",
+    "register_array_backend",
 ]
 
 T = TypeVar("T")
@@ -174,6 +176,11 @@ EXECUTION_BACKENDS: Registry[Callable[..., Any]] = Registry("execution backend")
 #: results travel back (in-process, pickle pool, shared-memory pool, ...).
 EXECUTORS: Registry[Any] = Registry("executor")
 
+#: Array backends: name -> :class:`repro.learning.backends.ArrayBackend`
+#: subclass (or ready instance) supplying the array namespace the hot
+#: matrix-algebra kernels run on (numpy builtin; CuPy/torch optional).
+ARRAY_BACKENDS: Registry[Any] = Registry("array backend")
+
 register_scheme = SCHEMES.register
 register_protocol = PROTOCOLS.register
 register_cluster = CLUSTERS.register
@@ -181,6 +188,7 @@ register_straggler_model = STRAGGLER_MODELS.register
 register_network_model = NETWORK_MODELS.register
 register_backend = EXECUTION_BACKENDS.register
 register_executor = EXECUTORS.register
+register_array_backend = ARRAY_BACKENDS.register
 
 
 def register_workload(workload: Any = None, *, replace: bool = False):

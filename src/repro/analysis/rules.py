@@ -298,8 +298,8 @@ def _is_set_expr(node: ast.expr) -> bool:
     "REG001",
     summary=(
         "StragglerInjector/CommunicationModel/TrainingProtocol/Model/"
-        "Executor subclasses must be registered (decorator, REGISTRY.add "
-        "builder, or registrar-module reference)"
+        "Executor/ArrayBackend subclasses must be registered (decorator, "
+        "REGISTRY.add builder, or registrar-module reference)"
     ),
 )
 class UnregisteredPluginRule(LintRule):
@@ -327,6 +327,7 @@ class UnregisteredPluginRule(LintRule):
         "TrainingProtocol",
         "Model",
         "Executor",
+        "ArrayBackend",
     )
 
     def check(self, ctx: FileContext, project: ProjectContext) -> Iterator[Finding]:

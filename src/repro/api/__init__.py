@@ -15,7 +15,8 @@ One code path serves every scheme, protocol, cluster and workload:
   ``@register_scheme``, ``@register_protocol``, ``@register_cluster``,
   ``register_workload``, ``@register_straggler_model``,
   ``@register_network_model``, ``@register_backend``,
-  ``@register_executor`` — through which new building blocks plug in
+  ``@register_executor``, ``@register_array_backend`` — through which new
+  building blocks plug in
   without editing any dispatch table;
 * the sweep executors (:mod:`repro.api.executors`) — ``serial``,
   ``process``, ``process_shm``, ``thread`` — selecting how
@@ -53,6 +54,7 @@ from .executors import (
     ThreadExecutor,
 )
 from .registry import (
+    ARRAY_BACKENDS,
     CLUSTERS,
     EXECUTION_BACKENDS,
     EXECUTORS,
@@ -63,6 +65,7 @@ from .registry import (
     WORKLOADS,
     Registry,
     RegistryError,
+    register_array_backend,
     register_backend,
     register_cluster,
     register_executor,
@@ -94,6 +97,7 @@ __all__ = [
     "NETWORK_MODELS",
     "EXECUTION_BACKENDS",
     "EXECUTORS",
+    "ARRAY_BACKENDS",
     "Executor",
     "ExecutorError",
     "SerialExecutor",
@@ -108,6 +112,7 @@ __all__ = [
     "register_network_model",
     "register_backend",
     "register_executor",
+    "register_array_backend",
     "build_injector",
     "build_network",
 ]

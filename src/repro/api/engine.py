@@ -29,6 +29,7 @@ from typing import Any
 import numpy as np
 
 from .._registry import (
+    ARRAY_BACKENDS,
     CLUSTERS,
     EXECUTION_BACKENDS,
     PROTOCOLS,
@@ -201,7 +202,9 @@ def _run_training(spec: RunSpec) -> RunTrace:
     )
     return run_scheme(
         spec.scheme,
-        model_factory=lambda: preset.make_model(dataset, seed=spec.seed or 0),
+        model_factory=lambda: preset.make_model(
+            dataset, seed=spec.seed or 0
+        ).use_array_backend(spec.array_backend),
         dataset=dataset,
         cluster=cluster,
         config=config,
@@ -287,6 +290,11 @@ class Engine:
                 raise EngineError(
                     f"unknown workload {spec.workload!r}; registered workloads: "
                     f"{list(WORKLOADS.names())}"
+                )
+            if spec.array_backend not in ARRAY_BACKENDS:
+                raise EngineError(
+                    f"unknown array backend {spec.array_backend!r}; registered "
+                    f"array backends: {list(ARRAY_BACKENDS.names())}"
                 )
         if spec.cluster not in CLUSTERS and "vcpu_counts" not in spec.cluster_options:
             raise EngineError(
@@ -531,7 +539,9 @@ class Engine:
             rng_streams=streams,
         )
         partitioned = _partition_for_scheme(spec.scheme, dataset, cluster, config)
-        model = preset.make_model(dataset, seed=spec.seed or 0)
+        model = preset.make_model(dataset, seed=spec.seed or 0).use_array_backend(
+            spec.array_backend
+        )
         # The stacked scan shares one protocol instance and one clock-matrix
         # shape; everything else (dataset, network, injector, optimiser)
         # stays per-run, so it may vary freely inside a group.

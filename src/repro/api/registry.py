@@ -14,6 +14,7 @@ expects.
 from __future__ import annotations
 
 from .._registry import (
+    ARRAY_BACKENDS,
     CLUSTERS,
     EXECUTION_BACKENDS,
     EXECUTORS,
@@ -24,6 +25,7 @@ from .._registry import (
     WORKLOADS,
     Registry,
     RegistryError,
+    register_array_backend,
     register_backend,
     register_cluster,
     register_executor,
@@ -45,6 +47,7 @@ __all__ = [
     "NETWORK_MODELS",
     "EXECUTION_BACKENDS",
     "EXECUTORS",
+    "ARRAY_BACKENDS",
     "register_scheme",
     "register_protocol",
     "register_cluster",
@@ -53,4 +56,5 @@ __all__ = [
     "register_network_model",
     "register_backend",
     "register_executor",
+    "register_array_backend",
 ]

@@ -150,6 +150,14 @@ class RunSpec:
         draw whole traces in batched calls — statistically equivalent to
         v1 at matched seeds but not bit-identical.  See
         :mod:`repro.simulation.rng`.
+    array_backend:
+        Array backend the training-mode gradient kernels route their hot
+        matrix products through, resolved against the array-backend plugin
+        registry.  ``"numpy"`` (default) is bit-identical to every release
+        since the seed; ``"torch"`` / ``"cupy"`` are opt-in, require the
+        library installed, and are gated statistically (GPU gemms may
+        reassociate reductions).  Timing mode ignores it.  See
+        :mod:`repro.learning.backends`.
     """
 
     scheme: str = "heter_aware"
@@ -172,6 +180,7 @@ class RunSpec:
     record_loss_every: int = 1
     seed: int | None = 0
     rng_version: int = 1
+    array_backend: str = "numpy"
 
     def __post_init__(self) -> None:
         object.__setattr__(
@@ -225,6 +234,11 @@ class RunSpec:
             raise SpecError(
                 f"unknown rng_version {self.rng_version!r}; "
                 f"supported versions: {list(RNG_VERSIONS)}"
+            )
+        if not self.array_backend or not isinstance(self.array_backend, str):
+            raise SpecError(
+                f"array_backend must be a non-empty string, "
+                f"got {self.array_backend!r}"
             )
 
     # -- derived quantities --------------------------------------------

@@ -52,7 +52,11 @@ from .learning.gradients import (
     encode_all_workers_matrix,
     encode_worker_gradient,
 )
-from .learning.models import SoftmaxClassifier
+from .learning.models import (
+    MLPClassifier,
+    SoftmaxClassifier,
+    force_generic_kernels,
+)
 from .learning.partition import partition_dataset
 from .simulation.rng import RngStreams
 from .simulation.stragglers import ArtificialDelay
@@ -67,9 +71,10 @@ __all__ = [
     "HEADLINE_BENCH",
 ]
 
-#: Name of the acceptance-criterion benchmark (PR 8: the shared-memory
-#: stacked-group pool against the per-run pickle pool at fig2 scale).
-HEADLINE_BENCH = "parallel_sweep_shm"
+#: Name of the acceptance-criterion benchmark (PR 9: fig4-scale MLP
+#: training with the stacked parameter-cube gradient kernels against the
+#: generic per-pair loop, gated bit-identical).
+HEADLINE_BENCH = "training_fig4_mlp_batched"
 
 #: Schemes and delays of the Fig. 2 sweep used by the end-to-end benchmark.
 _FIG2_SCHEMES = ("naive", "cyclic", "heter_aware", "group_based")
@@ -504,6 +509,115 @@ def _bench_training_fig4_ssp(
     )
 
 
+def _bench_training_fig4_mlp(
+    num_iterations: int, repeats: int, seed: int, cluster_name: str = "Cluster-C"
+) -> dict:
+    """PR 9 headline: MLP training, stacked parameter-cube kernels vs loop.
+
+    The three parameter-server baselines (``ssp``, ``dyn_ssp``, ``async``)
+    run through the engine's training backend on the ``cifar10_mlp``
+    workload (3072-feature images, one 64-unit hidden layer) at fig4
+    scale.  Both sides execute the identical batched ``rng_version=2``
+    event engine; the only difference is the gradient-replay stage.  The
+    baseline forces the pre-stacked-era replay — ``(e, num_parameters)``
+    parameter cubes handed to the generic per-pair
+    ``set_parameters``/``loss_and_gradient`` loop — via
+    ``force_generic_kernels()``; the current side is the version-grouped
+    stacked replay: each snapshot group evaluated in one broadcast
+    ``(j, n, d) @ (d, h)`` matmul pass with the backward pass written
+    straight into the flat gradient matrix.
+
+    The headline times the replay stage itself (the ``replay_clock``
+    accumulated around ``_block_gradients``), which is exactly the
+    stacked-kernels-vs-per-pair-loop comparison; both sides share the
+    remaining engine costs unchanged (the inherently sequential
+    optimiser walk, batch resolution, loss evaluation), and the
+    end-to-end sweep times are recorded in ``meta`` alongside it.
+
+    Stacked numpy matmul dispatches the same per-slice reductions as the
+    loop, so the results must be **bit-identical**: the gate serialises
+    every run from both sides and demands JSON-exact equality, recorded
+    in ``meta.bit_identical`` for the CI compare step.
+    """
+    from .api import Engine, RunSpec, StragglerSpec
+    from .learning.models import force_generic_kernels
+    from .protocols.ssp import replay_clock
+
+    engine = Engine()
+    schemes = ("ssp", "dyn_ssp", "async")
+    base = RunSpec(
+        mode="training",
+        cluster=cluster_name,
+        cluster_options={"samples_per_second_per_vcpu": 50.0},
+        workload="cifar10_mlp",
+        num_iterations=num_iterations,
+        total_samples=1024,
+        seed=seed,
+        learning_rate=0.5,
+        ssp_staleness=3,
+        ssp_batch_size=8,
+        loss_eval_samples=512,
+        record_loss_every=5,
+        rng_version=2,
+        straggler=StragglerSpec(
+            "transient", {"probability": 0.05, "mean_delay_seconds": 0.5}
+        ),
+    )
+
+    def kernel_sweep() -> list:
+        return [engine.run(base.replace(scheme=scheme)) for scheme in schemes]
+
+    def generic_sweep() -> list:
+        with force_generic_kernels():
+            return [engine.run(base.replace(scheme=scheme)) for scheme in schemes]
+
+    def results_json(results: list) -> str:
+        return json.dumps(
+            [r.to_dict() for r in results], default=repr, sort_keys=True
+        )
+
+    # Bit-identity gate: the stacked kernels replicate the scalar
+    # operation sequence exactly, so the full serialized runs must match.
+    if results_json(kernel_sweep()) != results_json(generic_sweep()):
+        raise AssertionError(
+            "stacked MLP kernels diverged from the generic per-pair loop"
+        )
+
+    def replay_timed(sweep: Callable[[], list]) -> tuple[float, float]:
+        replay_clock.seconds = 0.0
+        elapsed = _timed(sweep)
+        return replay_clock.seconds, elapsed
+
+    generic_times = [replay_timed(generic_sweep) for _ in range(repeats)]
+    stacked_times = [replay_timed(kernel_sweep) for _ in range(repeats)]
+    baseline = min(seconds for seconds, _ in generic_times)
+    current = min(seconds for seconds, _ in stacked_times)
+    e2e_baseline = min(elapsed for _, elapsed in generic_times)
+    e2e_current = min(elapsed for _, elapsed in stacked_times)
+    return _bench_entry(
+        "training_fig4_mlp_batched",
+        f"fig4-style SSP/DynSSP/Async training of the cifar10 MLP on "
+        f"{cluster_name} ({num_iterations} iterations, 1024 samples, "
+        "staleness 3, mini-batch 8): gradient replay via the generic "
+        "per-pair loop (force_generic_kernels) vs the version-grouped "
+        "stacked kernels, timed over the replay stage of full training "
+        "runs (end-to-end sweep times in meta)",
+        baseline,
+        current,
+        meta={
+            "cluster": cluster_name,
+            "num_iterations": num_iterations,
+            "schemes": list(schemes),
+            "workload": "cifar10_mlp",
+            "total_samples": 1024,
+            "bit_identical": True,
+            "e2e_baseline_seconds": e2e_baseline,
+            "e2e_current_seconds": e2e_current,
+            "e2e_speedup": e2e_baseline / e2e_current,
+        },
+    )
+
+
 def _bench_worker_timings(calls: int, repeats: int, seed: int) -> dict:
     """Per-iteration worker-timing kernel, loop vs batched draws."""
     cluster = build_cluster("Cluster-D", rng=seed)
@@ -649,6 +763,46 @@ def _bench_batch_gradients(num_samples: int, repeats: int, seed: int) -> dict:
     return _bench_entry(
         "batch_gradients",
         f"all partition gradients, softmax on {num_samples} samples / 16 partitions",
+        baseline,
+        current,
+        meta={"num_samples": num_samples, "num_partitions": 16},
+    )
+
+
+def _bench_batch_gradients_mlp(num_samples: int, repeats: int, seed: int) -> dict:
+    """Partition gradients, MLP: stacked batch kernel vs per-partition calls."""
+    dataset = make_blobs(
+        num_samples=num_samples, num_features=32, num_classes=10, rng=seed
+    )
+    partitioned = partition_dataset(dataset, num_partitions=16, rng=seed)
+    model = MLPClassifier(
+        dataset.num_features, dataset.num_classes, hidden_sizes=(64,), rng=seed
+    )
+
+    def run_batched() -> None:
+        compute_partial_gradients_matrix(model, partitioned)
+
+    def run_loop() -> None:
+        # Pre-PR behaviour: the generic base-class fallback, one scalar
+        # kernel call per partition.
+        with force_generic_kernels():
+            compute_partial_gradients_matrix(model, partitioned)
+
+    losses, grads = compute_partial_gradients_matrix(model, partitioned)
+    for index in range(partitioned.num_partitions):
+        loss, grad = model.loss_and_gradient(*partitioned.partition_data(index))
+        if loss != losses[index] or not np.array_equal(grad, grads[index]):
+            raise AssertionError(
+                "stacked MLP gradient kernel diverged from per-partition"
+            )
+
+    run_batched()
+    baseline = _best_of(lambda: _timed(run_loop), repeats)
+    current = _best_of(lambda: _timed(run_batched), repeats)
+    return _bench_entry(
+        "batch_gradients_mlp",
+        f"all partition gradients, 64-hidden MLP on {num_samples} samples / "
+        "16 partitions: generic per-partition loop vs stacked kernel",
         baseline,
         current,
         meta={"num_samples": num_samples, "num_partitions": 16},
@@ -863,7 +1017,7 @@ def _bench_parallel_sweep_shm(
 def run_bench(
     smoke: bool = False,
     seed: int = 0,
-    label: str = "PR8",
+    label: str = "PR9",
     include_parallel: bool = True,
     executor: str = "process_shm",
 ) -> dict:
@@ -891,6 +1045,13 @@ def run_bench(
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", SampleCountDriftWarning)
         benches = [
+            _bench_training_fig4_mlp(
+                8 if smoke else 15,
+                repeats,
+                seed,
+                cluster_name="Cluster-A" if smoke else "Cluster-C",
+            ),
+            _bench_batch_gradients_mlp(2048 if smoke else 16384, repeats, seed),
             _bench_parallel_sweep_shm(iterations, repeats, seed, executor=executor),
             _bench_sweep_stacked(iterations, repeats, seed),
             _bench_training_fig4_ssp(

@@ -193,7 +193,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized benchmarks (seconds instead of minutes)")
-    bench.add_argument("--label", default="PR8", help="tag stored in the payload")
+    bench.add_argument("--label", default="PR9", help="tag stored in the payload")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="output JSON path (default BENCH_<label>.json; '-' to skip)")
     bench.add_argument("--no-parallel", action="store_true",

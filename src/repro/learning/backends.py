@@ -1,0 +1,248 @@
+"""Pluggable array backends for the hot matrix-algebra kernels.
+
+The stacked gradient kernels (:meth:`Model.batch_loss_and_gradient`,
+:meth:`Model.multi_loss_and_gradient`) and the fused ``(a B) @ G``
+encode+decode product in :mod:`repro.protocols.coded` are pure matrix
+algebra, so the array namespace they run on is a seam: an
+:class:`ArrayBackend` supplies ``asarray``/``matmul``/``einsum``/
+``to_numpy`` and the kernels route their dominant products through it.
+
+The ``numpy`` builtin is the identity backend — ``asarray``/``to_numpy``
+are no-ops on float64 arrays and ``matmul`` is :func:`numpy.matmul` — so
+runs on it are bit-identical to the pre-seam code and stay covered by the
+byte-identity CI gates.  ``torch`` and ``cupy`` backends are registered
+unconditionally but import their libraries lazily: constructing one on a
+machine without the wheel raises :class:`BackendUnavailableError` with an
+install hint, and nothing in the default path ever imports them.  Results
+from non-numpy backends come back through ``to_numpy`` as float64 host
+arrays, so protocol logic is untouched; their outputs are gated
+*statistically* (same distributions at matched seeds), not bitwise —
+GPU gemms are free to reassociate reductions.
+
+Registering a third-party backend mirrors every other plugin seam::
+
+    from repro.learning.backends import ArrayBackend, register_array_backend
+
+    @register_array_backend("my_backend")
+    class MyBackend(ArrayBackend):
+        name = "my_backend"
+        ...
+
+after which ``RunSpec(array_backend="my_backend", ...)`` selects it for
+training runs, and ``model.use_array_backend("my_backend")`` applies it to
+a bare model.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+import numpy.typing as npt
+
+from .._registry import ARRAY_BACKENDS, register_array_backend
+
+__all__ = [
+    "NDArray",
+    "ArrayBackend",
+    "BackendUnavailableError",
+    "NumpyBackend",
+    "TorchBackend",
+    "CupyBackend",
+    "get_array_backend",
+    "numpy_backend",
+    "register_array_backend",
+]
+
+
+#: Annotation alias for host numpy arrays.  The kernel code is
+#: dtype-dynamic on purpose (float64 parameters, int64 labels, bool
+#: pooling masks share signatures), so the scalar type stays open;
+#: float64-ness of parameter vectors is a runtime contract enforced by
+#: :class:`~repro.learning.models.base.ParameterLayout`.
+NDArray = npt.NDArray[Any]
+
+
+class BackendUnavailableError(RuntimeError):
+    """Raised when a registered backend's library is not importable."""
+
+
+class ArrayBackend(ABC):
+    """Array-namespace seam the hot matrix kernels run on.
+
+    Implementations wrap one array library.  The contract is small on
+    purpose: the kernels only hand over their *dominant* products (stacked
+    ``matmul`` calls); all shape bookkeeping, elementwise math and RNG stay
+    in numpy on the host, so a backend never influences control flow.
+
+    ``name`` identifies the backend in :data:`repro._registry.ARRAY_BACKENDS`
+    and in ``RunSpec.array_backend``.
+    """
+
+    #: Registry name; subclasses override.
+    name: str = "abstract"
+
+    @abstractmethod
+    def asarray(self, array: NDArray) -> Any:
+        """Move a host float64 array into the backend's native format."""
+
+    @abstractmethod
+    def matmul(self, a: Any, b: Any) -> Any:
+        """Matrix product with numpy ``matmul`` broadcasting semantics."""
+
+    @abstractmethod
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        """Einstein summation over backend-native operands."""
+
+    @abstractmethod
+    def to_numpy(self, array: Any) -> NDArray:
+        """Copy/convert a backend-native array back to host float64."""
+
+    # -- convenience ----------------------------------------------------
+    def matmul_numpy(self, a: NDArray, b: NDArray) -> NDArray:
+        """``to_numpy(matmul(asarray(a), asarray(b)))`` in one call.
+
+        The numpy backend overrides this to plain :func:`numpy.matmul`
+        (no conversion hops), keeping the default path allocation- and
+        bit-identical to pre-seam code.
+        """
+        return self.to_numpy(self.matmul(self.asarray(a), self.asarray(b)))
+
+    def matmul_into(self, a: NDArray, b: NDArray, out: NDArray) -> NDArray:
+        """Matrix product written into a host ``out`` buffer.
+
+        The stacked backward passes write each layer's weight gradient
+        straight into (a strided view of) the caller's flat gradient
+        matrix, skipping the allocate-then-concatenate copy.  The default
+        routes through :meth:`matmul_numpy` and assigns; the numpy backend
+        overrides with ``np.matmul(..., out=out)`` so no intermediate is
+        materialised at all.
+        """
+        out[...] = self.matmul_numpy(a, b)
+        return out
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+@register_array_backend("numpy")
+class NumpyBackend(ArrayBackend):
+    """The builtin identity backend: plain numpy, bit-identical to today."""
+
+    name = "numpy"
+
+    def asarray(self, array: NDArray) -> NDArray:
+        return np.asarray(array)
+
+    def matmul(self, a: NDArray, b: NDArray) -> NDArray:
+        return np.matmul(a, b)
+
+    def einsum(self, subscripts: str, *operands: NDArray) -> NDArray:
+        return np.einsum(subscripts, *operands)
+
+    def to_numpy(self, array: NDArray) -> NDArray:
+        return np.asarray(array)
+
+    def matmul_numpy(self, a: NDArray, b: NDArray) -> NDArray:
+        return np.matmul(a, b)
+
+    def matmul_into(self, a: NDArray, b: NDArray, out: NDArray) -> NDArray:
+        return np.matmul(a, b, out=out)
+
+
+@register_array_backend("torch")
+class TorchBackend(ArrayBackend):
+    """PyTorch backend (CPU or CUDA), lazily imported.
+
+    Double precision throughout; ``device`` defaults to ``"cuda"`` when
+    available, else CPU.  Gated statistically, not bitwise: cuBLAS/oneDNN
+    gemms may reassociate reductions.
+    """
+
+    name = "torch"
+
+    def __init__(self, device: str | None = None) -> None:
+        try:
+            import torch
+        except ImportError as exc:  # pragma: no cover - environment-dependent
+            raise BackendUnavailableError(
+                "array backend 'torch' requires PyTorch "
+                "(pip install torch); it is not importable here"
+            ) from exc
+        self._torch = torch
+        if device is None:
+            device = "cuda" if torch.cuda.is_available() else "cpu"
+        self.device = device
+
+    def asarray(self, array: NDArray) -> Any:
+        return self._torch.as_tensor(
+            array, dtype=self._torch.float64, device=self.device
+        )
+
+    def matmul(self, a: Any, b: Any) -> Any:
+        return self._torch.matmul(a, b)
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        return self._torch.einsum(subscripts, *operands)
+
+    def to_numpy(self, array: Any) -> NDArray:
+        return np.asarray(array.detach().cpu().numpy(), dtype=np.float64)
+
+
+@register_array_backend("cupy")
+class CupyBackend(ArrayBackend):
+    """CuPy backend (CUDA), lazily imported; gated statistically."""
+
+    name = "cupy"
+
+    def __init__(self) -> None:
+        try:
+            import cupy
+        except ImportError as exc:  # pragma: no cover - environment-dependent
+            raise BackendUnavailableError(
+                "array backend 'cupy' requires CuPy "
+                "(pip install cupy); it is not importable here"
+            ) from exc
+        self._cupy = cupy
+
+    def asarray(self, array: NDArray) -> Any:
+        return self._cupy.asarray(array, dtype=self._cupy.float64)
+
+    def matmul(self, a: Any, b: Any) -> Any:
+        return self._cupy.matmul(a, b)
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        return self._cupy.einsum(subscripts, *operands)
+
+    def to_numpy(self, array: Any) -> NDArray:
+        return np.asarray(self._cupy.asnumpy(array), dtype=np.float64)
+
+
+#: The shared identity backend every model starts on.
+numpy_backend = NumpyBackend()
+
+_INSTANCE_CACHE: dict[str, ArrayBackend] = {"numpy": numpy_backend}
+
+
+def get_array_backend(name: str | ArrayBackend) -> ArrayBackend:
+    """Resolve a backend name (or pass through a ready instance).
+
+    Class entries in the registry are instantiated on first use and the
+    instance cached; construction is where unavailable libraries raise
+    :class:`BackendUnavailableError`.
+    """
+    if isinstance(name, ArrayBackend):
+        return name
+    cached = _INSTANCE_CACHE.get(name)
+    if cached is not None:
+        return cached
+    entry = ARRAY_BACKENDS.get(name)
+    backend = entry() if isinstance(entry, type) else entry
+    if not isinstance(backend, ArrayBackend):
+        raise TypeError(
+            f"array backend {name!r} resolved to {backend!r}, "
+            "which is not an ArrayBackend"
+        )
+    _INSTANCE_CACHE[name] = backend
+    return backend

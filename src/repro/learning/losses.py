@@ -15,6 +15,7 @@ __all__ = [
     "softmax",
     "log_softmax",
     "cross_entropy_loss",
+    "stacked_cross_entropy_loss",
     "mean_squared_error_loss",
     "one_hot",
 ]
@@ -79,6 +80,48 @@ def cross_entropy_loss(
     dlogits = softmax(logits)
     dlogits[np.arange(n), labels] -= 1.0
     return loss, dlogits
+
+
+def stacked_cross_entropy_loss(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """:func:`cross_entropy_loss` with a leading stack axis, bit-identical.
+
+    Parameters
+    ----------
+    logits:
+        Raw scores of shape ``(s, n, num_classes)`` — ``s`` independent
+        ``(n, num_classes)`` problems.
+    labels:
+        Integer labels of shape ``(s, n)``.
+
+    Returns
+    -------
+    (losses, dlogits):
+        ``losses`` has shape ``(s,)`` (summed cross entropy per slice);
+        ``dlogits`` matches ``logits`` and holds each slice's gradient.
+
+    Every operation replicates the scalar path's exact sequence along the
+    last axis (shared max-shift, separate ``exp`` recompute for the
+    gradient), so slice ``i`` equals ``cross_entropy_loss(logits[i],
+    labels[i])`` bit for bit — the pairing property tests pin this.
+    """
+    logits = np.asarray(logits, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if logits.ndim != 3:
+        raise ValueError("logits must be 3-D (s, n, num_classes)")
+    if labels.shape != logits.shape[:2]:
+        raise ValueError("labels must be (s, n), one row per logits slice")
+    stack, n, _ = logits.shape
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    log_probs = shifted - np.log(np.exp(shifted).sum(axis=-1, keepdims=True))
+    slice_index = np.arange(stack)[:, np.newaxis]
+    sample_index = np.arange(n)[np.newaxis, :]
+    losses = -log_probs[slice_index, sample_index, labels].sum(axis=1)
+    exp = np.exp(shifted)
+    dlogits = exp / exp.sum(axis=-1, keepdims=True)
+    dlogits[slice_index, sample_index, labels] -= 1.0
+    return losses, dlogits
 
 
 def mean_squared_error_loss(

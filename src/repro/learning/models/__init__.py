@@ -6,7 +6,13 @@
 * :class:`SimpleCNN` — small convolutional network (ResNet stand-in).
 """
 
-from .base import Model, ModelError, ParameterLayout
+from .base import (
+    Model,
+    ModelError,
+    ParameterLayout,
+    force_generic_kernels,
+    generic_kernels_forced,
+)
 from .cnn import SimpleCNN
 from .linear import LinearRegressionModel
 from .mlp import MLPClassifier
@@ -16,6 +22,8 @@ __all__ = [
     "Model",
     "ModelError",
     "ParameterLayout",
+    "force_generic_kernels",
+    "generic_kernels_forced",
     "LinearRegressionModel",
     "SoftmaxClassifier",
     "MLPClassifier",

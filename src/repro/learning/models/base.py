@@ -18,15 +18,55 @@ disjoint partitions are additive: ``g = sum_i g_i`` exactly as in the paper.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
 
 import numpy as np
 
-__all__ = ["Model", "ParameterLayout", "ModelError"]
+from ..backends import ArrayBackend, NDArray, get_array_backend, numpy_backend
+
+__all__ = [
+    "Model",
+    "ParameterLayout",
+    "ModelError",
+    "force_generic_kernels",
+    "generic_kernels_forced",
+]
 
 
 class ModelError(ValueError):
     """Raised on shape mismatches or invalid model configuration."""
+
+
+# Module-level switch the stacked kernel overrides consult: when True, the
+# vectorized batch_/multi_ overrides delegate to the generic per-pair loops
+# in :class:`Model`.  Exists for the bench baselines and the JSON-exact
+# stacked-vs-looped bit-identity gates; not thread-safe by design (flip it
+# only from single-threaded harness code, never inside protocols).
+_FORCE_GENERIC_KERNELS = False
+
+
+def generic_kernels_forced() -> bool:
+    """True while :func:`force_generic_kernels` is active."""
+    return _FORCE_GENERIC_KERNELS
+
+
+@contextmanager
+def force_generic_kernels() -> Iterator[None]:
+    """Context manager: route stacked kernels through the generic loops.
+
+    Inside the block every builtin ``batch_loss_and_gradient`` /
+    ``multi_loss_and_gradient`` override falls back to the base-class
+    per-slice / per-pair loop — the reference the stacked kernels are
+    property-tested (and benchmarked) against.
+    """
+    global _FORCE_GENERIC_KERNELS
+    previous = _FORCE_GENERIC_KERNELS
+    _FORCE_GENERIC_KERNELS = True
+    try:
+        yield
+    finally:
+        _FORCE_GENERIC_KERNELS = previous
 
 
 class ParameterLayout:
@@ -65,7 +105,7 @@ class ParameterLayout:
     def shape(self, name: str) -> tuple[int, ...]:
         return self._shapes[name]
 
-    def pack(self, arrays: dict[str, np.ndarray]) -> np.ndarray:
+    def pack(self, arrays: dict[str, NDArray]) -> NDArray:
         """Flatten named arrays into one vector (in layout order)."""
         flat = np.empty(self._total, dtype=np.float64)
         for name in self._names:
@@ -80,14 +120,68 @@ class ParameterLayout:
             flat[start : start + size] = array.ravel()
         return flat
 
-    def unpack(self, flat: np.ndarray) -> dict[str, np.ndarray]:
+    def pack_into(
+        self, arrays: dict[str, NDArray], out: NDArray
+    ) -> NDArray:
+        """:meth:`pack`, but writing into a caller-supplied flat buffer.
+
+        ``out`` must be a contiguous float64 vector of :attr:`total_size`;
+        it is returned for convenience.  Lets backward passes reuse one
+        scratch vector instead of allocating per call — bit-identical to
+        :meth:`pack` (same writes, same order).
+        """
+        if out.shape != (self._total,) or out.dtype != np.float64:
+            raise ModelError(
+                f"out buffer has shape {out.shape} dtype {out.dtype}, "
+                f"expected ({self._total},) float64"
+            )
+        for name in self._names:
+            expected = self._shapes[name]
+            array = np.asarray(arrays[name], dtype=np.float64)
+            if array.shape != expected:
+                raise ModelError(
+                    f"parameter {name!r} has shape {array.shape}, expected {expected}"
+                )
+            start = self._offsets[name]
+            size = int(np.prod(expected)) if expected else 1
+            out[start : start + size] = array.ravel()
+        return out
+
+    def views_into(self, flat: NDArray) -> dict[str, NDArray]:
+        """:meth:`unpack` without the copies: reshaped *views* into ``flat``.
+
+        ``flat`` must be a C-contiguous float64 vector of
+        :attr:`total_size` (rows of a 2-D parameter stack qualify).  The
+        returned arrays alias it — writing through them writes ``flat`` —
+        which is exactly what zero-copy ``set_parameters`` and
+        direct-write backward passes need.
+        """
+        flat = np.asarray(flat)
+        if flat.shape != (self._total,):
+            raise ModelError(
+                f"flat vector has shape {flat.shape}, expected ({self._total},)"
+            )
+        if flat.dtype != np.float64 or not flat.flags.c_contiguous:
+            raise ModelError(
+                "views_into requires a C-contiguous float64 vector; "
+                "use unpack() for anything else"
+            )
+        arrays: dict[str, NDArray] = {}
+        for name in self._names:
+            shape = self._shapes[name]
+            size = int(np.prod(shape)) if shape else 1
+            start = self._offsets[name]
+            arrays[name] = flat[start : start + size].reshape(shape)
+        return arrays
+
+    def unpack(self, flat: NDArray) -> dict[str, NDArray]:
         """Split a flat vector back into named, shaped arrays (copies)."""
         flat = np.asarray(flat, dtype=np.float64)
         if flat.shape != (self._total,):
             raise ModelError(
                 f"flat vector has shape {flat.shape}, expected ({self._total},)"
             )
-        arrays: dict[str, np.ndarray] = {}
+        arrays: dict[str, NDArray] = {}
         for name in self._names:
             shape = self._shapes[name]
             size = int(np.prod(shape)) if shape else 1
@@ -101,31 +195,48 @@ class Model(ABC):
 
     layout: ParameterLayout
 
+    #: Array backend the stacked kernels route their dominant matmuls
+    #: through.  Class-level default is the shared numpy identity backend
+    #: (bit-identical to pre-seam code); :meth:`use_array_backend`
+    #: installs a per-instance override.
+    array_backend: ArrayBackend = numpy_backend
+
     @property
     def num_parameters(self) -> int:
         """Dimension of the flat parameter vector."""
         return self.layout.total_size
 
+    def use_array_backend(self, backend: str | ArrayBackend) -> "Model":
+        """Select the array backend for this model's stacked kernels.
+
+        Accepts a registry name (``"numpy"``, ``"torch"``, ``"cupy"``, or
+        any :func:`repro._registry.register_array_backend` plugin) or a
+        ready :class:`~repro.learning.backends.ArrayBackend` instance.
+        Returns ``self`` so the call chains after construction.
+        """
+        self.array_backend = get_array_backend(backend)
+        return self
+
     @abstractmethod
-    def parameters(self) -> np.ndarray:
+    def parameters(self) -> NDArray:
         """Return a *copy* of the current parameters as a flat vector."""
 
     @abstractmethod
-    def set_parameters(self, flat: np.ndarray) -> None:
+    def set_parameters(self, flat: NDArray) -> None:
         """Overwrite the model parameters from a flat vector."""
 
     @abstractmethod
     def loss_and_gradient(
-        self, features: np.ndarray, labels: np.ndarray
-    ) -> tuple[float, np.ndarray]:
+        self, features: NDArray, labels: NDArray
+    ) -> tuple[float, NDArray]:
         """Summed loss and its flat gradient over the given samples."""
 
     def multi_loss_and_gradient(
         self,
-        features: np.ndarray,
-        labels: np.ndarray,
-        parameter_stack: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        features: NDArray,
+        labels: NDArray,
+        parameter_stack: NDArray,
+    ) -> tuple[NDArray, NDArray]:
         """Losses and gradients of ``e`` independent (parameters, batch) pairs.
 
         Unlike :meth:`batch_loss_and_gradient` (many sample slices, *one*
@@ -182,9 +293,31 @@ class Model(ABC):
             self.set_parameters(saved)
         return losses, gradients
 
+    def _gradient_out(self, num_slices: int, out: NDArray | None) -> NDArray:
+        """Validate (or allocate) a ``(num_slices, num_parameters)`` gradient
+        matrix for the stacked kernels to write into.
+
+        A caller-supplied ``out`` must be a C-contiguous float64 matrix of
+        exactly that shape — the kernels write each layer's block through
+        reshaped row views, which requires contiguous rows.
+        """
+        if out is None:
+            return np.empty((num_slices, self.num_parameters))
+        if (
+            not isinstance(out, np.ndarray)
+            or out.shape != (num_slices, self.num_parameters)
+            or out.dtype != np.float64
+            or not out.flags.c_contiguous
+        ):
+            raise ModelError(
+                "out must be a C-contiguous float64 array of shape "
+                f"{(num_slices, self.num_parameters)}"
+            )
+        return out
+
     def batch_loss_and_gradient(
-        self, features: np.ndarray, labels: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, features: NDArray, labels: NDArray, out: NDArray | None = None
+    ) -> tuple[NDArray, NDArray]:
         """Losses and gradients of ``j`` equal-sized sample slices at once.
 
         Parameters
@@ -194,6 +327,11 @@ class Model(ABC):
             :meth:`PartitionedDataset.stacked_data`.
         labels:
             Stacked labels of shape ``(j, n)``.
+        out:
+            Optional C-contiguous float64 ``(j, num_parameters)`` matrix
+            the gradients are written into (and returned); lets callers
+            replaying many slices land results straight in their own
+            buffer instead of paying an extra copy per slice.
 
         Returns
         -------
@@ -216,7 +354,7 @@ class Model(ABC):
             )
         num_slices = features.shape[0]
         losses = np.empty(num_slices)
-        gradients = np.empty((num_slices, self.num_parameters))
+        gradients = self._gradient_out(num_slices, out)
         for index in range(num_slices):
             loss, grad = self.loss_and_gradient(features[index], labels[index])
             losses[index] = loss
@@ -224,7 +362,7 @@ class Model(ABC):
         return losses, gradients
 
     @staticmethod
-    def _flatten_batch(features: np.ndarray) -> np.ndarray:
+    def _flatten_batch(features: NDArray) -> NDArray:
         """Reshape stacked ``(j, n, ...)`` features to ``(j, n, d)``."""
         features = np.asarray(features, dtype=np.float64)
         if features.ndim < 2:
@@ -237,21 +375,21 @@ class Model(ABC):
             return features.reshape(features.shape[0], features.shape[1], -1)
         return features
 
-    def loss(self, features: np.ndarray, labels: np.ndarray) -> float:
+    def loss(self, features: NDArray, labels: NDArray) -> float:
         """Summed loss over the given samples."""
         value, _ = self.loss_and_gradient(features, labels)
         return value
 
-    def gradient(self, features: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    def gradient(self, features: NDArray, labels: NDArray) -> NDArray:
         """Flat gradient of the summed loss over the given samples."""
         _, grad = self.loss_and_gradient(features, labels)
         return grad
 
     @abstractmethod
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: NDArray) -> NDArray:
         """Predicted labels (classification) or values (regression)."""
 
-    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+    def accuracy(self, features: NDArray, labels: NDArray) -> float:
         """Fraction of correct predictions (classification models only)."""
         predictions = self.predict(features)
         labels = np.asarray(labels)
@@ -268,7 +406,7 @@ class Model(ABC):
         return copy.deepcopy(self)
 
     @staticmethod
-    def _flatten_features(features: np.ndarray) -> np.ndarray:
+    def _flatten_features(features: NDArray) -> NDArray:
         """Reshape ``(n, ...)`` features to ``(n, d)`` for dense models."""
         features = np.asarray(features, dtype=np.float64)
         if features.ndim == 1:

@@ -12,15 +12,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..losses import cross_entropy_loss, softmax
-from .base import Model, ModelError, ParameterLayout
+from ..backends import NDArray
+from ..losses import cross_entropy_loss, softmax, stacked_cross_entropy_loss
+from .base import Model, ModelError, ParameterLayout, generic_kernels_forced
 
 __all__ = ["SimpleCNN"]
 
 
 def _im2col(
-    images: np.ndarray, kernel: int, stride: int = 1, padding: int = 0
-) -> tuple[np.ndarray, int, int]:
+    images: NDArray, kernel: int, stride: int = 1, padding: int = 0
+) -> tuple[NDArray, int, int]:
     """Rearrange image patches into columns.
 
     Parameters
@@ -62,14 +63,14 @@ def _im2col(
 
 
 def _col2im(
-    column_grads: np.ndarray,
+    column_grads: NDArray,
     image_shape: tuple[int, int, int, int],
     kernel: int,
     out_height: int,
     out_width: int,
     stride: int = 1,
     padding: int = 0,
-) -> np.ndarray:
+) -> NDArray:
     """Inverse of :func:`_im2col` for gradients (scatter-add of patches)."""
     n, height, width, channels = image_shape
     padded = np.zeros(
@@ -154,11 +155,13 @@ class SimpleCNN(Model):
                 ("dense_bias", (self.num_classes,)),
             ]
         )
+        self._grad_scratch: dict[str, NDArray] | None = None
+        self._dactivated_scratch: NDArray | None = None
 
     # ------------------------------------------------------------------
     # parameter access
     # ------------------------------------------------------------------
-    def parameters(self) -> np.ndarray:
+    def parameters(self) -> NDArray:
         return self.layout.pack(
             {
                 "kernels": self._kernels,
@@ -168,8 +171,15 @@ class SimpleCNN(Model):
             }
         )
 
-    def set_parameters(self, flat: np.ndarray) -> None:
-        arrays = self.layout.unpack(flat)
+    def set_parameters(self, flat: NDArray) -> None:
+        # Zero-copy when possible, mirroring MLPClassifier: a C-contiguous
+        # float64 vector is adopted as reshaped views; anything else falls
+        # back to the copying unpack.
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.ndim == 1 and flat.flags.c_contiguous:
+            arrays = self.layout.views_into(flat)
+        else:
+            arrays = self.layout.unpack(flat)
         self._kernels = arrays["kernels"]
         self._kernel_bias = arrays["kernel_bias"]
         self._dense = arrays["dense"]
@@ -178,7 +188,7 @@ class SimpleCNN(Model):
     # ------------------------------------------------------------------
     # forward / backward
     # ------------------------------------------------------------------
-    def _check_images(self, features: np.ndarray) -> np.ndarray:
+    def _check_images(self, features: NDArray) -> NDArray:
         features = np.asarray(features, dtype=np.float64)
         expected = (self.image_size, self.image_size, self.channels)
         if features.ndim == 2 and features.shape[1] == int(np.prod(expected)):
@@ -190,7 +200,7 @@ class SimpleCNN(Model):
             )
         return features
 
-    def _forward(self, features: np.ndarray) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    def _forward(self, features: NDArray) -> tuple[NDArray, dict[str, NDArray]]:
         images = self._check_images(features)
         n = images.shape[0]
         columns, out_h, out_w = _im2col(images, self.kernel_size)
@@ -221,24 +231,53 @@ class SimpleCNN(Model):
         }
         return logits, cache
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: NDArray) -> NDArray:
         logits, _ = self._forward(features)
         return np.argmax(logits, axis=1)
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+    def predict_proba(self, features: NDArray) -> NDArray:
         """Class probabilities of shape ``(n, num_classes)``."""
         logits, _ = self._forward(features)
         return softmax(logits)
 
+    def _gradient_buffers(self) -> dict[str, NDArray]:
+        """Reusable named scratch arrays the backward pass writes into.
+
+        Never returned to callers: :meth:`loss_and_gradient` copies them
+        into a fresh flat vector via :meth:`ParameterLayout.pack_into`, so
+        consecutive calls cannot alias each other's results.
+        """
+        if self._grad_scratch is None:
+            self._grad_scratch = {
+                name: np.empty(self.layout.shape(name), dtype=np.float64)
+                for name in self.layout.names
+            }
+        return self._grad_scratch
+
+    def _dactivated_buffer(self, n: int, out_h: int, out_w: int) -> NDArray:
+        """Reusable zeroed conv-gradient scratch.
+
+        The pooled region ``[:, :2*pool_out, :2*pool_out, :]`` is fully
+        overwritten on every call and the truncated ragged margin is never
+        written by anyone, so the buffer stays valid without re-zeroing.
+        """
+        shape = (n, out_h, out_w, self.num_filters)
+        scratch = self._dactivated_scratch
+        if scratch is None or scratch.shape != shape:
+            scratch = np.zeros(shape, dtype=np.float64)
+            self._dactivated_scratch = scratch
+        return scratch
+
     def loss_and_gradient(
-        self, features: np.ndarray, labels: np.ndarray
-    ) -> tuple[float, np.ndarray]:
+        self, features: NDArray, labels: NDArray
+    ) -> tuple[float, NDArray]:
         logits, cache = self._forward(features)
         loss, dlogits = cross_entropy_loss(logits, labels)
 
+        grads = self._gradient_buffers()
         flat = cache["flat"]
-        grad_dense = flat.T @ dlogits
-        grad_dense_bias = dlogits.sum(axis=0)
+        np.matmul(flat.T, dlogits, out=grads["dense"])
+        dlogits.sum(axis=0, out=grads["dense_bias"])
 
         dflat = dlogits @ self._dense.T
         n = flat.shape[0]
@@ -252,22 +291,209 @@ class SimpleCNN(Model):
         )
         out_h = int(cache["out_h"])
         out_w = int(cache["out_w"])
-        dactivated = np.zeros((n, out_h, out_w, self.num_filters))
+        dactivated = self._dactivated_buffer(n, out_h, out_w)
         dactivated[:, : 2 * pool_h, : 2 * pool_w, :] = dwindows.reshape(
             n, 2 * pool_h, 2 * pool_w, self.num_filters
         )
 
         dconv = dactivated * cache["relu_mask"]
         dconv_cols = dconv.reshape(-1, self.num_filters)
-        grad_kernels = cache["columns"].T @ dconv_cols
-        grad_kernel_bias = dconv_cols.sum(axis=0)
+        np.matmul(cache["columns"].T, dconv_cols, out=grads["kernels"])
+        dconv_cols.sum(axis=0, out=grads["kernel_bias"])
 
-        flat_grad = self.layout.pack(
-            {
-                "kernels": grad_kernels,
-                "kernel_bias": grad_kernel_bias,
-                "dense": grad_dense,
-                "dense_bias": grad_dense_bias,
-            }
+        out = np.empty(self.num_parameters, dtype=np.float64)
+        return loss, self.layout.pack_into(grads, out)
+
+    # ------------------------------------------------------------------
+    # stacked kernels
+    # ------------------------------------------------------------------
+    def _check_images_batch(self, features: NDArray) -> NDArray:
+        """Stacked variant of :meth:`_check_images`: ``(s, n, ...)`` images."""
+        features = np.asarray(features, dtype=np.float64)
+        expected = (self.image_size, self.image_size, self.channels)
+        if features.ndim == 3 and features.shape[2] == int(np.prod(expected)):
+            features = features.reshape(features.shape[0], features.shape[1], *expected)
+        if features.ndim != 5 or features.shape[2:] != expected:
+            raise ModelError(
+                f"expected stacked images of shape (s, n, {expected[0]}, "
+                f"{expected[1]}, {expected[2]}), got {features.shape}"
+            )
+        return features
+
+    def _stacked_kernel(
+        self,
+        images: NDArray,
+        labels: NDArray,
+        kernels: NDArray,
+        kernel_bias: NDArray,
+        dense: NDArray,
+        dense_bias: NDArray,
+    ) -> tuple[NDArray, NDArray]:
+        """Shared stacked CNN kernel: im2col hoisted over the stack axis.
+
+        ``images`` is ``(s, n, H, W, C)`` and ``labels`` ``(s, n)``; the
+        parameter arrays are either shared 1-/2-D (many slices, one
+        parameter vector) or carry a leading ``s`` axis (one parameter
+        vector per slice).  im2col is a pure gather, so running it once
+        over the flattened ``s * n`` image stack reproduces the per-slice
+        columns exactly; the dominant products route through
+        :attr:`array_backend` as per-slice gemms of the scalar path's
+        dimensions and every reduction keeps its axis, so on the numpy
+        backend the results are **bit-identical** to looping
+        ``loss_and_gradient`` (asserted by the pairing property tests).
+        """
+        backend = self.array_backend
+        num_slices, n = images.shape[:2]
+        columns_flat, out_h, out_w = _im2col(
+            images.reshape(num_slices * n, *images.shape[2:]), self.kernel_size
         )
-        return loss, flat_grad
+        columns = columns_flat.reshape(num_slices, n * out_h * out_w, -1)
+        conv = backend.matmul_numpy(columns, kernels) + kernel_bias
+        conv = conv.reshape(num_slices, n, out_h, out_w, self.num_filters)
+        relu_mask = conv > 0.0
+        activated = conv * relu_mask
+
+        pool_h = pool_w = self._pool_out
+        cropped = activated[:, :, : 2 * pool_h, : 2 * pool_w, :]
+        windows = cropped.reshape(
+            num_slices, n, pool_h, 2, pool_w, 2, self.num_filters
+        )
+        pooled = windows.max(axis=(3, 5))
+        pool_mask = windows == pooled[:, :, :, None, :, None, :]
+
+        flat = pooled.reshape(num_slices, n, -1)
+        logits = backend.matmul_numpy(flat, dense) + dense_bias
+        losses, dlogits = stacked_cross_entropy_loss(logits, labels)
+
+        grad_dense = backend.matmul_numpy(np.swapaxes(flat, 1, 2), dlogits)
+        grad_dense_bias = dlogits.sum(axis=1)
+
+        dense_t = dense.T if dense.ndim == 2 else np.swapaxes(dense, 1, 2)
+        dflat = backend.matmul_numpy(dlogits, dense_t)
+        dpooled = dflat.reshape(num_slices, n, pool_h, pool_w, self.num_filters)
+        tie_counts = pool_mask.sum(axis=(3, 5), keepdims=True)
+        dwindows = (
+            pool_mask
+            * dpooled[:, :, :, None, :, None, :]
+            / np.maximum(tie_counts, 1)
+        )
+        dactivated = np.zeros(
+            (num_slices, n, out_h, out_w, self.num_filters), dtype=np.float64
+        )
+        dactivated[:, :, : 2 * pool_h, : 2 * pool_w, :] = dwindows.reshape(
+            num_slices, n, 2 * pool_h, 2 * pool_w, self.num_filters
+        )
+
+        dconv = dactivated * relu_mask
+        dconv_cols = dconv.reshape(num_slices, n * out_h * out_w, self.num_filters)
+        grad_kernels = backend.matmul_numpy(np.swapaxes(columns, 1, 2), dconv_cols)
+        grad_kernel_bias = dconv_cols.sum(axis=1)
+
+        gradients = np.concatenate(
+            [
+                grad_kernels.reshape(num_slices, -1),
+                grad_kernel_bias,
+                grad_dense.reshape(num_slices, -1),
+                grad_dense_bias,
+            ],
+            axis=1,
+        )
+        return losses, gradients
+
+    def loss(self, features: NDArray, labels: NDArray) -> float:
+        """Summed loss via the forward pass only (no gradient work).
+
+        Same forward arithmetic as :meth:`loss_and_gradient`, so the value
+        is bit-identical — it just skips the backward pass.
+        """
+        logits, _ = self._forward(features)
+        value, _ = cross_entropy_loss(logits, labels)
+        return value
+
+    def batch_loss_and_gradient(
+        self, features: NDArray, labels: NDArray, out: NDArray | None = None
+    ) -> tuple[NDArray, NDArray]:
+        """Stacked kernel: all ``j`` slices through one hoisted im2col pass.
+
+        Bit-identical to looping ``loss_and_gradient`` — asserted by the
+        pairing property tests, not mere closeness.
+        """
+        if generic_kernels_forced():
+            return super().batch_loss_and_gradient(features, labels, out)
+        images = self._check_images_batch(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        if labels.shape != images.shape[:2]:
+            raise ModelError(
+                f"stacked labels have shape {labels.shape}, expected "
+                f"{images.shape[:2]}"
+            )
+        losses, gradients = self._stacked_kernel(
+            images,
+            labels,
+            self._kernels,
+            self._kernel_bias,
+            self._dense,
+            self._dense_bias,
+        )
+        if out is not None:
+            checked = self._gradient_out(images.shape[0], out)
+            checked[...] = gradients
+            gradients = checked
+        return losses, gradients
+
+    def multi_loss_and_gradient(
+        self,
+        features: NDArray,
+        labels: NDArray,
+        parameter_stack: NDArray,
+    ) -> tuple[NDArray, NDArray]:
+        """Stacked multi-parameter kernel: ``e`` (parameters, batch) pairs
+        through one hoisted im2col pass and broadcast matrix products.
+
+        The parameter stack is sliced once into ``(e, ...)`` kernel/dense
+        cubes (reshaped views); bit-identical to looping
+        :meth:`loss_and_gradient` over pairs after :meth:`set_parameters`
+        — asserted by the pairing property tests.
+        """
+        if generic_kernels_forced():
+            return super().multi_loss_and_gradient(features, labels, parameter_stack)
+        parameter_stack = np.asarray(parameter_stack, dtype=np.float64)
+        if (
+            parameter_stack.ndim != 2
+            or parameter_stack.shape[1] != self.num_parameters
+        ):
+            raise ModelError(
+                f"parameter_stack has shape {parameter_stack.shape}, expected "
+                f"(e, {self.num_parameters})"
+            )
+        images = self._check_images_batch(features)
+        labels = np.asarray(labels, dtype=np.int64)
+        num_pairs = images.shape[0]
+        if labels.shape != images.shape[:2]:
+            raise ModelError(
+                f"stacked labels have shape {labels.shape}, expected "
+                f"{images.shape[:2]}"
+            )
+        if parameter_stack.shape[0] != num_pairs:
+            raise ModelError(
+                "features/labels must stack one batch per parameter vector"
+            )
+        kernel_shape = self.layout.shape("kernels")
+        dense_shape = self.layout.shape("dense")
+        kernel_size = kernel_shape[0] * kernel_shape[1]
+        dense_size = dense_shape[0] * dense_shape[1]
+        offset = 0
+        kernels = parameter_stack[:, :kernel_size].reshape(num_pairs, *kernel_shape)
+        offset = kernel_size
+        kernel_bias = parameter_stack[
+            :, np.newaxis, offset : offset + self.num_filters
+        ]
+        offset += self.num_filters
+        dense = parameter_stack[:, offset : offset + dense_size].reshape(
+            num_pairs, *dense_shape
+        )
+        offset += dense_size
+        dense_bias = parameter_stack[:, np.newaxis, offset:]
+        return self._stacked_kernel(
+            images, labels, kernels, kernel_bias, dense, dense_bias
+        )

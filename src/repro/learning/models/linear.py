@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backends import NDArray
 from ..losses import mean_squared_error_loss
-from .base import Model, ModelError, ParameterLayout
+from .base import Model, ModelError, ParameterLayout, generic_kernels_forced
 
 __all__ = ["LinearRegressionModel"]
 
@@ -45,17 +46,23 @@ class LinearRegressionModel(Model):
         self._weights = generator.normal(0.0, init_scale, size=self.num_features)
         self._bias = 0.0
 
-    def parameters(self) -> np.ndarray:
+    def parameters(self) -> NDArray:
         return self.layout.pack(
             {"weights": self._weights, "bias": np.asarray(self._bias)}
         )
 
-    def set_parameters(self, flat: np.ndarray) -> None:
-        arrays = self.layout.unpack(flat)
+    def set_parameters(self, flat: NDArray) -> None:
+        # Zero-copy weights when possible (the bias is stored as a Python
+        # float either way, so only the weight slice benefits).
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.ndim == 1 and flat.flags.c_contiguous:
+            arrays = self.layout.views_into(flat)
+        else:
+            arrays = self.layout.unpack(flat)
         self._weights = arrays["weights"]
         self._bias = float(arrays["bias"])
 
-    def _predict_values(self, features: np.ndarray) -> np.ndarray:
+    def _predict_values(self, features: NDArray) -> NDArray:
         features = self._flatten_features(features)
         if features.shape[1] != self.num_features:
             raise ModelError(
@@ -63,12 +70,12 @@ class LinearRegressionModel(Model):
             )
         return features @ self._weights + self._bias
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: NDArray) -> NDArray:
         return self._predict_values(features)
 
     def loss_and_gradient(
-        self, features: np.ndarray, labels: np.ndarray
-    ) -> tuple[float, np.ndarray]:
+        self, features: NDArray, labels: NDArray
+    ) -> tuple[float, NDArray]:
         features = self._flatten_features(features)
         labels = np.asarray(labels, dtype=np.float64).ravel()
         predictions = self._predict_values(features)
@@ -81,9 +88,11 @@ class LinearRegressionModel(Model):
         return loss, flat_grad
 
     def batch_loss_and_gradient(
-        self, features: np.ndarray, labels: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, features: NDArray, labels: NDArray, out: NDArray | None = None
+    ) -> tuple[NDArray, NDArray]:
         """Stacked kernel: all ``j`` slices in one set of matrix products."""
+        if generic_kernels_forced():
+            return super().batch_loss_and_gradient(features, labels, out)
         features = self._flatten_batch(features)
         labels = np.asarray(labels, dtype=np.float64)
         num_slices, num_samples, num_features = features.shape
@@ -101,8 +110,7 @@ class LinearRegressionModel(Model):
         losses = 0.5 * (diff * diff).sum(axis=1)
         grad_weights = np.swapaxes(features, 1, 2) @ diff[:, :, np.newaxis]
         grad_bias = diff.sum(axis=1)
-        gradients = np.concatenate(
-            [grad_weights.reshape(num_slices, -1), grad_bias[:, np.newaxis]],
-            axis=1,
-        )
+        gradients = self._gradient_out(num_slices, out)
+        gradients[:, :-1] = grad_weights.reshape(num_slices, -1)
+        gradients[:, -1] = grad_bias
         return losses, gradients

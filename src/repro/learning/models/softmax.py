@@ -8,45 +8,54 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..losses import cross_entropy_loss, softmax
-from .base import Model, ModelError, ParameterLayout
+from ..backends import ArrayBackend, NDArray, numpy_backend
+from ..losses import cross_entropy_loss, softmax, stacked_cross_entropy_loss
+from .base import Model, ModelError, ParameterLayout, generic_kernels_forced
 
 __all__ = ["SoftmaxClassifier"]
 
 
 def _stacked_softmax_kernel(
-    features: np.ndarray,
-    labels: np.ndarray,
-    weights: np.ndarray,
-    bias: np.ndarray,
-) -> tuple[np.ndarray, np.ndarray]:
+    features: NDArray,
+    labels: NDArray,
+    weights: NDArray,
+    bias: NDArray,
+    backend: ArrayBackend = numpy_backend,
+    out: NDArray | None = None,
+) -> tuple[NDArray, NDArray]:
     """Shared stacked softmax cross-entropy kernel.
 
     ``features`` is ``(j, n, d)`` and ``labels`` ``(j, n)``; ``weights`` is
     either one shared ``(d, c)`` matrix (the many-slices/one-parameter-vector
-    case) or a ``(j, d, c)`` stack (one parameter vector per slice), with
-    ``bias`` broadcast to match.  The reductions run along the same axes as
-    the per-slice ``loss_and_gradient`` path, so the results are
+    case, broadcast over the slice axis) or a ``(j, d, c)`` stack (one
+    parameter vector per slice), with ``bias`` broadcast to match.  The cross-entropy math lives in
+    :func:`repro.learning.losses.stacked_cross_entropy_loss` (shared with
+    the MLP/CNN kernels) and the dominant products route through
+    ``backend``; on the numpy backend the reductions run along the same
+    axes as the per-slice ``loss_and_gradient`` path, so the results are
     **bit-identical** to looping it — both stacked entry points share this
     one kernel precisely so a numerical fix here cannot desynchronise them.
+
+    The weight/bias gradient blocks are written straight into the flat
+    ``(j, num_parameters)`` output (``out`` when given) through strided
+    views, skipping the allocate-then-concatenate pass.
     """
-    num_slices, num_samples, _ = features.shape
-    logits = features @ weights + bias  # (j, n, c)
-    shifted = logits - logits.max(axis=-1, keepdims=True)
-    exp = np.exp(shifted)
-    sums = exp.sum(axis=-1, keepdims=True)
-    log_probs = shifted - np.log(sums)
-    slice_index = np.arange(num_slices)[:, np.newaxis]
-    sample_index = np.arange(num_samples)[np.newaxis, :]
-    picked = log_probs[slice_index, sample_index, labels]  # (j, n)
-    losses = -picked.sum(axis=1)
-    dlogits = exp / sums
-    dlogits[slice_index, sample_index, labels] -= 1.0
-    grad_weights = np.swapaxes(features, 1, 2) @ dlogits  # (j, d, c)
-    grad_bias = dlogits.sum(axis=1)  # (j, c)
-    gradients = np.concatenate(
-        [grad_weights.reshape(num_slices, -1), grad_bias], axis=1
+    num_slices = features.shape[0]
+    logits = backend.matmul_numpy(features, weights) + bias  # (j, n, c)
+    losses, dlogits = stacked_cross_entropy_loss(logits, labels)
+    num_features, num_classes = weights.shape[-2], weights.shape[-1]
+    split = num_features * num_classes
+    gradients = (
+        np.empty((num_slices, split + num_classes)) if out is None else out
     )
+    weight_block = np.lib.stride_tricks.as_strided(
+        gradients,
+        shape=(num_slices, num_features, num_classes),
+        strides=(gradients.strides[0], num_classes * gradients.itemsize,
+                 gradients.itemsize),
+    )
+    backend.matmul_into(np.swapaxes(features, 1, 2), dlogits, weight_block)
+    dlogits.sum(axis=1, out=gradients[:, split:])
     return losses, gradients
 
 
@@ -90,15 +99,22 @@ class SoftmaxClassifier(Model):
         )
         self._bias = np.zeros(self.num_classes)
 
-    def parameters(self) -> np.ndarray:
+    def parameters(self) -> NDArray:
         return self.layout.pack({"weights": self._weights, "bias": self._bias})
 
-    def set_parameters(self, flat: np.ndarray) -> None:
-        arrays = self.layout.unpack(flat)
+    def set_parameters(self, flat: NDArray) -> None:
+        # Zero-copy when possible, mirroring MLPClassifier: a C-contiguous
+        # float64 vector is adopted as reshaped views; anything else falls
+        # back to the copying unpack.
+        flat = np.asarray(flat, dtype=np.float64)
+        if flat.ndim == 1 and flat.flags.c_contiguous:
+            arrays = self.layout.views_into(flat)
+        else:
+            arrays = self.layout.unpack(flat)
         self._weights = arrays["weights"]
         self._bias = arrays["bias"]
 
-    def _logits(self, features: np.ndarray) -> np.ndarray:
+    def _logits(self, features: NDArray) -> NDArray:
         features = self._flatten_features(features)
         if features.shape[1] != self.num_features:
             raise ModelError(
@@ -106,16 +122,16 @@ class SoftmaxClassifier(Model):
             )
         return features @ self._weights + self._bias
 
-    def predict(self, features: np.ndarray) -> np.ndarray:
+    def predict(self, features: NDArray) -> NDArray:
         return np.argmax(self._logits(features), axis=1)
 
-    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+    def predict_proba(self, features: NDArray) -> NDArray:
         """Class probabilities of shape ``(n, num_classes)``."""
         return softmax(self._logits(features))
 
     def loss_and_gradient(
-        self, features: np.ndarray, labels: np.ndarray
-    ) -> tuple[float, np.ndarray]:
+        self, features: NDArray, labels: NDArray
+    ) -> tuple[float, NDArray]:
         features = self._flatten_features(features)
         logits = self._logits(features)
         loss, dlogits = cross_entropy_loss(logits, labels)
@@ -124,15 +140,26 @@ class SoftmaxClassifier(Model):
         flat_grad = self.layout.pack({"weights": grad_weights, "bias": grad_bias})
         return loss, flat_grad
 
+    def loss(self, features: NDArray, labels: NDArray) -> float:
+        """Summed loss via the forward pass only (no gradient work).
+
+        Same forward arithmetic as :meth:`loss_and_gradient`, so the value
+        is bit-identical — it just skips the backward matmul.
+        """
+        value, _ = cross_entropy_loss(self._logits(features), labels)
+        return value
+
     def batch_loss_and_gradient(
-        self, features: np.ndarray, labels: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self, features: NDArray, labels: NDArray, out: NDArray | None = None
+    ) -> tuple[NDArray, NDArray]:
         """Stacked kernel: all ``j`` slices in one set of matrix products.
 
         The reductions run along the same axes as the per-slice path, so the
         results are bit-identical to looping ``loss_and_gradient`` — the
         exactness tests assert this, not mere closeness.
         """
+        if generic_kernels_forced():
+            return super().batch_loss_and_gradient(features, labels, out)
         features = self._flatten_batch(features)
         labels = np.asarray(labels, dtype=np.int64)
         num_slices, num_samples, num_features = features.shape
@@ -145,14 +172,21 @@ class SoftmaxClassifier(Model):
                 f"stacked labels have shape {labels.shape}, expected "
                 f"{(num_slices, num_samples)}"
             )
-        return _stacked_softmax_kernel(features, labels, self._weights, self._bias)
+        return _stacked_softmax_kernel(
+            features,
+            labels,
+            self._weights,
+            self._bias,
+            self.array_backend,
+            out=self._gradient_out(num_slices, out),
+        )
 
     def multi_loss_and_gradient(
         self,
-        features: np.ndarray,
-        labels: np.ndarray,
-        parameter_stack: np.ndarray,
-    ) -> tuple[np.ndarray, np.ndarray]:
+        features: NDArray,
+        labels: NDArray,
+        parameter_stack: NDArray,
+    ) -> tuple[NDArray, NDArray]:
         """Stacked multi-parameter kernel: ``e`` (parameters, batch) pairs in
         one set of broadcast matrix products.
 
@@ -161,6 +195,8 @@ class SoftmaxClassifier(Model):
         bit-identical to looping :meth:`loss_and_gradient` over pairs after
         :meth:`set_parameters` — asserted in the exactness tests.
         """
+        if generic_kernels_forced():
+            return super().multi_loss_and_gradient(features, labels, parameter_stack)
         features = self._flatten_batch(features)
         labels = np.asarray(labels, dtype=np.int64)
         parameter_stack = np.asarray(parameter_stack, dtype=np.float64)
@@ -184,4 +220,6 @@ class SoftmaxClassifier(Model):
             num_pairs, self.num_features, self.num_classes
         )
         bias = parameter_stack[:, np.newaxis, split:]  # (e, 1, c)
-        return _stacked_softmax_kernel(features, labels, weights, bias)
+        return _stacked_softmax_kernel(
+            features, labels, weights, bias, self.array_backend
+        )

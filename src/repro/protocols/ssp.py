@@ -59,19 +59,42 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
 
-from ..learning.models.base import Model
+from ..learning.models.base import Model, generic_kernels_forced
 from ..learning.partition import PartitionedDataset
 from ..simulation.cluster import ClusterSpec
 from ..simulation.trace import IterationRecord, RunTrace
 from ..simulation.vectorized import TimingTraceArrays
 from .base import ProtocolError, TrainingConfig, TrainingProtocol, evaluate_mean_loss
 
-__all__ = ["SSPProtocol", "AsyncProtocol"]
+__all__ = ["SSPProtocol", "AsyncProtocol", "replay_clock"]
+
+
+class _ReplayClock:
+    """Wall-clock accumulator for the gradient-replay stage.
+
+    :meth:`SSPProtocol._run_batched` adds the time spent inside
+    :meth:`SSPProtocol._block_gradients` (whichever implementation is
+    active — the version-grouped stacked path or the per-pair reference)
+    so benchmarks can compare the two kernels head-to-head on real
+    schedules, separate from the engine costs both share (the sequential
+    optimiser walk, batch resolution, loss evaluation).  Reset ``seconds``
+    to zero before a measured region and read it afterwards.
+    """
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+#: Process-wide replay-stage clock (see :class:`_ReplayClock`).
+replay_clock = _ReplayClock()
 
 
 @dataclass(frozen=True)
@@ -744,6 +767,16 @@ class SSPProtocol(TrainingProtocol):
     #: blocks whose batches exceed it are evaluated in chunks.
     _STACK_BYTES_LIMIT = 32 << 20
 
+    #: Parameter-vector size (bytes) above which the version-grouped replay
+    #: beats the per-pair parameter cubes.  The cube path pays one full
+    #: parameter-vector copy per update but evaluates a whole block in a
+    #: handful of broadcast kernel calls; the grouped path copies nothing
+    #: but dispatches one kernel call per (version, shape) group, and at
+    #: fig4 scale most groups hold only a few updates.  Small models
+    #: (softmax/CNN, ~0.2 MiB of parameters) are dominated by the dispatch
+    #: overhead, CIFAR-scale MLPs (1.5 MiB+) by the copies.
+    _GROUPED_PARAM_BYTES_MIN = 1 << 20
+
     def _block_gradients(
         self,
         model: Model,
@@ -754,37 +787,147 @@ class SSPProtocol(TrainingProtocol):
         version_list: list[int],
         start: int,
         stop: int,
-    ) -> np.ndarray:
-        """Summed shard gradients of updates ``[start, stop)``.
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Shard gradients of updates ``[start, stop)``, in group order.
 
-        Groups the block's updates by batch shape (mixed shapes only occur
-        when shards divide unevenly) and evaluates each group through one
-        :meth:`~repro.learning.models.base.Model.multi_loss_and_gradient`
-        call — bit-identical to per-update ``loss_and_gradient`` at each
-        update's own snapshot.  Snapshots are reference-counted and freed
-        once their last reader has been gathered.
+        Dispatches between two bit-identical replay strategies on the
+        model's parameter-vector size (see :data:`_GROUPED_PARAM_BYTES_MIN`):
+        small models take the per-pair parameter-cube path
+        (:meth:`_block_gradients_cubes`, a handful of broadcast
+        ``multi_loss_and_gradient`` calls per block), large models the
+        **version-grouped** path below.  ``force_generic_kernels`` also
+        routes through the cube path, where it degrades to the per-pair
+        ``set_parameters``/``loss_and_gradient`` loop — the benchmark and
+        property-test baseline.
+
+        The grouped path buckets the block's updates by ``(snapshot
+        version, batch shape)`` (mixed shapes only occur when shards divide
+        unevenly) and evaluates each group through one shared-parameter
+        :meth:`~repro.learning.models.base.Model.batch_loss_and_gradient`
+        call at that version's snapshot — bit-identical to per-update
+        ``loss_and_gradient`` at each update's own snapshot.  Grouping by
+        version means the parameter vector is adopted zero-copy via
+        ``set_parameters`` instead of stacked into a per-pair
+        ``(e, num_parameters)`` cube: the cube path copies the full
+        parameter vector once per update (hundreds of MB per run at
+        CIFAR-MLP scale), which dominated the replay.  Snapshots are
+        reference-counted and freed once their last reader has been
+        gathered (the model may keep the last-adopted one alive through
+        its views; callers re-``set_parameters`` before every other use).
+
+        Returns ``(gradients, rows)``: each group's kernel writes its
+        results directly into consecutive rows of ``gradients`` (no
+        per-update copy back into schedule order), and ``rows[i - start]``
+        is the row holding update ``i``'s gradient.
+
+        Every builtin model vectorizes the batch kernel (softmax since
+        PR 5; MLP/CNN via their stacked kernels), so each group is one
+        matmul pass — and it runs on whatever :attr:`Model.array_backend`
+        the model carries.  Third-party models without an override fall
+        back to the generic per-slice loop at the group's snapshot.
         """
-        gradients = np.empty((stop - start, model.num_parameters))
-        groups: dict[tuple[int, ...], list[int]] = {}
+        if generic_kernels_forced() or (
+            model.num_parameters * 8 < self._GROUPED_PARAM_BYTES_MIN
+        ):
+            return self._block_gradients_cubes(
+                model,
+                event_features,
+                event_labels,
+                snapshots,
+                version_readers,
+                version_list,
+                start,
+                stop,
+            )
+        count = stop - start
+        gradients = np.empty((count, model.num_parameters))
+        rows = np.empty(count, dtype=np.intp)
+        groups: dict[tuple[int, tuple[int, ...]], list[int]] = {}
         for index in range(start, stop):
-            groups.setdefault(event_features[index].shape, []).append(index)
-        for members in groups.values():
+            key = (version_list[index], event_features[index].shape)
+            groups.setdefault(key, []).append(index)
+        position = 0
+        for (version, _), members in groups.items():
+            model.set_parameters(snapshots[version])
             bytes_per_event = max(int(event_features[members[0]].nbytes), 1)
             chunk = max(1, self._STACK_BYTES_LIMIT // bytes_per_event)
-            for position in range(0, len(members), chunk):
-                part = members[position : position + chunk]
-                _, grads = model.multi_loss_and_gradient(
+            for begin in range(0, len(members), chunk):
+                part = members[begin : begin + chunk]
+                block = gradients[position : position + len(part)]
+                model.batch_loss_and_gradient(
                     np.stack([event_features[i] for i in part]),
                     np.stack([event_labels[i] for i in part]),
-                    np.stack([snapshots[version_list[i]] for i in part]),
+                    out=block,
                 )
-                gradients[[i - start for i in part]] = grads
-        for index in range(start, stop):
-            version = version_list[index]
-            version_readers[version] -= 1
+                rows[[i - start for i in part]] = np.arange(
+                    position, position + len(part)
+                )
+                position += len(part)
+        block_versions = np.asarray(version_list[start:stop], dtype=np.intp)
+        np.subtract.at(version_readers, block_versions, 1)
+        for version in sorted(set(version_list[start:stop])):
             if not version_readers[version]:
                 del snapshots[version]
-        return gradients
+        return gradients, rows
+
+    def _block_gradients_cubes(
+        self,
+        model: Model,
+        event_features: list[np.ndarray],
+        event_labels: list[np.ndarray],
+        snapshots: dict[int, np.ndarray],
+        version_readers: np.ndarray,
+        version_list: list[int],
+        start: int,
+        stop: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-pair ``(parameters, batch)`` cube replay.
+
+        Stacks each update's snapshot into an ``(e, num_parameters)``
+        parameter cube (one full parameter-vector copy per update) and
+        hands whole blocks to
+        :meth:`~repro.learning.models.base.Model.multi_loss_and_gradient`.
+        This was the only replay before the version-grouped restructure
+        above and remains the *live* fast path for small-parameter models
+        (the copies are cheap and a block collapses into a few broadcast
+        kernel calls); with :func:`force_generic_kernels` active the multi
+        kernel degrades to the generic per-pair ``set_parameters`` /
+        ``loss_and_gradient`` loop, which pins the *whole* replay to the
+        per-pair reference semantics — the benchmark and property-test
+        baseline.  The bench bit-identity gate asserts its results match
+        :meth:`_block_gradients` exactly.
+        """
+        count = stop - start
+        gradients = np.empty((count, model.num_parameters))
+        parameter_bytes = model.num_parameters * gradients.itemsize
+        position = 0
+        while position < count:
+            shape = event_features[start + position].shape
+            end = position + 1
+            while end < count and event_features[start + end].shape == shape:
+                end += 1
+            bytes_per_event = (
+                max(int(event_features[start + position].nbytes), 1)
+                + parameter_bytes
+            )
+            chunk = max(1, self._STACK_BYTES_LIMIT // bytes_per_event)
+            for begin in range(position, end, chunk):
+                part = list(range(begin, min(begin + chunk, end)))
+                _, grads = model.multi_loss_and_gradient(
+                    np.stack([event_features[start + i] for i in part]),
+                    np.stack([event_labels[start + i] for i in part]),
+                    np.stack(
+                        [snapshots[version_list[start + i]] for i in part]
+                    ),
+                )
+                gradients[begin : begin + len(part)] = grads
+            position = end
+        block_versions = np.asarray(version_list[start:stop], dtype=np.intp)
+        np.subtract.at(version_readers, block_versions, 1)
+        for version in sorted(set(version_list[start:stop])):
+            if not version_readers[version]:
+                del snapshots[version]
+        return gradients, np.arange(count, dtype=np.intp)
 
     def _run_batched(
         self,
@@ -860,13 +1003,16 @@ class SSPProtocol(TrainingProtocol):
         while block_start < num_events:
             # Greedy gradient block: updates [block_start, block_end) whose
             # snapshots are all already decided (versions <= block_start), so
-            # their gradients evaluate in one stacked multi-parameter kernel
-            # call.  SSP's snapshot lag is ~m updates, so blocks are ~one
-            # round long — the sequential part below is optimiser-only.
+            # their gradients evaluate in a few version-grouped stacked
+            # kernel calls.  SSP's snapshot lag is ~m updates, so blocks are
+            # ~one round long — the sequential part below is optimiser-only.
             block_end = block_start
             while block_end < num_events and version_list[block_end] <= block_start:
                 block_end += 1
-            gradients = self._block_gradients(
+            # The replay clock is bench instrumentation: it never reaches
+            # results, traces or fingerprints.
+            replay_start = time.perf_counter()  # repro-lint: disable=RNG002
+            gradients, gradient_rows = self._block_gradients(
                 model,
                 event_features,
                 event_labels,
@@ -876,8 +1022,10 @@ class SSPProtocol(TrainingProtocol):
                 block_start,
                 block_end,
             )
+            replay_end = time.perf_counter()  # repro-lint: disable=RNG002
+            replay_clock.seconds += replay_end - replay_start
             for index in range(block_start, block_end):
-                mean_grad = gradients[index - block_start]
+                mean_grad = gradients[gradient_rows[index - block_start]]
                 mean_grad /= max(event_labels[index].shape[0], 1)
                 if adaptive:
                     # DynSSP-style damping, from the schedule's rank

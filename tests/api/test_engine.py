@@ -47,6 +47,28 @@ class TestValidation:
         with pytest.raises(SpecError, match="expects a RunSpec"):
             Engine().run({"scheme": "naive"})
 
+    def test_unknown_array_backend_in_training_mode(self):
+        with pytest.raises(EngineError, match="unknown array backend"):
+            Engine().run(
+                RunSpec(mode="training", scheme="naive", array_backend="bogus")
+            )
+
+    def test_explicit_numpy_array_backend_is_bit_identical(self):
+        base = RunSpec(
+            mode="training",
+            scheme="ssp",
+            workload="cifar10_mlp",
+            num_iterations=3,
+            total_samples=256,
+            seed=0,
+        )
+        default = Engine().run(base)
+        explicit = Engine().run(base.replace(array_backend="numpy"))
+        assert default.metrics["final_loss"] == explicit.metrics["final_loss"]
+        np.testing.assert_array_equal(
+            default.trace.durations, explicit.trace.durations
+        )
+
     def test_ssp_is_a_protocol_not_a_scheme(self):
         with pytest.raises(EngineError, match="unknown scheme"):
             Engine().run(RunSpec(scheme="ssp", mode="timing"))

@@ -1,0 +1,135 @@
+"""Unit tests for the pluggable array-backend seam."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro._registry import ARRAY_BACKENDS
+from repro.learning.backends import (
+    ArrayBackend,
+    BackendUnavailableError,
+    NumpyBackend,
+    get_array_backend,
+    numpy_backend,
+    register_array_backend,
+)
+from repro.learning.datasets import make_blobs
+from repro.learning.models import MLPClassifier, SoftmaxClassifier
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in ("numpy", "torch", "cupy"):
+            assert name in ARRAY_BACKENDS
+
+    def test_get_array_backend_resolves_numpy_singleton(self):
+        assert get_array_backend("numpy") is numpy_backend
+
+    def test_get_array_backend_passes_instances_through(self):
+        backend = NumpyBackend()
+        assert get_array_backend(backend) is backend
+
+    def test_get_array_backend_caches_instances(self):
+        @register_array_backend("_test_counting")
+        class CountingBackend(NumpyBackend):
+            name = "_test_counting"
+            constructions = 0
+
+            def __init__(self) -> None:
+                type(self).constructions += 1
+
+        try:
+            first = get_array_backend("_test_counting")
+            second = get_array_backend("_test_counting")
+            assert first is second
+            assert CountingBackend.constructions == 1
+        finally:
+            ARRAY_BACKENDS.unregister("_test_counting")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KeyError):
+            get_array_backend("no-such-backend")
+
+    def test_unavailable_library_raises_with_hint(self):
+        for name, module in (("torch", "torch"), ("cupy", "cupy")):
+            try:
+                __import__(module)
+            except ImportError:
+                with pytest.raises(BackendUnavailableError, match="pip install"):
+                    get_array_backend(name)
+
+
+class TestNumpyBackendIdentity:
+    """The numpy backend must be the *identity*: bit-identical, no copies."""
+
+    def test_matmul_numpy_is_plain_matmul(self, rng):
+        a = rng.normal(size=(3, 5, 4))
+        b = rng.normal(size=(3, 4, 6))
+        assert np.array_equal(numpy_backend.matmul_numpy(a, b), np.matmul(a, b))
+
+    def test_asarray_and_to_numpy_are_noops_on_float64(self, rng):
+        array = rng.normal(size=(4, 4))
+        assert numpy_backend.asarray(array) is array
+        assert numpy_backend.to_numpy(array) is array
+
+    def test_einsum_matches_numpy(self, rng):
+        a = rng.normal(size=(2, 3, 4))
+        b = rng.normal(size=(2, 4, 5))
+        assert np.array_equal(
+            numpy_backend.einsum("sij,sjk->sik", a, b),
+            np.einsum("sij,sjk->sik", a, b),
+        )
+
+
+class TestModelIntegration:
+    def test_models_default_to_numpy_backend(self):
+        model = SoftmaxClassifier(4, 3, rng=0)
+        assert model.array_backend is numpy_backend
+
+    def test_use_array_backend_returns_self(self):
+        model = SoftmaxClassifier(4, 3, rng=0)
+        assert model.use_array_backend("numpy") is model
+        assert model.array_backend is numpy_backend
+
+    def test_explicit_numpy_backend_is_bit_identical(self):
+        dataset = make_blobs(num_samples=64, num_features=6, num_classes=3, rng=1)
+        features = dataset.features.reshape(2, 32, -1)
+        labels = dataset.labels.reshape(2, 32)
+        reference = MLPClassifier(6, 3, hidden_sizes=(5,), rng=2)
+        routed = MLPClassifier(6, 3, hidden_sizes=(5,), rng=2).use_array_backend(
+            NumpyBackend()
+        )
+        expected = reference.batch_loss_and_gradient(features, labels)
+        actual = routed.batch_loss_and_gradient(features, labels)
+        assert np.array_equal(actual[0], expected[0])
+        assert np.array_equal(actual[1], expected[1])
+
+
+@pytest.mark.parametrize("library", ["torch", "cupy"])
+def test_optional_backend_equality(library, rng):
+    """Optional-library backends agree with numpy to float64 tolerance.
+
+    Skips cleanly when the wheel is not installed (the advisory CI job
+    installs torch and runs this for real).
+    """
+    pytest.importorskip(library)
+    backend = get_array_backend(library)
+    assert isinstance(backend, ArrayBackend)
+    a = rng.normal(size=(3, 8, 5))
+    b = rng.normal(size=(3, 5, 7))
+    product = backend.matmul_numpy(a, b)
+    assert product.dtype == np.float64
+    np.testing.assert_allclose(product, np.matmul(a, b), rtol=1e-10, atol=1e-12)
+
+    dataset = make_blobs(num_samples=64, num_features=6, num_classes=3, rng=3)
+    features = dataset.features.reshape(2, 32, -1)
+    labels = dataset.labels.reshape(2, 32)
+    reference = MLPClassifier(6, 3, hidden_sizes=(5,), rng=4)
+    routed = MLPClassifier(6, 3, hidden_sizes=(5,), rng=4).use_array_backend(library)
+    expected_losses, expected_gradients = reference.batch_loss_and_gradient(
+        features, labels
+    )
+    losses, gradients = routed.batch_loss_and_gradient(features, labels)
+    np.testing.assert_allclose(losses, expected_losses, rtol=1e-9)
+    np.testing.assert_allclose(gradients, expected_gradients, rtol=1e-8, atol=1e-10)

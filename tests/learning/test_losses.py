@@ -11,6 +11,7 @@ from repro.learning.losses import (
     mean_squared_error_loss,
     one_hot,
     softmax,
+    stacked_cross_entropy_loss,
 )
 
 
@@ -103,6 +104,41 @@ class TestCrossEntropy:
             cross_entropy_loss(np.zeros(3), np.zeros(3, dtype=int))
         with pytest.raises(ValueError):
             cross_entropy_loss(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestStackedCrossEntropy:
+    """KER001 pairing: the stacked kernel vs its scalar counterpart."""
+
+    def test_stacked_cross_entropy_loss_matches_cross_entropy_loss(self, rng):
+        logits = rng.normal(size=(6, 9, 4))
+        labels = rng.integers(0, 4, size=(6, 9))
+        losses, dlogits = stacked_cross_entropy_loss(logits, labels)
+        assert losses.shape == (6,)
+        assert dlogits.shape == logits.shape
+        for i in range(6):
+            loss_i, grad_i = cross_entropy_loss(logits[i], labels[i])
+            # Bit-identity, not closeness: the stacked kernel replicates
+            # the scalar operation sequence exactly.
+            assert losses[i] == loss_i
+            assert np.array_equal(dlogits[i], grad_i)
+
+    def test_extreme_logits_match_exactly(self):
+        logits = np.array(
+            [[[1000.0, 0.0, -1000.0], [5.0, 5.0, 5.0]]], dtype=np.float64
+        )
+        labels = np.array([[0, 2]])
+        losses, dlogits = stacked_cross_entropy_loss(logits, labels)
+        loss0, grad0 = cross_entropy_loss(logits[0], labels[0])
+        assert losses[0] == loss0
+        assert np.array_equal(dlogits[0], grad0)
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            stacked_cross_entropy_loss(np.zeros((3, 2)), np.zeros((3, 2), dtype=int))
+        with pytest.raises(ValueError):
+            stacked_cross_entropy_loss(
+                np.zeros((3, 2, 4)), np.zeros((3, 3), dtype=int)
+            )
 
 
 class TestMeanSquaredError:

@@ -67,6 +67,56 @@ class TestParameterLayout:
         with pytest.raises(ModelError):
             layout.unpack(np.zeros(3))
 
+    def test_pack_into_is_bit_identical_to_pack(self, rng):
+        layout = ParameterLayout([("a", (2, 3)), ("b", (4,)), ("c", ())])
+        arrays = {
+            "a": rng.normal(size=(2, 3)),
+            "b": rng.normal(size=4),
+            "c": np.asarray(1.5),
+        }
+        out = np.empty(layout.total_size, dtype=np.float64)
+        returned = layout.pack_into(arrays, out)
+        assert returned is out
+        assert np.array_equal(out, layout.pack(arrays))
+        # Reuse of the same scratch buffer stays exact.
+        arrays["a"] = rng.normal(size=(2, 3))
+        layout.pack_into(arrays, out)
+        assert np.array_equal(out, layout.pack(arrays))
+
+    def test_pack_into_rejects_bad_buffer(self, rng):
+        layout = ParameterLayout([("a", (2,))])
+        with pytest.raises(ModelError):
+            layout.pack_into({"a": np.zeros(2)}, np.empty(3, dtype=np.float64))
+        with pytest.raises(ModelError):
+            layout.pack_into({"a": np.zeros(2)}, np.empty(2, dtype=np.float32))
+        with pytest.raises(ModelError):
+            layout.pack_into({"a": np.zeros(3)}, np.empty(2, dtype=np.float64))
+
+    def test_views_into_aliases_the_flat_vector(self, rng):
+        layout = ParameterLayout([("a", (2, 3)), ("b", (4,)), ("c", ())])
+        flat = rng.normal(size=layout.total_size)
+        views = layout.views_into(flat)
+        for name, view in views.items():
+            assert np.array_equal(view, layout.unpack(flat)[name])
+            assert view.base is flat or view.base is not None
+        views["b"][0] = 99.0
+        assert flat[6] == 99.0  # writes through the view reach the vector
+
+    def test_views_into_rejects_non_contiguous_and_wrong_dtype(self):
+        layout = ParameterLayout([("a", (2,)), ("b", (2,))])
+        with pytest.raises(ModelError):
+            layout.views_into(np.zeros(8, dtype=np.float64)[::2])
+        with pytest.raises(ModelError):
+            layout.views_into(np.zeros(4, dtype=np.float32))
+        with pytest.raises(ModelError):
+            layout.views_into(np.zeros(5, dtype=np.float64))
+
+    def test_views_into_accepts_parameter_stack_rows(self, rng):
+        layout = ParameterLayout([("a", (3,)), ("b", ())])
+        stack = rng.normal(size=(2, layout.total_size))
+        views = layout.views_into(stack[1])
+        assert np.array_equal(views["a"], stack[1, :3])
+
 
 class TestSoftmaxClassifier:
     def test_gradient_check(self):

@@ -1,9 +1,12 @@
 """``multi_loss_and_gradient`` paired against looped ``loss_and_gradient``.
 
 KER001 pairing tests for the stacked-evaluation kernel: both the generic
-fallback (set-parameters-and-loop) and the vectorized
-``SoftmaxClassifier`` override must be bit-identical to evaluating
-``loss_and_gradient`` once per (chunk, parameter vector) pair.
+fallback (set-parameters-and-loop) and the vectorized overrides
+(``SoftmaxClassifier``, ``MLPClassifier``, ``SimpleCNN``) must be
+bit-identical to evaluating ``loss_and_gradient`` once per (chunk,
+parameter vector) pair.  ``force_generic_kernels`` pins the stacked
+overrides against the base-class loop as well, so both directions of the
+pairing contract are exercised.
 """
 
 from __future__ import annotations
@@ -11,11 +14,17 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.learning.datasets import make_blobs, make_linear_regression
+from repro.learning.datasets import (
+    make_blobs,
+    make_image_classification,
+    make_linear_regression,
+)
 from repro.learning.models import (
     LinearRegressionModel,
     MLPClassifier,
+    SimpleCNN,
     SoftmaxClassifier,
+    force_generic_kernels,
 )
 
 
@@ -59,7 +68,7 @@ def _parameter_stack(model, evaluations, seed):
             lambda d: MLPClassifier(
                 d.num_features, d.num_classes, hidden_sizes=(8,), rng=1
             ),
-            id="mlp-generic-fallback",
+            id="mlp-stacked-override",
         ),
     ],
 )
@@ -111,6 +120,125 @@ def test_multi_restores_live_parameters():
     features, labels = _chunked_inputs(dataset, 2, 32)
     stack = _parameter_stack(model, 2, seed=13)
     model.multi_loss_and_gradient(features, labels, stack)
+    assert np.array_equal(model.parameters(), before)
+
+
+@pytest.mark.parametrize("activation", ["relu", "tanh"])
+@pytest.mark.parametrize(
+    "hidden_sizes", [(), (8,), (9, 5)], ids=["hidden0", "hidden1", "hidden2"]
+)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_mlp_stacked_kernels_match_looped_scalar(activation, hidden_sizes, seed):
+    """Stacked MLP multi/batch kernels vs per-pair ``loss_and_gradient``."""
+    evaluations, chunk = 3, 24
+    dataset = make_blobs(
+        num_samples=evaluations * chunk, num_features=10, num_classes=4, rng=seed
+    )
+    model = MLPClassifier(
+        dataset.num_features,
+        dataset.num_classes,
+        hidden_sizes=hidden_sizes,
+        activation=activation,
+        rng=seed + 1,
+    )
+    features, labels = _chunked_inputs(dataset, evaluations, chunk)
+    stack = _parameter_stack(model, evaluations, seed=seed + 17)
+
+    expected_losses, expected_gradients = _looped_reference(
+        model, features, labels, stack
+    )
+    losses, gradients = model.multi_loss_and_gradient(features, labels, stack)
+    assert np.array_equal(losses, expected_losses)
+    assert np.array_equal(gradients, expected_gradients)
+
+    # The stacked override and the forced base-class loop agree bitwise.
+    with force_generic_kernels():
+        generic_losses, generic_gradients = model.multi_loss_and_gradient(
+            features, labels, stack
+        )
+    assert np.array_equal(losses, generic_losses)
+    assert np.array_equal(gradients, generic_gradients)
+
+    # Same contract for the shared-parameter batch kernel.
+    batch_losses, batch_gradients = model.batch_loss_and_gradient(features, labels)
+    for i in range(evaluations):
+        loss_i, gradient_i = model.loss_and_gradient(features[i], labels[i])
+        assert batch_losses[i] == loss_i
+        assert np.array_equal(batch_gradients[i], gradient_i)
+
+
+@pytest.mark.parametrize("flatten", [False, True], ids=["images-5d", "flat-3d"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_cnn_stacked_kernels_match_looped_scalar(flatten, seed):
+    """Stacked SimpleCNN multi/batch kernels vs per-pair scalar calls."""
+    evaluations, chunk = 3, 8
+    dataset = make_image_classification(
+        num_samples=evaluations * chunk,
+        image_size=8,
+        channels=2,
+        num_classes=3,
+        rng=seed,
+    )
+    model = SimpleCNN(
+        image_size=8, channels=2, num_classes=3, num_filters=3, rng=seed + 1
+    )
+    features, labels = _chunked_inputs(dataset, evaluations, chunk)
+    if flatten:
+        features = features.reshape(evaluations, chunk, -1)
+    stack = _parameter_stack(model, evaluations, seed=seed + 23)
+
+    expected_losses, expected_gradients = _looped_reference(
+        model, features, labels, stack
+    )
+    losses, gradients = model.multi_loss_and_gradient(features, labels, stack)
+    assert np.array_equal(losses, expected_losses)
+    assert np.array_equal(gradients, expected_gradients)
+
+    with force_generic_kernels():
+        generic_losses, generic_gradients = model.multi_loss_and_gradient(
+            features, labels, stack
+        )
+    assert np.array_equal(losses, generic_losses)
+    assert np.array_equal(gradients, generic_gradients)
+
+    batch_losses, batch_gradients = model.batch_loss_and_gradient(features, labels)
+    for i in range(evaluations):
+        loss_i, gradient_i = model.loss_and_gradient(features[i], labels[i])
+        assert batch_losses[i] == loss_i
+        assert np.array_equal(batch_gradients[i], gradient_i)
+
+
+@pytest.mark.parametrize(
+    "make_model",
+    [
+        pytest.param(
+            lambda d: MLPClassifier(
+                d.num_features, d.num_classes, hidden_sizes=(6,), rng=1
+            ),
+            id="mlp",
+        ),
+        pytest.param(
+            lambda d: SoftmaxClassifier(d.num_features, d.num_classes, rng=1),
+            id="softmax",
+        ),
+    ],
+)
+def test_multi_restores_live_parameters_on_exception(make_model):
+    """A mid-loop failure must still restore the model's own parameters."""
+    dataset = make_blobs(num_samples=64, num_features=6, num_classes=3, rng=4)
+    model = make_model(dataset)
+    before = model.parameters().copy()
+    features, labels = _chunked_inputs(dataset, 2, 32)
+    stack = _parameter_stack(model, 2, seed=19)
+    bad_labels = labels.copy()
+    bad_labels[1, 0] = dataset.num_classes  # out of range: pair 1 raises
+    with force_generic_kernels():
+        with pytest.raises(Exception):
+            model.multi_loss_and_gradient(features, bad_labels, stack)
+    assert np.array_equal(model.parameters(), before)
+    # The stacked overrides never touch live parameters either way.
+    with pytest.raises(Exception):
+        model.multi_loss_and_gradient(features, bad_labels, stack)
     assert np.array_equal(model.parameters(), before)
 
 

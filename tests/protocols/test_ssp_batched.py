@@ -22,7 +22,7 @@ import pytest
 
 from repro.api import Engine, RunSpec, StragglerSpec
 from repro.learning.datasets import make_blobs
-from repro.learning.models import SoftmaxClassifier
+from repro.learning.models import MLPClassifier, SoftmaxClassifier
 from repro.learning.optimizers import SGD
 from repro.learning.partition import partition_dataset
 from repro.protocols.base import TrainingConfig
@@ -385,3 +385,49 @@ class TestStochasticNetworkStream:
             SSPProtocol(staleness=3).run(
                 model, partitioned, cluster, self.network_config(None)
             )
+
+
+class TestReplayDispatchEquivalence:
+    """The two replay arms — version-grouped shared-parameter kernels vs
+    per-pair parameter cubes — are bit-identical; the
+    ``_GROUPED_PARAM_BYTES_MIN`` cutoff only picks the faster one."""
+
+    def run_with_cutoff(self, monkeypatch, model_factory, cutoff):
+        from repro.learning.datasets import make_blobs as _make_blobs
+
+        monkeypatch.setattr(SSPProtocol, "_GROUPED_PARAM_BYTES_MIN", cutoff)
+        data = _make_blobs(num_samples=96, num_features=6, num_classes=3, rng=1)
+        cluster = deterministic_cluster()
+        partitioned = partition_dataset(data, cluster.num_workers, rng=0)
+        model = model_factory(data)
+        trace = SSPProtocol(staleness=2).run(
+            model,
+            partitioned,
+            cluster,
+            make_config(RngStreams.from_seed(0), iters=8),
+        )
+        return trace, model
+
+    @pytest.mark.parametrize(
+        "model_factory",
+        [
+            pytest.param(
+                lambda d: SoftmaxClassifier(d.num_features, d.num_classes, rng=0),
+                id="softmax",
+            ),
+            pytest.param(
+                lambda d: MLPClassifier(
+                    d.num_features, d.num_classes, hidden_sizes=(16, 8), rng=0
+                ),
+                id="mlp",
+            ),
+        ],
+    )
+    def test_grouped_and_cube_replay_agree(self, monkeypatch, model_factory):
+        grouped_trace, grouped_model = self.run_with_cutoff(
+            monkeypatch, model_factory, 0
+        )
+        cube_trace, cube_model = self.run_with_cutoff(
+            monkeypatch, model_factory, 1 << 60
+        )
+        assert_exactly_equal(grouped_trace, cube_trace, grouped_model, cube_model)
