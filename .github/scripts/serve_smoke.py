@@ -1,0 +1,100 @@
+"""CI smoke for the sweep server: a resubmitted sweep must be pure hits.
+
+Boots ``python -m repro serve`` as a subprocess against a scratch store,
+submits the same 10-seed sweep twice through the programmatic client, and
+fails unless the second submission is answered entirely from the store
+(100% hits, zero misses) with results JSON-identical to the first.  This
+is the end-to-end resumability contract: the server may never recompute a
+run it has already stored, and the store round-trip may never perturb a
+result.
+
+Run from the repo root with ``PYTHONPATH=src`` (the CI workflow does).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import tempfile
+
+from repro.api import RunSpec
+from repro.api.client import ServiceClient
+
+SWEEP_SEEDS = list(range(10))
+
+
+def _start_server(store: str) -> tuple[subprocess.Popen, str]:
+    """Boot ``repro serve`` on an ephemeral port; return (process, url)."""
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", "--store", store],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": "src"},
+    )
+    assert proc.stdout is not None
+    # The banner is printed (and flushed) once the socket is bound:
+    #   repro serve: listening on http://127.0.0.1:<port> (store: <dir>)
+    banner = proc.stdout.readline().strip()
+    try:
+        url = banner.split("listening on ", 1)[1].split(" ", 1)[0]
+    except IndexError:
+        proc.terminate()
+        raise SystemExit(f"unexpected server banner: {banner!r}")
+    return proc, url
+
+
+def main() -> int:
+    spec = RunSpec(
+        scheme="heter_aware", num_iterations=5, total_samples=512, seed=0
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as store:
+        proc, url = _start_server(store)
+        try:
+            client = ServiceClient(url)
+            health = client.health()
+            if health.get("status") != "ok":
+                raise SystemExit(f"health check failed: {health}")
+
+            first = client.sweep(spec, seed=SWEEP_SEEDS)
+            if first.misses != len(SWEEP_SEEDS) or first.hits:
+                raise SystemExit(
+                    "first sweep against an empty store should miss every "
+                    f"spec: hits={first.hits} misses={first.misses}"
+                )
+
+            second = client.sweep(spec, seed=SWEEP_SEEDS)
+            if second.hits != len(SWEEP_SEEDS) or second.misses:
+                raise SystemExit(
+                    "resubmitted sweep must be answered entirely from the "
+                    f"store: hits={second.hits} misses={second.misses}"
+                )
+
+            first_json = [r.to_json() for r in first.results]
+            second_json = [r.to_json() for r in second.results]
+            if first_json != second_json:
+                raise SystemExit(
+                    "cached sweep results diverged from the computed sweep"
+                )
+
+            # Every stored fingerprint must be individually retrievable.
+            for fingerprint, expected in zip(first.fingerprints, first_json):
+                assert fingerprint is not None
+                stored = client.result(fingerprint)
+                if stored is None or stored.to_json() != expected:
+                    raise SystemExit(
+                        f"GET /result/{fingerprint} did not round-trip"
+                    )
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+    print(
+        f"serve smoke ok: {len(SWEEP_SEEDS)} specs computed once, "
+        "resubmission was 100% cache hits and JSON-identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

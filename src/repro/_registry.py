@@ -44,6 +44,7 @@ __all__ = [
     "EXECUTION_BACKENDS",
     "EXECUTORS",
     "ARRAY_BACKENDS",
+    "RUN_STORES",
     "register_scheme",
     "register_protocol",
     "register_cluster",
@@ -53,6 +54,7 @@ __all__ = [
     "register_backend",
     "register_executor",
     "register_array_backend",
+    "register_run_store",
 ]
 
 T = TypeVar("T")
@@ -181,6 +183,11 @@ EXECUTORS: Registry[Any] = Registry("executor")
 #: matrix-algebra kernels run on (numpy builtin; CuPy/torch optional).
 ARRAY_BACKENDS: Registry[Any] = Registry("array backend")
 
+#: Run stores: name -> :class:`repro.store.RunStore` subclass (or opener
+#: callable) providing content-addressed persistence for run results
+#: (on-disk builtin; remote/object stores pluggable).
+RUN_STORES: Registry[Any] = Registry("run store")
+
 register_scheme = SCHEMES.register
 register_protocol = PROTOCOLS.register
 register_cluster = CLUSTERS.register
@@ -189,6 +196,7 @@ register_network_model = NETWORK_MODELS.register
 register_backend = EXECUTION_BACKENDS.register
 register_executor = EXECUTORS.register
 register_array_backend = ARRAY_BACKENDS.register
+register_run_store = RUN_STORES.register
 
 
 def register_workload(workload: Any = None, *, replace: bool = False):

@@ -298,8 +298,8 @@ def _is_set_expr(node: ast.expr) -> bool:
     "REG001",
     summary=(
         "StragglerInjector/CommunicationModel/TrainingProtocol/Model/"
-        "Executor/ArrayBackend subclasses must be registered (decorator, "
-        "REGISTRY.add builder, or registrar-module reference)"
+        "Executor/ArrayBackend/RunStore subclasses must be registered "
+        "(decorator, REGISTRY.add builder, or registrar-module reference)"
     ),
 )
 class UnregisteredPluginRule(LintRule):
@@ -328,6 +328,7 @@ class UnregisteredPluginRule(LintRule):
         "Model",
         "Executor",
         "ArrayBackend",
+        "RunStore",
     )
 
     def check(self, ctx: FileContext, project: ProjectContext) -> Iterator[Finding]:

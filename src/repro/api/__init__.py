@@ -19,9 +19,18 @@ One code path serves every scheme, protocol, cluster and workload:
   building blocks plug in
   without editing any dispatch table;
 * the sweep executors (:mod:`repro.api.executors`) — ``serial``,
-  ``process``, ``process_shm``, ``thread`` — selecting how
+  ``process``, ``process_shm``, ``thread``, ``cached`` — selecting how
   :meth:`Engine.run_many` / :meth:`Engine.sweep` execute and how results
-  move between workers, always bit-identical to a serial loop.
+  move between workers, always bit-identical to a serial loop; execution
+  resolves through one :class:`ExecutionPolicy` (the legacy
+  ``parallel=``/``executor=`` pair is sugar for it);
+* the engine-as-a-service layer: :func:`fingerprint` /
+  :meth:`RunSpec.fingerprint` (the content address of a run),
+  :class:`RunStore` / :class:`FileRunStore` / :func:`open_store`
+  (persistent fingerprint-addressed results, :mod:`repro.store`),
+  :class:`CachedExecutor` (``executor="cached"`` — resumable sweeps) and
+  :class:`~repro.api.client.ServiceClient` for the ``repro serve`` HTTP
+  server (:mod:`repro.serve`).
 
 Quickstart::
 
@@ -44,8 +53,10 @@ Quickstart::
 """
 
 from .builders import build_injector, build_network
-from .engine import Engine, EngineError
+from .client import ClientError, RunResponse, ServiceClient, SweepResponse
+from .engine import Engine, EngineError, ExecutionPolicy
 from .executors import (
+    CachedExecutor,
     Executor,
     ExecutorError,
     ProcessExecutor,
@@ -60,6 +71,7 @@ from .registry import (
     EXECUTORS,
     NETWORK_MODELS,
     PROTOCOLS,
+    RUN_STORES,
     SCHEMES,
     STRAGGLER_MODELS,
     WORKLOADS,
@@ -71,22 +83,54 @@ from .registry import (
     register_executor,
     register_network_model,
     register_protocol,
+    register_run_store,
     register_scheme,
     register_straggler_model,
     register_workload,
 )
-from .result import RunResult
-from .spec import RUN_MODES, NetworkSpec, RunSpec, SpecError, StragglerSpec
+from .result import RESULT_SCHEMA_VERSION, ResultError, RunResult, json_default
+from .spec import (
+    RUN_MODES,
+    STORE_SCHEMA_VERSION,
+    NetworkSpec,
+    RunSpec,
+    SpecError,
+    StragglerSpec,
+    fingerprint,
+)
+
+# The store (repro.store) is a *consumer* of this package, not part of its
+# dependency graph, yet its names belong on the public surface ("importable
+# from repro.api alone").  A lazy PEP 562 attribute hook re-exports them
+# without creating an import cycle, whichever module is imported first.
+_STORE_EXPORTS = frozenset(
+    {"RunStore", "FileRunStore", "StoreError", "default_store_path", "open_store"}
+)
+
+
+def __getattr__(name: str) -> object:
+    if name in _STORE_EXPORTS:
+        from .. import store
+
+        return getattr(store, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "Engine",
     "EngineError",
+    "ExecutionPolicy",
     "RunSpec",
     "RunResult",
+    "ResultError",
+    "RESULT_SCHEMA_VERSION",
+    "STORE_SCHEMA_VERSION",
     "StragglerSpec",
     "NetworkSpec",
     "SpecError",
     "RUN_MODES",
+    "fingerprint",
+    "json_default",
     "Registry",
     "RegistryError",
     "SCHEMES",
@@ -98,12 +142,23 @@ __all__ = [
     "EXECUTION_BACKENDS",
     "EXECUTORS",
     "ARRAY_BACKENDS",
+    "RUN_STORES",
     "Executor",
     "ExecutorError",
     "SerialExecutor",
     "ProcessExecutor",
     "ProcessShmExecutor",
     "ThreadExecutor",
+    "CachedExecutor",
+    "RunStore",
+    "FileRunStore",
+    "StoreError",
+    "default_store_path",
+    "open_store",
+    "ServiceClient",
+    "ClientError",
+    "RunResponse",
+    "SweepResponse",
     "register_scheme",
     "register_protocol",
     "register_cluster",
@@ -113,6 +168,7 @@ __all__ = [
     "register_backend",
     "register_executor",
     "register_array_backend",
+    "register_run_store",
     "build_injector",
     "build_network",
 ]

@@ -1,0 +1,123 @@
+"""Thin programmatic client for the sweep server (:mod:`repro.serve`).
+
+Stdlib-only (:mod:`urllib.request`); speaks the exact JSON the server
+emits and hands back real :class:`~repro.api.result.RunResult` objects::
+
+    from repro.api.client import ServiceClient
+
+    client = ServiceClient("http://127.0.0.1:8765")
+    response = client.sweep(base_spec, seed=list(range(50)))
+    print(response.hits, response.misses)   # second submit: all hits
+
+The client is deliberately dumb: no retries, no pooling, no schema of its
+own — the server's responses embed ``RunResult.to_dict`` payloads, so the
+round-trip shares the library's serialization (schema version included).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+from urllib.error import HTTPError, URLError
+from urllib.request import Request, urlopen
+
+from .result import RunResult, json_default
+from .spec import RunSpec
+
+__all__ = ["ClientError", "RunResponse", "ServiceClient", "SweepResponse"]
+
+
+class ClientError(RuntimeError):
+    """A failed request: transport errors, or a non-2xx server response."""
+
+
+@dataclass(frozen=True)
+class RunResponse:
+    """``POST /run`` decoded: the result plus its cache provenance."""
+
+    result: RunResult
+    cached: bool
+    fingerprint: str | None
+
+
+@dataclass(frozen=True)
+class SweepResponse:
+    """``POST /sweep`` decoded: results in axis order plus cache counters."""
+
+    results: list[RunResult]
+    fingerprints: list[str | None]
+    hits: int
+    misses: int
+    uncacheable: int
+
+
+class ServiceClient:
+    """Talk to a ``repro serve`` instance at ``base_url``."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ------------------------------------------------------
+    def _request(self, method: str, path: str, payload: Any = None) -> Any:
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload, default=json_default).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = Request(  # noqa: S310 - caller-supplied http(s) base URL
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            with urlopen(request, timeout=self.timeout) as response:  # noqa: S310
+                return json.loads(response.read())
+        except HTTPError as exc:
+            try:
+                detail = json.loads(exc.read()).get("error", "")
+            except (json.JSONDecodeError, OSError, AttributeError):
+                detail = ""
+            raise ClientError(
+                f"{method} {path} failed with HTTP {exc.code}"
+                + (f": {detail}" if detail else "")
+            ) from exc
+        except (URLError, OSError) as exc:
+            raise ClientError(f"{method} {path} failed: {exc}") from exc
+
+    # -- endpoints ------------------------------------------------------
+    def run(self, spec: RunSpec) -> RunResponse:
+        """Execute (or fetch) one spec on the server."""
+        payload = self._request("POST", "/run", {"spec": spec.to_dict()})
+        return RunResponse(
+            result=RunResult.from_dict(payload["result"]),
+            cached=bool(payload["cached"]),
+            fingerprint=payload["fingerprint"],
+        )
+
+    def sweep(self, spec: RunSpec, **axes: list[Any]) -> SweepResponse:
+        """Run a sweep on the server (same axes semantics as ``Engine.sweep``)."""
+        payload = self._request(
+            "POST", "/sweep", {"spec": spec.to_dict(), "axes": dict(axes)}
+        )
+        return SweepResponse(
+            results=[RunResult.from_dict(item) for item in payload["results"]],
+            fingerprints=list(payload["fingerprints"]),
+            hits=int(payload["hits"]),
+            misses=int(payload["misses"]),
+            uncacheable=int(payload["uncacheable"]),
+        )
+
+    def result(self, fingerprint: str) -> RunResult | None:
+        """The stored result for a fingerprint, or ``None`` when absent."""
+        try:
+            payload = self._request("GET", f"/result/{fingerprint}")
+        except ClientError as exc:
+            if "HTTP 404" in str(exc):
+                return None
+            raise
+        return RunResult.from_dict(payload["result"])
+
+    def health(self) -> dict[str, Any]:
+        """Server liveness + store statistics."""
+        data = self._request("GET", "/health")
+        return dict(data) if isinstance(data, dict) else {"status": data}

@@ -64,7 +64,7 @@ from .executors import Executor, ProcessExecutor, resolve_executor
 from .result import RunResult
 from .spec import RunSpec, SpecError
 
-__all__ = ["Engine", "EngineError"]
+__all__ = ["Engine", "EngineError", "ExecutionPolicy"]
 
 
 def _available_cpu_count() -> int:
@@ -87,6 +87,92 @@ _STACK_ELEMENT_CAP = 4_000_000
 
 class EngineError(ValueError):
     """Raised when a spec cannot be executed (unknown names, bad mode)."""
+
+
+def _resolve_worker_count(parallel: int | bool | None, num_units: int) -> int:
+    """The historical ``parallel=`` resolution rule, shared by every path.
+
+    ``None``/``False``/``0``/``1`` -> one worker; ``True`` -> one per CPU;
+    an integer -> that many — always clamped to ``num_units`` so
+    over-provisioned requests never spawn idle workers.
+    """
+    if parallel is None or parallel is False:
+        return 1
+    if parallel is True:
+        workers = _available_cpu_count()
+    else:
+        workers = int(parallel)
+        if workers < 0:
+            raise EngineError("parallel must be non-negative")
+    return max(1, min(workers, num_units))
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """*One* answer to "how does a batch of runs execute?".
+
+    Historically that answer was spread across two knobs — ``parallel=``
+    (a worker count) and ``executor=`` (a dispatch strategy) — duplicated
+    with subtly re-stated semantics on :meth:`Engine.run_many`,
+    :meth:`Engine.sweep` and :meth:`Engine.compare`.  A policy collapses
+    them into one value with one resolution rule, used identically by all
+    three entry points (each of which also accepts ``policy=`` directly).
+
+    Fields
+    ------
+    executor:
+        The resolved :class:`~repro.api.executors.Executor`, or ``None``
+        for the engine's default split: in-process serial when the worker
+        count resolves to one, the ``process`` pickle pool otherwise.
+    workers:
+        The raw ``parallel=`` value (``None``/bool/int); resolved per
+        batch by :meth:`worker_count` under the historical rule.  With an
+        explicit executor, ``None`` means one worker per CPU.
+
+    :meth:`resolve` is the single place legacy knob combinations are
+    interpreted — and the place conflicting ones (an explicit executor
+    together with ``parallel=False``/``0``, i.e. "use this pool" + "don't
+    parallelise") raise :class:`EngineError` instead of silently
+    preferring one knob.
+    """
+
+    executor: Executor | None = None
+    workers: int | bool | None = None
+
+    @classmethod
+    def resolve(
+        cls,
+        parallel: int | bool | None = None,
+        executor: "Executor | str | None" = None,
+    ) -> "ExecutionPolicy":
+        """Collapse the legacy ``(parallel=, executor=)`` pair into a policy."""
+        chosen = resolve_executor(executor)
+        if chosen is not None and parallel is not None and parallel == 0:
+            raise EngineError(
+                f"conflicting execution policy: executor={chosen.name or chosen!r} "
+                f"requests pooled dispatch but parallel={parallel!r} disables "
+                "it; drop one of the two (parallel= is legacy sugar — prefer "
+                "ExecutionPolicy(executor=..., workers=...))"
+            )
+        return cls(executor=chosen, workers=parallel)
+
+    def worker_count(self, num_units: int) -> int:
+        """Workers for a batch of ``num_units`` dispatch units."""
+        if self.executor is None:
+            return _resolve_worker_count(self.workers, num_units)
+        return _resolve_worker_count(
+            True if self.workers is None else self.workers, num_units
+        )
+
+    def plan(self, num_units: int) -> "tuple[Executor | None, int]":
+        """(executor, workers) for a batch — ``None`` meaning the engine's
+        in-process serial loop (the historical ``parallel=None`` path)."""
+        workers = self.worker_count(num_units)
+        if self.executor is not None:
+            return self.executor, workers
+        if workers <= 1:
+            return None, workers
+        return ProcessExecutor(), workers
 
 
 @dataclass(frozen=True)
@@ -312,19 +398,48 @@ class Engine:
         trace = backend(spec)
         return RunResult.from_trace(spec, trace)
 
+    @staticmethod
+    def _policy(
+        parallel: int | bool | None,
+        executor: "Executor | str | None",
+        policy: "ExecutionPolicy | None",
+    ) -> ExecutionPolicy:
+        """The one resolution point for every execution entry point.
+
+        ``policy=`` is the redesigned API; ``parallel=``/``executor=`` are
+        legacy sugar resolved through :meth:`ExecutionPolicy.resolve`.
+        Passing a policy *and* legacy knobs is ambiguous and raises.
+        """
+        if policy is not None:
+            if parallel is not None or executor is not None:
+                raise EngineError(
+                    "conflicting execution policy: pass either policy= or the "
+                    "legacy parallel=/executor= knobs, not both"
+                )
+            if not isinstance(policy, ExecutionPolicy):
+                raise EngineError(
+                    f"policy must be an ExecutionPolicy, got "
+                    f"{type(policy).__name__}"
+                )
+            return policy
+        return ExecutionPolicy.resolve(parallel=parallel, executor=executor)
+
     def run_many(
         self,
         specs: Sequence[RunSpec],
         parallel: int | bool | None = None,
         executor: "Executor | str | None" = None,
+        *,
+        policy: "ExecutionPolicy | None" = None,
     ) -> list[RunResult]:
-        """Run several specs, optionally across an executor.
+        """Run several specs under one :class:`ExecutionPolicy`.
 
         Parameters
         ----------
         specs:
             The runs to execute, in result order.
         parallel:
+            Legacy sugar for ``policy.workers``.
             ``None``/``False``/``0``/``1`` — run serially in-process.
             ``True`` — one worker per CPU.  An integer — that many workers.
             The worker count is always clamped to ``len(specs)`` so
@@ -335,32 +450,33 @@ class Engine:
             results are bit-identical to serial ones; only wall-clock time
             changes.
         executor:
-            ``None`` (default) keeps the historical behaviour: serial when
-            ``parallel`` resolves to one worker, the ``process`` pickle
-            pool otherwise.  A registered name (``"serial"``, ``"process"``,
-            ``"process_shm"``, ``"thread"``) or an
+            Legacy sugar for ``policy.executor``.  ``None`` (default) keeps
+            the historical behaviour: serial when ``parallel`` resolves to
+            one worker, the ``process`` pickle pool otherwise.  A
+            registered name (``"serial"``, ``"process"``, ``"process_shm"``,
+            ``"thread"``, ``"cached"``) or an
             :class:`~repro.api.executors.Executor` instance forces that
             executor even for a single spec; ``parallel`` then only sets
             its worker count (``None`` meaning one worker per CPU).
+        policy:
+            The redesigned single knob: an :class:`ExecutionPolicy`
+            carrying both decisions.  Mutually exclusive with the legacy
+            pair; ``run_many``/``sweep``/``compare`` all resolve through
+            the same :meth:`_policy` helper.
 
         Raises
         ------
         EngineError
-            When subprocess execution is requested on an engine carrying
-            injected (non-registry) backends — those cannot be rebuilt in a
-            worker process.
+            On conflicting policy/legacy arguments, or when subprocess
+            execution is requested on an engine carrying injected
+            (non-registry) backends — those cannot be rebuilt in a worker
+            process.
         """
         specs = list(specs)
-        chosen = resolve_executor(executor)
+        resolved = self._policy(parallel, executor, policy)
+        chosen, workers = resolved.plan(len(specs))
         if chosen is None:
-            workers = self._resolve_parallel(parallel, len(specs))
-            if workers <= 1:
-                return [self.run(spec) for spec in specs]
-            chosen = ProcessExecutor()
-        else:
-            workers = self._resolve_parallel(
-                True if parallel is None else parallel, len(specs)
-            )
+            return [self.run(spec) for spec in specs]
         if chosen.requires_subprocess:
             if self._backends is not None:
                 raise EngineError(
@@ -378,15 +494,9 @@ class Engine:
 
     @staticmethod
     def _resolve_parallel(parallel: int | bool | None, num_specs: int) -> int:
-        if parallel is None or parallel is False:
-            return 1
-        if parallel is True:
-            workers = _available_cpu_count()
-        else:
-            workers = int(parallel)
-            if workers < 0:
-                raise EngineError("parallel must be non-negative")
-        return max(1, min(workers, num_specs))
+        """Legacy alias for the shared worker-count rule (kept public-ish:
+        callers and tests pin the ``parallel=`` semantics through it)."""
+        return _resolve_worker_count(parallel, num_specs)
 
     # -- sweep planner --------------------------------------------------
     #
@@ -642,10 +752,12 @@ class Engine:
     def _run_sweep_specs(
         self,
         specs: Sequence[RunSpec],
-        parallel: int | bool | None,
+        parallel: int | bool | None = None,
         executor: "Executor | str | None" = None,
+        policy: "ExecutionPolicy | None" = None,
     ) -> list[RunResult]:
         """Dispatch sweep specs through stacked groups plus a fallback pool."""
+        resolved = self._policy(parallel, executor, policy)
         specs = list(specs)
         results: list[RunResult | None] = [None] * len(specs)
         timing_groups: dict[tuple[Any, ...], list[_TimingStackMember]] = {}
@@ -699,16 +811,14 @@ class Engine:
         # transport then moves per-group stacks, not per-run pickles.  A
         # declined dispatch (run_groups -> None) and the default
         # executor=None both fall through to the in-process stacked path.
-        chosen = resolve_executor(executor)
+        chosen = resolved.executor
         member_chunks: list[list[Any]] = [*timing_chunks, *training_chunks]
         dispatched: list[list[RunResult]] | None = None
         if chosen is not None and member_chunks:
             group_specs = [
                 [member.spec for member in chunk] for chunk in member_chunks
             ]
-            workers = self._resolve_parallel(
-                True if parallel is None else parallel, len(group_specs)
-            )
+            workers = resolved.worker_count(len(group_specs))
             dispatched = chosen.run_groups(self, group_specs, workers)
         if dispatched is not None:
             for chunk, chunk_results in zip(member_chunks, dispatched, strict=True):
@@ -730,8 +840,7 @@ class Engine:
         if remainder:
             fallback = self.run_many(
                 [specs[index] for index in remainder],
-                parallel=parallel,
-                executor=chosen,
+                policy=resolved,
             )
             for index, result in zip(remainder, fallback, strict=True):
                 results[index] = result
@@ -747,20 +856,22 @@ class Engine:
         schemes: Sequence[str],
         parallel: int | bool | None = None,
         executor: "Executor | str | None" = None,
+        *,
+        policy: "ExecutionPolicy | None" = None,
     ) -> dict[str, RunResult]:
         """Run the same spec under several schemes (paired by shared seed).
 
-        ``parallel`` follows :meth:`run_many`'s resolution rule exactly:
-        ``None``/``False``/``0``/``1`` serial, ``True`` one worker per CPU,
-        an integer that many workers — always clamped to ``len(schemes)``.
-        ``executor`` also follows :meth:`run_many`: ``None`` keeps the
-        historical serial/pickle-pool split, a name or instance forces that
-        executor.
+        Execution resolves through the same :class:`ExecutionPolicy`
+        helper as :meth:`run_many` — ``policy=`` directly, or the legacy
+        ``parallel=``/``executor=`` sugar: ``None``/``False``/``0``/``1``
+        serial, ``True`` one worker per CPU, an integer that many workers,
+        always clamped to ``len(schemes)``; ``executor=None`` keeps the
+        historical serial/pickle-pool split, a name or instance forces
+        that executor.
         """
         results = self.run_many(
             [spec.replace(scheme=scheme) for scheme in schemes],
-            parallel=parallel,
-            executor=executor,
+            policy=self._policy(parallel, executor, policy),
         )
         return dict(zip(schemes, results))
 
@@ -769,6 +880,7 @@ class Engine:
         spec: RunSpec,
         parallel: int | bool | None = None,
         executor: "Executor | str | None" = None,
+        policy: "ExecutionPolicy | None" = None,
         **axes: Iterable[Any],
     ) -> list[RunResult]:
         """Run the cartesian product of field overrides.
@@ -789,10 +901,13 @@ class Engine:
         per-component streams, so every result is bit-identical to a
         standalone :meth:`run` of the same spec, stacked or not.
 
-        ``parallel`` composes with stacking: under the default
-        ``executor=None``, stacked groups always execute in-process (the
-        batched numpy work gains nothing from a process pool), while the
-        ragged remainder follows :meth:`run_many`'s resolution rule exactly
+        Execution resolves through the same :class:`ExecutionPolicy`
+        helper as :meth:`run_many` — pass ``policy=`` directly, or the
+        legacy ``parallel=``/``executor=`` sugar.  ``parallel`` composes
+        with stacking: under the default ``executor=None``, stacked groups
+        always execute in-process (the batched numpy work gains nothing
+        from a process pool), while the ragged remainder follows
+        :meth:`run_many`'s resolution rule exactly
         (``None``/``False``/``0``/``1`` serial, ``True`` one worker per
         CPU, an integer that many workers, clamped to the number of
         fallback specs); the result list is identical to a serial sweep
@@ -807,7 +922,10 @@ class Engine:
         remainder runs through :meth:`run_many` on the same executor.
         Injected-backend engines and ragged leftovers still fall through to
         serial under ``executor=None``.  Every executor is bit-identical to
-        ``executor="serial"`` by contract.
+        ``executor="serial"`` by contract.  ``executor="cached"`` wraps the
+        run store (:mod:`repro.store`): re-running an identical sweep
+        recomputes nothing, so interrupted sweeps resume where they left
+        off.
 
         Raises
         ------
@@ -815,8 +933,9 @@ class Engine:
             When an axis is given an empty value list — the cartesian
             product would silently be empty.
         """
+        resolved = self._policy(parallel, executor, policy)
         if not axes:
-            return self.run_many([spec], parallel=parallel, executor=executor)
+            return self.run_many([spec], policy=resolved)
         names = list(axes)
         value_lists: list[list[Any]] = []
         for name in names:
@@ -832,4 +951,4 @@ class Engine:
             spec.replace(**dict(zip(names, values)))
             for values in itertools.product(*value_lists)
         ]
-        return self._run_sweep_specs(specs, parallel=parallel, executor=executor)
+        return self._run_sweep_specs(specs, policy=resolved)

@@ -53,9 +53,11 @@ from .result import RunResult
 from .spec import RunSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from ..store import RunStore
     from .engine import Engine
 
 __all__ = [
+    "CachedExecutor",
     "Executor",
     "ExecutorError",
     "ProcessExecutor",
@@ -368,3 +370,145 @@ class ProcessShmExecutor(Executor):
                 unlink_shm(output)
             raise
         return grouped
+
+
+@register_executor(
+    "cached",
+    description="run-store wrapper: hits from disk, misses via the inner executor",
+)
+class CachedExecutor(Executor):
+    """Answer specs from a :class:`~repro.store.RunStore`, compute the rest.
+
+    Wraps any inner executor (default: the engine's normal in-process
+    paths).  Every spec with an explicit seed is fingerprinted and looked
+    up first; hits come back from disk (JSON-exact by the store contract),
+    misses run through the inner executor — keeping its stacking and
+    transport behaviour — and are written back.  Re-running an identical
+    sweep therefore performs zero recomputation: the sweep is *resumable*,
+    and partial progress (e.g. an interrupted sweep's completed groups)
+    is never repeated.
+
+    Specs with ``seed=None`` draw fresh OS entropy per run, so caching
+    them would change semantics; they bypass the store entirely and are
+    counted in :attr:`uncacheable`.
+
+    The instance keeps :attr:`hits` / :attr:`misses` / :attr:`uncacheable`
+    counters (cumulative across calls) so callers — tests, the sweep
+    server's responses — can assert cache behaviour instead of inferring
+    it from timing.
+    """
+
+    name = "cached"
+
+    def __init__(
+        self,
+        inner: Executor | str | None = None,
+        store: RunStore | None = None,
+        store_path: str | None = None,
+    ) -> None:
+        self.inner = resolve_executor(inner)
+        self.requires_subprocess = (
+            self.inner.requires_subprocess if self.inner is not None else False
+        )
+        self._store = store
+        self._store_path = store_path
+        self.hits = 0
+        self.misses = 0
+        self.uncacheable = 0
+
+    @property
+    def store(self) -> RunStore:
+        """The backing store, opened lazily (honours ``$REPRO_STORE_DIR``)."""
+        if self._store is None:
+            from ..store import open_store
+
+            self._store = open_store(self._store_path)
+        return self._store
+
+    def _lookup(self, spec: RunSpec) -> tuple[str | None, RunResult | None]:
+        """(fingerprint, stored result); fingerprint is None when uncacheable."""
+        if spec.seed is None:
+            return None, None
+        fingerprint = spec.fingerprint()
+        return fingerprint, self.store.get(fingerprint)
+
+    def run_specs(
+        self, engine: Engine, specs: Sequence[RunSpec], workers: int
+    ) -> list[RunResult]:
+        results: list[RunResult | None] = [None] * len(specs)
+        miss_indices: list[int] = []
+        keys: list[str | None] = []
+        for index, spec in enumerate(specs):
+            fingerprint, stored = self._lookup(spec)
+            keys.append(fingerprint)
+            if stored is not None:
+                self.hits += 1
+                results[index] = stored
+            else:
+                if fingerprint is None:
+                    self.uncacheable += 1
+                else:
+                    self.misses += 1
+                miss_indices.append(index)
+        if miss_indices:
+            miss_specs = [specs[index] for index in miss_indices]
+            if self.inner is not None:
+                computed = self.inner.run_specs(engine, miss_specs, workers)
+            else:
+                computed = [engine.run(spec) for spec in miss_specs]
+            for index, result in zip(miss_indices, computed, strict=True):
+                fingerprint = keys[index]
+                if fingerprint is not None:
+                    self.store.put(fingerprint, result)
+                results[index] = result
+        return [result for result in results if result is not None]
+
+    def run_groups(
+        self, engine: Engine, groups: Sequence[list[RunSpec]], workers: int
+    ) -> list[list[RunResult]] | None:
+        # Unlike the other executors this one never declines: returning
+        # None would send every group — hits included — down the engine's
+        # in-process path and bypass the cache.
+        grouped: list[list[RunResult | None]] = []
+        miss_groups: list[list[RunSpec]] = []
+        miss_slots: list[tuple[int, int, str | None]] = []  # (group, pos, key)
+        for group_index, group in enumerate(groups):
+            slots: list[RunResult | None] = [None] * len(group)
+            misses: list[RunSpec] = []
+            for position, spec in enumerate(group):
+                fingerprint, stored = self._lookup(spec)
+                if stored is not None:
+                    self.hits += 1
+                    slots[position] = stored
+                else:
+                    if fingerprint is None:
+                        self.uncacheable += 1
+                    else:
+                        self.misses += 1
+                    miss_slots.append((group_index, position, fingerprint))
+                    misses.append(spec)
+            grouped.append(slots)
+            if misses:
+                miss_groups.append(misses)
+        if miss_groups:
+            computed: list[list[RunResult]] | None = None
+            if self.inner is not None:
+                computed = self.inner.run_groups(engine, miss_groups, workers)
+            if computed is None:
+                # Inner declined (or no inner): the engine's in-process
+                # stacked path.  A miss subset of a homogeneous group is
+                # still homogeneous, so stacking is preserved.
+                computed = [
+                    engine._run_sweep_specs(miss_group, parallel=None)
+                    for miss_group in miss_groups
+                ]
+            flat = [result for unit in computed for result in unit]
+            for (group_index, position, fingerprint), result in zip(
+                miss_slots, flat, strict=True
+            ):
+                if fingerprint is not None:
+                    self.store.put(fingerprint, result)
+                grouped[group_index][position] = result
+        return [
+            [result for result in slots if result is not None] for slots in grouped
+        ]

@@ -20,6 +20,7 @@ from .._registry import (
     EXECUTORS,
     NETWORK_MODELS,
     PROTOCOLS,
+    RUN_STORES,
     SCHEMES,
     STRAGGLER_MODELS,
     WORKLOADS,
@@ -31,6 +32,7 @@ from .._registry import (
     register_executor,
     register_network_model,
     register_protocol,
+    register_run_store,
     register_scheme,
     register_straggler_model,
     register_workload,
@@ -48,6 +50,7 @@ __all__ = [
     "EXECUTION_BACKENDS",
     "EXECUTORS",
     "ARRAY_BACKENDS",
+    "RUN_STORES",
     "register_scheme",
     "register_protocol",
     "register_cluster",
@@ -57,4 +60,5 @@ __all__ = [
     "register_backend",
     "register_executor",
     "register_array_backend",
+    "register_run_store",
 ]

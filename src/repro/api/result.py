@@ -30,11 +30,29 @@ from ..metrics.timing_stats import timing_stats
 from ..simulation.trace import RunTrace
 from .spec import RunSpec
 
-__all__ = ["RunResult"]
+__all__ = ["RESULT_SCHEMA_VERSION", "ResultError", "RunResult", "json_default"]
+
+#: Version of the ``RunResult`` serialization format.  v1 is the
+#: historical payload without a ``schema_version`` key; v2 adds the key
+#: (and nothing else), so store segments and server responses written
+#: today remain identifiable when the format evolves.  ``from_dict``
+#: accepts every version up to this one and rejects newer payloads with a
+#: clear error instead of silently misreading them.
+RESULT_SCHEMA_VERSION = 2
 
 
-def _json_default(value: Any) -> Any:
-    """Make numpy scalars/arrays (which leak into trace metadata) JSON-safe."""
+class ResultError(ValueError):
+    """Raised when a serialized result payload cannot be interpreted."""
+
+
+def json_default(value: Any) -> Any:
+    """Make numpy scalars/arrays (which leak into trace metadata) JSON-safe.
+
+    The shared ``default=`` hook for every serialization of results in the
+    package (``RunResult.to_json``, the run store's descriptors, the sweep
+    server's responses) — one conversion rule, so all three emit identical
+    JSON for the same result.
+    """
     if isinstance(value, np.integer):
         return int(value)
     if isinstance(value, np.floating):
@@ -42,6 +60,10 @@ def _json_default(value: Any) -> Any:
     if isinstance(value, np.ndarray):
         return value.tolist()
     raise TypeError(f"not JSON-serialisable: {value!r} ({type(value).__name__})")
+
+
+#: Backward-compatible private alias (pre-PR 10 name).
+_json_default = json_default
 
 
 @dataclass(frozen=True)
@@ -103,6 +125,7 @@ class RunResult:
     def to_dict(self) -> dict:
         """Plain-data form; inverse of :meth:`from_dict`."""
         return {
+            "schema_version": RESULT_SCHEMA_VERSION,
             "spec": self.spec.to_dict(),
             "trace": self.trace.to_dict(),
             "metrics": dict(self.metrics),
@@ -110,6 +133,13 @@ class RunResult:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        # Payloads predating the version field are v1 (same layout, no key).
+        version = data.get("schema_version", 1)
+        if not isinstance(version, int) or not 1 <= version <= RESULT_SCHEMA_VERSION:
+            raise ResultError(
+                f"unsupported result schema_version {version!r}; "
+                f"this build reads versions 1..{RESULT_SCHEMA_VERSION}"
+            )
         return cls(
             spec=RunSpec.from_dict(data["spec"]),
             trace=RunTrace.from_dict(data["trace"]),

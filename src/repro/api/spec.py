@@ -22,20 +22,67 @@ and instantiated freshly for every run, so runs never share mutable state.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 from collections.abc import Mapping
 from dataclasses import dataclass, field
 from typing import Any
 
+from .._registry import (
+    ARRAY_BACKENDS,
+    CLUSTERS,
+    EXECUTION_BACKENDS,
+    NETWORK_MODELS,
+    PROTOCOLS,
+    SCHEMES,
+    STRAGGLER_MODELS,
+    WORKLOADS,
+    Registry,
+)
 from ..simulation.rng import RNG_VERSIONS
 
-__all__ = ["RunSpec", "StragglerSpec", "NetworkSpec", "SpecError", "RUN_MODES"]
+__all__ = [
+    "RunSpec",
+    "StragglerSpec",
+    "NetworkSpec",
+    "SpecError",
+    "RUN_MODES",
+    "STORE_SCHEMA_VERSION",
+    "fingerprint",
+]
 
 #: Execution modes understood by the engine's builtin backends.
 RUN_MODES: tuple[str, ...] = ("timing", "training")
 
 #: Default per-iteration dataset size for timing-only runs.
 DEFAULT_TIMING_SAMPLES = 2048
+
+#: Version of the content-addressed store contract.  It is folded into
+#: every :meth:`RunSpec.fingerprint`, so bumping it (when the segment
+#: layout or the fingerprint coverage changes incompatibly) invalidates
+#: every existing cache entry at once instead of serving stale payloads.
+STORE_SCHEMA_VERSION = 1
+
+
+def _plugin_identity(registry: Registry[Any], name: str | None) -> str | None:
+    """The code identity behind a registered name (``module:qualname``).
+
+    Two registrations are "the same plugin" iff the same callable/class
+    services the name — swapping a builder (``replace=True``) changes the
+    identity and therefore every fingerprint that references it.  Unknown
+    names map to ``None``: the fingerprint stays computable (the engine
+    rejects such specs at execution time anyway) and still differs from
+    any registered identity.
+    """
+    if name is None or name not in registry:
+        return None
+    obj = registry.get(name)
+    module = getattr(obj, "__module__", None)
+    qualname = getattr(obj, "__qualname__", None)
+    if module is None or qualname is None:  # registered instances (workloads)
+        module = type(obj).__module__
+        qualname = type(obj).__qualname__
+    return f"{module}:{qualname}"
 
 
 class SpecError(ValueError):
@@ -276,3 +323,54 @@ class RunSpec:
     @classmethod
     def from_json(cls, text: str) -> "RunSpec":
         return cls.from_dict(json.loads(text))
+
+    # -- content addressing ---------------------------------------------
+    def fingerprint(self) -> str:
+        """Stable content hash of everything that determines this run.
+
+        A sha256 hex digest over the canonical JSON form (sorted keys,
+        no whitespace) of the full field set — including ``seed``,
+        ``rng_version`` and ``array_backend`` — plus the *identities*
+        (``module:qualname``) of every registry plugin the spec names and
+        :data:`STORE_SCHEMA_VERSION`.  Two specs share a fingerprint iff
+        the engine is contractually bound to produce bit-identical results
+        for them, which is what makes the fingerprint a safe cache key for
+        the content-addressed run store (:mod:`repro.store`):
+
+        * field order and default-vs-explicit construction never matter
+          (``to_dict`` always emits the full field set);
+        * the digest is stable across processes and machines;
+        * changing ``rng_version``, ``array_backend``, the seed, or
+          swapping any referenced plugin registration changes the key.
+
+        Specs with ``seed=None`` still fingerprint (the digest is a pure
+        function of the spec), but such runs are explicitly
+        non-reproducible — cache layers must never serve them from a
+        store.
+        """
+        canonical = json.dumps(
+            self._fingerprint_payload(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def _fingerprint_payload(self) -> dict:
+        return {
+            "store_schema": STORE_SCHEMA_VERSION,
+            "spec": self.to_dict(),
+            "plugins": {
+                "scheme": _plugin_identity(SCHEMES, self.scheme),
+                "protocol": _plugin_identity(PROTOCOLS, self.scheme),
+                "backend": _plugin_identity(EXECUTION_BACKENDS, self.mode),
+                "cluster": _plugin_identity(CLUSTERS, self.cluster),
+                "workload": _plugin_identity(WORKLOADS, self.workload),
+                "straggler": _plugin_identity(STRAGGLER_MODELS, self.straggler.kind),
+                "network": _plugin_identity(NETWORK_MODELS, self.network.kind),
+                "array_backend": _plugin_identity(ARRAY_BACKENDS, self.array_backend),
+            },
+        }
+
+
+def fingerprint(spec: RunSpec) -> str:
+    """Functional alias for :meth:`RunSpec.fingerprint` (re-exported by
+    :mod:`repro.api` so the whole store surface imports from one place)."""
+    return spec.fingerprint()

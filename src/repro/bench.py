@@ -3,12 +3,13 @@
 ``repro bench`` times the vectorized hot paths against the pre-PR reference
 implementations kept in :mod:`repro._reference` and writes a machine-readable
 ``BENCH_<label>.json`` so the performance trajectory of the repo is tracked
-from PR 2 onward.  The headline number is ``sweep_stacked_rng_v2``: a
-fig2-scale 50-run seed sweep dispatched through ``Engine.sweep``'s
-run-stacked planner (one kernel call for the whole sweep, shared decode
-cache) measured against the per-run batched loop the sweep used before;
-``training_fig4_ssp_batched``, ``timing_trace_columnar`` and
-``training_fig4_batched`` keep tracking the PR 4/5 paths the same way.
+from PR 2 onward.  The headline number is ``sweep_cached_resume``: the
+fig2-scale 50-seed sweep through the store-backed ``cached`` executor,
+cold store (compute + write-back) vs warm store (pure disk hits — a
+resumed sweep recomputes nothing); ``sweep_stacked_rng_v2``,
+``training_fig4_mlp_batched``, ``training_fig4_ssp_batched``,
+``timing_trace_columnar`` and ``training_fig4_batched`` keep tracking the
+PR 4/5/7/9 paths the same way.
 
 Every comparison also *verifies* agreement between the two implementations
 (identical durations / byte-identical serialization / matching learning
@@ -71,10 +72,11 @@ __all__ = [
     "HEADLINE_BENCH",
 ]
 
-#: Name of the acceptance-criterion benchmark (PR 9: fig4-scale MLP
-#: training with the stacked parameter-cube gradient kernels against the
-#: generic per-pair loop, gated bit-identical).
-HEADLINE_BENCH = "training_fig4_mlp_batched"
+#: Name of the acceptance-criterion benchmark (PR 10: the fig2-scale
+#: 50-seed sweep through ``executor="cached"`` — cold store (every spec
+#: computed and written back) vs warm store (every spec answered from
+#: disk, zero recomputation), gated JSON-exact against a plain sweep).
+HEADLINE_BENCH = "sweep_cached_resume"
 
 #: Schemes and delays of the Fig. 2 sweep used by the end-to-end benchmark.
 _FIG2_SCHEMES = ("naive", "cyclic", "heter_aware", "group_based")
@@ -881,6 +883,114 @@ def _bench_sweep_stacked(num_iterations: int, repeats: int, seed: int) -> dict:
     )
 
 
+def _bench_sweep_cached_resume(num_iterations: int, repeats: int, seed: int) -> dict:
+    """Headline: resuming a sweep from the run store vs recomputing it.
+
+    The same fig2-scale 50-seed naive sweep as ``sweep_stacked_rng_v2``,
+    dispatched through ``executor="cached"`` backed by a ``FileRunStore``.
+    The baseline is the cold path — an empty store, so every spec is a
+    miss: the inner stacked sweep computes all 50 runs and each result is
+    written back as a columnar segment.  The current side is the warm
+    path — the same sweep re-issued against the populated store, which
+    must answer every spec from disk (50 hits, 0 misses: zero
+    recomputation).  Both sides are gated JSON-exact against a plain
+    ``Engine.sweep`` with no store attached, via ``to_json`` — the store
+    round-trip normalises numpy scalars to Python ones, exactly as JSON
+    serialisation does, so the canonical JSON form is the identity that
+    must hold.
+    """
+    import os
+    import shutil
+    import tempfile
+
+    from .api import Engine, RunSpec, StragglerSpec
+    from .api.executors import CachedExecutor
+    from .store import FileRunStore
+
+    engine = Engine()
+    num_runs = 50
+    base = RunSpec(
+        scheme="naive",
+        num_iterations=num_iterations,
+        total_samples=2048,
+        straggler=StragglerSpec(
+            "artificial_delay", {"num_stragglers": 1, "delay_seconds": 1.0}
+        ),
+        rng_version=2,
+        seed=seed,
+    )
+    seeds = [seed + offset for offset in range(num_runs)]
+
+    def results_json(results: list) -> str:
+        return json.dumps([r.to_json() for r in results], separators=(",", ":"))
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-store-") as root:
+        warm_root = os.path.join(root, "warm")
+
+        def sweep_cold() -> list:
+            # Fresh store directory per call: every spec is a miss, so the
+            # cold side pays compute plus write-back.
+            Engine.clear_timing_kernel_cache()
+            cold_root = tempfile.mkdtemp(dir=root)
+            executor = CachedExecutor(store=FileRunStore(cold_root))
+            try:
+                results = engine.sweep(base, executor=executor, seed=seeds)
+                if executor.misses != num_runs or executor.hits:
+                    raise AssertionError(
+                        "cold cached sweep was expected to miss every spec"
+                    )
+                return results
+            finally:
+                shutil.rmtree(cold_root, ignore_errors=True)
+
+        def sweep_warm() -> list:
+            Engine.clear_timing_kernel_cache()
+            executor = CachedExecutor(store=FileRunStore(warm_root))
+            results = engine.sweep(base, executor=executor, seed=seeds)
+            if executor.hits != num_runs or executor.misses:
+                raise AssertionError(
+                    "warm cached sweep recomputed instead of resuming"
+                )
+            return results
+
+        # Populate the warm store once, then gate: plain sweep, cold cached
+        # sweep, and warm cached sweep must all be JSON-identical.
+        Engine.clear_timing_kernel_cache()
+        seed_executor = CachedExecutor(store=FileRunStore(warm_root))
+        cold_results = engine.sweep(base, executor=seed_executor, seed=seeds)
+        warm_results = sweep_warm()
+        Engine.clear_timing_kernel_cache()
+        plain_results = engine.sweep(base, seed=seeds)
+        plain_json = results_json(plain_results)
+        if results_json(cold_results) != plain_json:
+            raise AssertionError("cold cached sweep diverged from plain sweep")
+        if results_json(warm_results) != plain_json:
+            raise AssertionError("warm cached sweep diverged from plain sweep")
+
+        store_stats = seed_executor.store.stats()
+        baseline = _best_of(lambda: _timed(sweep_cold), repeats)
+        current = _best_of(lambda: _timed(sweep_warm), repeats)
+    return _bench_entry(
+        "sweep_cached_resume",
+        f"Engine.sweep of {num_runs} seeds x {num_iterations} iterations "
+        'through executor="cached": cold store (compute + write-back) vs '
+        "warm store (every run answered from disk)",
+        baseline,
+        current,
+        meta={
+            "cluster": "Cluster-A",
+            "num_runs": num_runs,
+            "num_iterations": num_iterations,
+            "scheme": "naive",
+            "store": "file",
+            "warm_hits": num_runs,
+            "warm_misses": 0,
+            "store_entries": store_stats["entries"],
+            "store_bytes": store_stats["bytes"],
+        },
+    )
+
+
 def _bench_parallel_sweep(num_iterations: int, repeats: int, seed: int) -> dict:
     """Engine.sweep: serial vs process-pool execution of the same grid."""
     import os
@@ -1017,7 +1127,7 @@ def _bench_parallel_sweep_shm(
 def run_bench(
     smoke: bool = False,
     seed: int = 0,
-    label: str = "PR9",
+    label: str = "PR10",
     include_parallel: bool = True,
     executor: str = "process_shm",
 ) -> dict:
@@ -1034,7 +1144,7 @@ def run_bench(
         Free-form tag stored in the payload (e.g. ``"PR2"``).
     include_parallel:
         Skip the legacy process-pool benchmark when ``False`` (e.g.
-        constrained CI runners).  The ``parallel_sweep_shm`` headline
+        constrained CI runners).  The ``sweep_cached_resume`` headline
         always runs — it is the acceptance gate.
     executor:
         Executor timed as the headline's ``current`` side (default
@@ -1045,6 +1155,7 @@ def run_bench(
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", SampleCountDriftWarning)
         benches = [
+            _bench_sweep_cached_resume(iterations, repeats, seed),
             _bench_training_fig4_mlp(
                 8 if smoke else 15,
                 repeats,

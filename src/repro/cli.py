@@ -12,6 +12,7 @@ Usage (after ``pip install -e .`` or with ``PYTHONPATH`` set)::
     python -m repro analyze --cluster Cluster-A --stragglers 1
     python -m repro run --scheme heter_aware --iterations 20 --json
     python -m repro run --spec my_run.json
+    python -m repro serve --port 8765
     python -m repro plugins
 
 Each figure sub-command runs the corresponding experiment at a configurable
@@ -33,6 +34,7 @@ from collections.abc import Sequence
 
 from ._registry import RegistryError
 from .api import Engine, RunSpec
+from .api.result import json_default
 from .api.registry import (
     CLUSTERS,
     EXECUTION_BACKENDS,
@@ -170,14 +172,39 @@ def build_parser() -> argparse.ArgumentParser:
                           "(faster, statistically equivalent)")
     run.add_argument("--executor", default=None, metavar="NAME",
                      help="registered sweep executor to route the run through "
-                          "(serial, process, process_shm, thread); default "
-                          "runs in-process")
+                          "(serial, process, process_shm, thread, cached); "
+                          "default runs in-process")
+    run.add_argument("--store", default=None, metavar="DIR",
+                     help="answer the run from this run-store directory when "
+                          "cached, computing and writing back otherwise "
+                          "(routes through the 'cached' executor)")
     run.add_argument("--json", action="store_true",
-                     help="print the full RunResult as JSON instead of a summary table")
+                     help="print the full RunResult as JSON (with the spec "
+                          "fingerprint) instead of a summary table")
 
     subparsers.add_parser(
         "plugins", help="list every registered scheme, protocol, cluster, ..."
     )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the sweep server: engine-as-a-service over the run store",
+        description=(
+            "Serve POST /run, POST /sweep and GET /result/<fingerprint> over "
+            "HTTP.  Results are answered from the content-addressed run "
+            "store when present and computed through the normal engine path "
+            "(written back) otherwise, so resubmitting identical work is "
+            "free.  See repro.api.client.ServiceClient for the programmatic "
+            "side."
+        ),
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765,
+                       help="TCP port (0 picks a free one; the bound address "
+                            "is printed on startup)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="run-store directory (default: $REPRO_STORE_DIR "
+                            "or ~/.cache/repro/run_store)")
 
     bench = subparsers.add_parser(
         "bench",
@@ -193,7 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--smoke", action="store_true",
                        help="CI-sized benchmarks (seconds instead of minutes)")
-    bench.add_argument("--label", default="PR9", help="tag stored in the payload")
+    bench.add_argument("--label", default="PR10", help="tag stored in the payload")
     bench.add_argument("--output", default=None, metavar="PATH",
                        help="output JSON path (default BENCH_<label>.json; '-' to skip)")
     bench.add_argument("--no-parallel", action="store_true",
@@ -384,12 +411,22 @@ def _command_run(args: argparse.Namespace) -> str:
             seed=args.seed,
             rng_version=args.rng_version,
         )
-    if args.executor:
+    if args.store:
+        from .api.executors import CachedExecutor
+
+        cached = CachedExecutor(inner=args.executor, store_path=args.store)
+        result = Engine().run_many([spec], executor=cached)[0]
+    elif args.executor:
         result = Engine().run_many([spec], executor=args.executor)[0]
     else:
         result = Engine().run(spec)
     if args.json:
-        return result.to_json(indent=2)
+        # The fingerprint rides along as extra output metadata so CLI users
+        # can correlate results with run-store entries; RunResult.from_dict
+        # ignores it on the way back in.
+        payload = result.to_dict()
+        payload["fingerprint"] = spec.fingerprint()
+        return json.dumps(payload, indent=2, default=json_default)
     summary = result.summary()
     rows = [[key, value] for key, value in summary.items()]
     return format_table(
@@ -494,6 +531,25 @@ def _command_lint(args: argparse.Namespace):
     return text, report.exit_code
 
 
+def _command_serve(args: argparse.Namespace) -> str:
+    from .serve import make_server
+
+    server = make_server(host=args.host, port=args.port, store_path=args.store)
+    host, port = server.server_address[0], server.server_address[1]
+    print(
+        f"repro serve: listening on http://{host}:{port} "
+        f"(store: {args.store or 'default'})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    return ""
+
+
 def _command_plugins(_: argparse.Namespace) -> str:
     sections = [
         ("schemes", SCHEMES),
@@ -564,6 +620,7 @@ _COMMANDS = {
     "run": _command_run,
     "lint": _command_lint,
     "plugins": _command_plugins,
+    "serve": _command_serve,
     "bench": _command_bench,
     "golden": _command_golden,
 }

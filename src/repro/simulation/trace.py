@@ -28,6 +28,8 @@ from dataclasses import dataclass
 import numpy as np
 
 __all__ = [
+    "BytesReader",
+    "BytesWriter",
     "IterationRecord",
     "RaggedColumn",
     "RunTrace",
@@ -318,7 +320,9 @@ class RaggedColumn:
         return descriptor
 
     @classmethod
-    def shm_attach(cls, reader: "ShmReader", descriptor: dict) -> "RaggedColumn":
+    def shm_attach(
+        cls, reader: "ShmReader | BytesReader", descriptor: dict
+    ) -> "RaggedColumn":
         """Rebuild a column zero-copy from a :meth:`shm_export` descriptor."""
         present = descriptor["present"]
         return cls(
@@ -546,6 +550,53 @@ class ShmReader:
         _release_shm_handle(shm)
 
 
+class BytesWriter(ShmWriter):
+    """Pack read-only arrays into one plain ``bytes`` payload.
+
+    Identical placement specs (offset/shape/dtype, cache-line aligned) to
+    the shared-memory transport, but the destination is an ordinary byte
+    string instead of a ``SharedMemory`` segment — this is the binary
+    export the on-disk run store (:mod:`repro.store`) persists next to its
+    JSON descriptors.  Call :meth:`~ShmWriter.add` per array, then
+    :meth:`getvalue` once.
+    """
+
+    def getvalue(self) -> bytes:
+        """The packed payload for every added array."""
+        buffer = bytearray(max(1, self._cursor))
+        for spec, array in self._pending:
+            if array.size:
+                offset = spec["offset"]
+                buffer[offset : offset + array.nbytes] = array.reshape(-1).tobytes()
+        return bytes(buffer)
+
+
+class BytesReader:
+    """Read arrays back from a :class:`BytesWriter` payload.
+
+    The returned arrays are read-only zero-copy views over the payload
+    buffer, mirroring :class:`ShmReader` — the same ``shm_attach``
+    descriptors drive both transports.
+    """
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+
+    def array(self, spec: dict) -> np.ndarray:
+        """The array packed at ``spec``, as a read-only zero-copy view."""
+        shape = tuple(spec["shape"])
+        count = 1
+        for dim in shape:
+            count *= dim
+        view = np.frombuffer(
+            self._data,
+            dtype=np.dtype(spec["dtype"]),
+            count=count,
+            offset=spec["offset"],
+        )
+        return _readonly(view.reshape(shape))
+
+
 def unlink_shm(descriptor: dict) -> None:
     """Unlink a descriptor's segment without attaching to its contents.
 
@@ -718,7 +769,9 @@ class TraceColumns:
         }
 
     @classmethod
-    def shm_attach(cls, reader: "ShmReader", descriptor: dict) -> "TraceColumns":
+    def shm_attach(
+        cls, reader: "ShmReader | BytesReader", descriptor: dict
+    ) -> "TraceColumns":
         """Rebuild a block zero-copy from a :meth:`shm_export` descriptor."""
         return cls(
             iterations=reader.array(descriptor["iterations"]),
@@ -729,6 +782,28 @@ class TraceColumns:
             workers_used=RaggedColumn.shm_attach(reader, descriptor["workers_used"]),
             used_groups=RaggedColumn.shm_attach(reader, descriptor["used_groups"]),
         )
+
+    def to_bytes(self) -> tuple[dict, bytes]:
+        """Pack every column into one binary payload plus its descriptor.
+
+        The descriptor is the exact :meth:`shm_export` shape (plain JSON
+        data: offsets, shapes, dtype strings) and the payload is the
+        :class:`BytesWriter` packing — the persistent twin of the
+        shared-memory transport, used by the on-disk run store.
+        """
+        writer = BytesWriter()
+        descriptor = self.shm_export(writer)
+        return descriptor, writer.getvalue()
+
+    @classmethod
+    def from_bytes(cls, descriptor: dict, data: bytes) -> "TraceColumns":
+        """Rebuild a block from a :meth:`to_bytes` descriptor + payload.
+
+        The columns are read-only zero-copy views over ``data``; the
+        round-trip is bit-exact (the arrays are stored raw, never through
+        a decimal representation).
+        """
+        return cls.shm_attach(BytesReader(data), descriptor)
 
     def to_shm(self) -> dict:
         """Export into a fresh single-block segment (see

@@ -1,0 +1,141 @@
+"""RunSpec.fingerprint: the content address of a run.
+
+The fingerprint is the cache key of the run store, so two properties are
+load-bearing: *stability* (the digest never depends on construction
+order, default-vs-explicit fields, or the process that computes it) and
+*sensitivity* (anything the engine contract says may change results —
+seed, rng_version, array backend, a swapped plugin registration — must
+change the key).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.api import RunSpec, StragglerSpec, fingerprint
+from repro.api.registry import SCHEMES
+from repro.api.spec import STORE_SCHEMA_VERSION
+
+
+@pytest.fixture()
+def spec() -> RunSpec:
+    return RunSpec(
+        scheme="heter_aware",
+        num_iterations=10,
+        total_samples=2048,
+        straggler=StragglerSpec(
+            "artificial_delay", {"num_stragglers": 1, "delay_seconds": 2.0}
+        ),
+        rng_version=2,
+        seed=7,
+    )
+
+
+class TestStability:
+    def test_deterministic(self, spec):
+        assert spec.fingerprint() == spec.fingerprint()
+
+    def test_is_sha256_hex(self, spec):
+        digest = spec.fingerprint()
+        assert len(digest) == 64
+        int(digest, 16)  # raises ValueError if not hex
+
+    def test_module_level_alias(self, spec):
+        assert fingerprint(spec) == spec.fingerprint()
+
+    def test_default_vs_explicit_construction(self):
+        implicit = RunSpec(scheme="naive", seed=0)
+        explicit = RunSpec(
+            scheme="naive",
+            mode=implicit.mode,
+            cluster=implicit.cluster,
+            workload=implicit.workload,
+            num_iterations=implicit.num_iterations,
+            total_samples=implicit.total_samples,
+            seed=0,
+        )
+        assert implicit.fingerprint() == explicit.fingerprint()
+
+    def test_field_order_does_not_matter(self, spec):
+        payload = spec.to_dict()
+        reordered = dict(reversed(list(payload.items())))
+        assert RunSpec.from_dict(reordered).fingerprint() == spec.fingerprint()
+
+    def test_round_trip_preserves_fingerprint(self, spec):
+        assert RunSpec.from_json(spec.to_json()).fingerprint() == spec.fingerprint()
+
+    def test_digest_is_canonical_json_sha256(self, spec):
+        canonical = json.dumps(
+            spec._fingerprint_payload(), sort_keys=True, separators=(",", ":")
+        )
+        expected = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        assert spec.fingerprint() == expected
+        assert spec._fingerprint_payload()["store_schema"] == STORE_SCHEMA_VERSION
+
+    def test_cross_process_stability(self, spec):
+        """A fresh interpreter must compute the identical digest."""
+        program = (
+            "import json, sys\n"
+            "from repro.api import RunSpec\n"
+            "spec = RunSpec.from_dict(json.loads(sys.argv[1]))\n"
+            "print(spec.fingerprint())\n"
+        )
+        completed = subprocess.run(
+            [sys.executable, "-c", program, spec.to_json()],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={**os.environ, "PYTHONPATH": os.pathsep.join(sys.path)},
+        )
+        assert completed.stdout.strip() == spec.fingerprint()
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"seed": 8},
+            {"rng_version": 1},
+            {"array_backend": "torch"},
+            {"scheme": "cyclic"},
+            {"num_iterations": 11},
+            {"cluster": "Cluster-B"},
+        ],
+        ids=lambda changes: next(iter(changes)),
+    )
+    def test_field_changes_change_key(self, spec, changes):
+        assert spec.replace(**changes).fingerprint() != spec.fingerprint()
+
+    def test_seed_none_still_fingerprints(self, spec):
+        digest = spec.replace(seed=None).fingerprint()
+        assert len(digest) == 64
+        assert digest != spec.fingerprint()
+
+    def test_plugin_swap_changes_key(self, spec):
+        """Re-registering the scheme's builder under the same name rekeys."""
+        original = SCHEMES.get(spec.scheme)
+        metadata = dict(SCHEMES.metadata(spec.scheme))
+        before = spec.fingerprint()
+
+        def replacement(*args, **kwargs):  # pragma: no cover - never called
+            return original(*args, **kwargs)
+
+        SCHEMES.add(spec.scheme, replacement, replace=True)
+        try:
+            assert spec.fingerprint() != before
+        finally:
+            SCHEMES.add(spec.scheme, original, replace=True, **metadata)
+        assert spec.fingerprint() == before
+
+    def test_unknown_plugin_maps_to_none(self, spec):
+        """Fingerprints stay computable before validation catches the name."""
+        unknown = spec.replace(cluster="No-Such-Cluster")
+        payload = unknown._fingerprint_payload()
+        assert payload["plugins"]["cluster"] is None
+        assert len(unknown.fingerprint()) == 64

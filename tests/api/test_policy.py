@@ -1,0 +1,148 @@
+"""ExecutionPolicy: one resolution rule behind every execution entry point.
+
+The redesign collapses the legacy ``parallel=``/``executor=`` pair into
+one policy object.  Back-compat is the contract: every legacy combination
+must resolve to exactly the historical behaviour (property-tested against
+the historical worker-count rule), conflicting combinations must raise a
+named :class:`EngineError` instead of silently preferring one knob, and
+``policy=`` must be accepted — exclusively — by ``run_many``, ``sweep``
+and ``compare`` alike.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+
+import pytest
+
+from repro.api import Engine, ExecutionPolicy, RunSpec, SerialExecutor
+from repro.api.engine import EngineError, _available_cpu_count
+from repro.api.executors import ProcessExecutor
+
+
+def results_json(results) -> str:
+    return json.dumps([r.to_json() for r in results])
+
+
+@pytest.fixture(scope="module")
+def engine() -> Engine:
+    return Engine()
+
+
+@pytest.fixture(scope="module")
+def spec() -> RunSpec:
+    return RunSpec(scheme="naive", num_iterations=3, total_samples=256, seed=0)
+
+
+class TestWorkerCountRule:
+    """resolve(parallel).worker_count must *be* the historical rule."""
+
+    PARALLEL_VALUES = (None, False, True, 0, 1, 2, 3, 7, 64)
+    NUM_UNITS = (1, 2, 5, 16)
+
+    @pytest.mark.parametrize(
+        "parallel,num_units",
+        list(itertools.product(PARALLEL_VALUES, NUM_UNITS)),
+        ids=lambda value: repr(value),
+    )
+    def test_matches_legacy_rule(self, parallel, num_units):
+        policy = ExecutionPolicy.resolve(parallel=parallel)
+        assert policy.worker_count(num_units) == Engine._resolve_parallel(
+            parallel, num_units
+        )
+
+    def test_true_means_one_per_cpu(self):
+        policy = ExecutionPolicy.resolve(parallel=True)
+        cpus = _available_cpu_count()
+        assert policy.worker_count(10_000) == min(cpus, 10_000)
+
+    def test_negative_raises(self):
+        with pytest.raises(EngineError, match="non-negative"):
+            ExecutionPolicy.resolve(parallel=-1).worker_count(4)
+
+    def test_explicit_executor_defaults_to_pool_width(self):
+        policy = ExecutionPolicy.resolve(executor="serial")
+        assert policy.worker_count(4) == min(_available_cpu_count(), 4)
+        assert ExecutionPolicy.resolve(parallel=2, executor="serial").worker_count(
+            4
+        ) == 2
+
+
+class TestPlan:
+    def test_default_serial(self):
+        executor, workers = ExecutionPolicy().plan(4)
+        assert executor is None
+        assert workers == 1
+
+    def test_parallel_picks_process_pool(self):
+        executor, workers = ExecutionPolicy(workers=2).plan(4)
+        assert isinstance(executor, ProcessExecutor)
+        assert workers == 2
+
+    def test_explicit_executor_wins(self):
+        serial = SerialExecutor()
+        executor, _ = ExecutionPolicy(executor=serial, workers=2).plan(4)
+        assert executor is serial
+
+
+class TestConflicts:
+    def test_executor_with_parallel_zero(self):
+        with pytest.raises(EngineError, match="conflicting execution policy"):
+            ExecutionPolicy.resolve(parallel=0, executor="serial")
+
+    def test_executor_with_parallel_false(self):
+        with pytest.raises(EngineError, match="conflicting execution policy"):
+            ExecutionPolicy.resolve(parallel=False, executor=SerialExecutor())
+
+    @pytest.mark.parametrize("entry", ["run_many", "sweep", "compare"])
+    def test_policy_plus_legacy_knobs_raise(self, engine, spec, entry):
+        policy = ExecutionPolicy()
+        with pytest.raises(EngineError, match="policy= or the legacy"):
+            if entry == "run_many":
+                engine.run_many([spec], parallel=1, policy=policy)
+            elif entry == "sweep":
+                engine.sweep(spec, executor="serial", policy=policy, seed=[0])
+            else:
+                engine.compare(spec, ["naive"], parallel=1, policy=policy)
+
+    def test_policy_must_be_a_policy(self, engine, spec):
+        with pytest.raises(EngineError, match="must be an ExecutionPolicy"):
+            engine.run_many([spec], policy="serial")
+
+
+class TestEntryPoints:
+    """policy= and the legacy sugar produce bit-identical results."""
+
+    def test_run_many(self, engine, spec):
+        specs = [spec.replace(seed=s) for s in (0, 1)]
+        legacy = engine.run_many(specs)
+        via_policy = engine.run_many(specs, policy=ExecutionPolicy())
+        pooled = engine.run_many(
+            specs, policy=ExecutionPolicy(executor=SerialExecutor(), workers=1)
+        )
+        assert results_json(legacy) == results_json(via_policy)
+        assert results_json(legacy) == results_json(pooled)
+
+    def test_sweep(self, engine, spec):
+        axes = {"scheme": ["naive", "cyclic"], "seed": [0, 1]}
+        legacy = engine.sweep(spec, **axes)
+        via_policy = engine.sweep(spec, policy=ExecutionPolicy(), **axes)
+        via_executor_policy = engine.sweep(
+            spec, policy=ExecutionPolicy(executor=SerialExecutor()), **axes
+        )
+        assert results_json(legacy) == results_json(via_policy)
+        assert results_json(legacy) == results_json(via_executor_policy)
+
+    def test_compare(self, engine, spec):
+        schemes = ["naive", "heter_aware"]
+        legacy = engine.compare(spec, schemes)
+        via_policy = engine.compare(spec, schemes, policy=ExecutionPolicy())
+        assert results_json(list(legacy.values())) == results_json(
+            list(via_policy.values())
+        )
+
+    def test_policy_is_frozen(self):
+        policy = ExecutionPolicy()
+        with pytest.raises(Exception):
+            policy.workers = 2  # type: ignore[misc]

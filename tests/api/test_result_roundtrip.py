@@ -8,7 +8,14 @@ import math
 import numpy as np
 import pytest
 
-from repro.api import Engine, RunSpec, RunResult, StragglerSpec
+from repro.api import (
+    RESULT_SCHEMA_VERSION,
+    Engine,
+    ResultError,
+    RunResult,
+    RunSpec,
+    StragglerSpec,
+)
 
 
 @pytest.fixture(scope="module")
@@ -114,7 +121,8 @@ class TestRoundTrip:
 
     def test_json_is_plain_data(self, timing_result):
         payload = json.loads(timing_result.to_json())
-        assert set(payload) == {"spec", "trace", "metrics"}
+        assert set(payload) == {"schema_version", "spec", "trace", "metrics"}
+        assert payload["schema_version"] == 2
         assert isinstance(payload["trace"]["records"], list)
         # numpy scalars in trace metadata must have been converted
         assert all(
@@ -125,3 +133,27 @@ class TestRoundTrip:
         summary = timing_result.summary()
         assert "final_loss" not in summary
         assert summary["scheme"] == "heter_aware"
+
+
+class TestSchemaVersion:
+    def test_current_version_is_two(self):
+        assert RESULT_SCHEMA_VERSION == 2
+
+    def test_v1_payload_loads(self, timing_result):
+        """Historical payloads (no schema_version key) still deserialize."""
+        payload = json.loads(timing_result.to_json())
+        del payload["schema_version"]
+        restored = RunResult.from_dict(payload)
+        assert restored.spec == timing_result.spec
+        np.testing.assert_array_equal(
+            restored.trace.durations, timing_result.trace.durations
+        )
+
+    @pytest.mark.parametrize(
+        "version", [0, RESULT_SCHEMA_VERSION + 1, "2", 2.0, None]
+    )
+    def test_unreadable_versions_raise(self, timing_result, version):
+        payload = json.loads(timing_result.to_json())
+        payload["schema_version"] = version
+        with pytest.raises(ResultError, match="schema_version"):
+            RunResult.from_dict(payload)

@@ -26,6 +26,8 @@ class TestParser:
             ["analyze", "--cluster", "Cluster-A"],
             ["run", "--scheme", "heter_aware", "--iterations", "3"],
             ["plugins"],
+            ["serve", "--port", "0"],
+            ["serve", "--host", "0.0.0.0", "--store", "/tmp/store"],
         ):
             args = parser.parse_args(argv)
             assert args.command == argv[0]
@@ -129,6 +131,8 @@ class TestCommands:
         assert "heter_aware" in out
 
     def test_run_json_round_trips(self, capsys):
+        import json
+
         from repro.api import RunResult
 
         code = main(
@@ -140,6 +144,25 @@ class TestCommands:
         result = RunResult.from_json(out)
         assert result.spec.scheme == "naive"
         assert result.metrics["num_iterations"] == 2
+        # The payload carries the spec's content address (from_json ignores
+        # the extra key), so pipelines can key artifacts off the output.
+        payload = json.loads(out)
+        assert payload["fingerprint"] == result.spec.fingerprint()
+
+    def test_run_store_resumes(self, capsys, tmp_path):
+        argv = [
+            "run", "--scheme", "naive", "--iterations", "2", "--samples", "256",
+            "--seed", "3", "--json", "--store", str(tmp_path / "store"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+
+        from repro.store import FileRunStore
+
+        assert FileRunStore(tmp_path / "store").stats()["entries"] == 1
 
     def test_run_from_spec_file(self, capsys, tmp_path):
         from repro.api import RunSpec
